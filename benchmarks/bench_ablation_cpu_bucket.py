@@ -1,0 +1,43 @@
+"""Extension: CPU token buckets affect experiments the same way.
+
+The paper's closing warning ("cloud providers use token buckets for
+other resources such as CPU scheduling") — demonstrated with the
+burstable-CPU model: a compute-bound job repeated back-to-back on a
+credit-based instance slows once credits exhaust, while a network
+token budget would have left it untouched.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.netmodel import CpuTokenBucket
+from repro.netmodel.cpu_bucket import T2_MEDIUM_LIKE
+
+WORK_CORE_S = 120.0  # per-repetition compute work
+REPETITIONS = 8
+
+
+def run_study() -> list[dict]:
+    rows = []
+    bucket = CpuTokenBucket(T2_MEDIUM_LIKE)
+    for repetition in range(REPETITIONS):
+        elapsed = bucket.run_at_full_speed(WORK_CORE_S)
+        rows.append(
+            {
+                "repetition": repetition + 1,
+                "elapsed_s": round(elapsed, 1),
+                "credits_left": round(bucket.credits, 1),
+                "throttled": bucket.throttled,
+            }
+        )
+    return rows
+
+
+def test_cpu_bucket_carryover(benchmark):
+    rows = run_once(benchmark, run_study)
+    print_rows("CPU-credit carry-over across repetitions", rows)
+
+    # Early repetitions run at full speed; later ones crawl at the
+    # baseline — the CPU flavour of Figure 19's non-iid repetitions.
+    assert rows[0]["elapsed_s"] < WORK_CORE_S * 1.05
+    assert rows[-1]["elapsed_s"] > WORK_CORE_S * 3.0
+    assert rows[-1]["throttled"]

@@ -1,0 +1,59 @@
+"""Ablation: does token replenishment explain EC2's pattern inversion?
+
+Figure 6 shows intermittent patterns *beating* full-speed on EC2.  The
+paper attributes it to the bucket refilling during rests.  This
+ablation removes the replenish rate (and the matching capped rate is
+kept) and re-measures: without replenishment the advantage of resting
+must disappear — all patterns end up draining the same fixed budget.
+"""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.emulator import FIVE_THIRTY, FULL_SPEED, TEN_THIRTY
+from repro.measurement import BandwidthProbe
+from repro.netmodel import TokenBucketModel, TokenBucketParams
+
+DURATION_S = 259_200.0  # three days: steady state for all patterns
+
+WITH_REPLENISH = TokenBucketParams(
+    peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.95, capacity_gbit=5_400.0
+)
+WITHOUT_REPLENISH = TokenBucketParams(
+    peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.0, capacity_gbit=5_400.0
+)
+
+
+def measure(params: TokenBucketParams) -> dict[str, float]:
+    means = {}
+    for pattern in (FULL_SPEED, TEN_THIRTY, FIVE_THIRTY):
+        probe = BandwidthProbe(TokenBucketModel(params), pattern)
+        trace = probe.run(DURATION_S, rng=np.random.default_rng(0))
+        means[pattern.name] = float(trace.values.mean())
+    return means
+
+
+def run_ablation() -> dict[str, dict[str, float]]:
+    return {
+        "with-replenish": measure(WITH_REPLENISH),
+        "without-replenish": measure(WITHOUT_REPLENISH),
+    }
+
+
+def test_ablation_replenishment(benchmark):
+    result = run_once(benchmark, run_ablation)
+    print_rows(
+        "Ablation: replenishment",
+        [
+            {"variant": variant, **{k: round(v, 2) for k, v in means.items()}}
+            for variant, means in result.items()
+        ],
+    )
+
+    with_r = result["with-replenish"]
+    without_r = result["without-replenish"]
+    # With replenishment: resting pays off (the Figure 6 inversion).
+    assert with_r["5-30"] > 5 * with_r["full-speed"]
+    # Without: every pattern converges to the capped rate; the resting
+    # advantage collapses to (nearly) nothing.
+    assert without_r["5-30"] < 1.5 * without_r["full-speed"]

@@ -1,0 +1,70 @@
+"""Ablation: what does each reset policy buy (F5.4)?
+
+The same TPC-DS Q65 experiment under the three infrastructure-reset
+policies the methodology supports: fresh VMs per repetition, a rest
+long enough to refill the budget, and nothing.  Reported: median
+drift and the analysis pipeline's iid verdict per policy.
+"""
+
+import numpy as np
+from conftest import print_rows, run_once
+
+from repro.core import (
+    ExperimentDesign,
+    ExperimentRunner,
+    ResetPolicy,
+    analyze_sample,
+)
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import token_bucket_cluster
+from repro.workloads import tpcds_job
+
+REPETITIONS = 24
+BUDGET = 700.0
+REST_S = 2_400.0  # refills ~2280 Gbit: plenty for Q65's per-run drain
+
+
+def run_policy(policy: ResetPolicy, rest_s: float = 0.0) -> dict:
+    experiment = SimulatorExperiment(
+        token_bucket_cluster(BUDGET),
+        tpcds_job(65, n_nodes=12, slots=4),
+        rng=np.random.default_rng(11),
+        budget_gbit=BUDGET,
+        run_noise_cov=0.02,
+    )
+    design = ExperimentDesign(
+        repetitions=REPETITIONS, reset_policy=policy, rest_s=rest_s
+    )
+    samples = ExperimentRunner(design).collect(experiment)
+    report = analyze_sample(samples)
+    first = float(np.median(samples[: REPETITIONS // 3]))
+    last = float(np.median(samples[-REPETITIONS // 3 :]))
+    return {
+        "policy": policy.value,
+        "median_s": round(report.dispersion.median, 1),
+        "drift_pct": round(100 * (last / first - 1.0), 1),
+        "iid_violated": report.iid_violated,
+    }
+
+
+def run_ablation() -> list[dict]:
+    return [
+        run_policy(ResetPolicy.FRESH),
+        run_policy(ResetPolicy.REST, rest_s=REST_S),
+        run_policy(ResetPolicy.NONE),
+    ]
+
+
+def test_ablation_reset_policy(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print_rows("Ablation: reset policies", rows)
+
+    by_policy = {row["policy"]: row for row in rows}
+    # Fresh VMs: no drift, no violation (the gold standard).
+    assert abs(by_policy["fresh"]["drift_pct"]) < 10.0
+    assert not by_policy["fresh"]["iid_violated"]
+    # Rests: the cheap substitute also holds up.
+    assert abs(by_policy["rest"]["drift_pct"]) < 10.0
+    # No reset: large drift and a flagged iid violation.
+    assert by_policy["none"]["drift_pct"] > 25.0
+    assert by_policy["none"]["iid_violated"]

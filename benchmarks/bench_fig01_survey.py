@@ -1,0 +1,29 @@
+"""Figure 1 + Table 2: the literature survey.
+
+Regenerates the reporting-practice percentages, the repetition
+histogram, the Table 2 funnel, and the reviewer-agreement kappas.
+
+Paper values to compare against: >60 % under-specified; 37 % of
+center-reporting articles report variability; 76 % of well-specified
+articles use <= 15 repetitions; kappas 0.95 / 0.81 / 0.85; funnel
+1867 -> 138 -> 44 articles cited 11,203 times.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig01
+
+
+def test_fig01_survey(benchmark):
+    result = run_once(benchmark, fig01.reproduce)
+
+    print_rows("Figure 1a: experiment reporting", result.rows())
+    print_rows("Figure 1b: repetitions histogram", result.histogram_rows())
+    print_rows("Table 2: survey funnel", [result.funnel.as_row()])
+    print_rows(
+        "Reviewer agreement (Cohen's Kappa)",
+        [{k: round(v, 2) for k, v in result.summary.kappa.items()}],
+    )
+
+    assert result.funnel.cloud_experiments == 44
+    assert result.summary.pct_underspecified > 60.0

@@ -1,0 +1,15 @@
+"""Figure 2: bandwidth distributions for eight real-world clouds.
+
+Paper shape: eight boxes spanning roughly 0-1000 Mb/s, clouds F and G
+the widest relative spread.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig02
+
+
+def test_fig02_ballani_distributions(benchmark):
+    result = run_once(benchmark, fig02.reproduce)
+    print_rows("Figure 2: cloud bandwidth boxes (Mb/s)", result.rows())
+    assert len(result.boxes) == 8

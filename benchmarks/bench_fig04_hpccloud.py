@@ -1,0 +1,19 @@
+"""Figure 4: HPCCloud bandwidth variability (one-week full-speed trace).
+
+Paper values: 7.7-10.4 Gbps range; up to ~33 % change between
+consecutive 10-second samples.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig04
+
+
+def test_fig04_hpccloud_bandwidth(benchmark):
+    result = run_once(benchmark, fig04.reproduce)
+    print_rows("Figure 4: HPCCloud full-speed week", result.rows())
+
+    row = result.rows()[0]
+    assert row["min_gbps"] >= 7.5
+    assert row["max_gbps"] <= 10.6
+    assert row["max_consecutive_change_pct"] > 15.0

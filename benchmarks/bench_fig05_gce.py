@@ -1,0 +1,20 @@
+"""Figure 5: Google Cloud bandwidth by access pattern (week per pattern).
+
+Paper values: 13-15.8 Gbps overall on the 8-core pair; full-speed
+stable and fastest, 5-30 long-tailed; consecutive-sample changes up to
+~114 % for 5-30.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig05
+
+
+def test_fig05_gce_bandwidth(benchmark):
+    result = run_once(benchmark, fig05.reproduce)
+    print_rows("Figure 5: GCE per-pattern boxes", result.rows())
+
+    boxes = result.boxes
+    assert boxes["full-speed"].p50 > boxes["5-30"].p50
+    assert boxes["full-speed"].whisker_span < boxes["5-30"].whisker_span
+    assert 13.0 < boxes["full-speed"].p50 < 16.0

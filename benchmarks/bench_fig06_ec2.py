@@ -1,0 +1,23 @@
+"""Figure 6: Amazon EC2 bandwidth by access pattern (week per pattern).
+
+Paper values: heavier streams achieve *less* (the token bucket);
+approximately 3x and 7x mean-bandwidth advantages of 10-30 and 5-30
+over full-speed; achieved bandwidth spans ~1-10 Gbps.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig06
+
+
+def test_fig06_ec2_bandwidth(benchmark):
+    result = run_once(benchmark, fig06.reproduce)
+    print_rows("Figure 6: EC2 per-pattern summary", result.rows())
+    print_rows(
+        "Slowdowns vs full-speed",
+        [{k: round(v, 2) for k, v in result.slowdowns().items()}],
+    )
+
+    slow = result.slowdowns()
+    assert 2.0 < slow["ten_thirty_vs_full_speed"] < 4.5
+    assert 5.0 < slow["five_thirty_vs_full_speed"] < 9.0

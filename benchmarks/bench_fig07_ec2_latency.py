@@ -1,0 +1,19 @@
+"""Figure 7: EC2 RTTs for 10-second streams, normal vs throttled.
+
+Paper values: sub-millisecond RTTs at ~10 Gbps; once the shaper
+engages (~10 minutes of full-speed transfer) bandwidth drops to
+~1 Gbps and latency rises by roughly two orders of magnitude.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig07
+
+
+def test_fig07_ec2_latency(benchmark):
+    result = run_once(benchmark, fig07.reproduce)
+    print_rows("Figure 7: EC2 latency regimes", result.rows())
+
+    assert result.normal.rtt.median() < 0.5
+    assert result.latency_inflation > 30.0
+    assert result.throttled.bandwidth.mean() < 1.5

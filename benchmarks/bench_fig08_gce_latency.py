@@ -1,0 +1,18 @@
+"""Figure 8: GCE RTTs for a 10-second stream on a 4-core instance.
+
+Paper values: millisecond-scale RTTs capped around 10 ms, no
+throttling collapse.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig08
+
+
+def test_fig08_gce_latency(benchmark):
+    result = run_once(benchmark, fig08.reproduce)
+    print_rows("Figure 8: GCE latency", result.rows())
+
+    row = result.rows()[0]
+    assert 1.0 < row["rtt_median_ms"] < 4.0
+    assert row["rtt_max_ms"] <= 10.0

@@ -1,0 +1,20 @@
+"""Figure 9: TCP retransmission analysis across the three clouds.
+
+Paper values: negligible retransmissions on EC2 and HPCCloud; ~2 % of
+segments on GCE — hundreds of thousands per 10-second window.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig09
+
+
+def test_fig09_retransmissions(benchmark):
+    result = run_once(benchmark, fig09.reproduce)
+    print_rows("Figure 9: per-cloud retransmission boxes", result.rows())
+    print_rows("Figure 9 (right): GCE violin", result.violin_rows())
+
+    boxes = result.cloud_boxes
+    assert boxes["amazon"].p99 < 1_000
+    assert boxes["hpccloud"].p99 < 1_000
+    assert 50_000 < boxes["google"].p50 < 500_000

@@ -1,0 +1,18 @@
+"""Figure 10: total traffic per access pattern (EC2 vs GCE, one week).
+
+Paper shape: GCE full-speed moves vastly more data than the
+intermittent patterns; on EC2 all three totals are roughly equal (the
+token-bucket fingerprint).
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig10
+
+
+def test_fig10_total_traffic(benchmark):
+    result = run_once(benchmark, fig10.reproduce)
+    print_rows("Figure 10: total traffic (TB)", result.rows())
+
+    assert result.ec2_totals_roughly_equal()
+    assert result.gce_full_speed_dominates()

@@ -1,0 +1,22 @@
+"""Figure 11: token-bucket parameters of the EC2 c5.* family.
+
+Fifteen identification runs per type, as in the paper.
+
+Paper values: time-to-empty and capped rate grow with instance size
+(c5.xlarge ~10 minutes, 10 -> 1 Gbps); constants are inconsistent
+across incarnations of the same type.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig11
+
+
+def test_fig11_token_bucket_parameters(benchmark):
+    result = run_once(benchmark, fig11.reproduce, tests_per_type=15)
+    print_rows("Figure 11: identified token-bucket parameters", result.rows())
+
+    assert result.monotone_in_size()
+    assert result.incarnations_inconsistent()
+    xlarge = result.identifications["c5.xlarge"].summary()
+    assert 300 < xlarge["empty_time_median_s"] < 1_200

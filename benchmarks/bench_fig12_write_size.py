@@ -1,0 +1,22 @@
+"""Figure 12: latency and bandwidth vs application write() size.
+
+Paper values: EC2 packets top out at the 9 KB MTU (flat, low latency);
+GCE TSO packets reach 64 KB — RTTs climb toward 10 ms and
+retransmissions from near-zero (9 KB writes) to ~2 % (128 KB default).
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig12
+
+
+def test_fig12_write_size_effects(benchmark):
+    result = run_once(benchmark, fig12.reproduce)
+    print_rows("Figure 12: write-size sweep", result.rows())
+
+    gce = {e.write_size_bytes: e for e in result.gce}
+    ec2 = {e.write_size_bytes: e for e in result.ec2}
+    assert gce[9_000].retransmission_rate < 1e-3
+    assert gce[131_072].retransmission_rate > 0.005
+    assert gce[131_072].mean_rtt_ms > 2.5 * gce[9_000].mean_rtt_ms
+    assert abs(ec2[131_072].mean_rtt_ms - ec2[9_000].mean_rtt_ms) < 0.1

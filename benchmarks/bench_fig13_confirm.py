@@ -1,0 +1,20 @@
+"""Figure 13: CONFIRM analysis for K-Means (GCE) and Q65 (HPCCloud).
+
+Paper values: 95 % CIs tighten with repetitions (stochastic
+variability); reaching 1 %-of-median bounds takes 70+ repetitions.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig13
+
+
+def test_fig13_confirm_analysis(benchmark):
+    result = run_once(benchmark, fig13.reproduce, repetitions=100)
+    print_rows("Figure 13: CONFIRM panels", result.rows())
+
+    for panel in (result.kmeans_gce, result.q65_hpccloud):
+        needed = panel.repetitions_needed
+        # 70+ in the paper; anything under ~25 would contradict it.
+        assert needed is None or needed > 25
+        assert not panel.curve.widening_detected()

@@ -1,0 +1,17 @@
+"""Figure 14: validation of the token-bucket emulation.
+
+Paper conclusion: the emulated curves match the AWS behaviour — each
+burst starts at 10 Gbps and drops to 1 Gbps once the replenished
+budget is spent.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig14
+
+
+def test_fig14_emulator_validation(benchmark):
+    result = run_once(benchmark, fig14.reproduce)
+    print_rows("Figure 14: emulation vs reference", result.rows())
+
+    assert result.emulation_is_high_quality(nrmse_bound=0.10)

@@ -1,0 +1,22 @@
+"""Figure 15: Terasort traffic vs initial token budget.
+
+Five consecutive runs per budget in {5000, 1000, 100, 10} Gbit.
+
+Paper shape: large budgets keep the 10 Gbps capacity; small budgets
+pin most of the shuffle at 1 Gbps and make runtimes vary run to run.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig15
+
+
+def test_fig15_terasort_budgets(benchmark):
+    result = run_once(benchmark, fig15.reproduce)
+    print_rows("Figure 15: Terasort per-budget panels", result.rows())
+
+    assert result.small_budgets_more_variable()
+    large = result.panels[5_000.0].summary()
+    small = result.panels[10.0].summary()
+    assert small["mean_runtime_s"] > 1.25 * large["mean_runtime_s"]
+    assert small["transmit_at_low_rate_pct"] > large["transmit_at_low_rate_pct"]

@@ -1,0 +1,27 @@
+"""Figure 16: HiBench runtime and variability vs token budget.
+
+Ten runs per (application, budget) as in the paper.
+
+Paper values: the network-intensive applications (TS, WC) see a
+25-50 % budget impact; compute-bound ones (KM, BS) barely move.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig16
+
+
+def test_fig16_hibench_budgets(benchmark):
+    result = run_once(benchmark, fig16.reproduce, runs_per_config=10)
+    print_rows("Figure 16a: average runtimes", result.average_rows())
+    print_rows(
+        "Figure 16b: variability boxes",
+        [
+            {"app": app, **{k: round(v, 1) for k, v in box.as_dict().items()}}
+            for app, box in result.variability_boxes().items()
+        ],
+    )
+
+    assert result.network_apps_most_affected()
+    assert result.budget_impact("TS") > 0.25
+    assert result.budget_impact("KM") < 0.10

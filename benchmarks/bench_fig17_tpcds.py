@@ -1,0 +1,28 @@
+"""Figure 17: TPC-DS budget sensitivity across 21 queries.
+
+Ten runs per (query, budget) as in the paper.
+
+Paper shape: all queries benefit from larger budgets; network-heavy
+queries show the largest slowdowns and the widest variability.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig17
+
+
+def test_fig17_tpcds_budgets(benchmark):
+    result = run_once(benchmark, fig17.reproduce, runs_per_config=10)
+    print_rows("Figure 17a: slowdowns per query", result.slowdown_rows())
+    print_rows(
+        "Figure 17b: variability boxes",
+        [
+            {"query": q, **{k: round(v, 1) for k, v in box.as_dict().items()}}
+            for q, box in result.variability_boxes().items()
+        ],
+    )
+
+    assert result.all_queries_monotone_in_budget()
+    assert result.heavy_queries_lead()
+    assert result.slowdown(65, 10.0) > 1.8
+    assert abs(result.slowdown(82, 10.0) - 1.0) < 0.05

@@ -1,0 +1,18 @@
+"""Figure 18: token-bucket-induced straggler at budget 2500 Gbit.
+
+Paper shape: one node (and only one) depletes its budget during a
+TPC-DS stream, drops to the 1 Gbps QoS, and oscillates between high
+and low rates.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig18
+
+
+def test_fig18_straggler(benchmark):
+    result = run_once(benchmark, fig18.reproduce)
+    print_rows("Figure 18: per-node summary", result.rows())
+
+    assert result.straggler_nodes == [result.skewed_node]
+    assert result.straggler_oscillates()

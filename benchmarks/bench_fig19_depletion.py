@@ -1,0 +1,27 @@
+"""Figure 19: CI analysis under budget depletion.
+
+The budget ladder {5000, 2500, 1000, 100, 10}, ten repetitions each
+for the headline queries and a catalog-wide scan.
+
+Paper values: Q82's CI tightens (budget-agnostic); Q65's estimates
+drift and its CI widens (non-iid); ~80 % of queries end with median
+estimates more than 10 % wrong about depleted-budget performance.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import fig19
+
+
+def test_fig19_budget_depletion(benchmark):
+    result = run_once(benchmark, fig19.reproduce)
+    print_rows("Figure 19: headline panels", result.rows())
+    print_rows(
+        "Figure 19 (bottom): poor-median share",
+        [{"poor_median_fraction": round(result.poor_median_fraction, 2)}],
+    )
+
+    assert not result.q82.median_estimate_poor
+    assert result.q65.median_estimate_poor
+    assert result.q65.ci_widened
+    assert result.poor_median_fraction >= 0.6

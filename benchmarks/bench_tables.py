@@ -1,0 +1,36 @@
+"""Tables 1-4: survey parameters, funnel, campaign summary, setup.
+
+Table 3 runs a time-scaled version of every campaign (hours instead of
+weeks); every configuration must still exhibit variability, exactly as
+the paper's table records.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.paper import tables
+
+
+def test_table1_survey_parameters(benchmark):
+    result = run_once(benchmark, tables.table1)
+    print_rows("Table 1: survey parameters", [result])
+    assert "NSDI" in result["venues"]
+
+
+def test_table2_survey_funnel(benchmark):
+    result = run_once(benchmark, tables.table2)
+    print_rows("Table 2: survey process", [result])
+    assert result["filtered_for_cloud"] == 44
+    assert result["citations"] == 11_203
+
+
+def test_table3_campaign_summary(benchmark):
+    rows = run_once(benchmark, tables.table3)
+    print_rows("Table 3: campaign summary", rows)
+    assert len(rows) == 11
+    assert all(row["exhibits_variability"] for row in rows)
+
+
+def test_table4_experiment_setup(benchmark):
+    rows = run_once(benchmark, tables.table4)
+    print_rows("Table 4: big-data experiment setup", rows)
+    assert len(rows) == 2

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or tables and
+prints the rows/series the paper reports.  The reproductions are full
+experiments (some run minutes of simulated weeks), so each benchmark
+executes exactly once via ``benchmark.pedantic`` — the interesting
+number is the figure's content, with wall-clock time as a byproduct.
+"""
+
+from __future__ import annotations
+
+
+def print_rows(title: str, rows) -> None:
+    """Render a list of row dicts the way the harness reports figures."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    for row in rows:
+        parts = []
+        for key, value in row.items():
+            parts.append(f"{key}={value}")
+        print("  " + "  ".join(parts))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute a reproduction exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

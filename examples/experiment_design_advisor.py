@@ -1,0 +1,92 @@
+"""Variability-aware experiment planning (findings F5.2-F5.4).
+
+The workflow the paper recommends, end to end:
+
+1. fingerprint the platform's network (base rates + token-bucket
+   parameters);
+2. run a small pilot of the real experiment;
+3. let CONFIRM project how many repetitions the full study needs for
+   the target error bound;
+4. derive the rest duration that returns the infrastructure to a
+   known state between repetitions;
+5. execute the planned design and emit a publishable report bundling
+   results with the fingerprint.
+
+Run with:  python examples/experiment_design_advisor.py
+"""
+
+import numpy as np
+
+from repro.cloud import Ec2Provider
+from repro.core import (
+    ExperimentDesign,
+    ExperimentReport,
+    ExperimentRunner,
+    ResetPolicy,
+    recommend_repetitions,
+    recommend_rest_duration,
+    render_report,
+)
+from repro.core.runner import SimulatorExperiment
+from repro.measurement import fingerprint_link
+from repro.paper._common import token_bucket_cluster
+from repro.workloads import hibench_job
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    provider = Ec2Provider()
+
+    # 1. Fingerprint the platform.
+    fp = fingerprint_link(
+        provider.link_model("c5.xlarge", rng), provider.latency_model(), rng=rng
+    )
+    print("fingerprint: bucket empties in "
+          f"{fp.token_bucket.time_to_empty_s:.0f} s at full speed")
+
+    # 2. Pilot: 12 repetitions of WordCount at a realistic budget.
+    experiment = SimulatorExperiment(
+        token_bucket_cluster(400.0),
+        hibench_job("WC"),
+        rng=np.random.default_rng(5),
+        budget_gbit=400.0,
+        run_noise_cov=0.03,
+    )
+    pilot_design = ExperimentDesign(repetitions=12, error_bound=0.02)
+    pilot = ExperimentRunner(pilot_design).collect(experiment)
+    print(f"pilot: n=12, median {np.median(pilot):.1f} s, "
+          f"CoV {np.std(pilot)/np.mean(pilot):.1%}")
+
+    # 3. How many repetitions does the full study need?
+    needed = recommend_repetitions(pilot, error_bound=0.02)
+    print(f"CONFIRM projection: {needed} repetitions for 2% error bounds")
+
+    # 4. How long must the network rest between repetitions?
+    rest = recommend_rest_duration(fp.token_bucket, refill_fraction=0.2)
+    print(f"recommended rest between runs: {rest:.0f} s "
+          "(refills the budget a WordCount consumes)")
+
+    # 5. Execute the full design and publish.
+    design = ExperimentDesign(
+        repetitions=int(needed),
+        reset_policy=ResetPolicy.REST,
+        rest_s=float(rest),
+        error_bound=0.02,
+    )
+    samples = ExperimentRunner(design).collect(experiment)
+    report = ExperimentReport.build(
+        title="WordCount on emulated c5.xlarge cluster",
+        samples=samples,
+        design=design,
+        fingerprint=fp,
+        environment={
+            "instance": "c5.xlarge (emulated)",
+            "cluster": "12 nodes x 4 slots",
+            "workload": "HiBench WordCount, BigData scale",
+        },
+    )
+    print("\n" + render_report(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Multi-cloud sensitivity analysis (finding F5.1).
+
+"Network-heavy experiments run on different clouds cannot be directly
+compared" — but running the same system on multiple clouds is a good
+*sensitivity analysis*.  This example runs the same TPC-DS query with
+the same inputs on three emulated clouds and reports how much of the
+performance spread is the platform's doing.
+
+Run with:  python examples/multicloud_comparison.py
+"""
+
+import numpy as np
+
+from repro.core.analysis import analyze_sample
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import gce_cluster, hpccloud_cluster, token_bucket_cluster
+from repro.workloads import tpcds_job
+
+REPETITIONS = 15
+
+
+def run_on(cluster_name: str, cluster, budget=None) -> np.ndarray:
+    experiment = SimulatorExperiment(
+        cluster,
+        tpcds_job(68, n_nodes=12, slots=4),
+        rng=np.random.default_rng(42),
+        budget_gbit=budget,
+    )
+    samples = np.empty(REPETITIONS)
+    for i in range(REPETITIONS):
+        if i > 0:
+            experiment.reset()
+        samples[i] = experiment.measure()
+    return samples
+
+
+def main() -> None:
+    clusters = {
+        "amazon-ec2 (fresh buckets)": (token_bucket_cluster(5_400.0), 5_400.0),
+        "amazon-ec2 (depleted)": (token_bucket_cluster(10.0), 10.0),
+        "google-cloud": (gce_cluster(cores=8), None),
+        "hpccloud": (hpccloud_cluster(cores=8), None),
+    }
+    print("TPC-DS Q68, identical inputs, four platform conditions")
+    print(f"{REPETITIONS} fresh-VM repetitions each\n")
+
+    medians = {}
+    for name, (cluster, budget) in clusters.items():
+        samples = run_on(name, cluster, budget)
+        report = analyze_sample(samples)
+        medians[name] = report.dispersion.median
+        ci = report.ci
+        ci_text = f"[{ci.low:.1f}, {ci.high:.1f}]" if ci else "n/a"
+        print(
+            f"{name:28s} median {report.dispersion.median:6.1f} s  "
+            f"95% CI {ci_text}  CoV {report.dispersion.cov:.1%}"
+        )
+
+    spread = max(medians.values()) / min(medians.values())
+    print(
+        f"\nCross-platform spread: {spread:.2f}x on identical code and data."
+        "\nConclusion (F5.1): absolute numbers from different clouds are not"
+        "\ncomparable; report the platform and its fingerprint with results."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Watch a sound-looking experiment go wrong (Figure 19's lesson).
+
+Two experimenters measure the same query with the same number of
+repetitions.  One creates fresh VMs for every repetition; the other
+runs back-to-back in the same VMs, silently draining the hidden token
+budget.  The analysis pipeline flags the second sample as non-iid —
+the exact pathology Section 4.2 demonstrates.
+
+Run with:  python examples/nonreproducible_experiment.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ExperimentDesign,
+    ExperimentRunner,
+    ResetPolicy,
+    analyze_sample,
+)
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import token_bucket_cluster
+from repro.workloads import tpcds_job
+
+REPETITIONS = 24
+BUDGET = 700.0  # realistic leftover budget on a used deployment
+
+
+def build_experiment(seed: int) -> SimulatorExperiment:
+    return SimulatorExperiment(
+        token_bucket_cluster(BUDGET),
+        tpcds_job(65, n_nodes=12, slots=4),
+        rng=np.random.default_rng(seed),
+        budget_gbit=BUDGET,
+        run_noise_cov=0.02,
+    )
+
+
+def main() -> None:
+    fresh_design = ExperimentDesign(
+        repetitions=REPETITIONS, reset_policy=ResetPolicy.FRESH
+    )
+    careless_design = ExperimentDesign(
+        repetitions=REPETITIONS, reset_policy=ResetPolicy.NONE
+    )
+
+    fresh = ExperimentRunner(fresh_design).collect(build_experiment(seed=1))
+    careless = ExperimentRunner(careless_design).collect(build_experiment(seed=1))
+
+    print("TPC-DS Q65, 24 repetitions, two protocols\n")
+    for name, samples in (("fresh VMs", fresh), ("back-to-back", careless)):
+        report = analyze_sample(samples)
+        ci = report.ci
+        print(f"-- {name} --")
+        print(f"first 5 runtimes: {np.round(samples[:5], 1)}")
+        print(f"last 5 runtimes:  {np.round(samples[-5:], 1)}")
+        print(f"median {report.dispersion.median:.1f} s, "
+              f"CI [{ci.low:.1f}, {ci.high:.1f}]")
+        print(report.verdict())
+        print()
+
+    print(
+        "Same code, same cloud, same repetition count — only the reset\n"
+        "policy differs. The back-to-back sample is not iid, its median\n"
+        "is biased, and its CI is meaningless (F4.4/F5.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: measure a cloud, fingerprint it, run a workload.
+
+This walks the library's three layers in ~60 lines:
+
+1. measure raw network behaviour of an emulated EC2 c5.xlarge pair
+   (the token-bucket drop is visible within minutes of transfer);
+2. fingerprint the link (F5.2) — base bandwidth/latency plus the
+   identified token-bucket parameters;
+3. run Terasort on a 12-node cluster shaped by that policy at two
+   budgets and see the application-level slowdown.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cloud import Ec2Provider
+from repro.core.runner import SimulatorExperiment
+from repro.emulator import FULL_SPEED
+from repro.measurement import BandwidthProbe, fingerprint_link
+from repro.netmodel import TokenBucketModel
+from repro.paper._common import token_bucket_cluster
+from repro.workloads import hibench_job
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    provider = Ec2Provider()
+
+    # 1. Raw measurement: one hour of full-speed transfer.
+    model = provider.link_model("c5.xlarge", rng)
+    trace = BandwidthProbe(model, FULL_SPEED).run(3_600.0, rng=rng)
+    print("== one hour of full-speed iperf on c5.xlarge ==")
+    print(f"first 10s window: {trace.values[0]:.1f} Gbps")
+    print(f"last 10s window:  {trace.values[-1]:.1f} Gbps")
+    print(f"box summary:      {trace.box_summary().as_dict()}")
+
+    # 2. Fingerprint the link (F5.2).
+    fresh = provider.link_model("c5.xlarge", rng)
+    fp = fingerprint_link(fresh, provider.latency_model(), rng=rng)
+    tb = fp.token_bucket
+    print("\n== network fingerprint ==")
+    print(f"base bandwidth: {fp.base_bandwidth_gbps:.1f} Gbps")
+    print(f"base latency:   {fp.base_latency_ms:.2f} ms")
+    print(
+        f"token bucket:   high {tb.high_gbps:.1f} Gbps, low {tb.low_gbps:.1f} "
+        f"Gbps, empties in {tb.time_to_empty_s:.0f} s"
+    )
+
+    # 3. Application impact: Terasort at a fresh vs depleted budget.
+    print("\n== Terasort on a 12-node shaped cluster ==")
+    for budget in (5_000.0, 10.0):
+        experiment = SimulatorExperiment(
+            token_bucket_cluster(budget),
+            hibench_job("TS"),
+            rng=np.random.default_rng(1),
+            budget_gbit=budget,
+        )
+        runtime = experiment.measure()
+        print(f"initial budget {budget:7.0f} Gbit -> runtime {runtime:6.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Reproduce the Section 2 literature survey, end to end.
+
+Builds the corpus, runs the two filter stages (Table 2's funnel),
+double-reviews the selection with Cohen's Kappa agreement, and prints
+the Figure 1 aggregates with the paper's headline claims.
+
+Run with:  python examples/survey_report.py
+"""
+
+from repro.survey import (
+    aggregate_figure1,
+    generate_corpus,
+    keyword_filter,
+    manual_cloud_filter,
+    run_double_review,
+    survey_funnel,
+)
+
+
+def main() -> None:
+    corpus = generate_corpus(seed=0)
+    funnel = survey_funnel(corpus)
+    print("== Table 2: survey funnel ==")
+    print(f"articles total:        {funnel.total}")
+    print(f"keyword-filtered:      {funnel.keyword_matched}")
+    print(f"cloud experiments:     {funnel.cloud_experiments} "
+          f"({funnel.per_venue})")
+    print(f"citations of selection: {funnel.citations}")
+
+    selected = manual_cloud_filter(keyword_filter(corpus))
+    outcome = run_double_review(selected)
+    summary = aggregate_figure1(selected, outcome)
+
+    print("\n== Figure 1a: experiment reporting ==")
+    print(f"reporting average/median: {summary.pct_reporting_center:.1f}%")
+    print(f"reporting variability:    {summary.pct_reporting_variability:.1f}%")
+    print(f"no/poor specification:    {summary.pct_underspecified:.1f}%")
+    print(
+        "of the center-reporting articles, "
+        f"{summary.variability_share_of_center:.0%} report variability"
+    )
+
+    print("\n== Figure 1b: repetitions among well-specified articles ==")
+    for reps, pct in summary.repetition_histogram_pct.items():
+        bar = "#" * int(round(pct))
+        print(f"{reps:>4} repetitions: {pct:4.1f}%  {bar}")
+    print(
+        f"{summary.low_repetition_share:.0%} of well-specified studies "
+        "use <= 15 repetitions"
+    )
+
+    print("\n== reviewer agreement (Cohen's Kappa) ==")
+    for category, kappa in summary.kappa.items():
+        print(f"{category:22s} {kappa:.2f}")
+
+
+if __name__ == "__main__":
+    main()

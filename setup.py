@@ -1,0 +1,10 @@
+"""Legacy build entry point.
+
+The project metadata lives in pyproject.toml; this stub exists only so
+``pip install -e .`` works in offline environments that lack the
+``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

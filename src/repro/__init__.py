@@ -1,0 +1,37 @@
+"""repro — Is Big Data Performance Reproducible in Modern Cloud Networks?
+
+A full reproduction of the NSDI 2020 measurement/methodology study by
+Uta et al., packaged as a reusable library:
+
+* :mod:`repro.netmodel` — generative models of cloud network behaviour
+  (EC2 token buckets, GCE per-core QoS, private-cloud contention,
+  virtual-NIC effects);
+* :mod:`repro.cloud` — provider profiles and instance catalogs;
+* :mod:`repro.emulator` — the ``tc``-style bandwidth emulation rig;
+* :mod:`repro.measurement` — iperf/RTT probes, week-long campaigns,
+  and baseline fingerprinting;
+* :mod:`repro.simulator` — a discrete-event Spark-like cluster engine;
+* :mod:`repro.workloads` — HiBench and TPC-DS workload models;
+* :mod:`repro.stats` — nonparametric CIs, CONFIRM, assumption tests;
+* :mod:`repro.survey` — the literature-survey pipeline of Section 2;
+* :mod:`repro.core` — the variability-aware experimentation
+  methodology (design, execution, analysis, guidelines);
+* :mod:`repro.paper` — one module per figure/table, regenerating the
+  paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro.cloud import Ec2Provider
+    from repro.emulator import FULL_SPEED
+    from repro.measurement import BandwidthProbe
+
+    provider = Ec2Provider()
+    model = provider.link_model("c5.xlarge", np.random.default_rng(0))
+    trace = BandwidthProbe(model, FULL_SPEED).run(duration_s=3600.0)
+    print(trace.box_summary())   # the token-bucket drop is visible
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

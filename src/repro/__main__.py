@@ -1,0 +1,5 @@
+"""``python -m repro`` — regenerate the paper's artifacts."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""Command-line interface: regenerate paper artifacts from a shell.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig06                # print Figure 6's rows
+    python -m repro fig16 --fast         # reduced run counts
+    python -m repro table3
+    python -m repro fingerprint c5.xlarge
+
+Output is the same row data the benchmark harness prints; ``--fast``
+shrinks run counts / durations for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+#: artifact name -> (description, fast kwargs, full kwargs)
+_FIGURES: dict[str, tuple[str, dict, dict]] = {
+    "fig01": ("survey reporting practices", {}, {}),
+    "fig02": ("Ballani cloud distributions", {}, {}),
+    "fig03": ("few-repetition credibility", {"n_gold": 16, "clouds": ("B", "F")}, {}),
+    "fig04": ("HPCCloud bandwidth", {"duration_s": 36_000.0}, {}),
+    "fig05": ("GCE bandwidth by pattern", {"duration_s": 36_000.0}, {}),
+    "fig06": ("EC2 bandwidth by pattern", {"duration_s": 172_800.0}, {}),
+    "fig07": ("EC2 latency regimes", {"max_samples": 50_000}, {}),
+    "fig08": ("GCE latency", {"max_samples": 50_000}, {}),
+    "fig09": ("retransmission analysis", {"duration_s": 7_200.0}, {}),
+    "fig10": ("traffic totals by pattern", {"duration_s": 302_400.0}, {}),
+    "fig11": ("token-bucket identification", {"tests_per_type": 5}, {}),
+    "fig12": ("write()-size effects", {}, {}),
+    "fig13": ("CONFIRM analysis", {"repetitions": 40}, {}),
+    "fig14": ("emulator validation", {}, {}),
+    "fig15": ("Terasort vs budget", {"consecutive_runs": 3}, {}),
+    "fig16": ("HiBench vs budget", {"runs_per_config": 3}, {}),
+    "fig17": ("TPC-DS vs budget", {"runs_per_config": 3}, {}),
+    "fig18": ("token-bucket straggler", {"stream_repeats": 2}, {}),
+    "fig19": ("CI analysis under depletion", {"reps_per_budget": 4,
+                                              "scan_reps_per_budget": 2}, {}),
+}
+
+_TABLES = {
+    "table1": "survey parameters",
+    "table2": "survey funnel",
+    "table3": "campaign summary",
+    "table4": "big-data experiment setup",
+}
+
+
+def _print_rows(rows) -> None:
+    if isinstance(rows, dict):
+        rows = [rows]
+    for row in rows:
+        print("  " + "  ".join(f"{k}={v}" for k, v in row.items()))
+
+
+def _figure_rows(name: str, result) -> None:
+    """Print whatever row-like views a figure result offers."""
+    printed = False
+    for attr in ("rows", "average_rows", "slowdown_rows"):
+        method = getattr(result, attr, None)
+        if callable(method):
+            _print_rows(method())
+            printed = True
+            break
+    if not printed:
+        print(f"  {result!r}")
+    for extra in ("miss_counts", "slowdowns", "violin_rows", "histogram_rows"):
+        method = getattr(result, extra, None)
+        if callable(method):
+            print(f"  -- {extra} --")
+            _print_rows(method())
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("figures:")
+    for name, (description, *_rest) in sorted(_FIGURES.items()):
+        print(f"  {name:8s} {description}")
+    print("tables:")
+    for name, description in sorted(_TABLES.items()):
+        print(f"  {name:8s} {description}")
+    print("other:")
+    print("  fingerprint <instance>   F5.2 baseline for an EC2 instance type")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    name = args.artifact
+    module = importlib.import_module(f"repro.paper.{name}")
+    _, fast_kwargs, full_kwargs = _FIGURES[name]
+    kwargs = fast_kwargs if args.fast else full_kwargs
+    result = module.reproduce(**kwargs)
+    print(f"== {name}: {_FIGURES[name][0]} ==")
+    _figure_rows(name, result)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.paper import tables
+
+    name = args.artifact
+    fn: Callable = getattr(tables, name)
+    result = fn()
+    print(f"== {name}: {_TABLES[name]} ==")
+    _print_rows(result)
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.cloud import Ec2Provider
+    from repro.measurement import fingerprint_link
+
+    provider = Ec2Provider()
+    rng = np.random.default_rng(args.seed)
+    try:
+        model = provider.link_model(args.instance, rng)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fp = fingerprint_link(model, provider.latency_model(), rng=rng)
+    print(f"== fingerprint: {args.instance} ==")
+    print(f"base bandwidth: {fp.base_bandwidth_gbps:.2f} Gbps")
+    print(f"base latency:   {fp.base_latency_ms:.3f} ms")
+    print(f"loaded latency: {fp.loaded_latency_ms:.3f} ms (p99)")
+    tb = fp.token_bucket
+    if tb.detected:
+        print(
+            f"token bucket:   high {tb.high_gbps:.1f} Gbps, "
+            f"low {tb.low_gbps:.1f} Gbps, empties in {tb.time_to_empty_s:.0f} s, "
+            f"replenish {tb.replenish_gbps:.2f} Gbit/s"
+        )
+    else:
+        print("token bucket:   none detected")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts from 'Is Big Data Performance "
+        "Reproducible in Modern Cloud Networks?' (NSDI 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable artifacts").set_defaults(
+        handler=_cmd_list
+    )
+
+    for name in _FIGURES:
+        p = sub.add_parser(name, help=_FIGURES[name][0])
+        p.add_argument(
+            "--fast", action="store_true",
+            help="reduced run counts / durations",
+        )
+        p.set_defaults(handler=_cmd_figure, artifact=name)
+
+    for name in _TABLES:
+        p = sub.add_parser(name, help=_TABLES[name])
+        p.set_defaults(handler=_cmd_table, artifact=name)
+
+    p = sub.add_parser("fingerprint", help="F5.2 baseline for an instance")
+    p.add_argument("instance", help="EC2 instance type, e.g. c5.xlarge")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_fingerprint)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Cloud provider profiles: instance catalogs and link-model factories.
+
+This package turns the paper's measured provider behaviours into
+reusable factories:
+
+* :mod:`repro.cloud.instances` — the instance-type catalog of Table 3
+  (EC2 c5/m5/m4 families, GCE n-core types, HPCCloud nodes);
+* :mod:`repro.cloud.providers` — provider objects that build a
+  :class:`repro.netmodel.base.LinkModel` for a VM pair, including the
+  incarnation-to-incarnation parameter inconsistency of Figure 11 and
+  the unannounced policy change of August 2019 (c5.xlarge NICs capped
+  at 5 Gbps "though not consistently", F5.2);
+* :mod:`repro.cloud.ballani` — the eight anonymized cloud bandwidth
+  distributions of Figure 2 (from Ballani et al.), used by the
+  Section 2.1 emulation.
+"""
+
+from repro.cloud.ballani import BALLANI_CLOUDS, ballani_distribution
+from repro.cloud.instances import (
+    EC2_INSTANCES,
+    GCE_INSTANCES,
+    HPCCLOUD_INSTANCES,
+    InstanceSpec,
+    instance_catalog,
+    lookup_instance,
+)
+from repro.cloud.providers import (
+    CloudProvider,
+    Ec2Provider,
+    GceProvider,
+    HpcCloudProvider,
+    default_providers,
+)
+
+__all__ = [
+    "InstanceSpec",
+    "EC2_INSTANCES",
+    "GCE_INSTANCES",
+    "HPCCLOUD_INSTANCES",
+    "instance_catalog",
+    "lookup_instance",
+    "CloudProvider",
+    "Ec2Provider",
+    "GceProvider",
+    "HpcCloudProvider",
+    "default_providers",
+    "BALLANI_CLOUDS",
+    "ballani_distribution",
+]

@@ -1,0 +1,56 @@
+"""The eight anonymized cloud bandwidth distributions of Figure 2.
+
+Ballani et al. ("Towards predictable datacenter networks", SIGCOMM
+2011) surveyed bandwidth measurements on eight real-world clouds; the
+paper reproduces them as box plots (1st/25th/50th/75th/99th
+percentiles, 0-1000 Mb/s) and uses them to drive the Section 2.1
+emulation of "the clouds contemporary with most articles found in our
+survey".
+
+The quantile values below are digitized from Figure 2; absolute
+accuracy is not required — what matters for the reproduction is the
+*spread* of each distribution (clouds F and G are the wide, low ones
+whose variability motivates fine-grained sampling; clouds B and D are
+the tight, fast ones).
+"""
+
+from __future__ import annotations
+
+from repro.netmodel.distributions import QuantileDistribution
+from repro.units import mbps_to_gbps
+
+__all__ = ["BALLANI_CLOUDS", "ballani_distribution", "CLOUD_LABELS"]
+
+#: Ordered labels as they appear on Figure 2's horizontal axis.
+CLOUD_LABELS: tuple[str, ...] = ("A", "B", "C", "D", "E", "F", "G", "H")
+
+#: {label: (p01, p25, p50, p75, p99)} in Mb/s, digitized from Figure 2.
+_QUANTILES_MBPS: dict[str, tuple[float, float, float, float, float]] = {
+    "A": (300.0, 500.0, 620.0, 740.0, 900.0),
+    "B": (500.0, 700.0, 780.0, 850.0, 950.0),
+    "C": (100.0, 250.0, 400.0, 600.0, 800.0),
+    "D": (600.0, 720.0, 800.0, 870.0, 920.0),
+    "E": (200.0, 350.0, 500.0, 650.0, 850.0),
+    "F": (50.0, 150.0, 300.0, 500.0, 750.0),
+    "G": (100.0, 200.0, 350.0, 550.0, 800.0),
+    "H": (400.0, 550.0, 650.0, 750.0, 850.0),
+}
+
+#: Distributions keyed by cloud label, in **Gbps** (library convention).
+BALLANI_CLOUDS: dict[str, QuantileDistribution] = {
+    label: QuantileDistribution(
+        probs=(0.01, 0.25, 0.50, 0.75, 0.99),
+        values=tuple(mbps_to_gbps(v) for v in values),
+    )
+    for label, values in _QUANTILES_MBPS.items()
+}
+
+
+def ballani_distribution(label: str) -> QuantileDistribution:
+    """Distribution for one cloud label (A-H); raises KeyError otherwise."""
+    try:
+        return BALLANI_CLOUDS[label.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown Ballani cloud {label!r}; expected one of {CLOUD_LABELS}"
+        ) from None

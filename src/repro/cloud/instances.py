@@ -1,0 +1,216 @@
+"""Instance-type catalog (the rows of Table 3).
+
+Every instance type the paper measured, with its advertised network
+QoS, the experiment duration used, and the measured cost.  EC2 types
+are "typical offerings of a big data processing company" (Databricks);
+GCE types were chosen to be as close as possible; HPCCloud offered a
+limited set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "InstanceSpec",
+    "EC2_INSTANCES",
+    "GCE_INSTANCES",
+    "HPCCLOUD_INSTANCES",
+    "instance_catalog",
+    "lookup_instance",
+]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One instance type as listed in Table 3."""
+
+    provider: str
+    name: str
+    cores: int
+    memory_gb: float
+    #: Advertised bandwidth QoS in Gbps; ``None`` when the provider
+    #: publishes none (HPCCloud).
+    qos_gbps: Optional[float]
+    #: Whether the paper's QoS column reads "<= X" (burst-capable) as
+    #: opposed to a plain guarantee.
+    qos_is_upper_bound: bool
+    #: Campaign duration for this type, in weeks (Table 3).
+    experiment_weeks: float
+    #: Measured campaign cost in dollars; ``None`` for the free
+    #: research cloud.
+    cost_usd: Optional[float]
+    #: Table 3 records that *every* configuration exhibited variability.
+    exhibits_variability: bool = True
+    #: Types the paper presents in depth are starred in Table 3.
+    featured: bool = False
+
+
+EC2_INSTANCES: tuple[InstanceSpec, ...] = (
+    InstanceSpec(
+        provider="amazon",
+        name="c5.xlarge",
+        cores=4,
+        memory_gb=8,
+        qos_gbps=10.0,
+        qos_is_upper_bound=True,
+        experiment_weeks=3.0,
+        cost_usd=171.0,
+        featured=True,
+    ),
+    InstanceSpec(
+        provider="amazon",
+        name="m5.xlarge",
+        cores=4,
+        memory_gb=16,
+        qos_gbps=10.0,
+        qos_is_upper_bound=True,
+        experiment_weeks=3.0,
+        cost_usd=193.0,
+    ),
+    InstanceSpec(
+        provider="amazon",
+        name="c5.9xlarge",
+        cores=36,
+        memory_gb=72,
+        qos_gbps=10.0,
+        qos_is_upper_bound=False,
+        experiment_weeks=1.0 / 7.0,
+        cost_usd=73.0,
+    ),
+    InstanceSpec(
+        provider="amazon",
+        name="m4.16xlarge",
+        cores=64,
+        memory_gb=256,
+        qos_gbps=20.0,
+        qos_is_upper_bound=False,
+        experiment_weeks=1.0 / 7.0,
+        cost_usd=153.0,
+    ),
+    # The c5.large / c5.2xlarge / c5.4xlarge types are not in Table 3's
+    # week-long campaigns but are part of the Figure 11 token-bucket
+    # identification study.
+    InstanceSpec(
+        provider="amazon",
+        name="c5.large",
+        cores=2,
+        memory_gb=4,
+        qos_gbps=10.0,
+        qos_is_upper_bound=True,
+        experiment_weeks=0.0,
+        cost_usd=None,
+    ),
+    InstanceSpec(
+        provider="amazon",
+        name="c5.2xlarge",
+        cores=8,
+        memory_gb=16,
+        qos_gbps=10.0,
+        qos_is_upper_bound=True,
+        experiment_weeks=0.0,
+        cost_usd=None,
+    ),
+    InstanceSpec(
+        provider="amazon",
+        name="c5.4xlarge",
+        cores=16,
+        memory_gb=32,
+        qos_gbps=10.0,
+        qos_is_upper_bound=True,
+        experiment_weeks=0.0,
+        cost_usd=None,
+    ),
+)
+
+GCE_INSTANCES: tuple[InstanceSpec, ...] = (
+    InstanceSpec(
+        provider="google",
+        name="gce-1core",
+        cores=1,
+        memory_gb=3.75,
+        qos_gbps=2.0,
+        qos_is_upper_bound=False,
+        experiment_weeks=3.0,
+        cost_usd=34.0,
+    ),
+    InstanceSpec(
+        provider="google",
+        name="gce-2core",
+        cores=2,
+        memory_gb=7.5,
+        qos_gbps=4.0,
+        qos_is_upper_bound=False,
+        experiment_weeks=3.0,
+        cost_usd=67.0,
+    ),
+    InstanceSpec(
+        provider="google",
+        name="gce-4core",
+        cores=4,
+        memory_gb=15,
+        qos_gbps=8.0,
+        qos_is_upper_bound=False,
+        experiment_weeks=3.0,
+        cost_usd=135.0,
+    ),
+    InstanceSpec(
+        provider="google",
+        name="gce-8core",
+        cores=8,
+        memory_gb=30,
+        qos_gbps=16.0,
+        qos_is_upper_bound=False,
+        experiment_weeks=3.0,
+        cost_usd=269.0,
+        featured=True,
+    ),
+)
+
+HPCCLOUD_INSTANCES: tuple[InstanceSpec, ...] = (
+    InstanceSpec(
+        provider="hpccloud",
+        name="hpccloud-2core",
+        cores=2,
+        memory_gb=16,
+        qos_gbps=None,
+        qos_is_upper_bound=False,
+        experiment_weeks=1.0,
+        cost_usd=None,
+    ),
+    InstanceSpec(
+        provider="hpccloud",
+        name="hpccloud-4core",
+        cores=4,
+        memory_gb=32,
+        qos_gbps=None,
+        qos_is_upper_bound=False,
+        experiment_weeks=1.0,
+        cost_usd=None,
+    ),
+    InstanceSpec(
+        provider="hpccloud",
+        name="hpccloud-8core",
+        cores=8,
+        memory_gb=64,
+        qos_gbps=None,
+        qos_is_upper_bound=False,
+        experiment_weeks=1.0,
+        cost_usd=None,
+        featured=True,
+    ),
+)
+
+
+def instance_catalog() -> tuple[InstanceSpec, ...]:
+    """All instance types across the three measured clouds."""
+    return EC2_INSTANCES + GCE_INSTANCES + HPCCLOUD_INSTANCES
+
+
+def lookup_instance(name: str) -> InstanceSpec:
+    """Find an instance type by name; raises KeyError when unknown."""
+    for spec in instance_catalog():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown instance type: {name!r}")

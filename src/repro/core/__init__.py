@@ -1,0 +1,45 @@
+"""Variability-aware experimentation methodology (Sections 4-5).
+
+This package is the paper's actionable contribution turned into code —
+the tooling its conclusion calls for ("develop software tools to help
+experimenters run reproducible experiments in the cloud"):
+
+* :mod:`repro.core.design` — experiment designs: repetition counts,
+  reset policies (fresh VMs / rests / nothing), and order
+  randomization (F5.4);
+* :mod:`repro.core.runner` — executes a design against any experiment
+  callable, including simulator-backed big-data experiments with
+  shaper-state carry-over;
+* :mod:`repro.core.analysis` — the full statistical pipeline: test
+  assumptions (normality, independence, stationarity), compute
+  nonparametric CIs, run CONFIRM, and flag non-iid violations;
+* :mod:`repro.core.guidelines` — advisors encoding findings F5.1-F5.5
+  (repetitions needed, rest durations from token-bucket fingerprints,
+  baseline matching);
+* :mod:`repro.core.reporting` — publishable experiment reports that
+  bundle results with their network fingerprints (F5.2).
+"""
+
+from repro.core.analysis import AnalysisReport, analyze_sample
+from repro.core.design import ExperimentDesign, ResetPolicy
+from repro.core.guidelines import (
+    recommend_repetitions,
+    recommend_rest_duration,
+    verify_baseline,
+)
+from repro.core.reporting import ExperimentReport, render_report
+from repro.core.runner import ExperimentRunner, SimulatorExperiment
+
+__all__ = [
+    "ExperimentDesign",
+    "ResetPolicy",
+    "ExperimentRunner",
+    "SimulatorExperiment",
+    "AnalysisReport",
+    "analyze_sample",
+    "recommend_repetitions",
+    "recommend_rest_duration",
+    "verify_baseline",
+    "ExperimentReport",
+    "render_report",
+]

@@ -1,0 +1,194 @@
+"""The full statistical analysis pipeline of Section 5.
+
+Given a sample of repeated measurements (in collection order),
+:func:`analyze_sample` applies the paper's recommended battery:
+
+1. **assumption tests** (F5.4) — Shapiro-Wilk normality,
+   runs-test / Ljung-Box independence, augmented Dickey-Fuller
+   stationarity;
+2. **robust estimation** — nonparametric median (or arbitrary
+   quantile) CI via order statistics;
+3. **CONFIRM** — repetitions needed for the requested error bound, and
+   detection of the CI-*widening* pathology that betrays non-iid
+   repetitions (Figure 19);
+4. a plain-language **verdict** an experimenter can act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stats.confirm import ConfirmCurve, confirm_curve
+from repro.stats.cov import dispersion_summary, DispersionSummary
+from repro.stats.quantiles import QuantileCI, quantile_ci
+from repro.stats.testing import (
+    TestVerdict,
+    adf_test,
+    ljung_box_test,
+    pettitt_test,
+    runs_test,
+    shapiro_test,
+)
+
+__all__ = ["AnalysisReport", "analyze_sample"]
+
+#: Minimum samples before the time-series tests are attempted.
+_MIN_FOR_TESTS = 12
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of the full pipeline on one sample."""
+
+    dispersion: DispersionSummary
+    ci: Optional[QuantileCI]
+    confirm: ConfirmCurve
+    normality: Optional[TestVerdict]
+    independence_runs: Optional[TestVerdict]
+    independence_ljung_box: Optional[TestVerdict]
+    #: Pettitt's rank-based changepoint scan: catches the abrupt level
+    #: shift a depleting token bucket produces, wherever it falls in
+    #: the sequence (a fixed half-vs-half Mann-Whitney misses early
+    #: shifts).
+    change_point: Optional[TestVerdict]
+    stationarity: Optional[TestVerdict]
+    #: Repetitions needed to meet the error bound, or None if unmet.
+    repetitions_needed: Optional[int]
+    error_bound: float
+    confidence: float
+    quantile: float
+
+    @property
+    def is_normal(self) -> bool:
+        """True when normality was tested and not rejected."""
+        return self.normality is not None and not self.normality.reject_null
+
+    @property
+    def iid_violated(self) -> bool:
+        """True when the sample shows corroborated non-iid behaviour.
+
+        A widening CONFIRM CI is conclusive on its own (under iid
+        sampling CIs must tighten).  The hypothesis tests corroborate
+        each other instead: any *two* of {runs test rejects randomness,
+        Ljung-Box finds autocorrelation, ADF cannot reject a unit root
+        on a reasonably long series} flag a violation — a single
+        5 %-level rejection on a small sample is expected noise.
+        """
+        if self.confirm.widening_detected():
+            return True
+        signals = 0
+        if self.independence_runs is not None and self.independence_runs.reject_null:
+            signals += 1
+        if (
+            self.independence_ljung_box is not None
+            and self.independence_ljung_box.reject_null
+        ):
+            signals += 1
+        if self.change_point is not None and self.change_point.reject_null:
+            signals += 1
+        if (
+            self.stationarity is not None
+            and self.dispersion.n >= 30
+            and not self.stationarity.reject_null
+        ):
+            signals += 1
+        return signals >= 2
+
+    @property
+    def enough_repetitions(self) -> bool:
+        """True when the CI already fits inside the error bound."""
+        return self.ci is not None and self.ci.within_error_bound(self.error_bound)
+
+    @property
+    def recommended_statistics(self) -> str:
+        """Parametric vs nonparametric recommendation (F5.4)."""
+        return "parametric" if self.is_normal else "nonparametric"
+
+    def verdict(self) -> str:
+        """Plain-language summary an experimenter can act on."""
+        lines = []
+        if self.ci is None:
+            lines.append(
+                f"TOO FEW SAMPLES ({self.dispersion.n}): no nonparametric "
+                f"{self.confidence:.0%} CI exists; collect more repetitions."
+            )
+            return "\n".join(lines)
+        if self.iid_violated:
+            lines.append(
+                "IID VIOLATION: repetitions are not independent/stationary "
+                "(hidden infrastructure state such as token-bucket budgets "
+                "is likely carrying over). Reset to known conditions before "
+                "each run; CI analysis on this sample is unreliable."
+            )
+        if self.enough_repetitions:
+            lines.append(
+                f"OK: the {self.quantile:.0%}-quantile CI "
+                f"[{self.ci.low:.4g}, {self.ci.high:.4g}] fits the "
+                f"{self.error_bound:.0%} error bound after {self.dispersion.n} "
+                f"repetitions."
+            )
+        elif self.repetitions_needed is not None:
+            lines.append(
+                f"MORE REPETITIONS: bound first met at n="
+                f"{self.repetitions_needed}, current n={self.dispersion.n}."
+            )
+        else:
+            lines.append(
+                f"MORE REPETITIONS: {self.dispersion.n} runs do not meet the "
+                f"{self.error_bound:.0%} bound; CONFIRM projects more are needed."
+            )
+        lines.append(f"Use {self.recommended_statistics} statistics.")
+        return "\n".join(lines)
+
+
+def analyze_sample(
+    samples: Sequence[float] | np.ndarray,
+    quantile: float = 0.5,
+    confidence: float = 0.95,
+    error_bound: float = 0.05,
+) -> AnalysisReport:
+    """Run the full Section 5 battery on a measurement sample.
+
+    ``samples`` must be in collection order.  Assumption tests are
+    skipped (reported as ``None``) for samples too small to support
+    them — mirroring the paper's point that tiny samples cannot even
+    be checked.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least 2 samples to analyze")
+
+    dispersion = dispersion_summary(arr)
+    ci = quantile_ci(arr, quantile=quantile, confidence=confidence)
+    curve = confirm_curve(arr, quantile=quantile, confidence=confidence)
+    repetitions = curve.first_n_within(error_bound) if len(curve) else None
+
+    normality = independence_runs = independence_lb = stationarity = None
+    change_point = None
+    if arr.size >= _MIN_FOR_TESTS and np.std(arr) > 0:
+        normality = shapiro_test(arr)
+        try:
+            independence_runs = runs_test(arr)
+        except ValueError:
+            independence_runs = None
+        independence_lb = ljung_box_test(arr)
+        change_point = pettitt_test(arr)
+        stationarity = adf_test(arr)
+
+    return AnalysisReport(
+        dispersion=dispersion,
+        ci=ci,
+        confirm=curve,
+        normality=normality,
+        independence_runs=independence_runs,
+        independence_ljung_box=independence_lb,
+        change_point=change_point,
+        stationarity=stationarity,
+        repetitions_needed=repetitions,
+        error_bound=error_bound,
+        confidence=confidence,
+        quantile=quantile,
+    )

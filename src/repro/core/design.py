@@ -1,0 +1,108 @@
+"""Experiment designs: repetitions, resets, and randomization.
+
+Section 5's recommendations, as a declarative object:
+
+* run *many* repetitions (F5.3 — the literature's 3-10 are rarely
+  enough; Figure 13 shows 70+ for 1 % error bounds);
+* return the infrastructure to a known state between repetitions
+  (F5.4) — fresh VMs are the gold standard, rests are the cheaper
+  substitute that lets token buckets refill;
+* randomize experiment order to avoid self-interference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ResetPolicy", "ExperimentDesign"]
+
+
+class ResetPolicy(enum.Enum):
+    """How the infrastructure is returned to a known state between runs."""
+
+    #: A fresh set of VMs for every repetition — full state reset
+    #: ("the most reliable way", F5.4).
+    FRESH = "fresh"
+    #: Keep the VMs, but rest the network so hidden budgets refill.
+    REST = "rest"
+    #: Run back-to-back, carrying hidden state over (the design flaw
+    #: Figure 19 demonstrates).
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class ExperimentDesign:
+    """A complete, reviewable description of a measurement campaign."""
+
+    repetitions: int = 30
+    reset_policy: ResetPolicy = ResetPolicy.FRESH
+    #: Rest duration between repetitions (only used by REST).
+    rest_s: float = 0.0
+    #: Shuffle the run order across experiment variants.
+    randomize_order: bool = True
+    #: Confidence level for interval estimates.
+    confidence: float = 0.95
+    #: Target relative error bound for the CI (F5.3 suggests 5 %).
+    error_bound: float = 0.05
+    #: Quantile of interest (0.5 for medians; 0.9 reproduces the tail
+    #: analysis of Figure 3b).
+    quantile: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if self.rest_s < 0:
+            raise ValueError("rest cannot be negative")
+        if self.reset_policy is not ResetPolicy.REST and self.rest_s > 0:
+            raise ValueError("rest_s is only meaningful with ResetPolicy.REST")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if not 0.0 < self.error_bound < 1.0:
+            raise ValueError("error bound must be in (0, 1)")
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+
+    def run_order(
+        self,
+        variants: Sequence[str],
+        rng: np.random.Generator | None = None,
+    ) -> list[tuple[str, int]]:
+        """Interleaved, optionally randomized (variant, repetition) order.
+
+        Randomizing across variants (rather than running all
+        repetitions of one variant back-to-back) is the Abedi & Brecht
+        randomization the paper endorses: hidden state built up by one
+        variant is not systematically charged to the next.
+        """
+        if not variants:
+            raise ValueError("need at least one variant")
+        order = [
+            (variant, rep)
+            for rep in range(self.repetitions)
+            for variant in variants
+        ]
+        if self.randomize_order:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            permutation = rng.permutation(len(order))
+            order = [order[i] for i in permutation]
+        return order
+
+    def describe(self) -> str:
+        """One-paragraph methods-section description of this design."""
+        reset = {
+            ResetPolicy.FRESH: "a fresh set of VMs for every repetition",
+            ResetPolicy.REST: f"a {self.rest_s:.0f}s network rest between repetitions",
+            ResetPolicy.NONE: "no state reset between repetitions",
+        }[self.reset_policy]
+        order = "randomized" if self.randomize_order else "sequential"
+        return (
+            f"{self.repetitions} repetitions with {reset}, {order} run order; "
+            f"reporting the {self.quantile:.0%} quantile with "
+            f"{self.confidence:.0%} nonparametric confidence intervals and a "
+            f"{self.error_bound:.0%} error bound."
+        )

@@ -1,0 +1,133 @@
+"""Advisors encoding the paper's findings F5.1-F5.5.
+
+Each function turns measured evidence (pilot samples, fingerprints,
+shaper estimates) into a concrete experimental decision: how many
+repetitions to plan, how long to rest the network, whether a baseline
+still matches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.measurement.fingerprint import NetworkFingerprint, TokenBucketEstimate
+from repro.stats.confirm import confirm_curve, min_samples_for_ci
+
+__all__ = [
+    "recommend_repetitions",
+    "recommend_rest_duration",
+    "verify_baseline",
+]
+
+
+def recommend_repetitions(
+    pilot_samples: Sequence[float] | np.ndarray,
+    quantile: float = 0.5,
+    confidence: float = 0.95,
+    error_bound: float = 0.05,
+    safety_factor: float = 1.25,
+) -> int:
+    """Plan a repetition count from a pilot sample (F5.3).
+
+    If the pilot already meets the bound, the recommendation is the
+    CONFIRM-observed count times a safety factor.  Otherwise the count
+    is extrapolated using the 1/sqrt(n) scaling of nonparametric CI
+    widths — the same reasoning CONFIRM uses for its projections.
+    Never recommends fewer than the minimum sample size for which the
+    requested CI exists at all.
+    """
+    arr = np.asarray(pilot_samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("pilot must contain at least 2 samples")
+    floor = min_samples_for_ci(quantile, confidence)
+    curve = confirm_curve(arr, quantile=quantile, confidence=confidence)
+    if len(curve) == 0:
+        return max(floor, int(math.ceil(arr.size * 4 * safety_factor)))
+    met_at = curve.first_n_within(error_bound)
+    if met_at is not None:
+        return max(floor, int(math.ceil(met_at * safety_factor)))
+    # Extrapolate: relative half-width shrinks ~ 1/sqrt(n).
+    current = float(curve.relative_half_widths[-1])
+    n = int(curve.ns[-1])
+    if current <= 0 or not math.isfinite(current):
+        return max(floor, n)
+    projected = n * (current / error_bound) ** 2
+    return max(floor, int(math.ceil(projected * safety_factor)))
+
+
+def recommend_rest_duration(
+    bucket: TokenBucketEstimate,
+    refill_fraction: float = 1.0,
+    default_rest_s: float = 60.0,
+) -> float:
+    """Rest needed between repetitions so hidden budgets refill (F5.4).
+
+    With a detected token bucket, resting ``budget / replenish`` seconds
+    restores the full budget; ``refill_fraction`` scales the target for
+    experiments that only consume part of it.  Without a detected
+    bucket, a short default rest still flushes transient congestion.
+    """
+    if not 0.0 < refill_fraction <= 1.0:
+        raise ValueError("refill_fraction must be in (0, 1]")
+    if default_rest_s < 0:
+        raise ValueError("default rest cannot be negative")
+    if not bucket.detected:
+        return default_rest_s
+    if bucket.replenish_gbps <= 0 or not math.isfinite(bucket.budget_gbit):
+        return default_rest_s
+    return bucket.budget_gbit * refill_fraction / bucket.replenish_gbps
+
+
+def verify_baseline(
+    published: NetworkFingerprint,
+    current: NetworkFingerprint,
+    tolerance: float = 0.10,
+) -> tuple[bool, list[str]]:
+    """Check a fresh fingerprint against a published baseline (F5.5).
+
+    Returns ``(matches, discrepancies)``; a non-empty discrepancy list
+    explains exactly which baseline quantity moved — the provider may
+    have changed policy (the paper's August-2019 5 Gbps NIC event), and
+    results should not be compared across that boundary.
+    """
+    discrepancies: list[str] = []
+
+    def check(name: str, a: float, b: float) -> None:
+        if math.isinf(a) and math.isinf(b):
+            return
+        scale = max(abs(a), abs(b), 1e-9)
+        if abs(a - b) / scale > tolerance:
+            discrepancies.append(f"{name}: published {a:.4g} vs current {b:.4g}")
+
+    check(
+        "base bandwidth (Gbps)",
+        published.base_bandwidth_gbps,
+        current.base_bandwidth_gbps,
+    )
+    check("base latency (ms)", published.base_latency_ms, current.base_latency_ms)
+    if published.token_bucket.detected != current.token_bucket.detected:
+        discrepancies.append(
+            "token bucket: "
+            f"published detected={published.token_bucket.detected} vs "
+            f"current detected={current.token_bucket.detected}"
+        )
+    elif published.token_bucket.detected:
+        check(
+            "token-bucket high rate (Gbps)",
+            published.token_bucket.high_gbps,
+            current.token_bucket.high_gbps,
+        )
+        check(
+            "token-bucket low rate (Gbps)",
+            published.token_bucket.low_gbps,
+            current.token_bucket.low_gbps,
+        )
+        check(
+            "token-bucket time-to-empty (s)",
+            published.token_bucket.time_to_empty_s,
+            current.token_bucket.time_to_empty_s,
+        )
+    return (not discrepancies, discrepancies)

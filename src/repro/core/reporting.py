@@ -1,0 +1,120 @@
+"""Publishable experiment reports (F5.2, F5.5).
+
+"When reporting experiments, always include these performance
+fingerprints together with the actual data" — an
+:class:`ExperimentReport` bundles the measurements, the statistical
+analysis, the design description, and the network fingerprint, and
+renders them as a text block suitable for an artifact appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.analysis import AnalysisReport, analyze_sample
+from repro.core.design import ExperimentDesign
+from repro.measurement.fingerprint import NetworkFingerprint
+
+__all__ = ["ExperimentReport", "render_report"]
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's publishable record."""
+
+    title: str
+    samples: np.ndarray
+    design: ExperimentDesign
+    analysis: AnalysisReport
+    fingerprint: Optional[NetworkFingerprint] = None
+    #: Free-form environment detail (instance type, region, dates) —
+    #: F5.5 asks for as much as possible.
+    environment: dict[str, str] | None = None
+
+    @classmethod
+    def build(
+        cls,
+        title: str,
+        samples: Sequence[float] | np.ndarray,
+        design: ExperimentDesign,
+        fingerprint: Optional[NetworkFingerprint] = None,
+        environment: dict[str, str] | None = None,
+    ) -> "ExperimentReport":
+        """Run the analysis pipeline and assemble the report."""
+        arr = np.asarray(samples, dtype=float)
+        analysis = analyze_sample(
+            arr,
+            quantile=design.quantile,
+            confidence=design.confidence,
+            error_bound=design.error_bound,
+        )
+        return cls(
+            title=title,
+            samples=arr,
+            design=design,
+            analysis=analysis,
+            fingerprint=fingerprint,
+            environment=environment,
+        )
+
+
+def render_report(report: ExperimentReport) -> str:
+    """Render a report as a publication-ready text block."""
+    lines = [
+        f"=== {report.title} ===",
+        "",
+        "-- design --",
+        report.design.describe(),
+        "",
+        "-- environment --",
+    ]
+    for key, value in sorted((report.environment or {}).items()):
+        lines.append(f"{key}: {value}")
+    if not report.environment:
+        lines.append("(not recorded — F5.5 recommends instance type, region, dates)")
+
+    lines.extend(["", "-- network fingerprint (F5.2) --"])
+    fp = report.fingerprint
+    if fp is None:
+        lines.append("(not collected — run repro.measurement.fingerprint_link)")
+    else:
+        lines.append(f"base bandwidth: {fp.base_bandwidth_gbps:.2f} Gbps")
+        lines.append(f"base latency:   {fp.base_latency_ms:.3f} ms")
+        lines.append(f"loaded latency: {fp.loaded_latency_ms:.3f} ms (p99)")
+        tb = fp.token_bucket
+        if tb.detected:
+            lines.append(
+                "token bucket:   detected "
+                f"(high {tb.high_gbps:.1f} Gbps, low {tb.low_gbps:.1f} Gbps, "
+                f"empties in {tb.time_to_empty_s:.0f} s, "
+                f"replenish {tb.replenish_gbps:.2f} Gbit/s)"
+            )
+        else:
+            lines.append("token bucket:   none detected")
+
+    a = report.analysis
+    lines.extend(["", "-- results --"])
+    lines.append(
+        f"n={a.dispersion.n}  mean={a.dispersion.mean:.4g}  "
+        f"median={a.dispersion.median:.4g}  CoV={a.dispersion.cov:.1%}"
+    )
+    if a.ci is not None:
+        lines.append(
+            f"{a.quantile:.0%}-quantile {a.confidence:.0%} CI: "
+            f"[{a.ci.low:.4g}, {a.ci.high:.4g}]"
+        )
+    for verdict in (
+        a.normality,
+        a.independence_runs,
+        a.independence_ljung_box,
+        a.change_point,
+        a.stationarity,
+    ):
+        if verdict is not None:
+            lines.append(str(verdict))
+
+    lines.extend(["", "-- verdict --", a.verdict()])
+    return "\n".join(lines)

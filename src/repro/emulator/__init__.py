@@ -1,0 +1,39 @@
+"""Bandwidth emulation: the library's equivalent of the paper's ``tc`` rig.
+
+The authors chose *emulation* over simulation or direct cloud runs for
+Section 4: a Linux ``tc`` token-bucket filter imposed Amazon's shaping
+behaviour on an isolated private cluster, excluding every other source
+of cloud variability.  This package is that rig in library form:
+
+* :mod:`repro.emulator.patterns` — the three transfer regimes of
+  Section 3.1 (full-speed, 10-30, 5-30);
+* :mod:`repro.emulator.shaper` — a discrete-time token-bucket filter
+  (an independent reimplementation used to cross-validate the fluid
+  model) and a generator for the equivalent ``tc`` commands;
+* :mod:`repro.emulator.link` — drives any
+  :class:`~repro.netmodel.base.LinkModel` with a traffic pattern and
+  reports per-interval achieved bandwidth, reproducing the emulator
+  validation of Figure 14.
+"""
+
+from repro.emulator.link import EmulatedLink, ReportSample
+from repro.emulator.patterns import (
+    FIVE_THIRTY,
+    FULL_SPEED,
+    TEN_THIRTY,
+    TrafficPattern,
+    pattern_by_name,
+)
+from repro.emulator.shaper import DiscreteTokenBucket, tc_script
+
+__all__ = [
+    "TrafficPattern",
+    "FULL_SPEED",
+    "TEN_THIRTY",
+    "FIVE_THIRTY",
+    "pattern_by_name",
+    "EmulatedLink",
+    "ReportSample",
+    "DiscreteTokenBucket",
+    "tc_script",
+]

@@ -1,0 +1,76 @@
+"""Segment and retransmission accounting.
+
+The paper captured all packet headers with tcpdump and analyzed them
+offline with wireshark; Figure 9 summarizes the result: retransmissions
+are negligible on EC2 and HPCCloud but common on GCE (~2 % of segments
+with the benchmark's default 128 KB writes).
+
+This module converts transferred volumes into segment counts and
+samples retransmission counts from a per-segment loss probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import gbit_to_bytes
+
+__all__ = ["segments_for_gbit", "RetransmissionModel"]
+
+#: Default TCP maximum segment size on a 1500-byte-MTU path.
+DEFAULT_MSS_BYTES = 1_448
+
+
+def segments_for_gbit(volume_gbit: float, mss_bytes: int = DEFAULT_MSS_BYTES) -> int:
+    """Number of MSS-sized segments needed to carry ``volume_gbit``."""
+    if volume_gbit < 0:
+        raise ValueError("volume cannot be negative")
+    if mss_bytes <= 0:
+        raise ValueError("MSS must be positive")
+    return int(np.ceil(gbit_to_bytes(volume_gbit) / mss_bytes))
+
+
+@dataclass(frozen=True)
+class RetransmissionModel:
+    """Per-segment retransmission sampling for one provider/NIC regime.
+
+    ``rate`` is the per-segment retransmission probability (from
+    :meth:`repro.netmodel.nic.VirtualNic.retransmission_rate` or a
+    provider profile); counts are Poisson-sampled per reporting window,
+    which matches the bursty-but-memoryless pattern of driver-queue
+    overflows well enough for the Figure 9 distributions.
+    """
+
+    rate: float
+    mss_bytes: int = DEFAULT_MSS_BYTES
+    #: Dispersion multiplier: >1 makes counts over-dispersed by mixing
+    #: the Poisson intensity with a gamma factor (GCE's violin in
+    #: Figure 9 is wide, not a tight Poisson spike).
+    dispersion: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be a probability, got {self.rate}")
+        if self.dispersion < 1.0:
+            raise ValueError("dispersion must be >= 1")
+
+    def sample_count(
+        self, volume_gbit: float, rng: np.random.Generator
+    ) -> int:
+        """Retransmissions for one reporting window carrying a volume."""
+        segments = segments_for_gbit(volume_gbit, self.mss_bytes)
+        lam = segments * self.rate
+        if lam <= 0:
+            return 0
+        if self.dispersion > 1.0:
+            # Gamma-Poisson mixture: mean lam, variance inflated by the
+            # dispersion factor.
+            shape = 1.0 / (self.dispersion - 1.0)
+            lam = lam * rng.gamma(shape, 1.0 / shape)
+        return int(rng.poisson(lam))
+
+    def expected_count(self, volume_gbit: float) -> float:
+        """Mean retransmissions for a window carrying ``volume_gbit``."""
+        return segments_for_gbit(volume_gbit, self.mss_bytes) * self.rate

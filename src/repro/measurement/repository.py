@@ -1,0 +1,151 @@
+"""Trace repository: persist and reload measurement campaigns.
+
+The paper publishes its raw data on Zenodo ("all data we collected is
+available in our repository").  This module is the library's
+equivalent: a directory-backed store for campaign results with a
+manifest, so measurement runs can be archived, shared, and re-analyzed
+without re-simulation — and so baselines (F5.2) have a durable home.
+
+Layout::
+
+    <root>/
+      manifest.json                    index of stored campaigns
+      <campaign-id>/
+        config.json                    provider / instance / duration
+        <pattern>.json                 one BandwidthTrace per pattern
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.measurement.campaign import CampaignConfig, CampaignResult
+from repro.trace import BandwidthTrace
+
+__all__ = ["TraceRepository"]
+
+_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class _ManifestEntry:
+    campaign_id: str
+    provider: str
+    instance: str
+    duration_s: float
+    patterns: tuple[str, ...]
+
+
+class TraceRepository:
+    """Directory-backed store for campaign traces."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / "manifest.json"
+        if not self._manifest_path.exists():
+            self._write_manifest({})
+
+    # -- manifest ----------------------------------------------------------
+    def _read_manifest(self) -> dict:
+        return json.loads(self._manifest_path.read_text())
+
+    def _write_manifest(self, manifest: dict) -> None:
+        self._manifest_path.write_text(json.dumps(manifest, indent=2))
+
+    def campaign_ids(self) -> list[str]:
+        """All stored campaign identifiers, sorted."""
+        return sorted(self._read_manifest())
+
+    def __contains__(self, campaign_id: str) -> bool:
+        return campaign_id in self._read_manifest()
+
+    # -- store / load ------------------------------------------------------
+    def store(self, campaign_id: str, result: CampaignResult) -> Path:
+        """Persist a campaign result; refuses to overwrite silently."""
+        if not _ID_RE.match(campaign_id):
+            raise ValueError(
+                f"campaign id {campaign_id!r} must be filesystem-safe "
+                "(letters, digits, dot, dash, underscore)"
+            )
+        if campaign_id in self:
+            raise ValueError(f"campaign {campaign_id!r} already stored")
+        directory = self.root / campaign_id
+        directory.mkdir()
+        config = result.config
+        (directory / "config.json").write_text(
+            json.dumps(
+                {
+                    "provider_name": config.provider_name,
+                    "instance_name": config.instance_name,
+                    "duration_s": config.duration_s,
+                    "write_size_bytes": config.write_size_bytes,
+                    "seed": config.seed,
+                    "nominal_weeks": config.nominal_weeks,
+                    "patterns": sorted(result.traces),
+                },
+                indent=2,
+            )
+        )
+        for pattern, trace in result.traces.items():
+            trace.save(directory / f"{pattern}.json")
+
+        manifest = self._read_manifest()
+        manifest[campaign_id] = {
+            "provider": config.provider_name,
+            "instance": config.instance_name,
+            "duration_s": config.duration_s,
+            "patterns": sorted(result.traces),
+        }
+        self._write_manifest(manifest)
+        return directory
+
+    def load(self, campaign_id: str) -> CampaignResult:
+        """Reload a stored campaign result."""
+        if campaign_id not in self:
+            raise KeyError(f"no stored campaign {campaign_id!r}")
+        directory = self.root / campaign_id
+        meta = json.loads((directory / "config.json").read_text())
+        config = CampaignConfig(
+            provider_name=meta["provider_name"],
+            instance_name=meta["instance_name"],
+            duration_s=meta["duration_s"],
+            write_size_bytes=meta["write_size_bytes"],
+            seed=meta["seed"],
+            nominal_weeks=meta.get("nominal_weeks"),
+        )
+        result = CampaignResult(config=config)
+        for pattern in meta["patterns"]:
+            result.traces[pattern] = BandwidthTrace.from_dict(
+                json.loads((directory / f"{pattern}.json").read_text())
+            )
+        return result
+
+    def delete(self, campaign_id: str) -> None:
+        """Remove a stored campaign and its files."""
+        if campaign_id not in self:
+            raise KeyError(f"no stored campaign {campaign_id!r}")
+        directory = self.root / campaign_id
+        for path in directory.glob("*.json"):
+            path.unlink()
+        directory.rmdir()
+        manifest = self._read_manifest()
+        del manifest[campaign_id]
+        self._write_manifest(manifest)
+
+    def summary_rows(self) -> list[dict]:
+        """Table-3-style rows for every stored campaign."""
+        manifest = self._read_manifest()
+        return [
+            {
+                "campaign_id": campaign_id,
+                "provider": entry["provider"],
+                "instance": entry["instance"],
+                "duration_s": entry["duration_s"],
+                "patterns": entry["patterns"],
+            }
+            for campaign_id, entry in sorted(manifest.items())
+        ]

@@ -1,0 +1,70 @@
+"""The latency probe: per-packet RTTs from short TCP streams.
+
+Section 3.2's method: run 10-second iperf streams, capture every packet
+header, and compute the time from a TCP segment reaching the (virtual)
+device to its acknowledgement.  The probe reproduces that shape: given
+a provider latency model and an achieved bandwidth, it generates the
+per-packet RTT sample vector for one stream (Figures 7 and 8 plot
+exactly these vectors; the full study collected 50 million of them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netmodel.latency import LatencyModel
+from repro.trace import RttTrace
+from repro.units import gbit_to_bytes
+
+__all__ = ["LatencyProbe"]
+
+
+class LatencyProbe:
+    """Generates per-packet RTT traces for a 10-second stream."""
+
+    def __init__(
+        self,
+        latency_model: LatencyModel,
+        packet_bytes: int = 9_000,
+        max_samples: int = 500_000,
+    ) -> None:
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.latency_model = latency_model
+        self.packet_bytes = int(packet_bytes)
+        self.max_samples = int(max_samples)
+
+    def packets_for_stream(
+        self, bandwidth_gbps: float, duration_s: float = 10.0
+    ) -> int:
+        """Packets a stream at a given bandwidth emits in ``duration_s``."""
+        if bandwidth_gbps < 0 or duration_s < 0:
+            raise ValueError("bandwidth and duration cannot be negative")
+        volume_bytes = gbit_to_bytes(bandwidth_gbps * duration_s)
+        return int(volume_bytes // self.packet_bytes)
+
+    def run(
+        self,
+        bandwidth_gbps: float,
+        duration_s: float = 10.0,
+        rng: np.random.Generator | None = None,
+        label: str = "",
+    ) -> RttTrace:
+        """One stream's RTT trace at the achieved bandwidth.
+
+        The number of packets is capped at ``max_samples`` (uniformly
+        thinned) to keep memory bounded; timestamps spread packets
+        evenly across the stream, which is what a CBR iperf stream
+        looks like at this granularity.
+        """
+        if rng is None:
+            rng = np.random.default_rng(0)
+        n_packets = self.packets_for_stream(bandwidth_gbps, duration_s)
+        n = min(n_packets, self.max_samples)
+        if n == 0:
+            return RttTrace(times=np.empty(0), values=np.empty(0), label=label)
+        times = np.linspace(0.0, duration_s, n, endpoint=False)
+        rtts = self.latency_model.sample_rtts_ms(n, rng)
+        return RttTrace(times=times, values=rtts, label=label)

@@ -1,0 +1,199 @@
+"""The token-bucket traffic shaper Amazon EC2 applies per VM.
+
+Section 3.3 reverse-engineers the mechanism: each VM starts with a
+budget of tokens that may be spent at a high rate (10 Gbps on
+c5.xlarge); after roughly ten minutes of continuous transfer the budget
+empties and the VM is capped at a low rate (1 Gbps).  Tokens replenish
+at ~1 Gbit/s, so transmitting at the capped rate keeps the bucket from
+refilling — only *resting* the network refills it, taking several
+minutes.  Figure 11 shows the constants scale with instance size and
+are not even consistent across incarnations of the same type.
+
+The model here is the exact fluid version of that algorithm, with an
+optional hysteresis threshold: once empty, the bucket must refill past
+``resume_threshold_gbit`` before the high rate resumes.  With a small
+threshold and a replenish rate slightly above the capped rate, the
+model oscillates between high and low rates in short bursts — the
+behaviour of the straggler node in Figure 18.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.netmodel.base import LinkModel
+
+__all__ = ["TokenBucketParams", "TokenBucketModel"]
+
+#: Budgets below this are treated as empty (1e-9 Gbit = 1 bit).
+#: Without a floor, floating-point residue makes the drain asymptotic:
+#: the analytic horizon shrinks toward zero without the state ever
+#: flipping, stalling fluid simulations.
+_EMPTY_EPS_GBIT = 1e-9
+
+
+@dataclass(frozen=True)
+class TokenBucketParams:
+    """Constants of one token-bucket incarnation.
+
+    All rates in Gbps, budget quantities in Gbit.
+    """
+
+    peak_gbps: float
+    capped_gbps: float
+    replenish_gbps: float
+    capacity_gbit: float
+    #: Budget the VM starts with; defaults to a full bucket ("fresh VM").
+    initial_budget_gbit: float | None = None
+    #: Budget that must accumulate after depletion before the peak rate
+    #: resumes.  Small values produce the short high/low oscillations of
+    #: Figure 18.
+    resume_threshold_gbit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.peak_gbps <= 0 or self.capped_gbps <= 0:
+            raise ValueError("rates must be positive")
+        if self.capped_gbps > self.peak_gbps:
+            raise ValueError("capped rate cannot exceed peak rate")
+        if self.replenish_gbps < 0:
+            raise ValueError("replenish rate cannot be negative")
+        if self.capacity_gbit <= 0:
+            raise ValueError("capacity must be positive")
+        if self.initial_budget_gbit is not None and self.initial_budget_gbit < 0:
+            raise ValueError("initial budget cannot be negative")
+        if self.resume_threshold_gbit < 0:
+            raise ValueError("resume threshold cannot be negative")
+
+    @property
+    def time_to_empty_s(self) -> float:
+        """Seconds of full-speed transfer a fresh bucket sustains.
+
+        This is the quantity on Figure 11's left axis: budget drains at
+        ``peak - replenish`` while transmitting at the peak rate.
+        """
+        drain = self.peak_gbps - self.replenish_gbps
+        if drain <= 0:
+            return math.inf
+        start = (
+            self.capacity_gbit
+            if self.initial_budget_gbit is None
+            else self.initial_budget_gbit
+        )
+        return start / drain
+
+    def with_budget(self, budget_gbit: float) -> "TokenBucketParams":
+        """Copy of these parameters with a different starting budget."""
+        return replace(self, initial_budget_gbit=budget_gbit)
+
+
+class TokenBucketModel(LinkModel):
+    """Fluid token bucket with peak/capped rates and hysteresis.
+
+    State machine:
+
+    * **high** — budget above zero (or above the resume threshold after
+      a depletion): ceiling is ``peak_gbps``; budget drains at
+      ``send_rate - replenish`` (and refills when idle).
+    * **low** — budget depleted: ceiling is ``capped_gbps``; budget
+      grows at ``replenish - send_rate`` and the high state resumes
+      only once it exceeds ``resume_threshold_gbit``.
+    """
+
+    def __init__(self, params: TokenBucketParams) -> None:
+        self.params = params
+        self._budget = 0.0
+        self._throttled = False
+        self.reset()
+
+    def reset(self) -> None:
+        start = self.params.initial_budget_gbit
+        if start is None:
+            start = self.params.capacity_gbit
+        self._budget = min(start, self.params.capacity_gbit)
+        self._throttled = self._budget <= 0.0
+
+    @property
+    def budget_gbit(self) -> float:
+        """Tokens currently in the bucket (Gbit)."""
+        return self._budget
+
+    @property
+    def throttled(self) -> bool:
+        """True while the VM is held at the capped rate."""
+        return self._throttled
+
+    def set_budget(self, budget_gbit: float) -> None:
+        """Force the budget, as the paper does when resetting experiments.
+
+        Figure 19's protocol resets the bucket to a chosen budget at the
+        start of each repetition; this is the hook for that.
+        """
+        if budget_gbit < 0:
+            raise ValueError("budget cannot be negative")
+        self._budget = min(budget_gbit, self.params.capacity_gbit)
+        if self._budget <= 0.0:
+            self._throttled = True
+        elif self._budget > self.params.resume_threshold_gbit:
+            self._throttled = False
+
+    def limit(self) -> float:
+        if self._throttled:
+            return self.params.capped_gbps
+        return self.params.peak_gbps
+
+    def _net_fill_rate(self, send_rate_gbps: float) -> float:
+        """Budget change rate (Gbit/s) while sending at ``send_rate_gbps``."""
+        return self.params.replenish_gbps - send_rate_gbps
+
+    def horizon(self, send_rate_gbps: float) -> float:
+        fill = self._net_fill_rate(send_rate_gbps)
+        if self._throttled:
+            # Ceiling changes when the budget climbs past the resume
+            # threshold.
+            if fill <= 0:
+                return math.inf
+            gap = self.params.resume_threshold_gbit - self._budget
+            if gap <= _EMPTY_EPS_GBIT:
+                return 0.0
+            return gap / fill
+        # High state: ceiling changes when the budget empties.
+        if fill >= 0:
+            return math.inf
+        if self._budget <= _EMPTY_EPS_GBIT:
+            return 0.0
+        return self._budget / -fill
+
+    def advance(self, dt: float, send_rate_gbps: float) -> None:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        if send_rate_gbps < 0:
+            raise ValueError("send rate cannot be negative")
+        fill = self._net_fill_rate(send_rate_gbps)
+        self._budget = min(
+            max(self._budget + fill * dt, 0.0), self.params.capacity_gbit
+        )
+        if self._budget <= _EMPTY_EPS_GBIT:
+            self._budget = 0.0
+        if self._throttled:
+            if (
+                self._budget
+                >= self.params.resume_threshold_gbit - _EMPTY_EPS_GBIT
+            ):
+                self._throttled = False
+        elif self._budget <= 0.0:
+            self._throttled = True
+
+    def time_to_full_s(self, from_budget: float | None = None) -> float:
+        """Rest time needed to completely refill the bucket."""
+        if self.params.replenish_gbps == 0:
+            return math.inf
+        budget = self._budget if from_budget is None else from_budget
+        return (self.params.capacity_gbit - budget) / self.params.replenish_gbps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "low" if self._throttled else "high"
+        return (
+            f"TokenBucketModel(budget={self._budget:.1f}/"
+            f"{self.params.capacity_gbit:.0f} Gbit, state={state})"
+        )

@@ -1,0 +1,33 @@
+"""Reproductions of every figure and table in the paper.
+
+One module per artifact; each exposes a ``reproduce(...)`` function
+returning plain data structures (the rows/series the paper plots), so
+the benchmark harness can print them and tests can assert on their
+shape.  Module-level docstrings state which paper claims the output
+must satisfy.
+
+Figure index:
+
+========  ====================================================
+fig01     survey reporting practices (Section 2)
+fig02     Ballani bandwidth distributions for clouds A-H
+fig03     few-repetition medians vs 50-run gold CIs
+fig04     HPCCloud bandwidth variability
+fig05     Google Cloud bandwidth by access pattern
+fig06     Amazon EC2 bandwidth CDF and CoV
+fig07     EC2 RTT, normal vs throttled
+fig08     GCE RTT
+fig09     retransmission analysis
+fig10     cumulative traffic by pattern
+fig11     EC2 token-bucket parameter identification
+fig12     latency/bandwidth vs write() size
+fig13     CONFIRM repetitions analysis
+fig14     emulator validation against the EC2 policy
+fig15     Terasort traffic vs initial budget
+fig16     HiBench runtime and variability vs budget
+fig17     TPC-DS slowdown and variability per query
+fig18     token-bucket-induced straggler
+fig19     CI evolution under budget depletion
+tables    Tables 1-4
+========  ====================================================
+"""

@@ -1,0 +1,51 @@
+"""Figure 2: bandwidth distributions for eight real-world clouds.
+
+Box-and-whiskers (1st/25th/50th/75th/99th percentiles) of the Ballani
+et al. distributions, in Mb/s as the paper plots them.
+
+Claims the output must satisfy: eight clouds spanning roughly
+0-1000 Mb/s, with clouds F and G showing the widest relative spread
+(the basis for the fine sampling rates used in Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.ballani import BALLANI_CLOUDS, CLOUD_LABELS
+from repro.trace import BoxSummary
+from repro.units import gbps_to_mbps
+
+__all__ = ["Figure2Result", "reproduce"]
+
+
+@dataclass
+class Figure2Result:
+    """Per-cloud box summaries in Mb/s."""
+
+    boxes: dict[str, BoxSummary]
+
+    def rows(self) -> list[dict]:
+        """One printable row per cloud."""
+        return [
+            {
+                "cloud": label,
+                **{k: round(v, 1) for k, v in self.boxes[label].as_dict().items()},
+            }
+            for label in CLOUD_LABELS
+        ]
+
+
+def reproduce() -> Figure2Result:
+    """Project the A-H quantile distributions back to box summaries."""
+    boxes = {}
+    for label in CLOUD_LABELS:
+        box = BALLANI_CLOUDS[label].box_summary()
+        boxes[label] = BoxSummary(
+            p01=gbps_to_mbps(box.p01),
+            p25=gbps_to_mbps(box.p25),
+            p50=gbps_to_mbps(box.p50),
+            p75=gbps_to_mbps(box.p75),
+            p99=gbps_to_mbps(box.p99),
+        )
+    return Figure2Result(boxes=boxes)

@@ -1,0 +1,64 @@
+"""Figure 4: network bandwidth variability in HPCCloud.
+
+One week of continuous (full-speed) transfer between an 8-core VM
+pair, reported as 10-second averages, plus the IQR box with 1st/99th
+percentile whiskers.
+
+Claims the output must satisfy (Section 3.1): bandwidth ranges roughly
+7.7-10.4 Gbps with high measurement-to-measurement variability (up to
+~33 % between consecutive 10-second samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.providers import HpcCloudProvider
+from repro.emulator.patterns import FULL_SPEED
+from repro.measurement.iperf import BandwidthProbe
+from repro.trace import BandwidthTrace, BoxSummary
+from repro.units import SECONDS_PER_WEEK
+
+__all__ = ["Figure4Result", "reproduce"]
+
+
+@dataclass
+class Figure4Result:
+    """The timeseries panel and box panel of Figure 4."""
+
+    trace: BandwidthTrace
+    box: BoxSummary
+    max_consecutive_change: float
+
+    def rows(self) -> list[dict]:
+        """Summary rows for the harness."""
+        return [
+            {
+                "samples": len(self.trace),
+                "min_gbps": round(float(self.trace.values.min()), 2),
+                "max_gbps": round(float(self.trace.values.max()), 2),
+                **{k: round(v, 2) for k, v in self.box.as_dict().items()},
+                "max_consecutive_change_pct": round(
+                    100.0 * self.max_consecutive_change, 1
+                ),
+            }
+        ]
+
+
+def reproduce(
+    duration_s: float = SECONDS_PER_WEEK, seed: int = 0
+) -> Figure4Result:
+    """Measure one HPCCloud 8-core pair at full speed."""
+    provider = HpcCloudProvider()
+    rng = np.random.default_rng(seed)
+    model = provider.link_model("hpccloud-8core", rng)
+    probe = BandwidthProbe(model, FULL_SPEED)
+    trace = probe.run(duration_s, rng=rng, label="hpccloud/full-speed")
+    changes = trace.consecutive_relative_change()
+    return Figure4Result(
+        trace=trace,
+        box=trace.box_summary(),
+        max_consecutive_change=float(changes.max()) if changes.size else 0.0,
+    )

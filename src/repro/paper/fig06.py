@@ -1,0 +1,88 @@
+"""Figure 6: variable network bandwidth in Amazon EC2.
+
+One week per access pattern on a c5.xlarge pair, presented as an
+empirical CDF plus the coefficient of variation per pattern.
+
+Claims the output must satisfy (Section 3.1):
+
+* the *opposite* of GCE: heavier streams achieve less, because
+  intermittent patterns let the token bucket refill while full-speed
+  drains it — mean(5-30) > mean(10-30) > mean(full-speed);
+* "approximately 3x and 7x slowdowns between 10-30 and 5-30 and
+  full-speed, respectively": 10-30 achieves ~3x and 5-30 ~7x the
+  full-speed mean;
+* achieved bandwidth spans roughly 1-10 Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.providers import Ec2Provider
+from repro.emulator.patterns import FIVE_THIRTY, FULL_SPEED, TEN_THIRTY
+from repro.measurement.iperf import BandwidthProbe
+from repro.trace import BandwidthTrace
+from repro.units import SECONDS_PER_WEEK
+
+__all__ = ["Figure6Result", "reproduce"]
+
+_PATTERNS = (FULL_SPEED, TEN_THIRTY, FIVE_THIRTY)
+
+
+@dataclass
+class Figure6Result:
+    """Per-pattern traces, CDFs, and CoVs."""
+
+    traces: dict[str, BandwidthTrace]
+
+    def cdf(self, pattern: str) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF for one pattern (the left panel)."""
+        return self.traces[pattern].cdf()
+
+    def cov(self, pattern: str) -> float:
+        """Coefficient of variation for one pattern (the right panel)."""
+        return self.traces[pattern].coefficient_of_variation()
+
+    def mean(self, pattern: str) -> float:
+        """Mean achieved bandwidth for one pattern."""
+        return self.traces[pattern].mean()
+
+    def rows(self) -> list[dict]:
+        """One printable row per pattern."""
+        return [
+            {
+                "pattern": name,
+                "samples": len(trace),
+                "mean_gbps": round(self.mean(name), 2),
+                "min_gbps": round(float(trace.values.min()), 2),
+                "max_gbps": round(float(trace.values.max()), 2),
+                "cov_pct": round(100.0 * self.cov(name), 1),
+            }
+            for name, trace in self.traces.items()
+        ]
+
+    def slowdowns(self) -> dict[str, float]:
+        """Mean-bandwidth ratios over full-speed (the paper's ~3x/~7x)."""
+        base = self.mean("full-speed")
+        return {
+            "ten_thirty_vs_full_speed": self.mean("10-30") / base,
+            "five_thirty_vs_full_speed": self.mean("5-30") / base,
+        }
+
+
+def reproduce(
+    duration_s: float = SECONDS_PER_WEEK, seed: int = 0
+) -> Figure6Result:
+    """Measure an EC2 c5.xlarge pair under all three patterns."""
+    provider = Ec2Provider()
+    rng = np.random.default_rng(seed)
+    traces: dict[str, BandwidthTrace] = {}
+    for pattern in _PATTERNS:
+        model = provider.link_model("c5.xlarge", rng)
+        probe = BandwidthProbe(model, pattern)
+        traces[pattern.name] = probe.run(
+            duration_s, rng=rng, label=f"ec2/{pattern.name}"
+        )
+    return Figure6Result(traces=traces)

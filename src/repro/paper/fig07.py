@@ -1,0 +1,104 @@
+"""Figure 7: observed Amazon EC2 latency for 10-second TCP samples.
+
+Top: regular behaviour (sub-millisecond RTTs at ~10 Gbps).  Bottom:
+after ~10 minutes of full-speed transfer the shaper engages, bandwidth
+drops to ~1 Gbps, and RTTs rise by two orders of magnitude (queueing
+in the virtual device driver).
+
+Claims the output must satisfy (Section 3.2): median RTT in the
+normal regime is sub-millisecond; in the throttled regime the median
+is at least ~30x higher, with excursions toward 20 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.providers import Ec2Provider
+from repro.emulator.link import EmulatedLink
+from repro.emulator.patterns import FULL_SPEED
+from repro.measurement.rtt import LatencyProbe
+from repro.trace import RttTrace, TimeSeries
+
+__all__ = ["LatencyPanel", "Figure7Result", "reproduce"]
+
+
+@dataclass
+class LatencyPanel:
+    """One half of Figure 7: RTT samples plus the iperf bandwidth."""
+
+    rtt: RttTrace
+    bandwidth: TimeSeries
+
+    def summary(self) -> dict:
+        """Printable panel summary."""
+        return {
+            "rtt_samples": len(self.rtt),
+            "rtt_median_ms": round(self.rtt.median(), 3),
+            "rtt_p99_ms": round(self.rtt.tail_latency_ms(99), 2),
+            "bandwidth_mean_gbps": round(self.bandwidth.mean(), 2),
+        }
+
+
+@dataclass
+class Figure7Result:
+    """Both regimes."""
+
+    normal: LatencyPanel
+    throttled: LatencyPanel
+
+    def rows(self) -> list[dict]:
+        """One printable row per regime."""
+        return [
+            {"regime": "normal", **self.normal.summary()},
+            {"regime": "throttled", **self.throttled.summary()},
+        ]
+
+    @property
+    def latency_inflation(self) -> float:
+        """Throttled/normal median RTT ratio (the two orders of
+        magnitude the paper describes, at the median tens of x)."""
+        return self.throttled.rtt.median() / self.normal.rtt.median()
+
+
+def _panel(
+    provider: Ec2Provider,
+    throttled: bool,
+    seed: int,
+    stream_s: float,
+    max_samples: int,
+) -> LatencyPanel:
+    rng = np.random.default_rng(seed)
+    model = provider.link_model("c5.xlarge", rng)
+    if throttled:
+        # Drain the bucket first: ~10 minutes of full-speed transfer.
+        EmulatedLink(model, FULL_SPEED).run(
+            model.params.time_to_empty_s + 60.0
+        )
+    link = EmulatedLink(model, FULL_SPEED, report_interval_s=1.0)
+    samples = link.run(stream_s)
+    bandwidth = TimeSeries(
+        np.array([s.t_start for s in samples]),
+        np.array([s.bandwidth_gbps for s in samples]),
+        label="iperf",
+    )
+    probe = LatencyProbe(
+        provider.latency_model(throttled=throttled),
+        packet_bytes=9_000,
+        max_samples=max_samples,
+    )
+    rtt = probe.run(bandwidth.mean(), duration_s=stream_s, rng=rng)
+    return LatencyPanel(rtt=rtt, bandwidth=bandwidth)
+
+
+def reproduce(
+    stream_s: float = 10.0, max_samples: int = 400_000, seed: int = 0
+) -> Figure7Result:
+    """Both panels: a fresh pair and a drained pair."""
+    provider = Ec2Provider()
+    return Figure7Result(
+        normal=_panel(provider, False, seed, stream_s, max_samples),
+        throttled=_panel(provider, True, seed + 1, stream_s, max_samples),
+    )

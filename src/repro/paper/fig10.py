@@ -1,0 +1,85 @@
+"""Figure 10: total traffic transferred per access pattern.
+
+Cumulative data moved between the VM pairs over the campaign, per
+pattern, for Amazon EC2 (a) and Google Cloud (b).
+
+Claims the output must satisfy (Section 3.3):
+
+* on Google Cloud, full-speed moves orders of magnitude more data
+  than the intermittent patterns (the duty cycle dominates);
+* on Amazon EC2 the three totals are roughly equal — the fingerprint
+  of the token bucket: resting refills the budget, so the intermittent
+  patterns send at 10 Gbps while full-speed is pinned near 1 Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.measurement.campaign import CampaignConfig, run_campaign
+from repro.units import SECONDS_PER_WEEK, gbit_to_tbyte
+
+__all__ = ["Figure10Result", "reproduce"]
+
+
+@dataclass
+class Figure10Result:
+    """Cumulative-traffic series (TB) per cloud and pattern."""
+
+    #: ``{cloud: {pattern: cumulative TB array}}``
+    cumulative_tb: dict[str, dict[str, np.ndarray]]
+
+    def totals_tb(self) -> dict[str, dict[str, float]]:
+        """Final totals per cloud/pattern."""
+        return {
+            cloud: {
+                pattern: float(series[-1]) if series.size else 0.0
+                for pattern, series in patterns.items()
+            }
+            for cloud, patterns in self.cumulative_tb.items()
+        }
+
+    def rows(self) -> list[dict]:
+        """One printable row per cloud/pattern."""
+        out = []
+        for cloud, patterns in self.totals_tb().items():
+            for pattern, total in patterns.items():
+                out.append(
+                    {"cloud": cloud, "pattern": pattern, "total_tb": round(total, 2)}
+                )
+        return out
+
+    def ec2_totals_roughly_equal(self, tolerance: float = 0.5) -> bool:
+        """The EC2 claim: all three totals within ~2x of each other."""
+        totals = list(self.totals_tb()["amazon"].values())
+        return min(totals) >= max(totals) * tolerance
+
+    def gce_full_speed_dominates(self, factor: float = 3.0) -> bool:
+        """The GCE claim: full-speed moves far more data."""
+        totals = self.totals_tb()["google"]
+        others = [v for k, v in totals.items() if k != "full-speed"]
+        return totals["full-speed"] > factor * max(others)
+
+
+def reproduce(
+    duration_s: float = SECONDS_PER_WEEK, seed: int = 0
+) -> Figure10Result:
+    """Run the EC2 and GCE campaigns and accumulate traffic."""
+    cumulative: dict[str, dict[str, np.ndarray]] = {}
+    for cloud, instance in (("amazon", "c5.xlarge"), ("google", "gce-8core")):
+        config = CampaignConfig(
+            provider_name=cloud,
+            instance_name=instance,
+            duration_s=duration_s,
+            seed=seed,
+        )
+        result = run_campaign(config)
+        cumulative[cloud] = {
+            name: np.array(
+                [gbit_to_tbyte(g) for g in trace.cumulative_traffic_gbit()]
+            )
+            for name, trace in result.traces.items()
+        }
+    return Figure10Result(cumulative_tb=cumulative)

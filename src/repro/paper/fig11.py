@@ -1,0 +1,112 @@
+"""Figure 11: token-bucket parameters across the EC2 c5.* family.
+
+For each of c5.large, c5.xlarge, c5.2xlarge and c5.4xlarge, fifteen
+fresh incarnations are probed with the Section 3.3 methodology (run
+iperf until the rate drops and stabilizes): the time to empty the
+bucket (box plots), and the high/low bandwidths (bars with whiskers).
+
+Claims the output must satisfy:
+
+* time-to-empty and the low (capped) bandwidth grow with instance
+  size;
+* parameters are *not* consistent across incarnations of the same
+  type (visible box/whisker spread);
+* c5.xlarge empties in roughly 10 minutes and drops 10 -> ~1 Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.providers import Ec2Provider
+from repro.measurement.fingerprint import identify_token_bucket
+from repro.trace import BoxSummary, summarize_box
+
+__all__ = ["InstanceIdentification", "Figure11Result", "reproduce"]
+
+#: The machine types on Figure 11's horizontal axis.
+C5_FAMILY: tuple[str, ...] = ("c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge")
+
+
+@dataclass
+class InstanceIdentification:
+    """Fifteen identification runs for one instance type."""
+
+    instance: str
+    time_to_empty_s: np.ndarray
+    high_gbps: np.ndarray
+    low_gbps: np.ndarray
+
+    def time_box(self) -> BoxSummary:
+        """Box plot of the time-to-empty samples."""
+        return summarize_box(self.time_to_empty_s)
+
+    def summary(self) -> dict:
+        """Printable row."""
+        box = self.time_box()
+        return {
+            "instance": self.instance,
+            "empty_time_median_s": round(box.p50, 0),
+            "empty_time_iqr_s": round(box.iqr, 0),
+            "high_gbps_mean": round(float(self.high_gbps.mean()), 2),
+            "low_gbps_mean": round(float(self.low_gbps.mean()), 2),
+        }
+
+
+@dataclass
+class Figure11Result:
+    """Identification results per instance type."""
+
+    identifications: dict[str, InstanceIdentification]
+
+    def rows(self) -> list[dict]:
+        """One printable row per instance type, in axis order."""
+        return [self.identifications[name].summary() for name in C5_FAMILY]
+
+    def monotone_in_size(self) -> bool:
+        """Bucket size and low rate grow with the instance type."""
+        medians = [
+            self.identifications[name].time_box().p50 for name in C5_FAMILY
+        ]
+        lows = [
+            float(self.identifications[name].low_gbps.mean())
+            for name in C5_FAMILY
+        ]
+        return medians == sorted(medians) and lows == sorted(lows)
+
+    def incarnations_inconsistent(self) -> bool:
+        """Every type shows nontrivial spread across incarnations."""
+        return all(
+            ident.time_box().iqr > 0.05 * ident.time_box().p50
+            for ident in self.identifications.values()
+        )
+
+
+def reproduce(
+    tests_per_type: int = 15,
+    era: str = "pre-2019-08",
+    seed: int = 0,
+) -> Figure11Result:
+    """Probe ``tests_per_type`` incarnations of each c5.* type."""
+    if tests_per_type < 2:
+        raise ValueError("need at least 2 tests per type for spread")
+    provider = Ec2Provider(era=era)
+    rng = np.random.default_rng(seed)
+    identifications: dict[str, InstanceIdentification] = {}
+    for instance in C5_FAMILY:
+        times, highs, lows = [], [], []
+        for _ in range(tests_per_type):
+            model = provider.link_model(instance, rng)
+            estimate = identify_token_bucket(model, max_duration_s=14_400.0)
+            times.append(estimate.time_to_empty_s)
+            highs.append(estimate.high_gbps)
+            lows.append(estimate.low_gbps)
+        identifications[instance] = InstanceIdentification(
+            instance=instance,
+            time_to_empty_s=np.asarray(times),
+            high_gbps=np.asarray(highs),
+            low_gbps=np.asarray(lows),
+        )
+    return Figure11Result(identifications=identifications)

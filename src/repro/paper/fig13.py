@@ -1,0 +1,131 @@
+"""Figure 13: CONFIRM analysis — how many repetitions are needed?
+
+K-Means run repeatedly on Google Cloud and TPC-DS Q65 on HPCCloud
+(fresh VMs per repetition, so variability is the stochastic kind);
+the CONFIRM curves show the 95 % nonparametric CI of the median as
+repetitions accumulate, against 1 % error bounds.
+
+Claims the output must satisfy (Section 4.1):
+
+* CIs tighten as repetitions accumulate (stochastic variability is
+  tameable with enough repetitions, F4.1);
+* reaching 1 %-of-median bounds takes tens of repetitions — far more
+  than the 3-10 found in the literature (the paper reports 70+).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import gce_cluster, hpccloud_cluster
+from repro.stats.confirm import ConfirmCurve, confirm_curve
+from repro.workloads.hibench import build_kmeans
+from repro.workloads.tpcds import tpcds_job
+
+__all__ = ["ConfirmPanel", "Figure13Result", "reproduce"]
+
+
+@dataclass
+class ConfirmPanel:
+    """One panel: samples, the CONFIRM curve, repetitions needed."""
+
+    title: str
+    samples: np.ndarray
+    curve: ConfirmCurve
+    error_bound: float
+
+    @property
+    def repetitions_needed(self) -> Optional[int]:
+        """First n where the CI fits the error bound."""
+        return self.curve.first_n_within(self.error_bound)
+
+    def summary(self) -> dict:
+        """Printable row."""
+        final = self.curve.final_ci() if len(self.curve) else None
+        return {
+            "panel": self.title,
+            "repetitions_run": int(self.samples.size),
+            "median_s": round(float(np.median(self.samples)), 1),
+            "final_ci": (
+                (round(final.low, 1), round(final.high, 1)) if final else None
+            ),
+            "reps_needed_for_bound": self.repetitions_needed,
+            "ci_widening": self.curve.widening_detected(),
+        }
+
+
+@dataclass
+class Figure13Result:
+    """Both panels of Figure 13."""
+
+    kmeans_gce: ConfirmPanel
+    q65_hpccloud: ConfirmPanel
+
+    def rows(self) -> list[dict]:
+        """Printable rows."""
+        return [self.kmeans_gce.summary(), self.q65_hpccloud.summary()]
+
+
+def _collect(experiment: SimulatorExperiment, n: int) -> np.ndarray:
+    samples = np.empty(n)
+    for i in range(n):
+        if i > 0:
+            experiment.reset()
+        samples[i] = experiment.measure()
+    return samples
+
+
+def reproduce(
+    repetitions: int = 100, error_bound: float = 0.01, seed: int = 0
+) -> Figure13Result:
+    """Run both panels with fresh-VM repetitions."""
+    if repetitions < 10:
+        raise ValueError("CONFIRM analysis needs a meaningful sample")
+
+    # These experiments ran *directly* on the clouds, so CPU/memory/IO
+    # contention contributes run-level variance on top of the network
+    # models — run_noise_cov makes that explicit (Section 4.1 notes
+    # direct runs "cannot differentiate the effects of network
+    # variability from other sources of variability").
+    km_cluster = gce_cluster(cores=8, n_nodes=12, seed=seed)
+    km_job = build_kmeans(n_nodes=12, slots=4, data_scale=4.0, iterations=4)
+    km_samples = _collect(
+        SimulatorExperiment(
+            km_cluster,
+            km_job,
+            rng=np.random.default_rng(seed),
+            run_noise_cov=0.03,
+        ),
+        repetitions,
+    )
+
+    q_cluster = hpccloud_cluster(cores=8, n_nodes=12, seed=seed + 1)
+    q_job = tpcds_job(65, n_nodes=12, slots=4)
+    q_samples = _collect(
+        SimulatorExperiment(
+            q_cluster,
+            q_job,
+            rng=np.random.default_rng(seed + 1),
+            run_noise_cov=0.03,
+        ),
+        repetitions,
+    )
+
+    return Figure13Result(
+        kmeans_gce=ConfirmPanel(
+            title="kmeans-google-cloud",
+            samples=km_samples,
+            curve=confirm_curve(km_samples),
+            error_bound=error_bound,
+        ),
+        q65_hpccloud=ConfirmPanel(
+            title="tpcds-q65-hpccloud",
+            samples=q_samples,
+            curve=confirm_curve(q_samples),
+            error_bound=error_bound,
+        ),
+    )

@@ -1,0 +1,133 @@
+"""Figure 15: Terasort traffic on a token-bucket network, by budget.
+
+Five consecutive Terasort runs per initial budget (5000, 1000, 100,
+10 Gbit) on the 12-node emulated cluster; each panel shows one node's
+link utilization (left axis) against its bucket budget (right axis).
+
+Claims the output must satisfy (Section 4.2):
+
+* with large budgets (1000, 5000) the node transmits at the 10 Gbps
+  link capacity throughout; budgets visibly drain during shuffles and
+  refill between them;
+* with small budgets (10, 100) the node spends most of the shuffle at
+  the capped 1 Gbps rate, and bandwidth varies run to run — "much more
+  variability for budgets in {10, 100}".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import token_bucket_cluster
+from repro.trace import TimeSeries, concat_series
+from repro.workloads.hibench import build_terasort
+
+__all__ = ["BudgetPanel", "Figure15Result", "reproduce", "DEFAULT_BUDGETS"]
+
+DEFAULT_BUDGETS: tuple[float, ...] = (5_000.0, 1_000.0, 100.0, 10.0)
+
+
+@dataclass
+class BudgetPanel:
+    """One budget's panel: node-0 utilization and budget over 5 runs."""
+
+    budget_gbit: float
+    bandwidth: TimeSeries
+    budget: TimeSeries
+    runtimes_s: list[float]
+
+    def summary(self) -> dict:
+        """Printable row."""
+        values = self.bandwidth.values
+        transmitting = values > 0.05
+        if np.any(transmitting):
+            low_share = float(
+                np.mean(values[transmitting] <= 1.2)
+            )
+        else:
+            low_share = 0.0
+        return {
+            "initial_budget_gbit": self.budget_gbit,
+            "runs": len(self.runtimes_s),
+            "mean_runtime_s": round(float(np.mean(self.runtimes_s)), 1),
+            "runtime_spread_s": round(
+                float(np.max(self.runtimes_s) - np.min(self.runtimes_s)), 1
+            ),
+            "mean_bandwidth_gbps": round(self.bandwidth.mean(), 2),
+            #: Share of *transmitting* samples pinned at the capped rate.
+            "transmit_at_low_rate_pct": round(100.0 * low_share, 1),
+            "min_budget_gbit": round(float(self.budget.values.min()), 1),
+        }
+
+
+@dataclass
+class Figure15Result:
+    """All four budget panels."""
+
+    panels: dict[float, BudgetPanel]
+
+    def rows(self) -> list[dict]:
+        """One printable row per budget."""
+        return [self.panels[b].summary() for b in sorted(self.panels, reverse=True)]
+
+    def small_budgets_more_variable(self) -> bool:
+        """The figure's headline: {10,100} vary more than {1000,5000}."""
+        small = [
+            self.panels[b].summary()["runtime_spread_s"]
+            for b in self.panels
+            if b <= 100.0
+        ]
+        large = [
+            self.panels[b].summary()["runtime_spread_s"]
+            for b in self.panels
+            if b >= 1_000.0
+        ]
+        return min(small) >= max(large)
+
+
+def reproduce(
+    budgets: tuple[float, ...] = DEFAULT_BUDGETS,
+    consecutive_runs: int = 5,
+    node: int = 0,
+    seed: int = 0,
+) -> Figure15Result:
+    """Run the consecutive-Terasort traffic study per budget."""
+    if consecutive_runs < 1:
+        raise ValueError("need at least one run")
+    panels: dict[float, BudgetPanel] = {}
+    for budget in budgets:
+        cluster = token_bucket_cluster(budget)
+        experiment = SimulatorExperiment(
+            cluster,
+            build_terasort(n_nodes=12, slots=4),
+            rng=np.random.default_rng(seed),
+            budget_gbit=budget,
+        )
+        bandwidth_parts: list[TimeSeries] = []
+        budget_parts: list[TimeSeries] = []
+        runtimes: list[float] = []
+        offset = 0.0
+        for _ in range(consecutive_runs):
+            result = experiment.engine.run(
+                experiment.job, fabric=experiment.fabric
+            )
+            runtimes.append(result.runtime_s)
+            bw = result.node_bandwidth_series(node)
+            bd = result.node_budget_series(node)
+            bandwidth_parts.append(
+                TimeSeries(bw.times + offset, bw.values, label=bw.label)
+            )
+            budget_parts.append(
+                TimeSeries(bd.times + offset, bd.values, label=bd.label)
+            )
+            offset += result.runtime_s
+        panels[budget] = BudgetPanel(
+            budget_gbit=budget,
+            bandwidth=concat_series(bandwidth_parts, label=f"node{node}-bw"),
+            budget=concat_series(budget_parts, label=f"node{node}-budget"),
+            runtimes_s=runtimes,
+        )
+    return Figure15Result(panels=panels)

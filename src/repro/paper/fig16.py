@@ -1,0 +1,101 @@
+"""Figure 16: HiBench runtime and variability under token budgets.
+
+Ten fresh-VM runs of each HiBench application at each initial budget
+in {10, 100, 1000, 5000} Gbit: (a) average runtime per budget, (b) the
+per-application distribution over all budgets (IQR box, 1st/99th
+whiskers).
+
+Claims the output must satisfy (Section 4.2 / F4.2):
+
+* network-intensive applications (TS, WC) slow down 25 %+ as budgets
+  shrink; compute-bound ones (KM, BS) barely move;
+* variability (box width) over budgets is largest for TS and WC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import token_bucket_cluster
+from repro.trace import BoxSummary, summarize_box
+from repro.workloads.hibench import HIBENCH_CODES, hibench_job
+
+__all__ = ["Figure16Result", "reproduce", "DEFAULT_BUDGETS"]
+
+DEFAULT_BUDGETS: tuple[float, ...] = (5_000.0, 1_000.0, 100.0, 10.0)
+
+#: Figure 16's application order (left panel legend).
+APP_CODES: tuple[str, ...] = ("TS", "WC", "BS", "KM", "S")
+
+
+@dataclass
+class Figure16Result:
+    """Runtimes per (application, budget)."""
+
+    #: ``{code: {budget: runtimes array}}``
+    runtimes: dict[str, dict[float, np.ndarray]]
+
+    def average_rows(self) -> list[dict]:
+        """Figure 16a: average runtime per app and budget."""
+        out = []
+        for code, by_budget in self.runtimes.items():
+            row: dict = {"app": code}
+            for budget in sorted(by_budget, reverse=True):
+                row[f"budget_{int(budget)}"] = round(
+                    float(by_budget[budget].mean()), 1
+                )
+            out.append(row)
+        return out
+
+    def variability_boxes(self) -> dict[str, BoxSummary]:
+        """Figure 16b: per-app distribution pooled over budgets."""
+        return {
+            code: summarize_box(np.concatenate(list(by_budget.values())))
+            for code, by_budget in self.runtimes.items()
+        }
+
+    def budget_impact(self, code: str) -> float:
+        """Relative slowdown of the smallest vs largest budget."""
+        by_budget = self.runtimes[code]
+        large = float(by_budget[max(by_budget)].mean())
+        small = float(by_budget[min(by_budget)].mean())
+        return small / large - 1.0
+
+    def network_apps_most_affected(self) -> bool:
+        """TS and WC must lead the budget-impact ordering."""
+        impacts = {code: self.budget_impact(code) for code in self.runtimes}
+        ranked = sorted(impacts, key=impacts.get, reverse=True)
+        return set(ranked[:2]) == {"TS", "WC"}
+
+
+def reproduce(
+    budgets: tuple[float, ...] = DEFAULT_BUDGETS,
+    runs_per_config: int = 10,
+    apps: tuple[str, ...] = APP_CODES,
+    seed: int = 0,
+) -> Figure16Result:
+    """Run the full budget sweep for the requested applications."""
+    if runs_per_config < 1:
+        raise ValueError("need at least one run per configuration")
+    runtimes: dict[str, dict[float, np.ndarray]] = {}
+    for a_index, code in enumerate(apps):
+        job = hibench_job(code, n_nodes=12, slots=4)
+        runtimes[code] = {}
+        for b_index, budget in enumerate(budgets):
+            cluster = token_bucket_cluster(budget)
+            experiment = SimulatorExperiment(
+                cluster,
+                job,
+                rng=np.random.default_rng(seed + 97 * a_index + b_index),
+                budget_gbit=budget,
+            )
+            samples = np.empty(runs_per_config)
+            for i in range(runs_per_config):
+                if i > 0:
+                    experiment.reset()
+                samples[i] = experiment.measure()
+            runtimes[code][budget] = samples
+    return Figure16Result(runtimes=runtimes)

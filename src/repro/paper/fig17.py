@@ -1,0 +1,117 @@
+"""Figure 17: TPC-DS budget sensitivity per query.
+
+Ten fresh-VM runs of each of the 21 queries at each initial budget:
+(a) average runtime slowdown per query at budgets {10, 100, 1000}
+relative to the 5000-Gbit budget; (b) per-query distribution over all
+budgets (IQR box, 1st/99th whiskers).
+
+Claims the output must satisfy (Section 4.2):
+
+* for all queries, larger budgets lead to better (or equal)
+  performance;
+* queries with higher network demands show more sensitivity — the
+  heavy joins (Q19, Q46, Q59, Q65, Q68) lead the slowdown ranking
+  while Q82 stays flat;
+* slowdowns reach roughly 2-3x at budget 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import token_bucket_cluster
+from repro.trace import BoxSummary, summarize_box
+from repro.workloads.tpcds import TPCDS_QUERIES, tpcds_catalog, tpcds_job
+
+__all__ = ["Figure17Result", "reproduce", "DEFAULT_BUDGETS"]
+
+DEFAULT_BUDGETS: tuple[float, ...] = (5_000.0, 1_000.0, 100.0, 10.0)
+
+
+@dataclass
+class Figure17Result:
+    """Runtimes per (query, budget)."""
+
+    #: ``{query: {budget: runtimes array}}``
+    runtimes: dict[int, dict[float, np.ndarray]]
+    baseline_budget: float = 5_000.0
+
+    def slowdown(self, query: int, budget: float) -> float:
+        """Mean-runtime slowdown of ``budget`` vs the baseline budget."""
+        by_budget = self.runtimes[query]
+        return float(by_budget[budget].mean() / by_budget[self.baseline_budget].mean())
+
+    def slowdown_rows(self) -> list[dict]:
+        """Figure 17a: slowdown per query per budget."""
+        out = []
+        for query in self.runtimes:
+            row: dict = {"query": query}
+            for budget in sorted(self.runtimes[query], reverse=True):
+                if budget == self.baseline_budget:
+                    continue
+                row[f"slowdown_b{int(budget)}"] = round(
+                    self.slowdown(query, budget), 2
+                )
+            out.append(row)
+        return out
+
+    def variability_boxes(self) -> dict[int, BoxSummary]:
+        """Figure 17b: per-query distribution pooled over budgets."""
+        return {
+            query: summarize_box(np.concatenate(list(by_budget.values())))
+            for query, by_budget in self.runtimes.items()
+        }
+
+    def all_queries_monotone_in_budget(self, tolerance: float = 0.05) -> bool:
+        """Larger budgets never meaningfully hurt."""
+        for query, by_budget in self.runtimes.items():
+            budgets = sorted(by_budget, reverse=True)  # large -> small
+            means = [float(by_budget[b].mean()) for b in budgets]
+            for larger, smaller in zip(means, means[1:]):
+                if smaller < larger * (1.0 - tolerance):
+                    return False
+        return True
+
+    def heavy_queries_lead(self) -> bool:
+        """The heavy class dominates the slowdown ranking at budget 10."""
+        catalog = tpcds_catalog()
+        slowdowns = {
+            q: self.slowdown(q, min(self.runtimes[q]))
+            for q in self.runtimes
+        }
+        ranked = sorted(slowdowns, key=slowdowns.get, reverse=True)
+        heavy = {q for q, p in catalog.items() if p.network_class == "heavy"}
+        return set(ranked[: len(heavy)]) == heavy
+
+
+def reproduce(
+    budgets: tuple[float, ...] = DEFAULT_BUDGETS,
+    runs_per_config: int = 10,
+    queries: tuple[int, ...] = TPCDS_QUERIES,
+    seed: int = 0,
+) -> Figure17Result:
+    """Run the per-query budget sweep."""
+    if runs_per_config < 1:
+        raise ValueError("need at least one run per configuration")
+    runtimes: dict[int, dict[float, np.ndarray]] = {}
+    for q_index, query in enumerate(queries):
+        job = tpcds_job(query, n_nodes=12, slots=4)
+        runtimes[query] = {}
+        for b_index, budget in enumerate(budgets):
+            cluster = token_bucket_cluster(budget)
+            experiment = SimulatorExperiment(
+                cluster,
+                job,
+                rng=np.random.default_rng(seed + 131 * q_index + b_index),
+                budget_gbit=budget,
+            )
+            samples = np.empty(runs_per_config)
+            for i in range(runs_per_config):
+                if i > 0:
+                    experiment.reset()
+                samples[i] = experiment.measure()
+            runtimes[query][budget] = samples
+    return Figure17Result(runtimes=runtimes)

@@ -1,0 +1,149 @@
+"""Figure 18: token-bucket-induced stragglers.
+
+A long TPC-DS stream on the 12-node cluster with an initial budget of
+2500 Gbit per node.  Scheduling/data imbalance concentrates extra
+egress on one node (here the node co-hosting the driver and HDFS
+master): every other node's budget stays above zero and keeps the
+10 Gbps QoS, while the loaded node depletes, drops to 1 Gbps, and then
+*oscillates* between high and low rates as its bucket scrapes along
+the resume threshold.
+
+Claims the output must satisfy (F4.3):
+
+* exactly the skewed node (and no other) becomes a straggler;
+* the straggler's bandwidth oscillates between the two QoS levels in
+  short periods rather than settling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.paper._common import token_bucket_cluster
+from repro.simulator.engine import SparkEngine
+from repro.trace import TimeSeries, concat_series
+from repro.workloads.tpcds import tpcds_job
+
+__all__ = ["Figure18Result", "reproduce"]
+
+#: A network-leaning query mix for the stream (heavy + medium).
+DEFAULT_STREAM: tuple[int, ...] = (65, 19, 68, 59, 46, 79, 70, 7, 27, 89)
+
+
+@dataclass
+class Figure18Result:
+    """Per-node series plus straggler diagnosis."""
+
+    bandwidth: dict[int, TimeSeries]
+    budget: dict[int, TimeSeries]
+    skewed_node: int
+    straggler_nodes: list[int]
+    throttled_fraction: dict[int, float]
+
+    def rows(self) -> list[dict]:
+        """Printable per-node summary (regular vs straggler)."""
+        out = []
+        for node in sorted(self.bandwidth):
+            out.append(
+                {
+                    "node": node,
+                    "role": "straggler" if node in self.straggler_nodes
+                    else "regular",
+                    "min_budget_gbit": round(
+                        float(self.budget[node].values.min()), 1
+                    ),
+                    "throttled_pct": round(
+                        100.0 * self.throttled_fraction[node], 1
+                    ),
+                }
+            )
+        return out
+
+    def straggler_oscillates(self) -> bool:
+        """The straggler flips between high and low rates repeatedly."""
+        if not self.straggler_nodes:
+            return False
+        series = self.bandwidth[self.straggler_nodes[0]].values
+        low = series <= 1.5
+        high = series >= 5.0
+        state = np.zeros(series.size, dtype=int)
+        state[low] = -1
+        state[high] = 1
+        meaningful = state[state != 0]
+        transitions = int(np.sum(meaningful[1:] != meaningful[:-1]))
+        return transitions >= 4
+
+
+def reproduce(
+    budget_gbit: float = 2_500.0,
+    stream: tuple[int, ...] = DEFAULT_STREAM,
+    stream_repeats: int = 3,
+    skewed_node: int = 0,
+    skew_factor: float = 2.0,
+    seed: int = 0,
+) -> Figure18Result:
+    """Run the query stream on one fabric with a skewed node."""
+    if stream_repeats < 1:
+        raise ValueError("need at least one pass over the stream")
+    cluster = token_bucket_cluster(budget_gbit)
+    skew = [1.0] * cluster.n_nodes
+    skew[skewed_node] = skew_factor
+    engine = SparkEngine(
+        cluster, rng=np.random.default_rng(seed), node_data_skew=skew
+    )
+    fabric = cluster.build_fabric()
+    for model in fabric.egress_models:
+        model.set_budget(budget_gbit)
+
+    bandwidth_parts: dict[int, list[TimeSeries]] = {
+        n: [] for n in range(cluster.n_nodes)
+    }
+    budget_parts: dict[int, list[TimeSeries]] = {
+        n: [] for n in range(cluster.n_nodes)
+    }
+    throttled_samples: dict[int, list[np.ndarray]] = {
+        n: [] for n in range(cluster.n_nodes)
+    }
+    offset = 0.0
+    for _ in range(stream_repeats):
+        for query in stream:
+            result = engine.run(tpcds_job(query, n_nodes=12, slots=4), fabric=fabric)
+            for node in range(cluster.n_nodes):
+                bw = result.node_bandwidth_series(node)
+                bd = result.node_budget_series(node)
+                bandwidth_parts[node].append(
+                    TimeSeries(bw.times + offset, bw.values)
+                )
+                budget_parts[node].append(
+                    TimeSeries(bd.times + offset, bd.values)
+                )
+                throttled_samples[node].append(result.budgets[node] <= 1.0)
+            offset += result.runtime_s
+
+    bandwidth = {
+        n: concat_series(parts, label=f"node{n}-bw")
+        for n, parts in bandwidth_parts.items()
+    }
+    budget = {
+        n: concat_series(parts, label=f"node{n}-budget")
+        for n, parts in budget_parts.items()
+    }
+    throttled_fraction = {
+        n: float(np.mean(np.concatenate(samples)))
+        for n, samples in throttled_samples.items()
+    }
+    median_frac = float(np.median(list(throttled_fraction.values())))
+    stragglers = [
+        n
+        for n, frac in throttled_fraction.items()
+        if frac > 0.05 and frac > 4 * max(median_frac, 0.005)
+    ]
+    return Figure18Result(
+        bandwidth=bandwidth,
+        budget=budget,
+        skewed_node=skewed_node,
+        straggler_nodes=stragglers,
+        throttled_fraction=throttled_fraction,
+    )

@@ -1,0 +1,181 @@
+"""Figure 19: repeatable experiments and token buckets.
+
+Repetitions of two TPC-DS queries run on fresh machines, but with the
+initial token budget *reduced over time* (5000, 2500, 1000, 100, 10 —
+ten repetitions each), modeling back-to-back experimentation in the
+same VMs.  Median estimates and 95 % nonparametric CIs are computed
+over the *cumulative* measurement sequence, with 10 % error bounds.
+
+Claims the output must satisfy (Section 4.2 / F4.4):
+
+* Q82 is budget-agnostic: its CI tightens as repetitions accumulate,
+  as classic analysis expects;
+* Q65 is budget-dependent: the cumulative median drifts upward and
+  the CI *widens* with more repetitions — the iid assumption is
+  broken;
+* across the whole TPC-DS catalog, a large majority (~80 % in the
+  paper) of queries end up with median estimates more than 10 % off
+  their fresh-budget medians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import SimulatorExperiment
+from repro.paper._common import token_bucket_cluster
+from repro.stats.confirm import ConfirmCurve, confirm_curve
+from repro.workloads.tpcds import TPCDS_QUERIES, tpcds_job
+
+__all__ = ["QueryDepletionPanel", "Figure19Result", "reproduce", "DEFAULT_LADDER"]
+
+#: The budget ladder: fresh -> depleted, ten repetitions each in the
+#: paper's protocol.
+DEFAULT_LADDER: tuple[float, ...] = (5_000.0, 2_500.0, 1_000.0, 100.0, 10.0)
+
+
+@dataclass
+class QueryDepletionPanel:
+    """One query's cumulative-measurement panel."""
+
+    query: int
+    #: Runtimes in collection order (budgets decreasing along the way).
+    samples: np.ndarray
+    #: Budget applied to each repetition, aligned with ``samples``.
+    budgets: np.ndarray
+    curve: ConfirmCurve
+    error_bound: float
+
+    @property
+    def fresh_median(self) -> float:
+        """Median at the largest (fresh) budget."""
+        top = self.budgets == self.budgets.max()
+        return float(np.median(self.samples[top]))
+
+    @property
+    def depleted_median(self) -> float:
+        """True median at the final (depleted) budget."""
+        bottom = self.budgets == self.budgets.min()
+        return float(np.median(self.samples[bottom]))
+
+    @property
+    def final_median(self) -> float:
+        """Cumulative median estimate over the whole sequence."""
+        return float(np.median(self.samples))
+
+    @property
+    def median_estimate_poor(self) -> bool:
+        """The cumulative estimate is >10 % wrong at full depletion.
+
+        "Most produce median estimates that are more than 10% incorrect
+        by the time we fully deplete the budget": the estimate the
+        experimenter holds (the cumulative median, dominated by early
+        fresh-budget runs) no longer describes what the system actually
+        delivers once the hidden budget is gone.
+        """
+        depleted = self.depleted_median
+        return abs(self.final_median - depleted) / depleted > self.error_bound
+
+    @property
+    def ci_widened(self) -> bool:
+        """Final CI is wider than the fresh-phase CI (non-iid signature).
+
+        Under iid sampling the CI narrows with more repetitions; budget
+        carry-over makes it *widen* instead (the paper: "the CIs widen
+        with more repetitions, which is unexpected for this type of
+        analysis").
+        """
+        n_fresh = int(np.sum(self.budgets == self.budgets.max()))
+        widths = self.curve.ci_high - self.curve.ci_low
+        if widths.size == 0:
+            return False
+        i0 = int(np.searchsorted(self.curve.ns, n_fresh))
+        i0 = min(i0, widths.size - 1)
+        return float(widths[-1]) > float(widths[i0]) * 1.1
+
+    def summary(self) -> dict:
+        """Printable row."""
+        return {
+            "query": self.query,
+            "fresh_median_s": round(self.fresh_median, 1),
+            "depleted_median_s": round(self.depleted_median, 1),
+            "cumulative_median_s": round(self.final_median, 1),
+            "median_poor": self.median_estimate_poor,
+            "ci_widened": self.ci_widened,
+        }
+
+
+@dataclass
+class Figure19Result:
+    """The two headline panels plus the catalog-wide poor-median scan."""
+
+    q82: QueryDepletionPanel
+    q65: QueryDepletionPanel
+    all_queries: dict[int, QueryDepletionPanel]
+
+    def rows(self) -> list[dict]:
+        """Printable rows for the headline panels."""
+        return [self.q82.summary(), self.q65.summary()]
+
+    @property
+    def poor_median_fraction(self) -> float:
+        """Share of queries with poor median estimates (paper: ~80 %)."""
+        if not self.all_queries:
+            return 0.0
+        poor = sum(1 for p in self.all_queries.values() if p.median_estimate_poor)
+        return poor / len(self.all_queries)
+
+
+def _run_ladder(
+    query: int,
+    ladder: tuple[float, ...],
+    reps_per_budget: int,
+    error_bound: float,
+    seed: int,
+) -> QueryDepletionPanel:
+    cluster = token_bucket_cluster(ladder[0])
+    experiment = SimulatorExperiment(
+        cluster,
+        tpcds_job(query, n_nodes=12, slots=4),
+        rng=np.random.default_rng(seed),
+        budget_gbit=ladder[0],
+    )
+    samples: list[float] = []
+    budgets: list[float] = []
+    for budget in ladder:
+        for _ in range(reps_per_budget):
+            experiment.reset()
+            experiment.set_budget(budget)
+            samples.append(experiment.measure())
+            budgets.append(budget)
+    arr = np.asarray(samples)
+    return QueryDepletionPanel(
+        query=query,
+        samples=arr,
+        budgets=np.asarray(budgets),
+        curve=confirm_curve(arr),
+        error_bound=error_bound,
+    )
+
+
+def reproduce(
+    ladder: tuple[float, ...] = DEFAULT_LADDER,
+    reps_per_budget: int = 10,
+    scan_reps_per_budget: int = 3,
+    queries: tuple[int, ...] = TPCDS_QUERIES,
+    error_bound: float = 0.10,
+    seed: int = 0,
+) -> Figure19Result:
+    """Run the depletion ladder for the panels and the full scan."""
+    if reps_per_budget < 2 or scan_reps_per_budget < 1:
+        raise ValueError("repetition counts too small")
+    q82 = _run_ladder(82, ladder, reps_per_budget, error_bound, seed)
+    q65 = _run_ladder(65, ladder, reps_per_budget, error_bound, seed + 1)
+    all_queries: dict[int, QueryDepletionPanel] = {}
+    for index, query in enumerate(queries):
+        all_queries[query] = _run_ladder(
+            query, ladder, scan_reps_per_budget, error_bound, seed + 10 + index
+        )
+    return Figure19Result(q82=q82, q65=q65, all_queries=all_queries)

@@ -1,0 +1,79 @@
+"""Tables 1-4 of the paper.
+
+* Table 1 — survey parameters (static);
+* Table 2 — the survey funnel, computed by the pipeline;
+* Table 3 — the measurement-campaign summary, computed by running
+  (scaled) campaigns;
+* Table 4 — the big-data experiment setup (static).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.measurement.campaign import (
+    CampaignConfig,
+    run_campaign,
+    table3_campaigns,
+)
+from repro.survey.corpus import (
+    SURVEY_KEYWORDS,
+    SURVEY_VENUES,
+    SURVEY_YEARS,
+    generate_corpus,
+)
+from repro.survey.filters import survey_funnel
+
+__all__ = ["table1", "table2", "table3", "table4"]
+
+
+def table1() -> dict:
+    """Survey parameters (Table 1)."""
+    return {
+        "venues": list(SURVEY_VENUES),
+        "keywords": list(SURVEY_KEYWORDS),
+        "years": f"{SURVEY_YEARS[0]} - {SURVEY_YEARS[1]}",
+    }
+
+
+def table2(seed: int = 0) -> dict:
+    """The survey funnel (Table 2), computed from the corpus.
+
+    Must show 1,867 total articles, 138 keyword matches, and 44 cloud
+    articles (15 NSDI, 7 OSDI, 7 SOSP, 15 SC) cited 11,203 times.
+    """
+    return survey_funnel(generate_corpus(seed=seed)).as_row()
+
+
+def table3(duration_scale: float = 1.0 / 168.0, seed: int = 0) -> list[dict]:
+    """The campaign summary (Table 3), computed by running campaigns.
+
+    ``duration_scale`` defaults to 1/168 (hours instead of weeks) so
+    the table regenerates quickly; every configuration must still show
+    "exhibits variability = True", as in the paper.
+    """
+    rows = []
+    for config in table3_campaigns(duration_scale=duration_scale, seed=seed):
+        result = run_campaign(config)
+        rows.append(result.summary_row())
+    return rows
+
+
+def table4() -> list[dict]:
+    """The big-data experiment setup (Table 4)."""
+    return [
+        {
+            "workload": "HiBench",
+            "size": "BigData",
+            "network": "token-bucket (Figure 14 emulator)",
+            "software": "Spark 2.4.0 / Hadoop 2.7.3 (modeled)",
+            "nodes": 12,
+        },
+        {
+            "workload": "TPC-DS",
+            "size": "SF-2000",
+            "network": "token-bucket (Figure 14 emulator)",
+            "software": "Spark 2.4.0 / Hadoop 2.7.3 (modeled)",
+            "nodes": 12,
+        },
+    ]

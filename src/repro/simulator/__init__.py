@@ -1,0 +1,42 @@
+"""A discrete-event, fluid-flow simulator of a Spark-like cluster.
+
+Section 4 runs HiBench and TPC-DS on a 12-node Spark cluster whose
+network is shaped by the emulated EC2 token bucket.  The application-
+level phenomena the paper reports — budget-dependent slowdowns
+(Figures 15-17), shaper-induced stragglers (Figure 18), and non-iid
+repetitions (Figure 19) — all arise from the *interaction* between the
+stage/shuffle structure of the jobs and the per-node shapers.  This
+package models exactly that interaction:
+
+* :mod:`repro.simulator.events` — a minimal event-queue kernel;
+* :mod:`repro.simulator.fabric` — fluid flows with max-min fair
+  sharing, bounded by per-node egress shapers (any
+  :class:`~repro.netmodel.base.LinkModel`) and ingress capacities;
+* :mod:`repro.simulator.cluster` — node and cluster descriptions;
+* :mod:`repro.simulator.hdfs` — a block-placement storage substrate
+  used to derive input locality;
+* :mod:`repro.simulator.tasks` — tasks, stages, and job DAGs;
+* :mod:`repro.simulator.engine` — the DAG scheduler / execution engine
+  producing runtimes and per-node utilization/budget telemetry.
+"""
+
+from repro.simulator.cluster import Cluster, NodeSpec
+from repro.simulator.engine import JobResult, SparkEngine
+from repro.simulator.events import EventQueue
+from repro.simulator.fabric import Fabric, Flow
+from repro.simulator.hdfs import HdfsCluster, HdfsFile
+from repro.simulator.tasks import JobSpec, StageSpec
+
+__all__ = [
+    "EventQueue",
+    "Fabric",
+    "Flow",
+    "Cluster",
+    "NodeSpec",
+    "HdfsCluster",
+    "HdfsFile",
+    "JobSpec",
+    "StageSpec",
+    "SparkEngine",
+    "JobResult",
+]

@@ -1,0 +1,97 @@
+"""Cluster topology: nodes, executor slots, and shaped NICs.
+
+The paper's Section 4 testbed: 12 nodes, 16 cores, 64 GB memory,
+256 GB SSD, FDR InfiniBand — with the emulated EC2 token-bucket policy
+imposed per node.  :class:`Cluster` carries that description plus a
+factory for per-node egress shapers, and builds the
+:class:`~repro.simulator.fabric.Fabric` a run executes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.netmodel.base import ConstantRateModel, LinkModel
+from repro.simulator.fabric import Fabric
+
+__all__ = ["NodeSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one worker node."""
+
+    cores: int = 16
+    memory_gb: float = 64.0
+    disk_gbps: float = 4.0
+    #: Ingress capacity in Gbps (the receive side of the NIC).
+    ingress_gbps: float = 10.0
+    #: Executor slots available for tasks; Spark defaults to one task
+    #: per core but the paper's configs (and our wave-aggregation)
+    #: use a smaller executor size.
+    slots: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.slots < 1:
+            raise ValueError("cores and slots must be >= 1")
+        if self.disk_gbps <= 0 or self.ingress_gbps <= 0:
+            raise ValueError("disk and ingress rates must be positive")
+
+
+class Cluster:
+    """A set of nodes plus a factory for their egress shapers."""
+
+    def __init__(
+        self,
+        n_nodes: int = 12,
+        node_spec: NodeSpec | None = None,
+        link_model_factory: Callable[[int], LinkModel] | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError("a cluster needs at least 2 nodes")
+        self.n_nodes = int(n_nodes)
+        self.node_spec = node_spec or NodeSpec()
+        if link_model_factory is None:
+            link_model_factory = lambda node: ConstantRateModel(10.0)  # noqa: E731
+        self._factory = link_model_factory
+
+    def build_fabric(self) -> Fabric:
+        """Instantiate fresh egress shapers and wire up the fabric."""
+        models = [self._factory(node) for node in range(self.n_nodes)]
+        caps = [self.node_spec.ingress_gbps] * self.n_nodes
+        return Fabric(egress_models=models, ingress_caps_gbps=caps)
+
+    @property
+    def total_slots(self) -> int:
+        """Executor slots across the whole cluster."""
+        return self.n_nodes * self.node_spec.slots
+
+    @classmethod
+    def paper_testbed(
+        cls, link_model_factory: Callable[[int], LinkModel] | None = None
+    ) -> "Cluster":
+        """The 12-node cluster of Table 4."""
+        return cls(
+            n_nodes=12,
+            node_spec=NodeSpec(
+                cores=16, memory_gb=64.0, disk_gbps=4.0, ingress_gbps=10.0, slots=4
+            ),
+            link_model_factory=link_model_factory,
+        )
+
+    @classmethod
+    def emulation_testbed(
+        cls,
+        n_nodes: int,
+        link_model_factory: Callable[[int], LinkModel],
+        slots: int = 4,
+    ) -> "Cluster":
+        """The 16-machine private Spark cluster of Section 2.1."""
+        return cls(
+            n_nodes=n_nodes,
+            node_spec=NodeSpec(slots=slots),
+            link_model_factory=link_model_factory,
+        )

@@ -1,0 +1,429 @@
+"""The Spark-like execution engine.
+
+Executes a :class:`~repro.simulator.tasks.JobSpec` on a
+:class:`~repro.simulator.cluster.Cluster` whose nodes send through
+shaped egress links.  The engine reproduces the structure that makes
+the paper's application-level results emerge:
+
+* reduce stages shuffle-fetch from the nodes that ran their parents,
+  so per-node token-bucket state shapes stage timing;
+* tasks launch in waves onto executor slots; a wave's fetches from one
+  source aggregate into a single *channel* flow (equivalent for
+  equal-size, simultaneous fetches, and it keeps the fluid simulation
+  fast);
+* node budgets persist across jobs when the caller reuses a fabric —
+  the carry-over that breaks iid repetitions in Figure 19;
+* per-node egress rates and bucket budgets are recorded continuously,
+  which is exactly what Figures 15 and 18 plot.
+
+The scheduler is FIFO over stages (Spark's default within a job):
+a stage becomes runnable when all its parents complete, and its tasks
+are handed to free executor slots round-robin across nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulator.cluster import Cluster
+from repro.simulator.fabric import Fabric, Flow
+from repro.simulator.tasks import JobSpec, StageSpec
+from repro.trace import TimeSeries
+
+__all__ = ["SparkEngine", "JobResult", "rest_fabric"]
+
+#: Safety valve: a single job may not need more steps than this.
+_MAX_STEPS = 5_000_000
+
+
+class _TaskGroup:
+    """A wave of same-stage tasks launched together on one node."""
+
+    __slots__ = ("stage_index", "node", "n_tasks", "pending_flows", "extra_compute_s")
+
+    def __init__(self, stage_index: int, node: int, n_tasks: int) -> None:
+        self.stage_index = stage_index
+        self.node = node
+        self.n_tasks = n_tasks
+        self.pending_flows = 0
+        self.extra_compute_s = 0.0
+
+
+@dataclass
+class JobResult:
+    """Everything one job run produced."""
+
+    job_name: str
+    runtime_s: float
+    #: ``{stage_name: (start_s, end_s)}``
+    stage_windows: dict[str, tuple[float, float]]
+    #: Telemetry sample times.
+    sample_times: np.ndarray
+    #: ``egress_rates[node]`` aligned with :attr:`sample_times` (Gbps).
+    egress_rates: np.ndarray
+    #: ``budgets[node]`` aligned with :attr:`sample_times` (Gbit), or
+    #: ``None`` when the shapers expose no budget.
+    budgets: np.ndarray | None
+    #: Tasks completed per node (over all stages).
+    tasks_per_node: np.ndarray
+
+    def node_bandwidth_series(self, node: int) -> TimeSeries:
+        """Egress-rate time series for one node (Figure 15/18 panels)."""
+        return TimeSeries(
+            self.sample_times, self.egress_rates[node], label=f"node{node}-egress"
+        )
+
+    def node_budget_series(self, node: int) -> TimeSeries:
+        """Budget time series for one node; raises when not recorded."""
+        if self.budgets is None:
+            raise ValueError("shapers exposed no budget; nothing recorded")
+        return TimeSeries(
+            self.sample_times, self.budgets[node], label=f"node{node}-budget"
+        )
+
+    def throttled_fraction(self, node: int, threshold_gbit: float = 1.0) -> float:
+        """Fraction of samples a node's budget sat at/below ``threshold``."""
+        if self.budgets is None:
+            raise ValueError("shapers exposed no budget; nothing recorded")
+        series = self.budgets[node]
+        if series.size == 0:
+            return 0.0
+        return float(np.mean(series <= threshold_gbit))
+
+    def straggler_nodes(self, threshold_gbit: float = 1.0) -> list[int]:
+        """Nodes that depleted their budget while most others did not.
+
+        Figure 18's situation: one node oscillating at the low QoS while
+        the rest of the deployment stays fast.
+        """
+        if self.budgets is None:
+            return []
+        fractions = [
+            self.throttled_fraction(n, threshold_gbit)
+            for n in range(self.budgets.shape[0])
+        ]
+        median = float(np.median(fractions))
+        return [
+            n
+            for n, frac in enumerate(fractions)
+            if frac > 0.05 and frac > 4 * max(median, 0.005)
+        ]
+
+
+class SparkEngine:
+    """Runs job DAGs on a cluster with shaped per-node egress."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        rng: np.random.Generator | None = None,
+        #: Per-node multiplier on shuffle-source shares; index 0 > 1
+        #: models the driver/HDFS-master imbalance that creates the
+        #: Figure 18 straggler.
+        node_data_skew: list[float] | None = None,
+        #: Telemetry sampling resolution; steps shorter than this still
+        #: record, longer steps are recorded once (piecewise constant).
+        sample_interval_s: float = 1.0,
+    ) -> None:
+        self.cluster = cluster
+        self.rng = rng or np.random.default_rng(0)
+        if node_data_skew is None:
+            node_data_skew = [1.0] * cluster.n_nodes
+        if len(node_data_skew) != cluster.n_nodes:
+            raise ValueError("one skew factor per node required")
+        if any(s <= 0 for s in node_data_skew):
+            raise ValueError("skew factors must be positive")
+        self.node_data_skew = list(node_data_skew)
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sample_interval_s = float(sample_interval_s)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, job: JobSpec, fabric: Fabric | None = None) -> JobResult:
+        """Execute ``job``; returns runtimes and telemetry.
+
+        Passing an existing ``fabric`` preserves shaper state across
+        runs (budget carry-over); omitting it builds a fresh one
+        ("fresh VMs for every experiment", the F5.4 recommendation).
+        """
+        if fabric is None:
+            fabric = self.cluster.build_fabric()
+        state = _RunState(self, job, fabric)
+        return state.execute()
+
+    def run_repetitions(
+        self,
+        job: JobSpec,
+        repetitions: int,
+        fresh_fabric: bool = True,
+        rest_between_s: float = 0.0,
+    ) -> list[JobResult]:
+        """Run a job repeatedly under a chosen reset policy.
+
+        ``fresh_fabric=False`` reuses one fabric across repetitions so
+        shaper state (token budgets) carries over — the scenario that
+        invalidates CI analysis in Figure 19.  ``rest_between_s`` lets
+        buckets refill between runs, the paper's cheaper alternative to
+        fresh VMs.
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if rest_between_s < 0:
+            raise ValueError("rest cannot be negative")
+        results: list[JobResult] = []
+        fabric = None if fresh_fabric else self.cluster.build_fabric()
+        for _ in range(repetitions):
+            results.append(self.run(job, fabric=fabric))
+            if fabric is not None and rest_between_s > 0:
+                rest_fabric(fabric, rest_between_s)
+        return results
+
+    # ------------------------------------------------------------------
+    # helpers used by _RunState
+    # ------------------------------------------------------------------
+    def sample_compute_time(self, stage: StageSpec) -> float:
+        """Per-task compute duration: lognormal around the stage mean."""
+        if stage.compute_s == 0:
+            return 0.0
+        cov = stage.compute_cov
+        if cov == 0:
+            return stage.compute_s
+        sigma = math.sqrt(math.log(1.0 + cov**2))
+        mu = math.log(stage.compute_s) - sigma**2 / 2.0
+        return float(self.rng.lognormal(mean=mu, sigma=sigma))
+
+
+def rest_fabric(fabric: Fabric, duration_s: float) -> None:
+    """Let every shaper idle for ``duration_s`` (buckets refill)."""
+    for model in fabric.egress_models:
+        remaining = duration_s
+        while remaining > 1e-9:
+            step = min(remaining, max(model.horizon(0.0), 1e-6))
+            model.advance(min(step, remaining), 0.0)
+            remaining -= step
+
+
+class _RunState:
+    """Mutable bookkeeping for one job execution."""
+
+    def __init__(self, engine: SparkEngine, job: JobSpec, fabric: Fabric) -> None:
+        self.engine = engine
+        self.job = job
+        self.fabric = fabric
+        self.now = 0.0
+        n_stages = len(job.stages)
+        n_nodes = engine.cluster.n_nodes
+        self.launched = [0] * n_stages
+        self.done = [0] * n_stages
+        self.stage_start = [math.inf] * n_stages
+        self.stage_end = [math.inf] * n_stages
+        self.tasks_run = np.zeros((n_stages, n_nodes), dtype=float)
+        self.free_slots = [engine.cluster.node_spec.slots] * n_nodes
+        self.compute_heap: list[tuple[float, int, _TaskGroup]] = []
+        self._compute_counter = itertools.count()
+        self._rr_node = 0
+        # Telemetry buffers.
+        self.sample_times: list[float] = []
+        self.sample_rates: list[list[float]] = []
+        self.sample_budgets: list[list[float]] | None = (
+            [] if self._budgets_available() else None
+        )
+        self._last_sample_t = -math.inf
+
+    # -- structural helpers ------------------------------------------------
+    def _budgets_available(self) -> bool:
+        return all(
+            hasattr(m, "budget_gbit") for m in self.fabric.egress_models
+        )
+
+    def _stage_runnable(self, index: int) -> bool:
+        stage = self.job.stages[index]
+        if self.launched[index] >= stage.num_tasks:
+            return False
+        return all(
+            self.done[p] >= self.job.stages[p].num_tasks for p in stage.parents
+        )
+
+    def _shuffle_shares(self, stage: StageSpec) -> np.ndarray:
+        """Per-node fraction of the stage's shuffle input held locally."""
+        n_nodes = self.engine.cluster.n_nodes
+        counts = np.zeros(n_nodes)
+        for parent in stage.parents:
+            counts += self.tasks_run[parent]
+        if counts.sum() == 0:
+            counts = np.ones(n_nodes)
+        counts = counts * np.asarray(self.engine.node_data_skew)
+        return counts / counts.sum()
+
+    # -- scheduling --------------------------------------------------------
+    def _try_launch(self) -> None:
+        n_nodes = self.engine.cluster.n_nodes
+        for index, stage in enumerate(self.job.stages):
+            while self._stage_runnable(index) and any(
+                s > 0 for s in self.free_slots
+            ):
+                launched_any = False
+                for offset in range(n_nodes):
+                    node = (self._rr_node + offset) % n_nodes
+                    slots = self.free_slots[node]
+                    remaining = stage.num_tasks - self.launched[index]
+                    if slots <= 0 or remaining <= 0:
+                        continue
+                    group_size = min(slots, remaining)
+                    self._launch_group(index, stage, node, group_size)
+                    self._rr_node = (node + 1) % n_nodes
+                    launched_any = True
+                    if self.launched[index] >= stage.num_tasks:
+                        break
+                if not launched_any:
+                    break
+
+    def _launch_group(
+        self, index: int, stage: StageSpec, node: int, n_tasks: int
+    ) -> None:
+        if self.stage_start[index] == math.inf:
+            self.stage_start[index] = self.now
+        self.free_slots[node] -= n_tasks
+        self.launched[index] += n_tasks
+        group = _TaskGroup(index, node, n_tasks)
+        fraction = n_tasks / stage.num_tasks
+        disk_gbps = self.engine.cluster.node_spec.disk_gbps
+
+        # Shuffle fetches: one channel per remote source node.
+        if stage.shuffle_gbit > 0:
+            shares = self._shuffle_shares(stage)
+            group_volume = stage.shuffle_gbit * fraction
+            for src, share in enumerate(shares):
+                volume = group_volume * share
+                if volume <= 1e-12:
+                    continue
+                if src == node:
+                    group.extra_compute_s += volume / disk_gbps / n_tasks
+                    continue
+                self.fabric.add_flow(src, node, volume, tag=group)
+                group.pending_flows += 1
+
+        # Remote input reads (non-local HDFS blocks), spread uniformly
+        # over the other nodes.
+        remote_input = stage.input_gbit * (1.0 - stage.input_locality) * fraction
+        local_input = stage.input_gbit * stage.input_locality * fraction
+        group.extra_compute_s += local_input / disk_gbps / n_tasks
+        if remote_input > 1e-12:
+            n_nodes = self.engine.cluster.n_nodes
+            others = [n for n in range(n_nodes) if n != node]
+            per_src = remote_input / len(others)
+            for src in others:
+                self.fabric.add_flow(src, node, per_src, tag=group)
+                group.pending_flows += 1
+
+        if group.pending_flows == 0:
+            self._start_computes(group)
+
+    def _start_computes(self, group: _TaskGroup) -> None:
+        stage = self.job.stages[group.stage_index]
+        for _ in range(group.n_tasks):
+            duration = (
+                self.engine.sample_compute_time(stage) + group.extra_compute_s
+            )
+            heapq.heappush(
+                self.compute_heap,
+                (self.now + duration, next(self._compute_counter), group),
+            )
+
+    # -- completions ---------------------------------------------------------
+    def _on_flow_complete(self, flow: Flow) -> None:
+        group = flow.tag
+        if not isinstance(group, _TaskGroup):
+            return
+        group.pending_flows -= 1
+        if group.pending_flows == 0:
+            self._start_computes(group)
+
+    def _on_compute_complete(self, group: _TaskGroup) -> None:
+        index = group.stage_index
+        self.done[index] += 1
+        self.tasks_run[index][group.node] += 1
+        self.free_slots[group.node] += 1
+        if self.done[index] >= self.job.stages[index].num_tasks:
+            self.stage_end[index] = self.now
+
+    # -- telemetry -------------------------------------------------------------
+    def _record(self, force: bool = False) -> None:
+        """Record the current rate assignment, valid from ``now`` onward.
+
+        Called after :meth:`Fabric.compute_rates` and *before*
+        :meth:`Fabric.advance`, so the sample describes the upcoming
+        piecewise-constant segment rather than a stale assignment.
+        """
+        if (
+            not force
+            and self.now - self._last_sample_t
+            < self.engine.sample_interval_s - 1e-12
+        ):
+            return
+        self._last_sample_t = self.now
+        self.sample_times.append(self.now)
+        self.sample_rates.append(self.fabric.node_egress_rates())
+        if self.sample_budgets is not None:
+            self.sample_budgets.append(
+                [m.budget_gbit for m in self.fabric.egress_models]
+            )
+
+    # -- main loop ---------------------------------------------------------------
+    def execute(self) -> JobResult:
+        self._try_launch()
+        n_stages = len(self.job.stages)
+        for _ in range(_MAX_STEPS):
+            if all(
+                self.done[i] >= self.job.stages[i].num_tasks
+                for i in range(n_stages)
+            ):
+                break
+            self.fabric.compute_rates()
+            self._record()
+            next_compute = (
+                self.compute_heap[0][0] if self.compute_heap else math.inf
+            )
+            dt = min(self.fabric.horizon(), next_compute - self.now)
+            if math.isinf(dt):
+                raise RuntimeError(
+                    f"deadlock at t={self.now}: no flows, no computes, "
+                    f"stages done={self.done}"
+                )
+            dt = max(dt, 0.0)
+            completed_flows = self.fabric.advance(dt)
+            self.now += dt
+            for flow in completed_flows:
+                self._on_flow_complete(flow)
+            while self.compute_heap and self.compute_heap[0][0] <= self.now + 1e-9:
+                _, _, group = heapq.heappop(self.compute_heap)
+                self._on_compute_complete(group)
+            self._try_launch()
+        else:
+            raise RuntimeError("step budget exhausted; job did not converge")
+        self.fabric.compute_rates()
+        self._record(force=True)
+
+        stage_windows = {
+            stage.name: (self.stage_start[i], self.stage_end[i])
+            for i, stage in enumerate(self.job.stages)
+        }
+        budgets = None
+        if self.sample_budgets is not None:
+            budgets = np.asarray(self.sample_budgets).T
+        return JobResult(
+            job_name=self.job.name,
+            runtime_s=self.now,
+            stage_windows=stage_windows,
+            sample_times=np.asarray(self.sample_times),
+            egress_rates=np.asarray(self.sample_rates).T,
+            budgets=budgets,
+            tasks_per_node=self.tasks_run.sum(axis=0),
+        )

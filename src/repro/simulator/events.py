@@ -1,0 +1,65 @@
+"""A minimal discrete-event kernel.
+
+The engine's main loop is a fluid-flow integrator, but scheduled
+one-shot events (job submission, delayed task launch, timed probes)
+still need a queue.  :class:`EventQueue` is a deterministic heap: ties
+on time break by insertion order, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered callback queue with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(self, time: float, callback: Callable[[], Any]) -> int:
+        """Schedule ``callback`` at ``time``; returns a cancellable id."""
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        event_id = next(self._counter)
+        heapq.heappush(self._heap, (time, event_id, callback))
+        return event_id
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a scheduled event (no-op if already fired)."""
+        self._cancelled.add(event_id)
+
+    def next_time(self) -> float:
+        """Time of the earliest pending event, or ``inf`` when empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return math.inf
+        return self._heap[0][0]
+
+    def pop_due(self, now: float) -> list[Callable[[], Any]]:
+        """Remove and return callbacks due at or before ``now``."""
+        due: list[Callable[[], Any]] = []
+        self._drop_cancelled()
+        while self._heap and self._heap[0][0] <= now + 1e-12:
+            _, event_id, callback = heapq.heappop(self._heap)
+            if event_id not in self._cancelled:
+                due.append(callback)
+            else:
+                self._cancelled.discard(event_id)
+            self._drop_cancelled()
+        return due
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, event_id, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(event_id)

@@ -1,0 +1,197 @@
+"""The cluster network fabric: fluid flows with max-min fair sharing.
+
+Every node has an egress shaper (any
+:class:`~repro.netmodel.base.LinkModel` — a token bucket for the
+emulated-EC2 experiments) and an ingress capacity.  Active flows share
+those resources max-min fairly, which is what TCP congestion control
+approximates for long-lived shuffle transfers on a non-blocking core
+(the paper's 12-node cluster has an FDR InfiniBand fabric, so node
+access links are the only bottlenecks).
+
+Rates are piecewise-constant: :meth:`Fabric.compute_rates` performs the
+water-filling, :meth:`Fabric.horizon` bounds how long the current rate
+assignment stays valid (flow completions and shaper transitions), and
+:meth:`Fabric.advance` integrates one step, returning completed flows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.netmodel.base import LinkModel
+
+__all__ = ["Flow", "Fabric"]
+
+
+class Flow:
+    """One fluid transfer between two nodes."""
+
+    __slots__ = ("flow_id", "src", "dst", "remaining_gbit", "rate_gbps", "tag")
+
+    def __init__(
+        self, flow_id: int, src: int, dst: int, volume_gbit: float, tag: object = None
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.remaining_gbit = volume_gbit
+        self.rate_gbps = 0.0
+        self.tag = tag
+
+    def completion_time(self) -> float:
+        """Seconds until completion at the current rate."""
+        if self.remaining_gbit <= 0:
+            return 0.0
+        if self.rate_gbps <= 0:
+            return math.inf
+        return self.remaining_gbit / self.rate_gbps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Flow({self.src}->{self.dst}, {self.remaining_gbit:.1f} Gbit "
+            f"@ {self.rate_gbps:.2f} Gbps)"
+        )
+
+
+class Fabric:
+    """Max-min fair fluid network between cluster nodes."""
+
+    def __init__(
+        self,
+        egress_models: Sequence[LinkModel],
+        ingress_caps_gbps: Sequence[float],
+    ) -> None:
+        if len(egress_models) != len(ingress_caps_gbps):
+            raise ValueError("one ingress cap per egress model required")
+        if any(cap <= 0 for cap in ingress_caps_gbps):
+            raise ValueError("ingress caps must be positive")
+        self.egress_models = list(egress_models)
+        self.ingress_caps = [float(c) for c in ingress_caps_gbps]
+        self.flows: dict[int, Flow] = {}
+        self._next_id = 0
+        self._rates_valid = False
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes attached to the fabric."""
+        return len(self.egress_models)
+
+    def add_flow(self, src: int, dst: int, volume_gbit: float, tag: object = None) -> Flow:
+        """Register a new transfer; rates are recomputed lazily."""
+        if not 0 <= src < self.n_nodes or not 0 <= dst < self.n_nodes:
+            raise ValueError(f"flow endpoints out of range: {src}->{dst}")
+        if src == dst:
+            raise ValueError("loopback transfers never touch the fabric")
+        if volume_gbit <= 0:
+            raise ValueError("flow volume must be positive")
+        flow = Flow(self._next_id, src, dst, volume_gbit, tag=tag)
+        self._next_id += 1
+        self.flows[flow.flow_id] = flow
+        self._rates_valid = False
+        return flow
+
+    def remove_flow(self, flow: Flow) -> None:
+        """Withdraw a flow (for cancelled tasks)."""
+        self.flows.pop(flow.flow_id, None)
+        self._rates_valid = False
+
+    def compute_rates(self) -> None:
+        """Water-filling max-min fair allocation under current limits.
+
+        Resources are node egress limits (from the shapers' current
+        state) and node ingress caps.  Classic progressive filling:
+        repeatedly saturate the tightest resource and freeze its flows.
+        """
+        flows = list(self.flows.values())
+        for flow in flows:
+            flow.rate_gbps = 0.0
+        if not flows:
+            self._rates_valid = True
+            return
+
+        # Remaining capacity per resource: ("out", node) and ("in", node).
+        remaining: dict[tuple[str, int], float] = {}
+        members: dict[tuple[str, int], set[int]] = {}
+        for flow in flows:
+            for key in (("out", flow.src), ("in", flow.dst)):
+                members.setdefault(key, set()).add(flow.flow_id)
+        for key in members:
+            kind, node = key
+            if kind == "out":
+                remaining[key] = self.egress_models[node].limit()
+            else:
+                remaining[key] = self.ingress_caps[node]
+
+        unfixed = {flow.flow_id for flow in flows}
+        flow_by_id = {flow.flow_id: flow for flow in flows}
+        while unfixed:
+            # Fair share each resource could give its unfixed flows.
+            best_key = None
+            best_share = math.inf
+            for key, ids in members.items():
+                active = ids & unfixed
+                if not active:
+                    continue
+                share = remaining[key] / len(active)
+                if share < best_share:
+                    best_share = share
+                    best_key = key
+            if best_key is None:
+                break
+            # Freeze the bottleneck's flows at the fair share.
+            saturated = list(members[best_key] & unfixed)
+            for flow_id in saturated:
+                flow = flow_by_id[flow_id]
+                flow.rate_gbps = max(best_share, 0.0)
+                unfixed.discard(flow_id)
+                for key in (("out", flow.src), ("in", flow.dst)):
+                    remaining[key] = max(remaining[key] - flow.rate_gbps, 0.0)
+        self._rates_valid = True
+
+    def node_egress_rates(self) -> list[float]:
+        """Aggregate send rate per node under the current assignment."""
+        rates = [0.0] * self.n_nodes
+        for flow in self.flows.values():
+            rates[flow.src] += flow.rate_gbps
+        return rates
+
+    def horizon(self) -> float:
+        """Seconds the current rate assignment is guaranteed valid."""
+        if not self._rates_valid:
+            self.compute_rates()
+        bound = math.inf
+        for flow in self.flows.values():
+            bound = min(bound, flow.completion_time())
+        egress = self.node_egress_rates()
+        for node, model in enumerate(self.egress_models):
+            bound = min(bound, model.horizon(egress[node]))
+        return bound
+
+    def advance(self, dt: float) -> list[Flow]:
+        """Integrate ``dt`` seconds; returns flows that completed.
+
+        Callers must not advance past :meth:`horizon`.  Shaper models
+        advance with their node's aggregate egress rate so token
+        buckets drain exactly as much as the flows send.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        if not self._rates_valid:
+            self.compute_rates()
+        egress = self.node_egress_rates()
+        for node, model in enumerate(self.egress_models):
+            model.advance(dt, egress[node])
+        completed: list[Flow] = []
+        for flow in list(self.flows.values()):
+            flow.remaining_gbit -= flow.rate_gbps * dt
+            if flow.remaining_gbit <= 1e-9:
+                completed.append(flow)
+                del self.flows[flow.flow_id]
+        if completed:
+            self._rates_valid = False
+        return completed
+
+    def invalidate_rates(self) -> None:
+        """Force a rate recomputation before the next horizon/advance."""
+        self._rates_valid = False

@@ -1,0 +1,149 @@
+"""A block-placement storage substrate (HDFS-like).
+
+Spark stages read their input from HDFS; task placement interacts with
+block placement to determine how much input is read locally versus
+fetched over the (shaped) network.  The engine consumes a simple
+summary — the locality fraction — but the substrate is a real block
+store: files are split into fixed-size blocks, replicated across
+nodes, and read plans account for replica choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["HdfsFile", "HdfsCluster"]
+
+
+@dataclass
+class HdfsFile:
+    """One stored file: block size plus replica placements."""
+
+    name: str
+    size_gbit: float
+    block_gbit: float
+    #: ``placements[i]`` is the tuple of nodes holding replicas of
+    #: block ``i``.
+    placements: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks the file occupies."""
+        return len(self.placements)
+
+
+class HdfsCluster:
+    """Replicated block store across cluster nodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        replication: int = 3,
+        block_gbit: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one datanode")
+        if not 1 <= replication <= n_nodes:
+            raise ValueError("replication must be in [1, n_nodes]")
+        if block_gbit <= 0:
+            raise ValueError("block size must be positive")
+        self.n_nodes = int(n_nodes)
+        self.replication = int(replication)
+        self.block_gbit = float(block_gbit)
+        self.files: dict[str, HdfsFile] = {}
+        self._rng = rng or np.random.default_rng(0)
+
+    def write(self, name: str, size_gbit: float) -> HdfsFile:
+        """Store a file: blocks placed on random distinct replicas.
+
+        Placement follows HDFS's default policy shape: a random primary
+        plus distinct secondaries, independently per block, which
+        spreads data approximately evenly.
+        """
+        if name in self.files:
+            raise ValueError(f"file exists: {name!r}")
+        if size_gbit <= 0:
+            raise ValueError("file size must be positive")
+        n_blocks = int(np.ceil(size_gbit / self.block_gbit))
+        placements = []
+        for _ in range(n_blocks):
+            nodes = self._rng.choice(
+                self.n_nodes, size=self.replication, replace=False
+            )
+            placements.append(tuple(int(n) for n in nodes))
+        file = HdfsFile(
+            name=name,
+            size_gbit=size_gbit,
+            block_gbit=self.block_gbit,
+            placements=placements,
+        )
+        self.files[name] = file
+        return file
+
+    def delete(self, name: str) -> None:
+        """Remove a file; raises KeyError when absent."""
+        del self.files[name]
+
+    def node_usage_gbit(self) -> list[float]:
+        """Stored volume per node (replicas included)."""
+        usage = [0.0] * self.n_nodes
+        for file in self.files.values():
+            per_block = min(file.block_gbit, file.size_gbit)
+            for replicas in file.placements:
+                for node in replicas:
+                    usage[node] += per_block
+        return usage
+
+    def read_plan(
+        self, name: str, reader_node: int
+    ) -> tuple[float, dict[int, float]]:
+        """Plan a full read of ``name`` from ``reader_node``.
+
+        Returns ``(local_gbit, remote_gbit_by_source)``: blocks with a
+        replica on the reader are read locally; others from the replica
+        with the least assigned load so far (a greedy balancer, which
+        is what HDFS short-circuit + datanode selection approximates).
+        """
+        file = self.files[name]
+        local = 0.0
+        remote: dict[int, float] = {}
+        assigned_load: dict[int, float] = {}
+        remaining = file.size_gbit
+        for replicas in file.placements:
+            volume = min(self.block_gbit, remaining)
+            remaining -= volume
+            if reader_node in replicas:
+                local += volume
+                continue
+            source = min(replicas, key=lambda n: assigned_load.get(n, 0.0))
+            remote[source] = remote.get(source, 0.0) + volume
+            assigned_load[source] = assigned_load.get(source, 0.0) + volume
+        return local, remote
+
+    def locality_fraction(self, name: str, reader_nodes: list[int]) -> float:
+        """Average local fraction when readers split the file evenly.
+
+        This is the summary statistic workload builders hand to the
+        engine: with 3-way replication on 12 nodes, ~25 % of blocks are
+        node-local to any given reader; spreading tasks across all
+        nodes (as Spark's locality scheduler does) pushes the effective
+        fraction much higher.
+        """
+        if not reader_nodes:
+            raise ValueError("need at least one reader")
+        file = self.files[name]
+        if file.n_blocks == 0:
+            return 1.0
+        local_blocks = 0
+        for i, replicas in enumerate(file.placements):
+            reader = reader_nodes[i % len(reader_nodes)]
+            if reader in replicas:
+                local_blocks += 1
+            elif set(replicas) & set(reader_nodes):
+                # Spark would schedule the task on a replica holder;
+                # count as local when any reader node holds a replica.
+                local_blocks += 1
+        return local_blocks / file.n_blocks

@@ -1,0 +1,93 @@
+"""Job descriptions: tasks, stages, and DAGs.
+
+A :class:`JobSpec` is the static description of a Spark job: a DAG of
+:class:`StageSpec` entries.  Map-like stages read (mostly local) input
+and compute; reduce-like stages first shuffle-fetch their input from
+the nodes that ran their parent stages, then compute.  The engine
+turns these descriptions into flows and compute phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StageSpec", "JobSpec"]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a job DAG."""
+
+    name: str
+    num_tasks: int
+    #: Mean per-task compute time in seconds.
+    compute_s: float
+    #: Lognormal coefficient of variation of per-task compute times.
+    compute_cov: float = 0.10
+    #: Total volume this stage shuffle-fetches from its parents' output
+    #: (Gbit, summed over all tasks).  Zero for map stages.
+    shuffle_gbit: float = 0.0
+    #: Total input read from storage (Gbit); the non-local fraction is
+    #: fetched over the network.
+    input_gbit: float = 0.0
+    #: Fraction of ``input_gbit`` that is node-local (HDFS locality).
+    input_locality: float = 1.0
+    #: Indices of parent stages within the job (must precede this one).
+    parents: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("a stage needs at least one task")
+        if self.compute_s < 0:
+            raise ValueError("compute time cannot be negative")
+        if self.compute_cov < 0:
+            raise ValueError("compute CoV cannot be negative")
+        if self.shuffle_gbit < 0 or self.input_gbit < 0:
+            raise ValueError("data volumes cannot be negative")
+        if not 0.0 <= self.input_locality <= 1.0:
+            raise ValueError("locality must be a fraction")
+
+    @property
+    def network_gbit(self) -> float:
+        """Data this stage moves over the network (shuffle + remote reads)."""
+        return self.shuffle_gbit + self.input_gbit * (1.0 - self.input_locality)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A DAG of stages; stage indices are topologically ordered."""
+
+    name: str
+    stages: tuple[StageSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a job needs at least one stage")
+        for i, stage in enumerate(self.stages):
+            for parent in stage.parents:
+                if not 0 <= parent < i:
+                    raise ValueError(
+                        f"stage {i} ({stage.name!r}) has invalid parent {parent}; "
+                        "stages must be topologically ordered"
+                    )
+
+    @property
+    def total_network_gbit(self) -> float:
+        """Total network volume across all stages."""
+        return sum(stage.network_gbit for stage in self.stages)
+
+    @property
+    def total_compute_s(self) -> float:
+        """Total task-seconds of compute across all stages."""
+        return sum(stage.compute_s * stage.num_tasks for stage in self.stages)
+
+    def network_intensity(self, cluster_bandwidth_gbps: float = 10.0) -> float:
+        """Rough network-boundedness: transfer time over compute time.
+
+        Used to order workloads the way Figure 16 does (TS and WC are
+        the network-hungry ones, K-Means barely touches the fabric).
+        """
+        if self.total_compute_s == 0:
+            return float("inf")
+        transfer_s = self.total_network_gbit / cluster_bandwidth_gbps
+        return transfer_s / self.total_compute_s

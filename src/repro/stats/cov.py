@@ -1,0 +1,67 @@
+"""Dispersion summaries: coefficient of variation and IQR statistics.
+
+Figure 6 summarizes Amazon EC2 bandwidth variability as a coefficient
+of variation per access pattern; Figures 4, 5, 9, 16 and 17 use IQR
+boxes with 1st/99th-percentile whiskers.  These helpers compute both
+from raw samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.trace import BoxSummary, summarize_box
+
+__all__ = ["coefficient_of_variation", "dispersion_summary", "DispersionSummary"]
+
+
+def coefficient_of_variation(samples: Sequence[float] | np.ndarray) -> float:
+    """Standard deviation divided by the mean, as a fraction.
+
+    Raises :class:`ValueError` for empty input or a zero mean, for which
+    the statistic is undefined.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute CoV of an empty sample")
+    mean = float(np.mean(arr))
+    if mean == 0.0:
+        raise ValueError("CoV undefined for zero mean")
+    return float(np.std(arr) / mean)
+
+
+@dataclass(frozen=True)
+class DispersionSummary:
+    """All the dispersion statistics the paper reports for one sample."""
+
+    n: int
+    mean: float
+    std: float
+    cov: float
+    box: BoxSummary
+
+    @property
+    def median(self) -> float:
+        """Sample median (p50 of the box summary)."""
+        return self.box.p50
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.box.iqr
+
+
+def dispersion_summary(samples: Sequence[float] | np.ndarray) -> DispersionSummary:
+    """Compute a :class:`DispersionSummary` for ``samples``."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(np.mean(arr))
+    std = float(np.std(arr))
+    cov = std / mean if mean != 0 else float("inf")
+    return DispersionSummary(
+        n=int(arr.size), mean=mean, std=std, cov=cov, box=summarize_box(arr)
+    )

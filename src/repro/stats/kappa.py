@@ -1,0 +1,48 @@
+"""Cohen's Kappa inter-rater agreement.
+
+The survey in Section 2 was double-reviewed; agreement per category was
+quantified with Cohen's Kappa [16], with scores of 0.95, 0.81 and 0.85
+for the three categories of Figure 1a (values above 0.8 indicate
+near-perfect agreement [59]).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Sequence
+
+__all__ = ["cohens_kappa"]
+
+
+def cohens_kappa(
+    rater_a: Sequence[Hashable], rater_b: Sequence[Hashable]
+) -> float:
+    """Cohen's Kappa between two label sequences.
+
+    Kappa = (p_o - p_e) / (1 - p_e) where ``p_o`` is observed agreement
+    and ``p_e`` the agreement expected by chance from the raters'
+    marginal label frequencies.  Returns 1.0 when the raters agree
+    perfectly *and* chance agreement is also 1 (single-label edge case),
+    matching the usual convention.
+    """
+    if len(rater_a) != len(rater_b):
+        raise ValueError(
+            f"raters must label the same items: {len(rater_a)} != {len(rater_b)}"
+        )
+    n = len(rater_a)
+    if n == 0:
+        raise ValueError("cannot compute kappa for zero items")
+
+    observed = sum(1 for a, b in zip(rater_a, rater_b) if a == b) / n
+
+    counts_a = Counter(rater_a)
+    counts_b = Counter(rater_b)
+    labels = set(counts_a) | set(counts_b)
+    expected = sum(
+        (counts_a.get(label, 0) / n) * (counts_b.get(label, 0) / n)
+        for label in labels
+    )
+
+    if expected == 1.0:
+        return 1.0 if observed == 1.0 else 0.0
+    return (observed - expected) / (1.0 - expected)

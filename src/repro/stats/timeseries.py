@@ -1,0 +1,150 @@
+"""Time-series tooling for the F5.4 guidelines.
+
+Section 5's recommendations for non-stationary measurements:
+
+* "results can be limited to time periods when stationarity holds" —
+  :func:`stationary_windows` scans a series with the ADF test and
+  returns the maximal windows that pass;
+* "discretize performance evaluation into units of time ... gathering
+  median performance for each interval" — :func:`interval_medians`
+  (complementing :meth:`repro.trace.TimeSeries.resample_medians`);
+* "repetitions can be run over longer time frames, different diurnal
+  or calendar cycles" — :func:`diurnal_profile` summarizes a trace by
+  hour-of-day so cycles are visible before they bias a study;
+* :func:`autocorrelation` exposes the ACF used by the Ljung-Box test
+  for direct inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.testing import adf_test
+from repro.trace import TimeSeries
+
+__all__ = [
+    "autocorrelation",
+    "stationary_windows",
+    "interval_medians",
+    "diurnal_profile",
+    "DiurnalProfile",
+]
+
+
+def autocorrelation(
+    samples: Sequence[float] | np.ndarray, max_lag: int = 20
+) -> np.ndarray:
+    """Sample autocorrelation for lags ``1..max_lag``."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < max_lag + 2:
+        raise ValueError("series too short for the requested lags")
+    centered = arr - arr.mean()
+    denom = float(centered @ centered)
+    if denom == 0.0:
+        raise ValueError("autocorrelation undefined for a constant series")
+    return np.array(
+        [
+            float(centered[:-lag] @ centered[lag:]) / denom
+            for lag in range(1, max_lag + 1)
+        ]
+    )
+
+
+def stationary_windows(
+    series: TimeSeries,
+    window_samples: int = 60,
+    stride_samples: int | None = None,
+    alpha: float = 0.05,
+) -> list[tuple[float, float]]:
+    """Time windows over which the series tests stationary.
+
+    The series is scanned in windows of ``window_samples``; windows
+    where the ADF test rejects the unit root are kept and adjacent
+    passing windows are merged.  Returns ``(t_start, t_end)`` pairs.
+    """
+    if window_samples < 16:
+        raise ValueError("windows need at least 16 samples for the ADF test")
+    if stride_samples is None:
+        stride_samples = window_samples // 2
+    if stride_samples < 1:
+        raise ValueError("stride must be at least 1 sample")
+    n = len(series)
+    passing: list[tuple[float, float]] = []
+    for start in range(0, max(n - window_samples + 1, 0), stride_samples):
+        chunk = series.values[start : start + window_samples]
+        if np.std(chunk) == 0:
+            verdict_ok = True  # constant data is trivially stationary
+        else:
+            try:
+                verdict_ok = adf_test(chunk, alpha=alpha).reject_null
+            except ValueError:
+                verdict_ok = False
+        if verdict_ok:
+            t0 = float(series.times[start])
+            t1 = float(series.times[min(start + window_samples, n) - 1])
+            if passing and t0 <= passing[-1][1]:
+                passing[-1] = (passing[-1][0], t1)
+            else:
+                passing.append((t0, t1))
+    return passing
+
+
+def interval_medians(series: TimeSeries, interval_s: float) -> TimeSeries:
+    """Median of each fixed interval (the F5.4 discretization).
+
+    Thin functional alias over
+    :meth:`repro.trace.TimeSeries.resample_medians` so the guideline
+    has a discoverable entry point in the stats package.
+    """
+    return series.resample_medians(interval_s)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Hour-of-day summary of a long-running trace."""
+
+    #: Median value per hour 0-23 (NaN for hours with no samples).
+    hourly_medians: np.ndarray
+    #: Sample count per hour.
+    hourly_counts: np.ndarray
+
+    @property
+    def peak_hour(self) -> int:
+        """Hour with the highest median."""
+        return int(np.nanargmax(self.hourly_medians))
+
+    @property
+    def trough_hour(self) -> int:
+        """Hour with the lowest median."""
+        return int(np.nanargmin(self.hourly_medians))
+
+    @property
+    def diurnal_swing(self) -> float:
+        """Relative peak-to-trough spread of the hourly medians."""
+        peak = float(np.nanmax(self.hourly_medians))
+        trough = float(np.nanmin(self.hourly_medians))
+        if trough == 0:
+            return float("inf")
+        return (peak - trough) / trough
+
+
+def diurnal_profile(series: TimeSeries, t0_offset_s: float = 0.0) -> DiurnalProfile:
+    """Summarize a trace by hour of (simulated) day.
+
+    ``t0_offset_s`` anchors the trace's t=0 to a wall-clock hour, for
+    traces that did not start at midnight.
+    """
+    if len(series) == 0:
+        raise ValueError("cannot profile an empty series")
+    hours = ((series.times + t0_offset_s) // 3_600.0 % 24).astype(int)
+    medians = np.full(24, np.nan)
+    counts = np.zeros(24, dtype=int)
+    for hour in range(24):
+        mask = hours == hour
+        counts[hour] = int(mask.sum())
+        if counts[hour]:
+            medians[hour] = float(np.median(series.values[mask]))
+    return DiurnalProfile(hourly_medians=medians, hourly_counts=counts)

@@ -1,0 +1,46 @@
+"""The literature-survey pipeline of Section 2.
+
+The paper surveyed 1,867 articles from NSDI, OSDI, SOSP and SC
+(2008-2018), keyword-filtered them to 138, manually selected the 44
+with public-cloud experiments (cited 11,203 times), and double-labeled
+each for reporting practices.  This package reproduces the pipeline:
+
+* :mod:`repro.survey.corpus` — article records and a synthetic corpus
+  generator matching the survey's funnel and marginals;
+* :mod:`repro.survey.filters` — the keyword and manual-cloud filters
+  (Table 2's funnel);
+* :mod:`repro.survey.review` — two-reviewer labelling with Cohen's
+  Kappa agreement, and the Figure 1 aggregations.
+"""
+
+from repro.survey.corpus import (
+    Article,
+    SURVEY_KEYWORDS,
+    SURVEY_VENUES,
+    SURVEY_YEARS,
+    generate_corpus,
+)
+from repro.survey.filters import keyword_filter, manual_cloud_filter, survey_funnel
+from repro.survey.review import (
+    Figure1Summary,
+    ReviewOutcome,
+    Reviewer,
+    aggregate_figure1,
+    run_double_review,
+)
+
+__all__ = [
+    "Article",
+    "SURVEY_KEYWORDS",
+    "SURVEY_VENUES",
+    "SURVEY_YEARS",
+    "generate_corpus",
+    "keyword_filter",
+    "manual_cloud_filter",
+    "survey_funnel",
+    "Reviewer",
+    "ReviewOutcome",
+    "run_double_review",
+    "Figure1Summary",
+    "aggregate_figure1",
+]

@@ -1,0 +1,243 @@
+"""Article records and the synthetic survey corpus.
+
+The real survey's raw corpus (titles/abstracts of 1,867 systems
+papers) is not redistributable, so :func:`generate_corpus` builds a
+synthetic corpus with **exactly** the funnel and marginals the paper
+reports (Tables 1-2, Figure 1):
+
+* 1,867 articles across NSDI/OSDI/SOSP/SC, 2008-2018;
+* 138 match the keyword query on title/abstract/keywords;
+* 44 of those ran experiments on a public cloud
+  (15 NSDI, 7 OSDI, 7 SOSP, 15 SC), cited 11,203 times in total;
+* of the 44: >60 % are under-specified, a subset report averages or
+  medians, 37 % of *those* also report variability, and the
+  repetition counts of the well-specified articles follow Figure 1b.
+
+Ground-truth labels ride along on each article; the review stage
+models human labelling error on top of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Article",
+    "SURVEY_VENUES",
+    "SURVEY_YEARS",
+    "SURVEY_KEYWORDS",
+    "generate_corpus",
+]
+
+#: Venues surveyed (Table 1).
+SURVEY_VENUES: tuple[str, ...] = ("NSDI", "OSDI", "SOSP", "SC")
+
+#: Publication-year range surveyed (Table 1).
+SURVEY_YEARS: tuple[int, int] = (2008, 2018)
+
+#: Keyword query (Table 1).
+SURVEY_KEYWORDS: tuple[str, ...] = (
+    "big data",
+    "streaming",
+    "hadoop",
+    "mapreduce",
+    "spark",
+    "data storage",
+    "graph processing",
+    "data analytics",
+)
+
+#: Cloud-experiment counts per venue for the 44 selected articles
+#: (Table 2).
+CLOUD_ARTICLES_PER_VENUE: dict[str, int] = {
+    "NSDI": 15,
+    "OSDI": 7,
+    "SOSP": 7,
+    "SC": 15,
+}
+
+#: Total citations of the 44 selected articles (Table 2).
+TOTAL_CITATIONS = 11_203
+
+#: Figure 1b: repetition counts and the number of the 44 articles
+#: reporting each (heights read off the histogram; they sum to the
+#: 17 well-specified articles, so under-specification stays at
+#: 27/44 = 61 % while 13/17 = 76 % use <= 15 repetitions).
+REPETITION_HISTOGRAM: dict[int, int] = {3: 5, 5: 3, 9: 1, 10: 3, 15: 1, 20: 2, 100: 2}
+
+#: Figure 1a marginals for the 44 cloud articles.
+N_UNDERSPECIFIED = 27  # ~61 % "no or poor specification"
+N_REPORTING_CENTER = 19  # report average or median
+N_REPORTING_VARIABILITY = 7  # ~37 % of the 19
+
+
+@dataclass
+class Article:
+    """One surveyed article with ground-truth labels."""
+
+    article_id: int
+    venue: str
+    year: int
+    title: str
+    abstract: str
+    keywords: tuple[str, ...]
+    cited_by: int
+    #: Ground truth: did the evaluation run on a public cloud?
+    uses_cloud: bool
+    #: Ground truth for the Figure 1a categories.
+    reports_center: bool
+    reports_variability: bool
+    underspecified: bool
+    #: Number of repetitions reported, when any.
+    repetitions: Optional[int] = None
+
+    @property
+    def well_specified(self) -> bool:
+        """An article that states what it measured and how often."""
+        return not self.underspecified
+
+    def text(self) -> str:
+        """Searchable text for the keyword filter."""
+        return " ".join([self.title, self.abstract, *self.keywords]).lower()
+
+
+_FILLER_TOPICS = (
+    "kernel bypass networking",
+    "distributed consensus",
+    "file system durability",
+    "virtual memory management",
+    "RDMA transport design",
+    "GPU scheduling",
+    "fault injection testing",
+    "energy-aware computing",
+    "serverless cold starts",
+    "congestion control",
+)
+
+_MATCHING_TOPICS = SURVEY_KEYWORDS
+
+
+def _citation_split(total: int, n: int, rng: np.random.Generator) -> list[int]:
+    """Integer citation counts with a heavy-tailed shape summing to total."""
+    weights = rng.pareto(1.5, size=n) + 1.0
+    raw = weights / weights.sum() * total
+    counts = np.floor(raw).astype(int)
+    deficit = total - int(counts.sum())
+    for i in np.argsort(-raw + counts)[:deficit]:
+        counts[i] += 1
+    return counts.tolist()
+
+
+def generate_corpus(seed: int = 0) -> list[Article]:
+    """Build the synthetic 1,867-article corpus.
+
+    Deterministic for a given seed; the funnel counts are exact by
+    construction, randomness only shapes titles, years, and citation
+    spreads.
+    """
+    rng = np.random.default_rng(seed)
+    articles: list[Article] = []
+    article_id = 0
+
+    def add(
+        venue: str,
+        matches_keywords: bool,
+        uses_cloud: bool,
+        reports_center: bool = False,
+        reports_variability: bool = False,
+        underspecified: bool = True,
+        repetitions: Optional[int] = None,
+        cited_by: int = 0,
+    ) -> None:
+        nonlocal article_id
+        year = int(rng.integers(SURVEY_YEARS[0], SURVEY_YEARS[1] + 1))
+        if matches_keywords:
+            topic = str(rng.choice(_MATCHING_TOPICS))
+            title = f"A system for {topic} at scale"
+            keywords = (topic,)
+        else:
+            topic = str(rng.choice(_FILLER_TOPICS))
+            title = f"Rethinking {topic}"
+            keywords = (topic,)
+        abstract = f"We present work on {topic} evaluated extensively."
+        articles.append(
+            Article(
+                article_id=article_id,
+                venue=venue,
+                year=year,
+                title=title,
+                abstract=abstract,
+                keywords=keywords,
+                cited_by=cited_by,
+                uses_cloud=uses_cloud,
+                reports_center=reports_center,
+                reports_variability=reports_variability,
+                underspecified=underspecified,
+                repetitions=repetitions,
+            )
+        )
+        article_id += 1
+
+    # --- the 44 cloud articles, with exact Figure 1 label marginals ---
+    labels: list[dict] = []
+    reps = [r for r, count in REPETITION_HISTOGRAM.items() for _ in range(count)]
+    n_well = len(reps)  # 17 well-specified articles
+    # Well-specified articles report a center; the first
+    # N_REPORTING_VARIABILITY of them also report variability.
+    for i, r in enumerate(reps):
+        labels.append(
+            dict(
+                reports_center=True,
+                reports_variability=i < N_REPORTING_VARIABILITY,
+                underspecified=False,
+                repetitions=r,
+            )
+        )
+    # Center-reporting but otherwise under-specified articles.
+    for _ in range(N_REPORTING_CENTER - n_well):
+        labels.append(
+            dict(
+                reports_center=True,
+                reports_variability=False,
+                underspecified=True,
+                repetitions=None,
+            )
+        )
+    # Fully under-specified articles.
+    while len(labels) < sum(CLOUD_ARTICLES_PER_VENUE.values()):
+        labels.append(
+            dict(
+                reports_center=False,
+                reports_variability=False,
+                underspecified=True,
+                repetitions=None,
+            )
+        )
+    rng.shuffle(labels)
+
+    citations = _citation_split(TOTAL_CITATIONS, len(labels), rng)
+    label_iter = iter(zip(labels, citations))
+    for venue, count in CLOUD_ARTICLES_PER_VENUE.items():
+        for _ in range(count):
+            label, cites = next(label_iter)
+            add(venue, matches_keywords=True, uses_cloud=True,
+                cited_by=cites, **label)
+
+    # --- 94 keyword-matching articles without cloud experiments ---
+    n_keyword_only = 138 - sum(CLOUD_ARTICLES_PER_VENUE.values())
+    for i in range(n_keyword_only):
+        venue = SURVEY_VENUES[i % len(SURVEY_VENUES)]
+        add(venue, matches_keywords=True, uses_cloud=False,
+            cited_by=int(rng.integers(0, 300)))
+
+    # --- filler to reach 1,867 total ---
+    while len(articles) < 1_867:
+        venue = SURVEY_VENUES[len(articles) % len(SURVEY_VENUES)]
+        add(venue, matches_keywords=False, uses_cloud=False,
+            cited_by=int(rng.integers(0, 300)))
+
+    rng.shuffle(articles)
+    return articles

@@ -1,0 +1,71 @@
+"""Survey filters: the Table 2 funnel.
+
+Stage 1 is automatic: keyword/string matching on title, abstract and
+keywords.  Stage 2 is manual: keep only articles whose experiments ran
+on a public cloud (the synthetic corpus carries that judgment as
+ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.survey.corpus import SURVEY_KEYWORDS, Article
+
+__all__ = ["keyword_filter", "manual_cloud_filter", "survey_funnel", "SurveyFunnel"]
+
+
+def keyword_filter(
+    articles: Iterable[Article],
+    keywords: Sequence[str] = SURVEY_KEYWORDS,
+) -> list[Article]:
+    """Automatic filter: any keyword appears in the searchable text."""
+    lowered = [k.lower() for k in keywords]
+    return [
+        article
+        for article in articles
+        if any(keyword in article.text() for keyword in lowered)
+    ]
+
+
+def manual_cloud_filter(articles: Iterable[Article]) -> list[Article]:
+    """Manual filter: keep articles with public-cloud experiments."""
+    return [article for article in articles if article.uses_cloud]
+
+
+@dataclass(frozen=True)
+class SurveyFunnel:
+    """Counts at each survey stage (the Table 2 row)."""
+
+    total: int
+    keyword_matched: int
+    cloud_experiments: int
+    citations: int
+    per_venue: dict[str, int]
+
+    def as_row(self) -> dict:
+        """Table 2 as a plain dict."""
+        return {
+            "articles_total": self.total,
+            "filtered_by_keywords": self.keyword_matched,
+            "filtered_for_cloud": self.cloud_experiments,
+            "per_venue": dict(self.per_venue),
+            "citations": self.citations,
+        }
+
+
+def survey_funnel(articles: Sequence[Article]) -> SurveyFunnel:
+    """Run both filter stages and summarize the funnel."""
+    matched = keyword_filter(articles)
+    cloud = manual_cloud_filter(matched)
+    per_venue: dict[str, int] = {}
+    for article in cloud:
+        per_venue[article.venue] = per_venue.get(article.venue, 0) + 1
+    return SurveyFunnel(
+        total=len(articles),
+        keyword_matched=len(matched),
+        cloud_experiments=len(cloud),
+        citations=sum(a.cited_by for a in cloud),
+        per_venue=per_venue,
+    )

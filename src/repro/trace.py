@@ -1,0 +1,287 @@
+"""Time-series containers for measurement data.
+
+Section 3 of the paper reduces 21 weeks of iperf output to sequences of
+10-second bandwidth averages, per-packet RTT samples, and per-interval
+retransmission counts.  The containers here hold exactly those shapes
+and provide the summary statistics the paper plots (IQR boxes with
+1st/99th-percentile whiskers, CDFs, coefficients of variation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TimeSeries",
+    "BandwidthTrace",
+    "RttTrace",
+    "BoxSummary",
+    "summarize_box",
+]
+
+
+@dataclass(frozen=True)
+class BoxSummary:
+    """Box-and-whiskers summary used throughout the paper's figures.
+
+    The paper's boxes show the interquartile range with whiskers at the
+    1st and 99th percentiles (Figures 2, 4, 5, 9, 16, 17).
+    """
+
+    p01: float
+    p25: float
+    p50: float
+    p75: float
+    p99: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range (p75 - p25)."""
+        return self.p75 - self.p25
+
+    @property
+    def whisker_span(self) -> float:
+        """Span between the 1st and 99th percentile whiskers."""
+        return self.p99 - self.p01
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the five summary percentiles keyed by name."""
+        return {
+            "p01": self.p01,
+            "p25": self.p25,
+            "p50": self.p50,
+            "p75": self.p75,
+            "p99": self.p99,
+        }
+
+
+def summarize_box(values: Sequence[float] | np.ndarray) -> BoxSummary:
+    """Compute the paper's box-plot summary for ``values``.
+
+    Raises :class:`ValueError` on empty input because a box plot of
+    nothing is a bug in the caller, not a degenerate summary.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    p01, p25, p50, p75, p99 = np.percentile(arr, [1, 25, 50, 75, 99])
+    return BoxSummary(p01=p01, p25=p25, p50=p50, p75=p75, p99=p99)
+
+
+@dataclass
+class TimeSeries:
+    """A sampled time series: times in seconds, values in caller units."""
+
+    times: np.ndarray
+    values: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ValueError(
+                f"times and values must align: {self.times.shape} != {self.values.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def duration(self) -> float:
+        """Span between the first and last sample timestamps."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sample values."""
+        return float(np.mean(self.values))
+
+    def median(self) -> float:
+        """Median of the sample values."""
+        return float(np.median(self.values))
+
+    def percentile(self, q: float | Sequence[float]):
+        """Percentile(s) of the sample values."""
+        result = np.percentile(self.values, q)
+        if np.isscalar(q):
+            return float(result)
+        return np.asarray(result, dtype=float)
+
+    def box_summary(self) -> BoxSummary:
+        """The paper's IQR-box summary of this series."""
+        return summarize_box(self.values)
+
+    def coefficient_of_variation(self) -> float:
+        """Std/mean of the values, as plotted in Figure 6 (right)."""
+        mean = np.mean(self.values)
+        if mean == 0:
+            raise ValueError("coefficient of variation undefined for zero mean")
+        return float(np.std(self.values) / mean)
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF as ``(sorted_values, cumulative_probabilities)``."""
+        ordered = np.sort(self.values)
+        probs = np.arange(1, ordered.size + 1) / ordered.size
+        return ordered, probs
+
+    def consecutive_relative_change(self) -> np.ndarray:
+        """|v[i+1]-v[i]| / v[i] for each consecutive pair.
+
+        Section 3.1 reports this "measurement-to-measurement" variability:
+        up to 33 % for HPCCloud full-speed and 114 % for GCE 5-30.
+        """
+        if len(self) < 2:
+            return np.empty(0)
+        prev = self.values[:-1]
+        nxt = self.values[1:]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.abs(nxt - prev) / np.abs(prev)
+        return rel[np.isfinite(rel)]
+
+    def resample_medians(self, window_s: float) -> "TimeSeries":
+        """Median of values in consecutive windows of ``window_s`` seconds.
+
+        Implements the discretization advice in F5.4: gather the median of
+        each (for example) one-hour interval and analyze those medians.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if len(self) == 0:
+            return TimeSeries(np.empty(0), np.empty(0), label=self.label)
+        start = self.times[0]
+        bins = np.floor((self.times - start) / window_s).astype(int)
+        out_times = []
+        out_values = []
+        for b in np.unique(bins):
+            mask = bins == b
+            out_times.append(start + (b + 0.5) * window_s)
+            out_values.append(float(np.median(self.values[mask])))
+        return TimeSeries(np.array(out_times), np.array(out_values), label=self.label)
+
+    def slice_time(self, t_start: float, t_end: float) -> "TimeSeries":
+        """Samples with ``t_start <= t < t_end``."""
+        mask = (self.times >= t_start) & (self.times < t_end)
+        return TimeSeries(self.times[mask], self.values[mask], label=self.label)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "label": self.label,
+            "times": self.times.tolist(),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TimeSeries":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            times=np.asarray(payload["times"], dtype=float),
+            values=np.asarray(payload["values"], dtype=float),
+            label=str(payload.get("label", "")),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Persist the series as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TimeSeries":
+        """Load a series saved with :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class BandwidthTrace(TimeSeries):
+    """Bandwidth samples in Gbps, optionally with retransmission counts.
+
+    One element per reporting window (10 s in the paper, except the
+    final window of a shorter burst); this is the shape behind Figures
+    4, 5, 6, 10 and the retransmission analysis in Figure 9.
+    ``durations`` records how many transmitting seconds each sample
+    covers so traffic totals are exact for bursty patterns.
+    """
+
+    retransmissions: np.ndarray = field(default_factory=lambda: np.empty(0))
+    durations: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.retransmissions = np.asarray(self.retransmissions, dtype=float)
+        if self.retransmissions.size == 0:
+            self.retransmissions = np.zeros_like(self.values)
+        if self.retransmissions.shape != self.values.shape:
+            raise ValueError("retransmissions must align with values")
+        self.durations = np.asarray(self.durations, dtype=float)
+        if self.durations.size == 0:
+            self.durations = np.full_like(self.values, 10.0)
+        if self.durations.shape != self.values.shape:
+            raise ValueError("durations must align with values")
+
+    @property
+    def bandwidth_gbps(self) -> np.ndarray:
+        """Alias for :attr:`values` to make call sites self-documenting."""
+        return self.values
+
+    def total_traffic_gbit(self) -> float:
+        """Total data transferred across all reporting windows."""
+        return float(np.sum(self.values * self.durations))
+
+    def cumulative_traffic_gbit(self) -> np.ndarray:
+        """Running total of transferred data per sample (Figure 10)."""
+        return np.cumsum(self.values * self.durations)
+
+    def total_retransmissions(self) -> float:
+        """Sum of retransmission counts over the trace."""
+        return float(np.sum(self.retransmissions))
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["retransmissions"] = self.retransmissions.tolist()
+        payload["durations"] = self.durations.tolist()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BandwidthTrace":
+        return cls(
+            times=np.asarray(payload["times"], dtype=float),
+            values=np.asarray(payload["values"], dtype=float),
+            label=str(payload.get("label", "")),
+            retransmissions=np.asarray(
+                payload.get("retransmissions", []), dtype=float
+            ),
+            durations=np.asarray(payload.get("durations", []), dtype=float),
+        )
+
+
+@dataclass
+class RttTrace(TimeSeries):
+    """Per-packet RTT samples in milliseconds (Figures 7, 8, 12).
+
+    ``times`` holds send timestamps; ``values`` holds observed RTTs.
+    """
+
+    @property
+    def rtt_ms(self) -> np.ndarray:
+        """Alias for :attr:`values`."""
+        return self.values
+
+    def tail_latency_ms(self, q: float = 99.0) -> float:
+        """The ``q``-th percentile RTT."""
+        return float(np.percentile(self.values, q))
+
+
+def concat_series(parts: Iterable[TimeSeries], label: str = "") -> TimeSeries:
+    """Concatenate several time series into one, preserving order."""
+    parts = list(parts)
+    if not parts:
+        return TimeSeries(np.empty(0), np.empty(0), label=label)
+    times = np.concatenate([p.times for p in parts])
+    values = np.concatenate([p.values for p in parts])
+    return TimeSeries(times, values, label=label)

@@ -1,0 +1,45 @@
+"""Workload models: HiBench applications and TPC-DS queries.
+
+The paper exercises the network-variability substrate with two suites
+(Table 4): HiBench at the "BigData" scale (K-Means, Terasort,
+WordCount, Sort, Bayes) and TPC-DS at scale factor 2000 (the 21
+queries of Figure 17).  Each workload here is a
+:class:`~repro.simulator.tasks.JobSpec` builder whose compute/shuffle
+profile is calibrated so the *relative* behaviour matches the paper:
+Terasort and WordCount are network-hungry (large budget sensitivity in
+Figure 16), K-Means and Bayes are compute-bound, and the TPC-DS
+catalog spans budget-agnostic (Q82) to heavily budget-dependent (Q65)
+queries (Figure 19).
+"""
+
+from repro.workloads.hibench import (
+    HIBENCH_APPS,
+    HIBENCH_CODES,
+    build_bayes,
+    build_kmeans,
+    build_sort,
+    build_terasort,
+    build_wordcount,
+    hibench_job,
+)
+from repro.workloads.tpcds import (
+    TPCDS_QUERIES,
+    QueryProfile,
+    tpcds_catalog,
+    tpcds_job,
+)
+
+__all__ = [
+    "HIBENCH_APPS",
+    "HIBENCH_CODES",
+    "build_kmeans",
+    "build_terasort",
+    "build_wordcount",
+    "build_sort",
+    "build_bayes",
+    "hibench_job",
+    "TPCDS_QUERIES",
+    "QueryProfile",
+    "tpcds_catalog",
+    "tpcds_job",
+]

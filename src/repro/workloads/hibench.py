@@ -1,0 +1,226 @@
+"""HiBench workload models (Table 4, Figures 15-16).
+
+Five applications at the "BigData" scale, modeled as Spark job DAGs.
+The profiles encode what matters for the paper's experiments: how much
+data each application shuffles relative to how long it computes.
+Figure 16's ordering — Terasort (TS) and WordCount (WC) highly
+budget-sensitive, Sort (S) intermediate, Bayes (BS) and K-Means (KM)
+barely affected — is a direct consequence of these ratios.
+
+Every builder takes the cluster geometry (``n_nodes``, ``slots``) and a
+``data_scale`` multiplier so the same applications can run on the
+12-node token-bucket testbed (Figures 15-16) and the 16-machine
+Ballani-emulation cluster of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simulator.tasks import JobSpec, StageSpec
+
+__all__ = [
+    "build_terasort",
+    "build_wordcount",
+    "build_sort",
+    "build_kmeans",
+    "build_bayes",
+    "HIBENCH_APPS",
+    "HIBENCH_CODES",
+    "hibench_job",
+]
+
+
+def _tasks(n_nodes: int, slots: int, waves: int = 2) -> int:
+    """Task count giving ``waves`` full scheduling waves."""
+    return n_nodes * slots * waves
+
+
+def build_terasort(
+    n_nodes: int = 12, slots: int = 4, data_scale: float = 1.0
+) -> JobSpec:
+    """Terasort: sort ~600 GB; the most network-intensive application.
+
+    The full dataset crosses the network in the shuffle, so per-node
+    egress is ~``4800 * data_scale / n_nodes`` Gbit — the traffic shape
+    plotted in Figure 15.
+    """
+    shuffle = 4_800.0 * data_scale
+    input_gbit = 4_800.0 * data_scale
+    return JobSpec(
+        name="terasort",
+        stages=(
+            StageSpec(
+                name="map",
+                num_tasks=_tasks(n_nodes, slots),
+                compute_s=22.0,
+                compute_cov=0.12,
+                input_gbit=input_gbit,
+                input_locality=0.95,
+            ),
+            StageSpec(
+                name="sort-reduce",
+                num_tasks=_tasks(n_nodes, slots),
+                compute_s=80.0,
+                compute_cov=0.12,
+                shuffle_gbit=shuffle,
+                parents=(0,),
+            ),
+        ),
+    )
+
+
+def build_wordcount(
+    n_nodes: int = 12, slots: int = 4, data_scale: float = 1.0
+) -> JobSpec:
+    """WordCount: large map-side input, substantial shuffle of counts."""
+    return JobSpec(
+        name="wordcount",
+        stages=(
+            StageSpec(
+                name="tokenize",
+                num_tasks=_tasks(n_nodes, slots),
+                compute_s=35.0,
+                compute_cov=0.12,
+                input_gbit=3_200.0 * data_scale,
+                input_locality=0.95,
+            ),
+            StageSpec(
+                name="count-reduce",
+                num_tasks=_tasks(n_nodes, slots, waves=1),
+                compute_s=40.0,
+                compute_cov=0.12,
+                shuffle_gbit=2_400.0 * data_scale,
+                parents=(0,),
+            ),
+        ),
+    )
+
+
+def build_sort(
+    n_nodes: int = 12, slots: int = 4, data_scale: float = 1.0
+) -> JobSpec:
+    """Sort: like Terasort but smaller; intermediate network demand."""
+    return JobSpec(
+        name="sort",
+        stages=(
+            StageSpec(
+                name="map",
+                num_tasks=_tasks(n_nodes, slots),
+                compute_s=14.0,
+                compute_cov=0.12,
+                input_gbit=1_600.0 * data_scale,
+                input_locality=0.95,
+            ),
+            StageSpec(
+                name="sort-reduce",
+                num_tasks=_tasks(n_nodes, slots),
+                compute_s=40.0,
+                compute_cov=0.12,
+                shuffle_gbit=1_600.0 * data_scale,
+                parents=(0,),
+            ),
+        ),
+    )
+
+
+def build_kmeans(
+    n_nodes: int = 12,
+    slots: int = 4,
+    data_scale: float = 1.0,
+    iterations: int = 4,
+) -> JobSpec:
+    """K-Means: iterative, compute-bound; tiny per-iteration shuffles.
+
+    Each iteration is a map over cached points plus a small aggregate
+    of centroid statistics — the network barely matters, which is why
+    K-Means sits at the bottom of Figure 16's sensitivity ordering.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    stages = [
+        StageSpec(
+            name="load",
+            num_tasks=_tasks(n_nodes, slots, waves=1),
+            compute_s=10.0,
+            compute_cov=0.10,
+            input_gbit=800.0 * data_scale,
+            input_locality=0.95,
+        )
+    ]
+    for i in range(iterations):
+        stages.append(
+            StageSpec(
+                name=f"iteration-{i}",
+                num_tasks=_tasks(n_nodes, slots, waves=1),
+                compute_s=24.0,
+                compute_cov=0.10,
+                shuffle_gbit=24.0 * data_scale,
+                parents=(len(stages) - 1,),
+            )
+        )
+    return JobSpec(name="kmeans", stages=tuple(stages))
+
+
+def build_bayes(
+    n_nodes: int = 12, slots: int = 4, data_scale: float = 1.0
+) -> JobSpec:
+    """Naive Bayes training: compute-dominated with a modest shuffle."""
+    return JobSpec(
+        name="bayes",
+        stages=(
+            StageSpec(
+                name="featurize",
+                num_tasks=_tasks(n_nodes, slots),
+                compute_s=30.0,
+                compute_cov=0.12,
+                input_gbit=1_200.0 * data_scale,
+                input_locality=0.95,
+            ),
+            StageSpec(
+                name="aggregate",
+                num_tasks=_tasks(n_nodes, slots, waves=1),
+                compute_s=28.0,
+                compute_cov=0.12,
+                shuffle_gbit=320.0 * data_scale,
+                parents=(0,),
+            ),
+        ),
+    )
+
+
+#: Builders keyed by full name.
+HIBENCH_APPS: dict[str, Callable[..., JobSpec]] = {
+    "terasort": build_terasort,
+    "wordcount": build_wordcount,
+    "sort": build_sort,
+    "kmeans": build_kmeans,
+    "bayes": build_bayes,
+}
+
+#: Figure 16 uses two-letter codes; map them to full names.
+HIBENCH_CODES: dict[str, str] = {
+    "TS": "terasort",
+    "WC": "wordcount",
+    "S": "sort",
+    "KM": "kmeans",
+    "BS": "bayes",
+}
+
+
+def hibench_job(
+    name_or_code: str,
+    n_nodes: int = 12,
+    slots: int = 4,
+    data_scale: float = 1.0,
+) -> JobSpec:
+    """Build a HiBench job by name ("terasort") or code ("TS")."""
+    name = HIBENCH_CODES.get(name_or_code.upper(), name_or_code.lower())
+    try:
+        builder = HIBENCH_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown HiBench app {name_or_code!r}; "
+            f"expected one of {sorted(HIBENCH_APPS)} or codes {sorted(HIBENCH_CODES)}"
+        ) from None
+    return builder(n_nodes=n_nodes, slots=slots, data_scale=data_scale)

@@ -1,0 +1,175 @@
+"""Tests for instance catalogs, provider factories, and Ballani clouds."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    BALLANI_CLOUDS,
+    Ec2Provider,
+    GceProvider,
+    HpcCloudProvider,
+    ballani_distribution,
+    default_providers,
+    instance_catalog,
+    lookup_instance,
+)
+from repro.cloud.ballani import CLOUD_LABELS
+from repro.netmodel import PerCoreQosModel, TokenBucketModel
+from repro.netmodel.stochastic import Ar1QuantileModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCatalog:
+    def test_table3_has_eleven_campaign_rows(self):
+        campaign_types = [s for s in instance_catalog() if s.experiment_weeks > 0]
+        assert len(campaign_types) == 11
+
+    def test_lookup(self):
+        spec = lookup_instance("c5.xlarge")
+        assert spec.provider == "amazon"
+        assert spec.qos_gbps == 10.0
+        assert spec.featured
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            lookup_instance("z9.mega")
+
+    def test_gce_qos_is_two_gbps_per_core(self):
+        for name, cores in [("gce-1core", 1), ("gce-2core", 2),
+                            ("gce-4core", 4), ("gce-8core", 8)]:
+            spec = lookup_instance(name)
+            assert spec.qos_gbps == 2.0 * cores
+
+    def test_hpccloud_has_no_qos(self):
+        assert lookup_instance("hpccloud-8core").qos_gbps is None
+
+    def test_total_cost_close_to_paper(self):
+        # Table 3 costs sum to $1095 across the priced campaigns.
+        total = sum(
+            s.cost_usd for s in instance_catalog() if s.cost_usd is not None
+        )
+        assert total == pytest.approx(1_095.0)
+
+
+class TestEc2Provider:
+    def test_link_model_is_token_bucket(self, rng):
+        model = Ec2Provider().link_model("c5.xlarge", rng)
+        assert isinstance(model, TokenBucketModel)
+        assert model.limit() == pytest.approx(10.0)
+
+    def test_nominal_time_to_empty_near_ten_minutes(self):
+        params = Ec2Provider().bucket_params("c5.xlarge")
+        assert params.time_to_empty_s == pytest.approx(600.0, rel=0.1)
+
+    def test_bigger_instances_get_bigger_buckets(self):
+        provider = Ec2Provider()
+        sizes = ["c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge"]
+        budgets = [provider.bucket_params(s).capacity_gbit for s in sizes]
+        assert budgets == sorted(budgets)
+        lows = [provider.bucket_params(s).capped_gbps for s in sizes]
+        assert lows == sorted(lows)
+
+    def test_incarnations_vary(self, rng):
+        provider = Ec2Provider()
+        caps = {
+            provider.sample_bucket_params("c5.xlarge", rng).capacity_gbit
+            for _ in range(10)
+        }
+        assert len(caps) == 10  # lognormal jitter: all distinct
+
+    def test_pre_2019_era_never_caps_at_5gbps(self, rng):
+        provider = Ec2Provider(era="pre-2019-08")
+        peaks = {
+            provider.sample_bucket_params("c5.xlarge", rng).peak_gbps
+            for _ in range(50)
+        }
+        assert peaks == {10.0}
+
+    def test_post_2019_era_sometimes_caps_at_5gbps(self, rng):
+        provider = Ec2Provider(era="post-2019-08", five_gbps_fraction=0.5)
+        peaks = [
+            provider.sample_bucket_params("c5.xlarge", rng).peak_gbps
+            for _ in range(100)
+        ]
+        assert 5.0 in peaks and 10.0 in peaks
+
+    def test_unknown_type_rejected(self, rng):
+        with pytest.raises(KeyError):
+            Ec2Provider().bucket_params("gce-8core")
+
+    def test_latency_models(self):
+        provider = Ec2Provider()
+        assert not provider.latency_model().throttled
+        assert provider.latency_model(throttled=True).throttled
+
+    def test_negligible_retransmissions(self):
+        assert Ec2Provider().retransmission_rate() < 1e-4
+
+
+class TestGceProvider:
+    def test_link_model_is_percore(self, rng):
+        model = GceProvider().link_model("gce-8core", rng)
+        assert isinstance(model, PerCoreQosModel)
+        assert model.qos_gbps == 16.0
+
+    def test_retransmission_rate_depends_on_write_size(self):
+        provider = GceProvider()
+        assert provider.retransmission_rate(9_000) < 1e-3
+        assert provider.retransmission_rate(131_072) > 0.01
+
+
+class TestHpcCloudProvider:
+    def test_link_model_is_ar1(self, rng):
+        model = HpcCloudProvider().link_model("hpccloud-8core", rng)
+        assert isinstance(model, Ar1QuantileModel)
+
+    def test_bandwidth_range_matches_paper(self, rng):
+        # Section 3.1: 7.7 - 10.4 Gbps on the 8-core pair.
+        dist = HpcCloudProvider().bandwidth_distribution("hpccloud-8core")
+        assert dist.quantile(0.01) == pytest.approx(7.7)
+        assert dist.quantile(0.99) == pytest.approx(10.4)
+
+    def test_smaller_nodes_scale_down(self):
+        provider = HpcCloudProvider()
+        d8 = provider.bandwidth_distribution("hpccloud-8core")
+        d4 = provider.bandwidth_distribution("hpccloud-4core")
+        assert d4.median == pytest.approx(d8.median / 2.0)
+
+
+class TestDefaultProviders:
+    def test_three_clouds(self):
+        providers = default_providers()
+        assert set(providers) == {"amazon", "google", "hpccloud"}
+
+
+class TestBallani:
+    def test_eight_clouds(self):
+        assert set(BALLANI_CLOUDS) == set(CLOUD_LABELS)
+        assert len(BALLANI_CLOUDS) == 8
+
+    def test_values_in_sub_gbps_range(self):
+        for dist in BALLANI_CLOUDS.values():
+            assert 0.0 < dist.quantile(0.01)
+            assert dist.quantile(0.99) <= 1.0  # converted to Gbps
+
+    def test_lookup_case_insensitive(self):
+        assert ballani_distribution("a") is BALLANI_CLOUDS["A"]
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            ballani_distribution("Z")
+
+    def test_f_and_g_are_the_most_variable(self):
+        # The paper singles out clouds F-G as supporting fine sampling
+        # rates because of their high variability.
+        def relative_spread(label):
+            d = BALLANI_CLOUDS[label]
+            return (d.quantile(0.99) - d.quantile(0.01)) / d.median
+
+        spreads = {label: relative_spread(label) for label in CLOUD_LABELS}
+        top_two = sorted(spreads, key=spreads.get, reverse=True)[:2]
+        assert set(top_two) == {"F", "G"}

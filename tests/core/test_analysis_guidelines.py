@@ -1,0 +1,177 @@
+"""Tests for the analysis pipeline, guidelines, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalysisReport,
+    ExperimentDesign,
+    ExperimentReport,
+    analyze_sample,
+    recommend_repetitions,
+    recommend_rest_duration,
+    render_report,
+    verify_baseline,
+)
+from repro.measurement.fingerprint import (
+    NetworkFingerprint,
+    TokenBucketEstimate,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def bucket_estimate(detected=True, tte=600.0, high=10.0, low=1.0, rep=0.95):
+    return TokenBucketEstimate(
+        detected=detected, time_to_empty_s=tte, high_gbps=high,
+        low_gbps=low, replenish_gbps=rep,
+    )
+
+
+def fingerprint(bw=10.0, lat=0.15, loaded=1.0, bucket=None):
+    return NetworkFingerprint(
+        base_bandwidth_gbps=bw, base_latency_ms=lat, loaded_latency_ms=loaded,
+        token_bucket=bucket or bucket_estimate(),
+    )
+
+
+class TestAnalyzeSample:
+    def test_clean_iid_sample(self, rng):
+        report = analyze_sample(rng.normal(100, 2, 80))
+        assert report.ci is not None
+        assert not report.iid_violated
+        assert report.is_normal
+        assert "OK" in report.verdict() or "MORE REPETITIONS" in report.verdict()
+
+    def test_drifting_sample_flags_iid_violation(self, rng):
+        samples = rng.normal(100, 2, 80) + np.linspace(0, 60, 80)
+        report = analyze_sample(samples)
+        assert report.iid_violated
+        assert "IID VIOLATION" in report.verdict()
+
+    def test_nonnormal_sample_recommends_nonparametric(self, rng):
+        report = analyze_sample(rng.exponential(10, 100))
+        assert report.recommended_statistics == "nonparametric"
+
+    def test_tiny_sample_reports_too_few(self):
+        report = analyze_sample([1.0, 2.0, 3.0])
+        assert report.ci is None
+        assert "TOO FEW SAMPLES" in report.verdict()
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_sample([1.0])
+
+    def test_enough_repetitions_flag(self, rng):
+        tight = analyze_sample(rng.normal(100, 0.5, 100), error_bound=0.05)
+        assert tight.enough_repetitions
+        wide = analyze_sample(rng.normal(100, 30, 12), error_bound=0.01)
+        assert not wide.enough_repetitions
+
+    def test_small_sample_skips_tests(self, rng):
+        report = analyze_sample(rng.normal(100, 5, 8))
+        assert report.normality is None
+        assert report.stationarity is None
+
+
+class TestRecommendRepetitions:
+    def test_tight_pilot_needs_few(self, rng):
+        pilot = rng.normal(100, 0.5, 30)
+        needed = recommend_repetitions(pilot, error_bound=0.05)
+        assert 6 <= needed <= 20
+
+    def test_noisy_pilot_extrapolates_upward(self, rng):
+        pilot = rng.normal(100, 10, 20)
+        needed = recommend_repetitions(pilot, error_bound=0.01)
+        assert needed > 50
+
+    def test_never_below_ci_minimum(self, rng):
+        pilot = rng.normal(100, 0.01, 30)
+        assert recommend_repetitions(pilot) >= 6
+
+    def test_tiny_pilot_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_repetitions([1.0])
+
+    def test_scaling_sanity(self, rng):
+        # Quadrupling the error bound should cut projections ~16x.
+        pilot = rng.normal(100, 8, 25)
+        strict = recommend_repetitions(pilot, error_bound=0.01)
+        loose = recommend_repetitions(pilot, error_bound=0.04)
+        assert strict > 4 * loose
+
+
+class TestRecommendRest:
+    def test_bucket_rest_matches_refill_time(self):
+        bucket = bucket_estimate()
+        rest = recommend_rest_duration(bucket)
+        # budget ~ (10 - 0.95) * 600 = 5430 Gbit; refill at 0.95.
+        assert rest == pytest.approx(5_430.0 / 0.95, rel=0.01)
+
+    def test_fractional_refill(self):
+        bucket = bucket_estimate()
+        assert recommend_rest_duration(
+            bucket, refill_fraction=0.5
+        ) == pytest.approx(recommend_rest_duration(bucket) / 2.0)
+
+    def test_no_bucket_gets_default(self):
+        bucket = bucket_estimate(detected=False, tte=float("inf"))
+        assert recommend_rest_duration(bucket, default_rest_s=45.0) == 45.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_rest_duration(bucket_estimate(), refill_fraction=0.0)
+        with pytest.raises(ValueError):
+            recommend_rest_duration(bucket_estimate(), default_rest_s=-1.0)
+
+
+class TestVerifyBaseline:
+    def test_matching_baselines(self):
+        ok, problems = verify_baseline(fingerprint(), fingerprint())
+        assert ok and problems == []
+
+    def test_bandwidth_change_detected(self):
+        # The August-2019 event: 10 Gbps NICs became 5 Gbps.
+        ok, problems = verify_baseline(fingerprint(bw=10.0), fingerprint(bw=5.0))
+        assert not ok
+        assert any("bandwidth" in p for p in problems)
+
+    def test_bucket_disappearance_detected(self):
+        current = fingerprint(bucket=bucket_estimate(detected=False))
+        ok, problems = verify_baseline(fingerprint(), current)
+        assert not ok
+        assert any("token bucket" in p for p in problems)
+
+    def test_bucket_parameter_change_detected(self):
+        current = fingerprint(bucket=bucket_estimate(tte=120.0))
+        ok, problems = verify_baseline(fingerprint(), current)
+        assert not ok
+        assert any("time-to-empty" in p for p in problems)
+
+
+class TestReporting:
+    def test_render_contains_all_sections(self, rng):
+        report = ExperimentReport.build(
+            title="terasort on emulated EC2",
+            samples=rng.normal(300, 10, 40),
+            design=ExperimentDesign(repetitions=40),
+            fingerprint=fingerprint(),
+            environment={"instance": "c5.xlarge", "region": "us-east-1"},
+        )
+        text = render_report(report)
+        assert "terasort on emulated EC2" in text
+        assert "network fingerprint" in text
+        assert "token bucket:   detected" in text
+        assert "c5.xlarge" in text
+        assert "verdict" in text
+
+    def test_render_without_fingerprint(self, rng):
+        report = ExperimentReport.build(
+            title="t", samples=rng.normal(1, 0.1, 20),
+            design=ExperimentDesign(repetitions=20),
+        )
+        text = render_report(report)
+        assert "not collected" in text

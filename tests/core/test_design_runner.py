@@ -1,0 +1,176 @@
+"""Tests for experiment designs and runners."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentDesign, ExperimentRunner, ResetPolicy, SimulatorExperiment
+from repro.netmodel import TokenBucketModel, TokenBucketParams
+from repro.simulator import Cluster, JobSpec, StageSpec
+
+TB = TokenBucketParams(
+    peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.95, capacity_gbit=5_400.0
+)
+
+
+def bucket_cluster(budget):
+    return Cluster.paper_testbed(lambda n: TokenBucketModel(TB.with_budget(budget)))
+
+
+def shuffle_job():
+    return JobSpec(
+        name="job",
+        stages=(
+            StageSpec(name="map", num_tasks=48, compute_s=1.0, compute_cov=0.0),
+            StageSpec(
+                name="reduce", num_tasks=48, compute_s=1.0, compute_cov=0.0,
+                shuffle_gbit=2_400.0, parents=(0,),
+            ),
+        ),
+    )
+
+
+class TestDesign:
+    def test_defaults_are_sound(self):
+        design = ExperimentDesign()
+        assert design.repetitions >= 30
+        assert design.reset_policy is ResetPolicy.FRESH
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentDesign(repetitions=0)
+        with pytest.raises(ValueError):
+            ExperimentDesign(rest_s=10.0)  # rest without REST policy
+        with pytest.raises(ValueError):
+            ExperimentDesign(confidence=1.2)
+        with pytest.raises(ValueError):
+            ExperimentDesign(error_bound=0.0)
+        with pytest.raises(ValueError):
+            ExperimentDesign(quantile=1.0)
+
+    def test_rest_policy_accepts_rest(self):
+        design = ExperimentDesign(reset_policy=ResetPolicy.REST, rest_s=60.0)
+        assert design.rest_s == 60.0
+
+    def test_run_order_interleaves_variants(self):
+        design = ExperimentDesign(repetitions=3, randomize_order=False)
+        order = design.run_order(["a", "b"])
+        assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_run_order_randomized_is_permutation(self):
+        design = ExperimentDesign(repetitions=5, randomize_order=True)
+        order = design.run_order(["a", "b"], rng=np.random.default_rng(0))
+        assert sorted(order) == sorted(
+            [(v, r) for r in range(5) for v in ("a", "b")]
+        )
+        assert order != sorted(order)
+
+    def test_run_order_requires_variants(self):
+        with pytest.raises(ValueError):
+            ExperimentDesign().run_order([])
+
+    def test_describe_mentions_key_choices(self):
+        text = ExperimentDesign(repetitions=70).describe()
+        assert "70 repetitions" in text
+        assert "fresh" in text
+        assert "95%" in text
+
+
+class TestRunner:
+    def test_collect_plain_callable(self):
+        values = iter(range(10))
+        runner = ExperimentRunner(ExperimentDesign(repetitions=5))
+        samples = runner.collect(lambda: float(next(values)))
+        assert samples.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_reset_called_between_fresh_runs(self):
+        calls = {"reset": 0, "rest": 0}
+
+        class Exp:
+            def measure(self):
+                return 1.0
+
+            def reset(self):
+                calls["reset"] += 1
+
+            def rest(self, duration_s):
+                calls["rest"] += 1
+
+        runner = ExperimentRunner(ExperimentDesign(repetitions=4))
+        runner.collect(Exp())
+        assert calls == {"reset": 3, "rest": 0}
+
+    def test_rest_called_between_rest_runs(self):
+        calls = {"reset": 0, "rest": 0}
+
+        class Exp:
+            def measure(self):
+                return 1.0
+
+            def reset(self):
+                calls["reset"] += 1
+
+            def rest(self, duration_s):
+                calls["rest"] += 1
+                assert duration_s == 30.0
+
+        runner = ExperimentRunner(
+            ExperimentDesign(
+                repetitions=4, reset_policy=ResetPolicy.REST, rest_s=30.0
+            )
+        )
+        runner.collect(Exp())
+        assert calls == {"reset": 0, "rest": 3}
+
+
+class TestSimulatorExperiment:
+    def test_fresh_resets_keep_samples_stable(self):
+        experiment = SimulatorExperiment(
+            bucket_cluster(400.0), shuffle_job(),
+            rng=np.random.default_rng(0), budget_gbit=400.0,
+        )
+        runner = ExperimentRunner(ExperimentDesign(repetitions=4))
+        samples = runner.collect(experiment)
+        assert samples.std() / samples.mean() < 0.05
+
+    def test_no_reset_shows_carryover(self):
+        experiment = SimulatorExperiment(
+            bucket_cluster(400.0), shuffle_job(),
+            rng=np.random.default_rng(0), budget_gbit=400.0,
+        )
+        runner = ExperimentRunner(
+            ExperimentDesign(repetitions=4, reset_policy=ResetPolicy.NONE)
+        )
+        samples = runner.collect(experiment)
+        assert samples[-1] > samples[0] * 1.2
+
+    def test_set_budget_changes_behavior(self):
+        experiment = SimulatorExperiment(
+            bucket_cluster(5_000.0), shuffle_job(),
+            rng=np.random.default_rng(0), budget_gbit=5_000.0,
+        )
+        fast = experiment.measure()
+        experiment.reset()
+        experiment.set_budget(10.0)
+        slow = experiment.measure()
+        assert slow > 1.5 * fast
+
+    def test_run_noise_adds_variance(self):
+        quiet = SimulatorExperiment(
+            bucket_cluster(5_000.0), shuffle_job(),
+            rng=np.random.default_rng(0), budget_gbit=5_000.0,
+        )
+        noisy = SimulatorExperiment(
+            bucket_cluster(5_000.0), shuffle_job(),
+            rng=np.random.default_rng(0), budget_gbit=5_000.0,
+            run_noise_cov=0.10,
+        )
+        runner = ExperimentRunner(ExperimentDesign(repetitions=8))
+        quiet_samples = runner.collect(quiet)
+        noisy_samples = runner.collect(noisy)
+        assert noisy_samples.std() > quiet_samples.std()
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatorExperiment(
+                bucket_cluster(100.0), shuffle_job(), run_noise_cov=-0.1
+            )

@@ -1,0 +1,94 @@
+"""Tests for the trace repository."""
+
+import numpy as np
+import pytest
+
+from repro.measurement import CampaignConfig, TraceRepository, run_campaign
+
+
+@pytest.fixture
+def campaign_result():
+    config = CampaignConfig(
+        provider_name="hpccloud",
+        instance_name="hpccloud-8core",
+        duration_s=3_600.0,
+        seed=5,
+    )
+    return run_campaign(config)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    return TraceRepository(tmp_path / "traces")
+
+
+class TestStoreLoad:
+    def test_roundtrip_preserves_traces(self, repo, campaign_result):
+        repo.store("hpc-week1", campaign_result)
+        loaded = repo.load("hpc-week1")
+        assert set(loaded.traces) == set(campaign_result.traces)
+        for name in campaign_result.traces:
+            original = campaign_result.traces[name]
+            clone = loaded.traces[name]
+            assert clone.values == pytest.approx(original.values)
+            assert clone.retransmissions == pytest.approx(
+                original.retransmissions
+            )
+            assert clone.durations == pytest.approx(original.durations)
+
+    def test_roundtrip_preserves_config(self, repo, campaign_result):
+        repo.store("hpc-week1", campaign_result)
+        loaded = repo.load("hpc-week1")
+        assert loaded.config.provider_name == "hpccloud"
+        assert loaded.config.seed == 5
+        assert loaded.config.duration_s == 3_600.0
+
+    def test_summary_row_survives_roundtrip(self, repo, campaign_result):
+        repo.store("hpc-week1", campaign_result)
+        assert (
+            repo.load("hpc-week1").summary_row()
+            == campaign_result.summary_row()
+        )
+
+    def test_duplicate_id_rejected(self, repo, campaign_result):
+        repo.store("x", campaign_result)
+        with pytest.raises(ValueError):
+            repo.store("x", campaign_result)
+
+    def test_unsafe_id_rejected(self, repo, campaign_result):
+        with pytest.raises(ValueError):
+            repo.store("../escape", campaign_result)
+
+    def test_missing_id_raises(self, repo):
+        with pytest.raises(KeyError):
+            repo.load("nope")
+
+
+class TestManifest:
+    def test_contains_and_ids(self, repo, campaign_result):
+        assert "a" not in repo
+        repo.store("a", campaign_result)
+        repo.store("b", campaign_result)
+        assert "a" in repo
+        assert repo.campaign_ids() == ["a", "b"]
+
+    def test_summary_rows(self, repo, campaign_result):
+        repo.store("a", campaign_result)
+        rows = repo.summary_rows()
+        assert len(rows) == 1
+        assert rows[0]["provider"] == "hpccloud"
+        assert "full-speed" in rows[0]["patterns"]
+
+    def test_delete(self, repo, campaign_result):
+        repo.store("a", campaign_result)
+        repo.delete("a")
+        assert "a" not in repo
+        with pytest.raises(KeyError):
+            repo.delete("a")
+
+    def test_persistent_across_instances(self, tmp_path, campaign_result):
+        root = tmp_path / "traces"
+        TraceRepository(root).store("a", campaign_result)
+        fresh = TraceRepository(root)
+        assert "a" in fresh
+        assert len(fresh.load("a").traces) == 3

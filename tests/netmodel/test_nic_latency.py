@@ -1,0 +1,130 @@
+"""Tests for the virtual NIC and latency models (Figures 7, 8, 12)."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import Ec2LatencyModel, GceLatencyModel, VirtualNic
+from repro.netmodel.nic import EC2_NIC, GCE_NIC
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestNicBehavior:
+    def test_ec2_packets_cap_at_mtu(self):
+        assert EC2_NIC.packet_bytes(4_096) == 4_096
+        assert EC2_NIC.packet_bytes(131_072) == 9_000
+
+    def test_gce_packets_cap_at_tso_max(self):
+        assert GCE_NIC.packet_bytes(4_096) == 4_096
+        assert GCE_NIC.packet_bytes(131_072) == 65_536
+
+    def test_invalid_write_size(self):
+        with pytest.raises(ValueError):
+            EC2_NIC.packet_bytes(0)
+
+
+class TestVirtualNicLatency:
+    def test_gce_9k_writes_match_paper_rtt(self):
+        # "when we limited our benchmarks to writes of 9K ... an
+        # average RTT of about 2.3ms"
+        nic = VirtualNic(GCE_NIC)
+        assert nic.perceived_rtt_ms(9_000) == pytest.approx(2.3, abs=0.5)
+
+    def test_gce_large_writes_reach_10ms(self):
+        # "When the benchmark used its default write() size of 128K ...
+        # latencies as high as 10ms"
+        nic = VirtualNic(GCE_NIC)
+        assert nic.perceived_rtt_ms(131_072) == pytest.approx(8.0, abs=2.5)
+
+    def test_ec2_latency_flat_beyond_mtu(self):
+        nic = VirtualNic(EC2_NIC)
+        assert nic.perceived_rtt_ms(9_000) == nic.perceived_rtt_ms(131_072)
+
+    def test_ec2_latency_far_below_gce_for_large_writes(self):
+        ec2 = VirtualNic(EC2_NIC).perceived_rtt_ms(131_072)
+        gce = VirtualNic(GCE_NIC).perceived_rtt_ms(131_072)
+        assert gce > 5 * ec2
+
+    def test_latency_monotone_in_write_size(self):
+        nic = VirtualNic(GCE_NIC)
+        sizes = [1_024, 4_096, 16_384, 65_536]
+        rtts = [nic.perceived_rtt_ms(s) for s in sizes]
+        assert rtts == sorted(rtts)
+
+
+class TestVirtualNicRetransmissions:
+    def test_gce_9k_near_zero_retrans(self):
+        nic = VirtualNic(GCE_NIC)
+        assert nic.retransmission_rate(9_000) < 1e-3
+
+    def test_gce_128k_near_two_percent(self):
+        # Figure 9: ~2% retransmissions per experiment on GCE.
+        nic = VirtualNic(GCE_NIC)
+        assert nic.retransmission_rate(131_072) == pytest.approx(0.03, abs=0.015)
+
+    def test_ec2_always_negligible(self):
+        nic = VirtualNic(EC2_NIC)
+        for size in (1_024, 9_000, 131_072, 262_144):
+            assert nic.retransmission_rate(size) < 1e-4
+
+    def test_rate_monotone_in_write_size(self):
+        nic = VirtualNic(GCE_NIC)
+        sizes = [9_000, 16_384, 32_768, 65_536, 131_072]
+        rates = [nic.retransmission_rate(s) for s in sizes]
+        assert rates == sorted(rates)
+
+
+class TestVirtualNicBandwidth:
+    def test_tiny_writes_are_overhead_bound(self):
+        nic = VirtualNic(EC2_NIC)
+        assert nic.achieved_gbps(1_024) < nic.achieved_gbps(65_536)
+
+    def test_large_writes_approach_line_rate(self):
+        nic = VirtualNic(EC2_NIC)
+        assert nic.achieved_gbps(262_144) > 0.8 * EC2_NIC.line_rate_gbps
+
+    def test_sweep_covers_requested_sizes(self, rng):
+        nic = VirtualNic(GCE_NIC)
+        effects = nic.sweep([4_096, 65_536], rng=rng)
+        assert [e.write_size_bytes for e in effects] == [4_096, 65_536]
+        assert effects[0].packet_bytes == 4_096
+        assert effects[1].retransmission_rate > effects[0].retransmission_rate
+
+    def test_write_size_effect_p99_above_mean(self, rng):
+        nic = VirtualNic(GCE_NIC)
+        effect = nic.write_size_effect(65_536, rng=rng)
+        assert effect.p99_rtt_ms > effect.mean_rtt_ms
+
+
+class TestLatencyModels:
+    def test_ec2_normal_regime_submillisecond(self, rng):
+        model = Ec2LatencyModel(throttled=False)
+        rtts = model.sample_rtts_ms(50_000, rng)
+        assert np.median(rtts) < 0.5
+        assert rtts.max() <= 2.5
+
+    def test_ec2_throttled_two_orders_of_magnitude(self, rng):
+        normal = Ec2LatencyModel(throttled=False)
+        throttled = Ec2LatencyModel(throttled=True)
+        m_normal = np.median(normal.sample_rtts_ms(20_000, rng))
+        m_throttled = np.median(throttled.sample_rtts_ms(20_000, rng))
+        assert m_throttled > 30 * m_normal
+
+    def test_gce_millisecond_scale_capped(self, rng):
+        model = GceLatencyModel()
+        rtts = model.sample_rtts_ms(50_000, rng)
+        assert 1.0 < np.median(rtts) < 4.0
+        assert rtts.max() <= 10.0
+
+    def test_sample_count_validation(self, rng):
+        with pytest.raises(ValueError):
+            Ec2LatencyModel().sample_rtts_ms(-1, rng)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GceLatencyModel(median_ms=12.0, cap_ms=10.0)
+        with pytest.raises(ValueError):
+            Ec2LatencyModel(base_median_ms=0.0)

@@ -1,0 +1,148 @@
+"""Tests for the stochastic (HPCCloud) and per-core-QoS (GCE) models."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import (
+    Ar1QuantileModel,
+    PerCoreQosModel,
+    QuantileDistribution,
+    UniformQuantileSamplingModel,
+)
+
+DIST = QuantileDistribution(
+    probs=(0.01, 0.25, 0.50, 0.75, 0.99),
+    values=(7.7, 8.9, 9.4, 9.8, 10.4),
+)
+
+
+def collect_limits(model, n, dt):
+    values = []
+    for _ in range(n):
+        rate = model.limit()
+        values.append(rate)
+        model.advance(dt, rate)
+    return np.asarray(values)
+
+
+class TestUniformSampling:
+    def test_limits_within_distribution_support(self):
+        model = UniformQuantileSamplingModel(DIST, interval_s=5.0, seed=0)
+        values = collect_limits(model, 500, 5.0)
+        assert values.min() >= 7.7 - 1e-9
+        assert values.max() <= 10.4 + 1e-9
+
+    def test_resamples_at_interval(self):
+        model = UniformQuantileSamplingModel(DIST, interval_s=5.0, seed=0)
+        first = model.limit()
+        model.advance(2.0, first)
+        assert model.limit() == first  # same interval, same draw
+        model.advance(3.0, first)
+        # New interval: value redrawn (almost surely different).
+        assert model.limit() != first
+
+    def test_horizon_counts_down(self):
+        model = UniformQuantileSamplingModel(DIST, interval_s=5.0, seed=0)
+        assert model.horizon(1.0) == pytest.approx(5.0)
+        model.advance(2.0, 1.0)
+        assert model.horizon(1.0) == pytest.approx(3.0)
+
+    def test_reset_reproduces_sequence(self):
+        model = UniformQuantileSamplingModel(DIST, interval_s=5.0, seed=3)
+        first = collect_limits(model, 20, 5.0)
+        model.reset()
+        second = collect_limits(model, 20, 5.0)
+        assert first == pytest.approx(second)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            UniformQuantileSamplingModel(DIST, interval_s=0.0)
+
+
+class TestAr1Model:
+    def test_marginal_within_support(self):
+        model = Ar1QuantileModel(DIST, interval_s=10.0, phi=0.6, seed=1)
+        values = collect_limits(model, 2_000, 10.0)
+        assert values.min() >= 7.7 - 1e-9
+        assert values.max() <= 10.4 + 1e-9
+
+    def test_autocorrelation_increases_with_phi(self):
+        def lag1_autocorr(phi, seed=2):
+            model = Ar1QuantileModel(DIST, interval_s=10.0, phi=phi, seed=seed)
+            v = collect_limits(model, 3_000, 10.0)
+            centered = v - v.mean()
+            return float(
+                np.dot(centered[:-1], centered[1:]) / np.dot(centered, centered)
+            )
+
+        assert lag1_autocorr(0.9) > lag1_autocorr(0.1) + 0.2
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            Ar1QuantileModel(DIST, phi=1.0)
+        with pytest.raises(ValueError):
+            Ar1QuantileModel(DIST, phi=-0.1)
+
+    def test_marginal_median_preserved(self):
+        model = Ar1QuantileModel(DIST, interval_s=10.0, phi=0.5, seed=4)
+        values = collect_limits(model, 5_000, 10.0)
+        assert np.median(values) == pytest.approx(9.4, abs=0.2)
+
+
+class TestPerCoreQos:
+    def test_qos_scales_with_cores(self):
+        for cores, qos in [(1, 2.0), (2, 4.0), (4, 8.0), (8, 16.0)]:
+            model = PerCoreQosModel(cores=cores, seed=0)
+            assert model.qos_gbps == qos
+
+    def test_limit_never_exceeds_qos(self):
+        model = PerCoreQosModel(cores=8, seed=1)
+        values = collect_limits(model, 1_000, 2.5)
+        assert values.max() <= 16.0
+
+    def test_warm_stream_stable_cold_stream_variable(self):
+        # Continuous sending -> warm efficiencies; bursty 5-30 access ->
+        # cold efficiencies with a long lower tail (Figure 5).
+        warm_model = PerCoreQosModel(cores=8, seed=2)
+        warm = collect_limits(warm_model, 2_000, 2.5)
+        # Drop the initial ramp before comparing.
+        warm = warm[10:]
+
+        cold_model = PerCoreQosModel(cores=8, seed=2)
+        cold_samples = []
+        for _ in range(500):
+            # 5 s burst, 30 s rest.
+            rates = []
+            for _ in range(2):
+                rate = cold_model.limit()
+                rates.append(rate)
+                cold_model.advance(2.5, rate)
+            cold_samples.append(np.mean(rates))
+            cold_model.advance(30.0, 0.0)
+        cold = np.asarray(cold_samples)
+
+        assert np.std(cold) > np.std(warm)
+        assert np.percentile(cold, 1) < np.percentile(warm, 1)
+
+    def test_idle_resets_stream_age(self):
+        model = PerCoreQosModel(cores=4, ramp_s=4.0, idle_reset_s=15.0, seed=3)
+        model.advance(10.0, 8.0)
+        assert model.is_warm
+        model.advance(20.0, 0.0)  # long idle: flow goes cold
+        model.advance(0.5, 8.0)
+        assert not model.is_warm
+
+    def test_short_idle_keeps_stream_warm(self):
+        model = PerCoreQosModel(cores=4, ramp_s=4.0, idle_reset_s=15.0, seed=4)
+        model.advance(10.0, 8.0)
+        model.advance(5.0, 0.0)  # idle shorter than the reset threshold
+        model.advance(0.5, 8.0)
+        assert model.is_warm
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerCoreQosModel(cores=0)
+        with pytest.raises(ValueError):
+            PerCoreQosModel(cores=1, per_core_gbps=-1.0)
+        with pytest.raises(ValueError):
+            PerCoreQosModel(cores=1, interval_s=0.0)

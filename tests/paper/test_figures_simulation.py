@@ -1,0 +1,186 @@
+"""Tests for the simulation-backed figures (3, 13, 15-19).
+
+These use reduced run counts — the claims are about orderings and
+directions, which survive smaller samples; the benchmarks regenerate
+the full-size figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.paper import fig03, fig13, fig15, fig16, fig17, fig18, fig19
+
+
+class TestFig03:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig03.reproduce(n_gold=16, clouds=("B", "F"))
+
+    def test_gold_ci_brackets_estimates(self, result):
+        for estimate in result.kmeans.values():
+            assert estimate.gold_ci.low <= estimate.gold_ci.estimate
+            assert estimate.gold_ci.estimate <= estimate.gold_ci.high
+
+    def test_wide_cloud_slower_than_tight_cloud(self, result):
+        # Cloud F (wide, slow) must have a higher K-Means median than
+        # cloud B (tight, fast) — Figure 3a's cross-cloud ordering.
+        assert (
+            result.kmeans["F"].gold_ci.estimate
+            > result.kmeans["B"].gold_ci.estimate
+        )
+
+    def test_rows_and_misses_shape(self, result):
+        assert len(result.rows()) == 2
+        counts = result.miss_counts()
+        assert set(counts) == {
+            "kmeans_3run_misses", "kmeans_10run_misses",
+            "q68_3run_misses", "q68_10run_misses",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fig03.reproduce(n_gold=5)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13.reproduce(repetitions=40)
+
+    def test_many_repetitions_needed_for_one_percent(self, result):
+        # 40 runs should NOT satisfy a 1% bound (the paper needs 70+).
+        for panel in (result.kmeans_gce, result.q65_hpccloud):
+            needed = panel.repetitions_needed
+            assert needed is None or needed > 15
+
+    def test_cis_do_not_widen(self, result):
+        # Stochastic variability: CI analysis behaves (F4.1).
+        assert not result.kmeans_gce.curve.widening_detected()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fig13.reproduce(repetitions=5)
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig15.reproduce(budgets=(5_000.0, 10.0), consecutive_runs=3)
+
+    def test_small_budget_slower_and_capped(self, result):
+        large = result.panels[5_000.0].summary()
+        small = result.panels[10.0].summary()
+        assert small["mean_runtime_s"] > large["mean_runtime_s"]
+        assert (
+            small["transmit_at_low_rate_pct"]
+            > large["transmit_at_low_rate_pct"]
+        )
+
+    def test_large_budget_never_depletes(self, result):
+        assert result.panels[5_000.0].summary()["min_budget_gbit"] > 0.0
+        assert result.panels[10.0].summary()["min_budget_gbit"] == 0.0
+
+    def test_series_cover_all_runs(self, result):
+        panel = result.panels[5_000.0]
+        assert panel.bandwidth.duration > 2 * min(panel.runtimes_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fig15.reproduce(consecutive_runs=0)
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig16.reproduce(
+            budgets=(5_000.0, 10.0), runs_per_config=3,
+            apps=("TS", "WC", "KM"),
+        )
+
+    def test_network_apps_most_affected(self, result):
+        assert result.budget_impact("TS") > 0.25
+        assert result.budget_impact("WC") > 0.2
+        assert result.budget_impact("KM") < 0.1
+
+    def test_variability_boxes_ordering(self, result):
+        boxes = result.variability_boxes()
+        assert boxes["TS"].whisker_span > boxes["KM"].whisker_span
+
+    def test_average_rows_shape(self, result):
+        rows = result.average_rows()
+        assert len(rows) == 3
+        assert all("budget_5000" in row and "budget_10" in row for row in rows)
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig17.reproduce(
+            budgets=(5_000.0, 10.0), runs_per_config=3,
+            queries=(65, 82, 42, 7),
+        )
+
+    def test_q65_sensitive_q82_flat(self, result):
+        assert result.slowdown(65, 10.0) > 1.8
+        assert result.slowdown(82, 10.0) == pytest.approx(1.0, abs=0.05)
+
+    def test_monotone_in_budget(self, result):
+        assert result.all_queries_monotone_in_budget()
+
+    def test_slowdown_rows_shape(self, result):
+        rows = result.slowdown_rows()
+        assert len(rows) == 4
+        assert all("slowdown_b10" in row for row in rows)
+
+
+class TestFig18:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig18.reproduce(stream_repeats=3)
+
+    def test_exactly_the_skewed_node_straggles(self, result):
+        assert result.straggler_nodes == [result.skewed_node]
+
+    def test_other_nodes_keep_budget(self, result):
+        for node, frac in result.throttled_fraction.items():
+            if node != result.skewed_node:
+                assert frac < 0.02
+
+    def test_straggler_oscillates(self, result):
+        assert result.straggler_oscillates()
+
+    def test_rows_mark_roles(self, result):
+        rows = result.rows()
+        roles = {row["node"]: row["role"] for row in rows}
+        assert roles[result.skewed_node] == "straggler"
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig19.reproduce(
+            reps_per_budget=4, scan_reps_per_budget=2,
+            queries=(65, 82, 19, 42, 7, 89),
+        )
+
+    def test_q82_agnostic_q65_dependent(self, result):
+        assert not result.q82.median_estimate_poor
+        assert result.q65.median_estimate_poor
+
+    def test_q65_slows_as_budget_depletes(self, result):
+        assert result.q65.depleted_median > result.q65.fresh_median * 1.5
+        assert result.q82.depleted_median == pytest.approx(
+            result.q82.fresh_median, rel=0.10
+        )
+
+    def test_q65_ci_widens_q82_does_not(self, result):
+        assert result.q65.ci_widened
+        assert not result.q82.ci_widened
+
+    def test_majority_of_queries_poor(self, result):
+        # Paper: ~80% of queries develop poor median estimates.
+        assert result.poor_median_fraction >= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fig19.reproduce(reps_per_budget=1)

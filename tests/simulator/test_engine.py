@@ -1,0 +1,186 @@
+"""Tests for the Spark-like execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import ConstantRateModel, TokenBucketModel, TokenBucketParams
+from repro.simulator import Cluster, JobSpec, NodeSpec, SparkEngine, StageSpec
+
+TB_PARAMS = TokenBucketParams(
+    peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.95, capacity_gbit=5_400.0
+)
+
+
+def constant_cluster(n=2, rate=10.0, slots=4):
+    return Cluster(
+        n_nodes=n,
+        node_spec=NodeSpec(slots=slots),
+        link_model_factory=lambda node: ConstantRateModel(rate),
+    )
+
+
+def bucket_cluster(budget, n=12):
+    def factory(node):
+        return TokenBucketModel(TB_PARAMS.with_budget(budget))
+
+    return Cluster.paper_testbed(factory)
+
+
+def two_stage_job(shuffle=100.0, tasks=8, compute=1.0, cov=0.0):
+    return JobSpec(
+        name="job",
+        stages=(
+            StageSpec(name="map", num_tasks=tasks, compute_s=compute, compute_cov=cov),
+            StageSpec(
+                name="reduce",
+                num_tasks=tasks,
+                compute_s=compute,
+                compute_cov=cov,
+                shuffle_gbit=shuffle,
+                parents=(0,),
+            ),
+        ),
+    )
+
+
+class TestBasicExecution:
+    def test_compute_only_job_runtime(self):
+        # 8 tasks, 2 nodes x 4 slots -> one wave of exactly compute_s.
+        cluster = constant_cluster(n=2)
+        engine = SparkEngine(cluster, rng=np.random.default_rng(0))
+        job = JobSpec(
+            name="compute",
+            stages=(StageSpec(name="only", num_tasks=8, compute_s=3.0, compute_cov=0.0),),
+        )
+        result = engine.run(job)
+        assert result.runtime_s == pytest.approx(3.0)
+
+    def test_two_waves_double_runtime(self):
+        cluster = constant_cluster(n=2)
+        engine = SparkEngine(cluster, rng=np.random.default_rng(0))
+        job = JobSpec(
+            name="compute",
+            stages=(StageSpec(name="only", num_tasks=16, compute_s=3.0, compute_cov=0.0),),
+        )
+        assert engine.run(job).runtime_s == pytest.approx(6.0)
+
+    def test_shuffle_adds_analytic_transfer_time(self):
+        # Exact expectation derived by hand (see the fabric/flow model):
+        # map 1 s; per-node group fetches 50 Gbit, 25 remote @ 10 Gbps
+        # = 2.5 s; local 25 Gbit via disk adds 25/4/4 s to each task;
+        # reduce compute 1 s.
+        cluster = constant_cluster(n=2)
+        engine = SparkEngine(cluster, rng=np.random.default_rng(0))
+        result = engine.run(two_stage_job())
+        expected = 1.0 + 2.5 + 1.0 + 25.0 / 4.0 / 4.0
+        assert result.runtime_s == pytest.approx(expected)
+
+    def test_stage_windows_ordered(self):
+        cluster = constant_cluster(n=2)
+        engine = SparkEngine(cluster, rng=np.random.default_rng(0))
+        result = engine.run(two_stage_job())
+        map_window = result.stage_windows["map"]
+        reduce_window = result.stage_windows["reduce"]
+        assert map_window[0] == 0.0
+        assert map_window[1] <= reduce_window[0] + 1e-9
+        assert reduce_window[1] == pytest.approx(result.runtime_s)
+
+    def test_tasks_balanced_across_nodes(self):
+        cluster = constant_cluster(n=4)
+        engine = SparkEngine(cluster, rng=np.random.default_rng(0))
+        result = engine.run(two_stage_job(tasks=32))
+        assert result.tasks_per_node.sum() == 64
+        assert result.tasks_per_node.max() - result.tasks_per_node.min() <= 8
+
+    def test_deterministic_given_seed(self):
+        cluster = bucket_cluster(100.0)
+        job = two_stage_job(shuffle=2_000.0, tasks=48, compute=5.0, cov=0.2)
+        r1 = SparkEngine(cluster, rng=np.random.default_rng(7)).run(job)
+        r2 = SparkEngine(bucket_cluster(100.0), rng=np.random.default_rng(7)).run(job)
+        assert r1.runtime_s == pytest.approx(r2.runtime_s)
+
+
+class TestTokenBucketInteraction:
+    def test_small_budget_slows_shuffle_job(self):
+        job = two_stage_job(shuffle=2_400.0, tasks=48, compute=1.0)
+        fast = SparkEngine(bucket_cluster(5_000.0), rng=np.random.default_rng(0)).run(job)
+        slow = SparkEngine(bucket_cluster(10.0), rng=np.random.default_rng(0)).run(job)
+        assert slow.runtime_s > 1.5 * fast.runtime_s
+
+    def test_budget_telemetry_recorded(self):
+        job = two_stage_job(shuffle=2_400.0, tasks=48, compute=1.0)
+        result = SparkEngine(bucket_cluster(100.0), rng=np.random.default_rng(0)).run(job)
+        assert result.budgets is not None
+        assert result.budgets.shape[0] == 12
+        # Budgets deplete during the shuffle.
+        assert result.budgets.min() == pytest.approx(0.0, abs=1.0)
+        series = result.node_budget_series(0)
+        assert len(series) == len(result.sample_times)
+
+    def test_no_budget_telemetry_on_constant_links(self):
+        result = SparkEngine(constant_cluster(), rng=np.random.default_rng(0)).run(
+            two_stage_job()
+        )
+        assert result.budgets is None
+        with pytest.raises(ValueError):
+            result.node_budget_series(0)
+        assert result.straggler_nodes() == []
+
+    def test_skewed_node_becomes_straggler(self):
+        # One node holds 3x its share of shuffle data and a budget that
+        # only it depletes.
+        skew = [1.0] * 12
+        skew[5] = 3.0
+        job = two_stage_job(shuffle=4_000.0, tasks=96, compute=2.0)
+        engine = SparkEngine(
+            bucket_cluster(500.0), rng=np.random.default_rng(0), node_data_skew=skew
+        )
+        result = engine.run(job)
+        assert result.throttled_fraction(5) > result.throttled_fraction(0)
+        assert 5 in result.straggler_nodes()
+
+    def test_carryover_between_runs_without_reset(self):
+        # Reusing the fabric drains budgets run over run (Figure 19).
+        job = two_stage_job(shuffle=2_400.0, tasks=48, compute=1.0)
+        engine = SparkEngine(bucket_cluster(400.0), rng=np.random.default_rng(0))
+        results = engine.run_repetitions(job, repetitions=4, fresh_fabric=False)
+        runtimes = [r.runtime_s for r in results]
+        assert runtimes[-1] > runtimes[0] * 1.2
+
+    def test_fresh_fabric_keeps_runs_identical_modulo_noise(self):
+        job = two_stage_job(shuffle=2_400.0, tasks=48, compute=1.0)
+        engine = SparkEngine(bucket_cluster(3_000.0), rng=np.random.default_rng(0))
+        results = engine.run_repetitions(job, repetitions=4, fresh_fabric=True)
+        runtimes = np.array([r.runtime_s for r in results])
+        assert runtimes.std() / runtimes.mean() < 0.05
+
+    def test_rest_between_runs_restores_budget(self):
+        job = two_stage_job(shuffle=2_400.0, tasks=48, compute=1.0)
+        engine = SparkEngine(bucket_cluster(400.0), rng=np.random.default_rng(0))
+        rested = engine.run_repetitions(
+            job, repetitions=4, fresh_fabric=False, rest_between_s=3_000.0
+        )
+        runtimes = np.array([r.runtime_s for r in rested])
+        # Resting roughly stabilizes run-over-run growth.
+        assert runtimes[-1] < runtimes[0] * 1.3
+
+
+class TestValidation:
+    def test_bad_skew_length(self):
+        with pytest.raises(ValueError):
+            SparkEngine(constant_cluster(n=2), node_data_skew=[1.0])
+
+    def test_nonpositive_skew(self):
+        with pytest.raises(ValueError):
+            SparkEngine(constant_cluster(n=2), node_data_skew=[1.0, 0.0])
+
+    def test_bad_sample_interval(self):
+        with pytest.raises(ValueError):
+            SparkEngine(constant_cluster(), sample_interval_s=0.0)
+
+    def test_bad_repetitions(self):
+        engine = SparkEngine(constant_cluster())
+        with pytest.raises(ValueError):
+            engine.run_repetitions(two_stage_job(), repetitions=0)
+        with pytest.raises(ValueError):
+            engine.run_repetitions(two_stage_job(), repetitions=1, rest_between_s=-1.0)

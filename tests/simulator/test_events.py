@@ -1,0 +1,63 @@
+"""Tests for the event-queue kernel."""
+
+import math
+
+import pytest
+
+from repro.simulator import EventQueue
+
+
+def test_events_fire_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(5.0, lambda: fired.append("b"))
+    queue.schedule(1.0, lambda: fired.append("a"))
+    queue.schedule(9.0, lambda: fired.append("c"))
+    for cb in queue.pop_due(6.0):
+        cb()
+    assert fired == ["a", "b"]
+    assert len(queue) == 1
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(1.0, lambda: fired.append(1))
+    queue.schedule(1.0, lambda: fired.append(2))
+    queue.schedule(1.0, lambda: fired.append(3))
+    for cb in queue.pop_due(1.0):
+        cb()
+    assert fired == [1, 2, 3]
+
+
+def test_next_time():
+    queue = EventQueue()
+    assert math.isinf(queue.next_time())
+    queue.schedule(3.0, lambda: None)
+    assert queue.next_time() == 3.0
+
+
+def test_cancel():
+    queue = EventQueue()
+    fired = []
+    keep = queue.schedule(1.0, lambda: fired.append("keep"))
+    drop = queue.schedule(1.0, lambda: fired.append("drop"))
+    queue.cancel(drop)
+    assert len(queue) == 1
+    for cb in queue.pop_due(2.0):
+        cb()
+    assert fired == ["keep"]
+
+
+def test_cancel_head_updates_next_time():
+    queue = EventQueue()
+    head = queue.schedule(1.0, lambda: None)
+    queue.schedule(2.0, lambda: None)
+    queue.cancel(head)
+    assert queue.next_time() == 2.0
+
+
+def test_infinite_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.schedule(math.inf, lambda: None)

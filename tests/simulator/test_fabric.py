@@ -1,0 +1,168 @@
+"""Tests for the max-min fair fluid fabric."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel import ConstantRateModel, TokenBucketModel, TokenBucketParams
+from repro.simulator import Fabric
+
+
+def constant_fabric(n=4, egress=10.0, ingress=10.0):
+    return Fabric(
+        egress_models=[ConstantRateModel(egress) for _ in range(n)],
+        ingress_caps_gbps=[ingress] * n,
+    )
+
+
+class TestFlowManagement:
+    def test_add_and_remove(self):
+        fabric = constant_fabric()
+        flow = fabric.add_flow(0, 1, 100.0)
+        assert len(fabric.flows) == 1
+        fabric.remove_flow(flow)
+        assert len(fabric.flows) == 0
+
+    def test_loopback_rejected(self):
+        with pytest.raises(ValueError):
+            constant_fabric().add_flow(1, 1, 10.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            constant_fabric(n=2).add_flow(0, 5, 10.0)
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ValueError):
+            constant_fabric().add_flow(0, 1, 0.0)
+
+    def test_mismatched_construction(self):
+        with pytest.raises(ValueError):
+            Fabric([ConstantRateModel(1.0)], [1.0, 2.0])
+
+
+class TestFairness:
+    def test_single_flow_gets_bottleneck(self):
+        fabric = constant_fabric(egress=10.0, ingress=5.0)
+        flow = fabric.add_flow(0, 1, 100.0)
+        fabric.compute_rates()
+        assert flow.rate_gbps == pytest.approx(5.0)
+
+    def test_two_flows_share_egress(self):
+        fabric = constant_fabric(egress=10.0, ingress=100.0)
+        a = fabric.add_flow(0, 1, 100.0)
+        b = fabric.add_flow(0, 2, 100.0)
+        fabric.compute_rates()
+        assert a.rate_gbps == pytest.approx(5.0)
+        assert b.rate_gbps == pytest.approx(5.0)
+
+    def test_max_min_unlocks_spare_capacity(self):
+        # Flow 0->1 shares egress with 0->2; 2->1 shares ingress with
+        # 0->1.  Classic water-filling: the constrained pair gets 5,
+        # and no resource is overcommitted.
+        fabric = constant_fabric(egress=10.0, ingress=10.0)
+        a = fabric.add_flow(0, 1, 100.0)
+        b = fabric.add_flow(0, 2, 100.0)
+        c = fabric.add_flow(2, 1, 100.0)
+        fabric.compute_rates()
+        assert a.rate_gbps + b.rate_gbps <= 10.0 + 1e-9
+        assert a.rate_gbps + c.rate_gbps <= 10.0 + 1e-9
+        assert min(a.rate_gbps, b.rate_gbps, c.rate_gbps) == pytest.approx(5.0)
+
+    def test_all_to_all_symmetric(self):
+        n = 4
+        fabric = constant_fabric(n=n)
+        flows = [
+            fabric.add_flow(s, d, 50.0)
+            for s in range(n)
+            for d in range(n)
+            if s != d
+        ]
+        fabric.compute_rates()
+        rates = {round(f.rate_gbps, 6) for f in flows}
+        assert len(rates) == 1  # perfect symmetry
+        assert fabric.node_egress_rates()[0] == pytest.approx(10.0)
+
+    @given(
+        n_flows=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_resource_overcommitted_and_work_conserving(self, n_flows, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = 5
+        fabric = constant_fabric(n=n, egress=10.0, ingress=8.0)
+        for _ in range(n_flows):
+            src, dst = rng.choice(n, size=2, replace=False)
+            fabric.add_flow(int(src), int(dst), float(rng.uniform(1, 100)))
+        fabric.compute_rates()
+        egress = fabric.node_egress_rates()
+        ingress = [0.0] * n
+        for flow in fabric.flows.values():
+            ingress[flow.dst] += flow.rate_gbps
+            assert flow.rate_gbps > 0  # work conservation per flow
+        for node in range(n):
+            assert egress[node] <= 10.0 + 1e-6
+            assert ingress[node] <= 8.0 + 1e-6
+
+
+class TestAdvance:
+    def test_flow_completes_exactly_at_horizon(self):
+        fabric = constant_fabric()
+        fabric.add_flow(0, 1, 50.0)
+        fabric.compute_rates()
+        horizon = fabric.horizon()
+        assert horizon == pytest.approx(5.0)
+        completed = fabric.advance(horizon)
+        assert len(completed) == 1
+        assert len(fabric.flows) == 0
+
+    def test_partial_advance(self):
+        fabric = constant_fabric()
+        flow = fabric.add_flow(0, 1, 50.0)
+        fabric.compute_rates()
+        completed = fabric.advance(2.0)
+        assert completed == []
+        assert flow.remaining_gbit == pytest.approx(30.0)
+
+    def test_token_bucket_throttling_respected(self):
+        params = TokenBucketParams(
+            peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=1.0,
+            capacity_gbit=50.0,
+        )
+        fabric = Fabric(
+            egress_models=[TokenBucketModel(params), ConstantRateModel(10.0)],
+            ingress_caps_gbps=[10.0, 10.0],
+        )
+        fabric.add_flow(0, 1, 500.0)
+        fabric.compute_rates()
+        # Horizon stops at the bucket transition (50/(10-1) s).
+        assert fabric.horizon() == pytest.approx(50.0 / 9.0)
+        fabric.advance(fabric.horizon())
+        fabric.compute_rates()
+        flow = next(iter(fabric.flows.values()))
+        assert flow.rate_gbps == pytest.approx(1.0)
+
+    def test_idle_nodes_models_still_advance(self):
+        # Buckets refill during pure-compute phases.
+        params = TokenBucketParams(
+            peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=1.0,
+            capacity_gbit=100.0, initial_budget_gbit=0.0,
+        )
+        model = TokenBucketModel(params)
+        fabric = Fabric(
+            egress_models=[model, ConstantRateModel(10.0)],
+            ingress_caps_gbps=[10.0, 10.0],
+        )
+        fabric.advance(30.0)
+        assert model.budget_gbit == pytest.approx(30.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            constant_fabric().advance(-1.0)
+
+    def test_empty_fabric_horizon_infinite(self):
+        assert math.isinf(constant_fabric().horizon())

@@ -1,0 +1,124 @@
+"""Tests for the HDFS substrate and job descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import HdfsCluster, JobSpec, StageSpec
+
+
+class TestHdfs:
+    def test_write_places_blocks_with_replication(self):
+        hdfs = HdfsCluster(n_nodes=12, replication=3, block_gbit=1.0)
+        file = hdfs.write("data", 10.0)
+        assert file.n_blocks == 10
+        for replicas in file.placements:
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_duplicate_write_rejected(self):
+        hdfs = HdfsCluster(n_nodes=4)
+        hdfs.write("data", 1.0)
+        with pytest.raises(ValueError):
+            hdfs.write("data", 1.0)
+
+    def test_delete(self):
+        hdfs = HdfsCluster(n_nodes=4)
+        hdfs.write("data", 1.0)
+        hdfs.delete("data")
+        with pytest.raises(KeyError):
+            hdfs.delete("data")
+
+    def test_usage_accounts_replicas(self):
+        hdfs = HdfsCluster(n_nodes=6, replication=3, block_gbit=1.0)
+        hdfs.write("data", 6.0)
+        usage = hdfs.node_usage_gbit()
+        assert sum(usage) == pytest.approx(18.0)  # 6 blocks x 3 replicas
+
+    def test_read_plan_conserves_volume(self):
+        hdfs = HdfsCluster(n_nodes=12, replication=3, block_gbit=1.0)
+        hdfs.write("data", 40.0)
+        local, remote = hdfs.read_plan("data", reader_node=0)
+        assert local + sum(remote.values()) == pytest.approx(40.0)
+        assert 0 not in remote  # never fetch from yourself
+
+    def test_locality_fraction_high_when_all_nodes_read(self):
+        hdfs = HdfsCluster(n_nodes=12, replication=3)
+        hdfs.write("data", 100.0)
+        fraction = hdfs.locality_fraction("data", list(range(12)))
+        assert fraction == 1.0  # every block has a replica on a reader
+
+    def test_locality_fraction_lower_for_single_reader(self):
+        hdfs = HdfsCluster(n_nodes=12, replication=3)
+        hdfs.write("data", 200.0)
+        fraction = hdfs.locality_fraction("data", [0])
+        # Single reader holds ~3/12 of blocks.
+        assert 0.1 < fraction < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HdfsCluster(n_nodes=2, replication=3)
+        with pytest.raises(ValueError):
+            HdfsCluster(n_nodes=2, block_gbit=0.0)
+        hdfs = HdfsCluster(n_nodes=4)
+        with pytest.raises(ValueError):
+            hdfs.write("x", 0.0)
+        hdfs.write("y", 1.0)
+        with pytest.raises(ValueError):
+            hdfs.locality_fraction("y", [])
+
+
+class TestStageSpec:
+    def test_network_gbit(self):
+        stage = StageSpec(
+            name="s", num_tasks=4, compute_s=1.0,
+            shuffle_gbit=100.0, input_gbit=50.0, input_locality=0.8,
+        )
+        assert stage.network_gbit == pytest.approx(110.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", num_tasks=0, compute_s=1.0)
+        with pytest.raises(ValueError):
+            StageSpec(name="s", num_tasks=1, compute_s=-1.0)
+        with pytest.raises(ValueError):
+            StageSpec(name="s", num_tasks=1, compute_s=1.0, input_locality=1.5)
+        with pytest.raises(ValueError):
+            StageSpec(name="s", num_tasks=1, compute_s=1.0, shuffle_gbit=-1.0)
+
+
+class TestJobSpec:
+    def test_topological_order_enforced(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                name="bad",
+                stages=(
+                    StageSpec(name="a", num_tasks=1, compute_s=1.0, parents=(0,)),
+                ),
+            )
+        with pytest.raises(ValueError):
+            JobSpec(
+                name="bad",
+                stages=(
+                    StageSpec(name="a", num_tasks=1, compute_s=1.0),
+                    StageSpec(name="b", num_tasks=1, compute_s=1.0, parents=(5,)),
+                ),
+            )
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="empty", stages=())
+
+    def test_totals(self):
+        job = JobSpec(
+            name="j",
+            stages=(
+                StageSpec(name="a", num_tasks=10, compute_s=2.0),
+                StageSpec(
+                    name="b", num_tasks=5, compute_s=4.0,
+                    shuffle_gbit=100.0, parents=(0,),
+                ),
+            ),
+        )
+        assert job.total_compute_s == pytest.approx(40.0)
+        assert job.total_network_gbit == pytest.approx(100.0)
+        assert job.network_intensity(10.0) == pytest.approx(10.0 / 40.0)

@@ -1,0 +1,153 @@
+"""Tests for group comparisons and time-series tooling."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    autocorrelation,
+    compare_groups,
+    diurnal_profile,
+    interval_medians,
+    kruskal_wallis,
+    one_way_anova,
+    stationary_windows,
+)
+from repro.trace import TimeSeries
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestAnova:
+    def test_equal_means_keep_null(self, rng):
+        groups = [rng.normal(10, 1, 40) for _ in range(3)]
+        assert not one_way_anova(groups).reject_null
+
+    def test_shifted_mean_rejects(self, rng):
+        groups = [rng.normal(10, 1, 40), rng.normal(12, 1, 40)]
+        assert one_way_anova(groups).reject_null
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0], [1.0, 2.0]])
+
+
+class TestKruskal:
+    def test_same_distribution_keeps_null(self, rng):
+        groups = [rng.exponential(5, 60) for _ in range(3)]
+        assert not kruskal_wallis(groups).reject_null
+
+    def test_shifted_distribution_rejects(self, rng):
+        groups = [rng.exponential(5, 60), rng.exponential(5, 60) + 4]
+        assert kruskal_wallis(groups).reject_null
+
+
+class TestCompareGroups:
+    def test_normal_groups_use_anova(self, rng):
+        groups = [rng.normal(10, 1, 50) for _ in range(3)]
+        verdict = compare_groups(groups)
+        assert verdict.name == "one-way-anova"
+
+    def test_skewed_groups_use_kruskal(self, rng):
+        groups = [rng.exponential(5, 100) for _ in range(3)]
+        verdict = compare_groups(groups)
+        assert verdict.name == "kruskal-wallis"
+
+    def test_detects_budget_effect_between_batches(self, rng):
+        # The practical use: comparing repetition batches run at fresh
+        # vs depleted budgets (a Figure 19-style check).
+        fresh = rng.normal(80, 3, 30)
+        depleted = rng.normal(180, 8, 30)
+        assert compare_groups([fresh, depleted]).reject_null
+
+
+class TestAutocorrelation:
+    def test_white_noise_near_zero(self, rng):
+        acf = autocorrelation(rng.normal(0, 1, 2_000), max_lag=5)
+        assert np.all(np.abs(acf) < 0.1)
+
+    def test_ar1_decays_geometrically(self, rng):
+        n = 5_000
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = 0.7 * x[i - 1] + rng.normal()
+        acf = autocorrelation(x, max_lag=3)
+        assert acf[0] == pytest.approx(0.7, abs=0.07)
+        assert acf[1] == pytest.approx(0.49, abs=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], max_lag=5)
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(100), max_lag=5)
+
+
+class TestStationaryWindows:
+    def test_stationary_series_fully_covered(self, rng):
+        series = TimeSeries(np.arange(240.0), rng.normal(10, 1, 240))
+        windows = stationary_windows(series, window_samples=60)
+        assert len(windows) == 1
+        start, end = windows[0]
+        assert start == 0.0
+        assert end >= 200.0
+
+    def test_level_shift_splits_windows(self, rng):
+        # Stationary at 10, then a ramp, then stationary at 30: the
+        # windows should avoid covering the ramp as one stationary run.
+        values = np.concatenate([
+            rng.normal(10, 1, 120),
+            np.linspace(10, 30, 120) + rng.normal(0, 0.5, 120),
+            rng.normal(30, 1, 120),
+        ])
+        series = TimeSeries(np.arange(360.0), values)
+        windows = stationary_windows(series, window_samples=60)
+        assert len(windows) >= 2
+
+    def test_validation(self, rng):
+        series = TimeSeries(np.arange(100.0), rng.normal(0, 1, 100))
+        with pytest.raises(ValueError):
+            stationary_windows(series, window_samples=8)
+        with pytest.raises(ValueError):
+            stationary_windows(series, window_samples=20, stride_samples=0)
+
+
+class TestIntervalMedians:
+    def test_matches_resample_medians(self, rng):
+        series = TimeSeries(np.arange(100.0), rng.normal(5, 1, 100))
+        direct = series.resample_medians(10.0)
+        via_stats = interval_medians(series, 10.0)
+        assert via_stats.values == pytest.approx(direct.values)
+
+
+class TestDiurnalProfile:
+    def test_flat_series_no_swing(self, rng):
+        times = np.arange(0, 2 * 86_400.0, 600.0)
+        series = TimeSeries(times, np.full(times.size, 10.0))
+        profile = diurnal_profile(series)
+        assert profile.diurnal_swing == pytest.approx(0.0)
+        assert profile.hourly_counts.sum() == times.size
+
+    def test_sinusoidal_day_detected(self):
+        times = np.arange(0, 3 * 86_400.0, 600.0)
+        hours = (times / 3_600.0) % 24
+        values = 10.0 + 3.0 * np.sin(2 * np.pi * hours / 24.0)
+        profile = diurnal_profile(TimeSeries(times, values))
+        assert profile.diurnal_swing > 0.3
+        assert profile.peak_hour in (5, 6, 7)  # sin peaks at hour 6
+
+    def test_offset_shifts_hours(self):
+        times = np.arange(0, 86_400.0, 3_600.0)
+        values = np.zeros(times.size)
+        values[0] = 100.0  # spike at t=0
+        base = diurnal_profile(TimeSeries(times, values))
+        shifted = diurnal_profile(TimeSeries(times, values), t0_offset_s=3_600.0)
+        assert base.peak_hour == 0
+        assert shifted.peak_hour == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            diurnal_profile(TimeSeries(np.empty(0), np.empty(0)))

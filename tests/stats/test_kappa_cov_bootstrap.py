@@ -1,0 +1,125 @@
+"""Tests for Cohen's Kappa, dispersion summaries, and the bootstrap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    bootstrap_ci,
+    coefficient_of_variation,
+    cohens_kappa,
+    dispersion_summary,
+)
+
+
+class TestKappa:
+    def test_perfect_agreement(self):
+        labels = ["yes", "no", "yes", "no", "maybe"]
+        assert cohens_kappa(labels, labels) == pytest.approx(1.0)
+
+    def test_chance_level_agreement_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 10_000)
+        b = rng.integers(0, 2, 10_000)
+        assert abs(cohens_kappa(a.tolist(), b.tolist())) < 0.05
+
+    def test_known_value(self):
+        # Classic worked example: 2x2 table with observed 0.7,
+        # expected 0.5 -> kappa 0.4.
+        a = ["y"] * 35 + ["y"] * 15 + ["n"] * 15 + ["n"] * 35
+        b = ["y"] * 35 + ["n"] * 15 + ["y"] * 15 + ["n"] * 35
+        assert cohens_kappa(a, b) == pytest.approx(0.4)
+
+    def test_paper_threshold_interpretation(self):
+        # Scores > 0.8 denote near-perfect agreement; ~95% raw
+        # agreement on a balanced binary task clears it.
+        rng = np.random.default_rng(1)
+        truth = rng.integers(0, 2, 2_000)
+        flip = rng.uniform(size=2_000) < 0.025
+        a = truth.tolist()
+        b = np.where(flip, 1 - truth, truth).tolist()
+        assert cohens_kappa(a, b) > 0.8
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cohens_kappa([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cohens_kappa([], [])
+
+    def test_single_label_edge_case(self):
+        assert cohens_kappa(["x", "x"], ["x", "x"]) == 1.0
+
+
+class TestCov:
+    def test_known_cov(self):
+        samples = [8.0, 12.0]  # mean 10, std 2
+        assert coefficient_of_variation(samples) == pytest.approx(0.2)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+    def test_dispersion_summary_fields(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(100, 10, 500)
+        summary = dispersion_summary(samples)
+        assert summary.n == 500
+        assert summary.mean == pytest.approx(100, abs=2)
+        assert summary.cov == pytest.approx(0.1, abs=0.02)
+        assert summary.box.p25 < summary.median < summary.box.p75
+        assert summary.iqr == summary.box.iqr
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cov_nonnegative_for_positive_samples(self, values):
+        assert coefficient_of_variation(values) >= 0.0
+
+
+class TestBootstrap:
+    def test_median_ci_contains_estimate(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(50, 5, 100)
+        ci = bootstrap_ci(samples)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_mean_statistic(self):
+        rng = np.random.default_rng(4)
+        samples = rng.normal(50, 5, 100)
+        ci = bootstrap_ci(samples, statistic=np.mean)
+        assert ci.low <= np.mean(samples) <= ci.high
+
+    def test_agrees_with_order_statistics_ci(self):
+        from repro.stats import median_ci
+
+        rng = np.random.default_rng(5)
+        samples = rng.normal(100, 10, 200)
+        boot = bootstrap_ci(samples, resamples=4000)
+        order = median_ci(samples)
+        # The two methods should broadly agree on the interval.
+        assert abs(boot.low - order.low) < 3.0
+        assert abs(boot.high - order.high) < 3.0
+
+    def test_deterministic_default_rng(self):
+        samples = np.arange(1.0, 51.0)
+        a = bootstrap_ci(samples)
+        b = bootstrap_ci(samples)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], resamples=5)

@@ -1,0 +1,131 @@
+"""Tests for the statistical assumption tests (F5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    adf_test,
+    ljung_box_test,
+    mann_whitney_test,
+    runs_test,
+    shapiro_test,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestShapiro:
+    def test_normal_sample_keeps_null(self, rng):
+        verdict = shapiro_test(rng.normal(0, 1, 200))
+        assert not verdict.reject_null
+
+    def test_exponential_sample_rejects(self, rng):
+        verdict = shapiro_test(rng.exponential(1, 200))
+        assert verdict.reject_null
+
+    def test_needs_three_samples(self):
+        with pytest.raises(ValueError):
+            shapiro_test([1.0, 2.0])
+
+
+class TestMannWhitney:
+    def test_same_distribution_keeps_null(self, rng):
+        a = rng.normal(10, 2, 100)
+        b = rng.normal(10, 2, 100)
+        assert not mann_whitney_test(a, b).reject_null
+
+    def test_shifted_distribution_rejects(self, rng):
+        a = rng.normal(10, 2, 100)
+        b = rng.normal(14, 2, 100)
+        assert mann_whitney_test(a, b).reject_null
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_test(np.ones((2, 2)), np.ones(4))
+
+
+class TestRunsTest:
+    def test_random_sequence_keeps_null(self, rng):
+        verdict = runs_test(rng.normal(0, 1, 300))
+        assert not verdict.reject_null
+
+    def test_trending_sequence_rejects(self):
+        # A monotone-ish trend has almost no runs.
+        samples = np.linspace(0, 100, 200) + np.random.default_rng(0).normal(
+            0, 1, 200
+        )
+        assert runs_test(samples).reject_null
+
+    def test_alternating_sequence_rejects(self):
+        samples = np.tile([1.0, 10.0], 100)
+        # Perfect alternation has too many runs for randomness; values
+        # equal to the median are dropped so perturb slightly.
+        samples = samples + np.random.default_rng(1).normal(0, 0.01, 200)
+        assert runs_test(samples).reject_null
+
+    def test_details_contain_run_counts(self, rng):
+        verdict = runs_test(rng.normal(0, 1, 100))
+        assert "runs" in verdict.details
+        assert "expected_runs" in verdict.details
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            runs_test([1.0, 1.0, 1.0, 2.0, 2.0])
+
+
+class TestLjungBox:
+    def test_white_noise_keeps_null(self, rng):
+        verdict = ljung_box_test(rng.normal(0, 1, 500))
+        assert not verdict.reject_null
+
+    def test_ar1_rejects(self, rng):
+        n = 500
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = 0.8 * x[i - 1] + rng.normal()
+        assert ljung_box_test(x).reject_null
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError):
+            ljung_box_test(np.ones(50))
+
+
+class TestAdf:
+    def test_stationary_series_rejects_unit_root(self, rng):
+        # AR(1) with phi=0.5 is stationary: the test should reject the
+        # unit-root null (i.e. support stationarity).
+        n = 400
+        x = np.zeros(n)
+        for i in range(1, n):
+            x[i] = 0.5 * x[i - 1] + rng.normal()
+        verdict = adf_test(x)
+        assert verdict.reject_null
+
+    def test_random_walk_keeps_unit_root(self, rng):
+        walk = np.cumsum(rng.normal(0, 1, 400))
+        verdict = adf_test(walk)
+        assert not verdict.reject_null
+
+    def test_details_contain_critical_values(self, rng):
+        verdict = adf_test(rng.normal(0, 1, 100))
+        assert verdict.details["crit_1pct"] < verdict.details["crit_5pct"]
+        assert verdict.details["crit_5pct"] < verdict.details["crit_10pct"]
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            adf_test(np.arange(5.0))
+
+    def test_p_value_in_unit_interval(self, rng):
+        for _ in range(5):
+            verdict = adf_test(rng.normal(0, 1, 80))
+            assert 0.0 <= verdict.p_value <= 1.0
+
+
+def test_verdict_str_is_informative(rng):
+    verdict = shapiro_test(rng.normal(0, 1, 50))
+    text = str(verdict)
+    assert "shapiro" in text
+    assert "H0" in text

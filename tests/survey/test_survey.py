@@ -1,0 +1,113 @@
+"""Tests for the literature-survey pipeline (Section 2)."""
+
+import pytest
+
+from repro.survey import (
+    Reviewer,
+    aggregate_figure1,
+    generate_corpus,
+    keyword_filter,
+    manual_cloud_filter,
+    run_double_review,
+    survey_funnel,
+)
+from repro.survey.corpus import (
+    CLOUD_ARTICLES_PER_VENUE,
+    REPETITION_HISTOGRAM,
+    TOTAL_CITATIONS,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(seed=0)
+
+
+@pytest.fixture(scope="module")
+def selection(corpus):
+    return manual_cloud_filter(keyword_filter(corpus))
+
+
+class TestCorpus:
+    def test_exact_corpus_size(self, corpus):
+        assert len(corpus) == 1_867
+
+    def test_deterministic_for_seed(self):
+        a = generate_corpus(seed=3)
+        b = generate_corpus(seed=3)
+        assert [x.title for x in a[:20]] == [y.title for y in b[:20]]
+
+    def test_years_in_survey_range(self, corpus):
+        assert all(2008 <= a.year <= 2018 for a in corpus)
+
+    def test_cloud_articles_match_keywords(self, corpus):
+        for article in corpus:
+            if article.uses_cloud:
+                assert article in keyword_filter([article])
+
+
+class TestFunnel:
+    def test_table2_counts_exact(self, corpus):
+        funnel = survey_funnel(corpus)
+        assert funnel.total == 1_867
+        assert funnel.keyword_matched == 138
+        assert funnel.cloud_experiments == 44
+        assert funnel.citations == TOTAL_CITATIONS
+
+    def test_per_venue_split(self, corpus):
+        funnel = survey_funnel(corpus)
+        assert funnel.per_venue == CLOUD_ARTICLES_PER_VENUE
+
+    def test_as_row_shape(self, corpus):
+        row = survey_funnel(corpus).as_row()
+        assert row["articles_total"] == 1_867
+        assert row["citations"] == 11_203
+
+
+class TestReview:
+    def test_kappa_above_point_eight(self, selection):
+        outcome = run_double_review(selection)
+        assert all(k > 0.8 for k in outcome.kappa.values())
+
+    def test_perfect_reviewers_agree_exactly(self, selection):
+        zero_error = {c: 0.0 for c in
+                      ("reports_center", "reports_variability", "underspecified")}
+        a = Reviewer("a", seed=1, error_rates=dict(zero_error))
+        b = Reviewer("b", seed=2, error_rates=dict(zero_error))
+        outcome = run_double_review(selection, a, b)
+        assert all(k == pytest.approx(1.0) for k in outcome.kappa.values())
+
+    def test_consensus_is_favorable(self, selection):
+        outcome = run_double_review(selection)
+        consensus_under = sum(outcome.consensus("underspecified"))
+        assert consensus_under <= min(
+            sum(outcome.labels_a["underspecified"]),
+            sum(outcome.labels_b["underspecified"]),
+        )
+
+
+class TestFigure1:
+    def test_headline_claims(self, selection):
+        outcome = run_double_review(selection)
+        summary = aggregate_figure1(selection, outcome)
+        # F2.2: over 60% under-specified.
+        assert summary.pct_underspecified > 60.0
+        # Only ~37% of center-reporting articles report variability.
+        assert 0.25 <= summary.variability_share_of_center <= 0.50
+        # 76% of well-specified articles use <= 15 repetitions.
+        assert 0.65 <= summary.low_repetition_share <= 0.85
+
+    def test_histogram_dominated_by_3_5_10(self, selection):
+        outcome = run_double_review(selection)
+        summary = aggregate_figure1(selection, outcome)
+        hist = summary.repetition_histogram_pct
+        top = sorted(hist, key=hist.get, reverse=True)[:3]
+        assert set(top) <= {3, 5, 10}
+
+    def test_ground_truth_histogram_total(self):
+        # The histogram definition covers the well-specified subset.
+        assert sum(REPETITION_HISTOGRAM.values()) == 17
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_figure1([], run_double_review([]))

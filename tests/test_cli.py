@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_figures_registered(self):
+        parser = build_parser()
+        for name in (f"fig{i:02d}" for i in range(1, 20)):
+            args = parser.parse_args([name, "--fast"])
+            assert args.artifact == name
+
+    def test_tables_registered(self):
+        parser = build_parser()
+        for name in ("table1", "table2", "table3", "table4"):
+            args = parser.parse_args([name])
+            assert args.artifact == name
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out
+        assert "table3" in out
+        assert "fingerprint" in out
+
+    def test_fast_figure(self, capsys):
+        assert main(["fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "cloud=A" in out
+
+    def test_fast_simulation_figure(self, capsys):
+        assert main(["fig14", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "nrmse" in out
+
+    def test_table(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "NSDI" in out
+
+    def test_fingerprint(self, capsys):
+        assert main(["fingerprint", "c5.xlarge"]) == 0
+        out = capsys.readouterr().out
+        assert "token bucket" in out
+        assert "base bandwidth" in out
+
+    def test_fingerprint_unknown_instance(self, capsys):
+        assert main(["fingerprint", "z9.mega"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Only the fast examples run here (the full set is exercised manually /
+in CI with longer budgets); each must complete and print its headline
+sections.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "network fingerprint" in out
+    assert "Terasort" in out
+    assert "token bucket" in out
+
+
+def test_survey_report(capsys):
+    out = run_example("survey_report.py", capsys)
+    assert "Table 2" in out
+    assert "Figure 1a" in out
+    assert "Cohen's Kappa" in out
+
+
+def test_straggler_postmortem(capsys):
+    out = run_example("straggler_postmortem.py", capsys)
+    assert "straggler" in out
+    assert "verdict" in out

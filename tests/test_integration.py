@@ -1,0 +1,178 @@
+"""End-to-end integration tests across the library's layers.
+
+Each test walks a full user journey — measure, fingerprint, plan,
+execute, analyze, report — rather than exercising a single module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import Ec2Provider, default_providers
+from repro.core import (
+    ExperimentDesign,
+    ExperimentReport,
+    ExperimentRunner,
+    ResetPolicy,
+    analyze_sample,
+    recommend_repetitions,
+    recommend_rest_duration,
+    render_report,
+    verify_baseline,
+)
+from repro.core.runner import SimulatorExperiment
+from repro.emulator import FULL_SPEED, TEN_THIRTY
+from repro.measurement import (
+    BandwidthProbe,
+    TraceRepository,
+    CampaignConfig,
+    fingerprint_link,
+    run_campaign,
+)
+from repro.paper._common import token_bucket_cluster
+from repro.stats import compare_groups
+from repro.workloads import hibench_job, tpcds_job
+
+
+class TestMeasureToReport:
+    """Measure a cloud, plan an experiment, publish a report."""
+
+    def test_full_methodology_journey(self):
+        rng = np.random.default_rng(0)
+        provider = Ec2Provider()
+
+        # 1. Fingerprint (F5.2).
+        fp = fingerprint_link(
+            provider.link_model("c5.xlarge", rng), provider.latency_model(), rng=rng
+        )
+        assert fp.token_bucket.detected
+
+        # 2. Pilot + planning.
+        experiment = SimulatorExperiment(
+            token_bucket_cluster(400.0),
+            hibench_job("WC"),
+            rng=np.random.default_rng(1),
+            budget_gbit=400.0,
+            run_noise_cov=0.03,
+        )
+        pilot = ExperimentRunner(ExperimentDesign(repetitions=10)).collect(
+            experiment
+        )
+        needed = recommend_repetitions(pilot, error_bound=0.03)
+        rest = recommend_rest_duration(fp.token_bucket, refill_fraction=0.2)
+        assert needed >= 6
+        assert rest > 0
+
+        # 3. Execute the planned design with rests.
+        design = ExperimentDesign(
+            repetitions=min(int(needed), 25),
+            reset_policy=ResetPolicy.REST,
+            rest_s=float(rest),
+            error_bound=0.03,
+        )
+        samples = ExperimentRunner(design).collect(experiment)
+
+        # 4. Analyze and publish.
+        report = ExperimentReport.build(
+            title="integration", samples=samples, design=design, fingerprint=fp
+        )
+        text = render_report(report)
+        assert "token bucket:   detected" in text
+        assert not report.analysis.iid_violated
+
+    def test_baseline_guard_detects_policy_change(self):
+        rng = np.random.default_rng(2)
+        pre = Ec2Provider(era="pre-2019-08")
+        post = Ec2Provider(era="post-2019-08", five_gbps_fraction=1.0)
+        fp_published = fingerprint_link(
+            pre.link_model("c5.xlarge", rng), pre.latency_model(), rng=rng
+        )
+        fp_now = fingerprint_link(
+            post.link_model("c5.xlarge", rng), post.latency_model(), rng=rng
+        )
+        ok, problems = verify_baseline(fp_published, fp_now)
+        assert not ok
+        assert problems
+
+
+class TestCampaignToRepositoryToAnalysis:
+    """Archive a measurement campaign and re-analyze it from disk."""
+
+    def test_roundtrip_analysis(self, tmp_path):
+        config = CampaignConfig(
+            provider_name="google",
+            instance_name="gce-8core",
+            duration_s=7_200.0,
+            seed=9,
+        )
+        result = run_campaign(config)
+        repo = TraceRepository(tmp_path / "archive")
+        repo.store("gce-pilot", result)
+
+        reloaded = repo.load("gce-pilot")
+        trace = reloaded.trace("full-speed")
+        medians = trace.resample_medians(window_s=600.0)
+        report = analyze_sample(medians.values)
+        assert report.dispersion.median == pytest.approx(15.0, abs=1.5)
+
+    def test_every_provider_campaign_runs(self):
+        for name in default_providers():
+            instance = {
+                "amazon": "c5.xlarge",
+                "google": "gce-4core",
+                "hpccloud": "hpccloud-4core",
+            }[name]
+            config = CampaignConfig(
+                provider_name=name, instance_name=instance, duration_s=3_600.0
+            )
+            result = run_campaign(config)
+            assert result.exhibits_variability
+
+
+class TestCrossLayerConsistency:
+    """The same shaping constants must agree across layers."""
+
+    def test_probe_trace_matches_analytic_time_to_empty(self):
+        # The empirical drop instant in a measured trace must agree
+        # with the incarnation's own analytic time-to-empty: the probe,
+        # emulator, and model layers all see the same bucket.
+        provider = Ec2Provider()
+        model = provider.link_model("c5.xlarge", np.random.default_rng(3))
+        analytic_tte = model.params.time_to_empty_s
+        trace = BandwidthProbe(model, FULL_SPEED).run(3_600.0)
+        drop_index = int(np.argmax(trace.values < 5.0))
+        probe_tte = trace.times[drop_index]
+        assert probe_tte == pytest.approx(analytic_tte, abs=10.0)
+
+    def test_group_comparison_separates_budgets(self):
+        def samples(budget, seed):
+            experiment = SimulatorExperiment(
+                token_bucket_cluster(budget),
+                tpcds_job(65, n_nodes=12, slots=4),
+                rng=np.random.default_rng(seed),
+                budget_gbit=budget,
+            )
+            out = np.empty(8)
+            for i in range(8):
+                if i > 0:
+                    experiment.reset()
+                out[i] = experiment.measure()
+            return out
+
+        fresh = samples(5_000.0, 4)
+        depleted = samples(10.0, 5)
+        verdict = compare_groups([fresh, depleted])
+        assert verdict.reject_null
+
+    def test_intermittent_pattern_preserves_budget_in_simulator_terms(self):
+        # The Figure 6/10 mechanism at probe level: a 10-30 pattern
+        # moves comparable data to full-speed over a long window.
+        provider = Ec2Provider()
+        rng = np.random.default_rng(6)
+        full = BandwidthProbe(
+            provider.link_model("c5.xlarge", rng), FULL_SPEED
+        ).run(259_200.0)
+        intermittent = BandwidthProbe(
+            provider.link_model("c5.xlarge", rng), TEN_THIRTY
+        ).run(259_200.0)
+        ratio = intermittent.total_traffic_gbit() / full.total_traffic_gbit()
+        assert 0.6 < ratio < 1.6

@@ -1,0 +1,162 @@
+"""Tests for the time-series containers."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    BandwidthTrace,
+    BoxSummary,
+    RttTrace,
+    TimeSeries,
+    concat_series,
+    summarize_box,
+)
+
+
+@pytest.fixture
+def simple_series():
+    times = np.arange(0.0, 100.0, 10.0)
+    values = np.linspace(1.0, 10.0, 10)
+    return TimeSeries(times, values, label="test")
+
+
+class TestBoxSummary:
+    def test_quantiles_of_known_sample(self):
+        box = summarize_box(np.arange(1, 101, dtype=float))
+        assert box.p50 == pytest.approx(50.5)
+        assert box.p25 < box.p50 < box.p75
+        assert box.p01 < box.p25
+        assert box.p99 > box.p75
+
+    def test_iqr_and_whiskers(self):
+        box = BoxSummary(p01=1, p25=3, p50=5, p75=8, p99=12)
+        assert box.iqr == 5
+        assert box.whisker_span == 11
+        assert box.as_dict()["p50"] == 5
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_box([])
+
+
+class TestTimeSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.arange(3), np.arange(4))
+
+    def test_basic_statistics(self, simple_series):
+        assert len(simple_series) == 10
+        assert simple_series.duration == 90.0
+        assert simple_series.mean() == pytest.approx(5.5)
+        assert simple_series.median() == pytest.approx(5.5)
+        assert simple_series.percentile(50) == pytest.approx(5.5)
+
+    def test_cov(self, simple_series):
+        cov = simple_series.coefficient_of_variation()
+        assert cov == pytest.approx(np.std(simple_series.values) / 5.5)
+
+    def test_cov_zero_mean_rejected(self):
+        series = TimeSeries(np.arange(2.0), np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            series.coefficient_of_variation()
+
+    def test_cdf_is_monotone(self, simple_series):
+        values, probs = simple_series.cdf()
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(probs) > 0)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_consecutive_relative_change(self):
+        series = TimeSeries(np.arange(3.0), np.array([10.0, 15.0, 7.5]))
+        change = series.consecutive_relative_change()
+        assert change == pytest.approx([0.5, 0.5])
+
+    def test_consecutive_change_single_sample(self):
+        series = TimeSeries(np.array([0.0]), np.array([1.0]))
+        assert series.consecutive_relative_change().size == 0
+
+    def test_resample_medians(self):
+        times = np.arange(0.0, 40.0, 1.0)
+        values = np.concatenate([np.full(20, 1.0), np.full(20, 3.0)])
+        series = TimeSeries(times, values)
+        resampled = series.resample_medians(window_s=20.0)
+        assert len(resampled) == 2
+        assert resampled.values == pytest.approx([1.0, 3.0])
+
+    def test_resample_requires_positive_window(self, simple_series):
+        with pytest.raises(ValueError):
+            simple_series.resample_medians(0.0)
+
+    def test_slice_time(self, simple_series):
+        part = simple_series.slice_time(20.0, 50.0)
+        assert len(part) == 3
+        assert part.times[0] == 20.0
+
+    def test_json_roundtrip(self, simple_series, tmp_path):
+        path = tmp_path / "series.json"
+        simple_series.save(path)
+        loaded = TimeSeries.load(path)
+        assert loaded.label == "test"
+        assert loaded.values == pytest.approx(simple_series.values)
+
+
+class TestBandwidthTrace:
+    def test_default_retransmissions_are_zero(self):
+        trace = BandwidthTrace(np.arange(3.0), np.ones(3))
+        assert trace.total_retransmissions() == 0.0
+
+    def test_retransmission_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.arange(3.0), np.ones(3), retransmissions=np.ones(2))
+
+    def test_traffic_accounting(self):
+        trace = BandwidthTrace(np.arange(0.0, 30.0, 10.0), np.array([1.0, 2.0, 3.0]))
+        assert trace.total_traffic_gbit() == pytest.approx(60.0)
+        cumulative = trace.cumulative_traffic_gbit()
+        assert cumulative[-1] == pytest.approx(60.0)
+        assert np.all(np.diff(cumulative) > 0)
+
+    def test_traffic_accounting_with_burst_durations(self):
+        # A 5-second burst sample must not be billed as a 10-second
+        # window (this mattered for Figure 10's 5-30 totals).
+        trace = BandwidthTrace(
+            np.array([0.0, 35.0]),
+            np.array([10.0, 10.0]),
+            durations=np.array([5.0, 5.0]),
+        )
+        assert trace.total_traffic_gbit() == pytest.approx(100.0)
+
+    def test_duration_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(
+                np.arange(3.0), np.ones(3), durations=np.ones(2)
+            )
+
+    def test_roundtrip_with_retransmissions(self):
+        trace = BandwidthTrace(
+            np.arange(2.0), np.ones(2), retransmissions=np.array([5.0, 7.0])
+        )
+        clone = BandwidthTrace.from_dict(trace.to_dict())
+        assert clone.total_retransmissions() == 12.0
+
+    def test_bandwidth_alias(self):
+        trace = BandwidthTrace(np.arange(2.0), np.array([4.0, 5.0]))
+        assert trace.bandwidth_gbps is trace.values
+
+
+class TestRttTrace:
+    def test_tail_latency(self):
+        trace = RttTrace(np.arange(100.0), np.arange(100.0))
+        assert trace.tail_latency_ms(99) == pytest.approx(98.01)
+        assert trace.rtt_ms is trace.values
+
+
+def test_concat_series(simple_series):
+    combined = concat_series([simple_series, simple_series], label="both")
+    assert len(combined) == 20
+    assert combined.label == "both"
+
+
+def test_concat_empty():
+    combined = concat_series([])
+    assert len(combined) == 0

@@ -1,0 +1,158 @@
+"""Tests for the HiBench and TPC-DS workload models."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import TokenBucketModel, TokenBucketParams
+from repro.simulator import Cluster, SparkEngine
+from repro.workloads import (
+    HIBENCH_APPS,
+    HIBENCH_CODES,
+    TPCDS_QUERIES,
+    hibench_job,
+    tpcds_catalog,
+    tpcds_job,
+)
+
+TB = TokenBucketParams(
+    peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.95, capacity_gbit=5_400.0
+)
+
+
+def bucket_cluster(budget):
+    return Cluster.paper_testbed(lambda n: TokenBucketModel(TB.with_budget(budget)))
+
+
+def run(job, budget, seed=0):
+    engine = SparkEngine(bucket_cluster(budget), rng=np.random.default_rng(seed))
+    return engine.run(job).runtime_s
+
+
+class TestHiBenchCatalog:
+    def test_five_applications(self):
+        assert set(HIBENCH_APPS) == {"terasort", "wordcount", "sort", "kmeans", "bayes"}
+        assert set(HIBENCH_CODES) == {"TS", "WC", "S", "KM", "BS"}
+
+    def test_lookup_by_code_and_name(self):
+        assert hibench_job("TS").name == "terasort"
+        assert hibench_job("kmeans").name == "kmeans"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            hibench_job("mystery")
+
+    def test_kmeans_iterations(self):
+        from repro.workloads import build_kmeans
+
+        job = build_kmeans(iterations=6)
+        assert sum(1 for s in job.stages if s.name.startswith("iteration")) == 6
+        with pytest.raises(ValueError):
+            build_kmeans(iterations=0)
+
+    def test_network_intensity_ordering(self):
+        # Figure 16's premise: TS and WC are the network-hungry apps.
+        intensity = {
+            code: hibench_job(code).network_intensity()
+            for code in ("TS", "WC", "S", "KM", "BS")
+        }
+        assert intensity["TS"] > intensity["S"] > intensity["KM"]
+        assert intensity["WC"] > intensity["BS"]
+
+    def test_data_scale_scales_volumes(self):
+        small = hibench_job("TS", data_scale=0.1)
+        full = hibench_job("TS", data_scale=1.0)
+        assert small.total_network_gbit == pytest.approx(
+            full.total_network_gbit * 0.1, rel=0.05
+        )
+
+    def test_geometry_controls_task_counts(self):
+        job = hibench_job("TS", n_nodes=16, slots=2)
+        assert job.stages[0].num_tasks == 16 * 2 * 2
+
+
+class TestHiBenchBehaviour:
+    def test_terasort_budget_sensitivity(self):
+        # F4.2: 25-50%+ impact for network-intensive applications.
+        job = hibench_job("TS")
+        fast = run(job, 5_000.0)
+        slow = run(job, 10.0)
+        assert slow > 1.25 * fast
+
+    def test_kmeans_budget_agnostic(self):
+        job = hibench_job("KM")
+        fast = run(job, 5_000.0)
+        slow = run(job, 10.0)
+        assert slow < 1.1 * fast
+
+    def test_runtimes_in_figure16_range(self):
+        # Figure 16's vertical axis spans 0-1000 s.
+        for code in ("TS", "WC", "S", "KM", "BS"):
+            for budget in (5_000.0, 10.0):
+                runtime = run(hibench_job(code), budget)
+                assert 30.0 < runtime < 1_000.0
+
+
+class TestTpcdsCatalog:
+    def test_twenty_one_queries(self):
+        assert len(TPCDS_QUERIES) == 21
+        assert TPCDS_QUERIES == tuple(sorted(TPCDS_QUERIES))
+
+    def test_figure17_query_list(self):
+        expected = (3, 7, 19, 27, 34, 42, 43, 46, 52, 53, 55, 59, 63, 65,
+                    68, 70, 73, 79, 82, 89, 98)
+        assert TPCDS_QUERIES == expected
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(KeyError):
+            tpcds_job(1)
+
+    def test_scale_factor_scales_volumes(self):
+        full = tpcds_job(65, scale_factor=2_000.0)
+        half = tpcds_job(65, scale_factor=1_000.0)
+        assert half.total_network_gbit == pytest.approx(
+            full.total_network_gbit / 2.0, rel=0.05
+        )
+        with pytest.raises(ValueError):
+            tpcds_job(65, scale_factor=0.0)
+
+    def test_classes_cover_expected_queries(self):
+        catalog = tpcds_catalog()
+        assert catalog[65].network_class == "heavy"
+        assert catalog[68].network_class == "heavy"
+        assert catalog[82].network_class == "compute-only"
+        assert catalog[42].network_class == "light"
+
+
+class TestTpcdsBehaviour:
+    def test_q65_budget_dependent_q82_agnostic(self):
+        # The two extremes of Figure 19.
+        q65_fast = run(tpcds_job(65), 5_000.0)
+        q65_slow = run(tpcds_job(65), 10.0)
+        q82_fast = run(tpcds_job(82), 5_000.0)
+        q82_slow = run(tpcds_job(82), 10.0)
+        assert q65_slow > 1.8 * q65_fast
+        assert q82_slow < 1.05 * q82_fast
+
+    def test_heavy_queries_slower_than_light_at_low_budget(self):
+        heavy = run(tpcds_job(65), 10.0)
+        light = run(tpcds_job(42), 10.0)
+        assert heavy > 2 * light
+
+    def test_most_queries_budget_sensitive(self):
+        # Figure 19 (bottom): ~80% of queries have budget-dependent
+        # performance.  Spot-check a sample for test speed.
+        sensitive = 0
+        sample = (3, 7, 19, 42, 53, 65, 68, 82, 89, 98)
+        for query in sample:
+            fast = run(tpcds_job(query), 5_000.0)
+            slow = run(tpcds_job(query), 10.0)
+            if slow > 1.1 * fast:
+                sensitive += 1
+        assert sensitive >= 0.7 * (len(sample) - 1)
+
+    def test_runtimes_in_figure17_range(self):
+        # Figure 17b's axis: 0-200 s.
+        for query in (3, 65, 82):
+            for budget in (5_000.0, 10.0):
+                runtime = run(tpcds_job(query), budget)
+                assert 10.0 < runtime < 220.0
