@@ -1,0 +1,64 @@
+"""Scenario campaigns: randomized multi-job sweeps at two scales.
+
+The fast benchmark runs the CLI-default matrix (8 cells, small
+clusters, 5 % data scale) and checks orchestrator invariants: worker
+count must not change the rows, and a warm repository must satisfy the
+whole matrix from cache.  The slow benchmark runs the full-scale
+matrix — 12-node clusters, full data volumes, enough jobs per cell for
+CONFIRM verdicts — and is marked ``slow`` so tier-1 runs skip it.
+"""
+
+import tempfile
+
+import pytest
+from conftest import print_rows, run_once
+
+from repro.measurement import TraceRepository
+from repro.scenarios import ScenarioCampaign, scenario_matrix
+
+
+def _run_matrix(configs, workers, repository=None):
+    return ScenarioCampaign(
+        configs, repository=repository, workers=workers
+    ).run()
+
+
+def test_scenario_sweep_fast(benchmark):
+    configs = scenario_matrix(
+        providers=("amazon", "google"),
+        arrival_rates=(1.0, 4.0),
+        n_jobs=3,
+        n_nodes=4,
+        data_scale=0.05,
+        seed=7,
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        repository = TraceRepository(cache_dir)
+        outcome = run_once(benchmark, _run_matrix, configs, 4, repository)
+        print_rows("scenario sweep (fast matrix)", outcome.aggregate_rows())
+
+        serial = _run_matrix(configs, workers=1)
+        assert serial.aggregate_rows() == outcome.aggregate_rows()
+
+        cached = _run_matrix(configs, workers=4, repository=repository)
+        assert cached.cache_hit_fraction == 1.0
+        assert cached.aggregate_rows() == outcome.aggregate_rows()
+
+
+@pytest.mark.slow
+def test_scenario_sweep_full(benchmark):
+    configs = scenario_matrix(
+        providers=("amazon", "google", "hpccloud"),
+        arrival_rates=(0.5, 2.0, 8.0),
+        workloads=("mixed", "random", "tpch"),
+        n_jobs=16,
+        n_nodes=12,
+        data_scale=1.0,
+        seed=7,
+    )
+    outcome = run_once(benchmark, _run_matrix, configs, 8)
+    rows = outcome.aggregate_rows()
+    print_rows("scenario sweep (full matrix)", rows)
+    assert len(rows) == len(configs)
+    # At full scale every cell has enough jobs for a CONFIRM verdict.
+    assert all(row["ci_widened"] is not None for row in rows)

@@ -10,8 +10,12 @@ Uta et al., packaged as a reusable library:
 * :mod:`repro.emulator` — the ``tc``-style bandwidth emulation rig;
 * :mod:`repro.measurement` — iperf/RTT probes, week-long campaigns,
   and baseline fingerprinting;
-* :mod:`repro.simulator` — a discrete-event Spark-like cluster engine;
+* :mod:`repro.simulator` — a discrete-event Spark-like cluster engine
+  with single-job and multi-tenant job-stream execution;
 * :mod:`repro.workloads` — HiBench and TPC-DS workload models;
+* :mod:`repro.scenarios` — randomized workload generation (random DAG
+  jobs, TPC-H-like templates, Poisson/burst arrivals) and parallel,
+  cache-aware scenario-campaign orchestration;
 * :mod:`repro.stats` — nonparametric CIs, CONFIRM, assumption tests;
 * :mod:`repro.survey` — the literature-survey pipeline of Section 2;
 * :mod:`repro.core` — the variability-aware experimentation
@@ -30,6 +34,11 @@ Quickstart::
     model = provider.link_model("c5.xlarge", np.random.default_rng(0))
     trace = BandwidthProbe(model, FULL_SPEED).run(duration_s=3600.0)
     print(trace.box_summary())   # the token-bucket drop is visible
+
+Scenario sweeps (randomized multi-job workloads across providers,
+arrival rates, and schedulers) run from the shell::
+
+    python -m repro scenario --fast --seed 7 --workers 4
 """
 
 __version__ = "1.0.0"

@@ -5,16 +5,21 @@ Usage::
     python -m repro list                 # what can be regenerated
     python -m repro fig06                # print Figure 6's rows
     python -m repro fig16 --fast         # reduced run counts
+    python -m repro fig16 --seed 3       # a different random draw
     python -m repro table3
     python -m repro fingerprint c5.xlarge
+    python -m repro scenario --fast --seed 7   # randomized sweep
 
 Output is the same row data the benchmark harness prints; ``--fast``
-shrinks run counts / durations for a quick look.
+shrinks run counts / durations for a quick look.  Every stochastic
+artifact accepts ``--seed`` so shell invocations are reproducible;
+omitting it keeps each artifact's published default seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
 
@@ -88,6 +93,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
         print(f"  {name:8s} {description}")
     print("other:")
     print("  fingerprint <instance>   F5.2 baseline for an EC2 instance type")
+    print("  scenario                 randomized multi-job scenario sweep")
     return 0
 
 
@@ -97,7 +103,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     name = args.artifact
     module = importlib.import_module(f"repro.paper.{name}")
     _, fast_kwargs, full_kwargs = _FIGURES[name]
-    kwargs = fast_kwargs if args.fast else full_kwargs
+    kwargs = dict(fast_kwargs if args.fast else full_kwargs)
+    if args.seed is not None:
+        if "seed" in inspect.signature(module.reproduce).parameters:
+            kwargs["seed"] = args.seed
+        else:
+            print(
+                f"note: {name} is deterministic; --seed ignored",
+                file=sys.stderr,
+            )
     result = module.reproduce(**kwargs)
     print(f"== {name}: {_FIGURES[name][0]} ==")
     _figure_rows(name, result)
@@ -143,6 +157,49 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.measurement.repository import (
+        RepositoryCorruptionError,
+        TraceRepository,
+    )
+    from repro.scenarios import ScenarioCampaign, scenario_matrix
+
+    if args.fast:
+        n_jobs, n_nodes, data_scale = 3, 4, 0.05
+    else:
+        n_jobs, n_nodes, data_scale = 8, 12, 1.0
+    try:
+        configs = scenario_matrix(
+            providers=tuple(args.providers.split(",")),
+            arrival_rates=tuple(float(r) for r in args.arrival_rates.split(",")),
+            schedulers=tuple(args.schedulers.split(",")),
+            workloads=tuple(args.workloads.split(",")),
+            n_jobs=n_jobs,
+            n_nodes=n_nodes,
+            data_scale=data_scale,
+            seed=args.seed,
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        repository = TraceRepository(args.repo) if args.repo else None
+        campaign = ScenarioCampaign(
+            configs, repository=repository, workers=args.workers
+        )
+        outcome = campaign.run()
+    except (ValueError, RepositoryCorruptionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"== scenario sweep: {len(configs)} cells ==")
+    _print_rows(outcome.aggregate_rows())
+    print(
+        f"  computed={len(outcome.computed_ids)} "
+        f"cached={len(outcome.cached_ids)} workers={args.workers}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -162,11 +219,50 @@ def build_parser() -> argparse.ArgumentParser:
             "--fast", action="store_true",
             help="reduced run counts / durations",
         )
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="RNG seed (default: the artifact's published seed)",
+        )
         p.set_defaults(handler=_cmd_figure, artifact=name)
 
     for name in _TABLES:
         p = sub.add_parser(name, help=_TABLES[name])
         p.set_defaults(handler=_cmd_table, artifact=name)
+
+    p = sub.add_parser(
+        "scenario",
+        help="randomized multi-job scenario sweep (provider x rate x scheduler)",
+    )
+    p.add_argument(
+        "--fast", action="store_true",
+        help="small clusters, few jobs, scaled-down data",
+    )
+    p.add_argument("--seed", type=int, default=0, help="matrix base seed")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for pending cells",
+    )
+    p.add_argument(
+        "--repo", default=None, metavar="DIR",
+        help="TraceRepository directory; completed cells are cached there",
+    )
+    p.add_argument(
+        "--providers", default="amazon,google",
+        help="comma-separated provider names",
+    )
+    p.add_argument(
+        "--arrival-rates", default="1.0,4.0",
+        help="comma-separated Poisson rates (jobs/minute)",
+    )
+    p.add_argument(
+        "--schedulers", default="fifo,fair",
+        help="comma-separated slot schedulers",
+    )
+    p.add_argument(
+        "--workloads", default="mixed",
+        help="comma-separated workload mixes (mixed,random,tpch,hibench)",
+    )
+    p.set_defaults(handler=_cmd_scenario)
 
     p = sub.add_parser("fingerprint", help="F5.2 baseline for an instance")
     p.add_argument("instance", help="EC2 instance type, e.g. c5.xlarge")

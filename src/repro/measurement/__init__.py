@@ -30,7 +30,10 @@ from repro.measurement.fingerprint import (
     identify_token_bucket,
 )
 from repro.measurement.iperf import BandwidthProbe
-from repro.measurement.repository import TraceRepository
+from repro.measurement.repository import (
+    RepositoryCorruptionError,
+    TraceRepository,
+)
 from repro.measurement.rtt import LatencyProbe
 
 __all__ = [
@@ -39,6 +42,7 @@ __all__ = [
     "BandwidthProbe",
     "LatencyProbe",
     "TraceRepository",
+    "RepositoryCorruptionError",
     "CampaignConfig",
     "CampaignResult",
     "run_campaign",

@@ -25,9 +25,30 @@ from pathlib import Path
 from repro.measurement.campaign import CampaignConfig, CampaignResult
 from repro.trace import BandwidthTrace
 
-__all__ = ["TraceRepository"]
+__all__ = ["TraceRepository", "RepositoryCorruptionError"]
 
 _ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class RepositoryCorruptionError(RuntimeError):
+    """A manifest entry and the files on disk disagree.
+
+    Raised when loading a campaign whose directory, config, or trace
+    files have gone missing behind the manifest's back (partial copy,
+    manual deletion, interrupted store) — a distinct failure from the
+    ``KeyError`` of asking for a campaign that was never stored.
+    """
+
+
+def _validate_id(campaign_id: str) -> None:
+    # fullmatch (not match) so a trailing newline cannot ride along,
+    # and all-dot names are refused: "." and ".." are valid per the
+    # character class but resolve outside the campaign's directory.
+    if not _ID_RE.fullmatch(campaign_id) or set(campaign_id) <= {"."}:
+        raise ValueError(
+            f"campaign id {campaign_id!r} must be filesystem-safe "
+            "(letters, digits, dot, dash, underscore; not all dots)"
+        )
 
 
 @dataclass(frozen=True)
@@ -66,11 +87,7 @@ class TraceRepository:
     # -- store / load ------------------------------------------------------
     def store(self, campaign_id: str, result: CampaignResult) -> Path:
         """Persist a campaign result; refuses to overwrite silently."""
-        if not _ID_RE.match(campaign_id):
-            raise ValueError(
-                f"campaign id {campaign_id!r} must be filesystem-safe "
-                "(letters, digits, dot, dash, underscore)"
-            )
+        _validate_id(campaign_id)
         if campaign_id in self:
             raise ValueError(f"campaign {campaign_id!r} already stored")
         directory = self.root / campaign_id
@@ -104,11 +121,26 @@ class TraceRepository:
         return directory
 
     def load(self, campaign_id: str) -> CampaignResult:
-        """Reload a stored campaign result."""
+        """Reload a stored campaign result.
+
+        Raises :class:`ValueError` for an unsafe id (so a crafted id in
+        a shared manifest can never escape the repository root),
+        :class:`KeyError` for an unknown campaign, and
+        :class:`RepositoryCorruptionError` when the manifest points at
+        files that no longer exist.
+        """
+        _validate_id(campaign_id)
         if campaign_id not in self:
             raise KeyError(f"no stored campaign {campaign_id!r}")
         directory = self.root / campaign_id
-        meta = json.loads((directory / "config.json").read_text())
+        config_path = directory / "config.json"
+        if not config_path.exists():
+            raise RepositoryCorruptionError(
+                f"campaign {campaign_id!r} is in the manifest but its "
+                f"config file {config_path} is missing; the store is "
+                "corrupt — delete the manifest entry or restore the files"
+            )
+        meta = json.loads(config_path.read_text())
         config = CampaignConfig(
             provider_name=meta["provider_name"],
             instance_name=meta["instance_name"],
@@ -119,19 +151,33 @@ class TraceRepository:
         )
         result = CampaignResult(config=config)
         for pattern in meta["patterns"]:
+            trace_path = directory / f"{pattern}.json"
+            if not trace_path.exists():
+                raise RepositoryCorruptionError(
+                    f"campaign {campaign_id!r} lists pattern {pattern!r} "
+                    f"but its trace file {trace_path} is missing; the "
+                    "store is corrupt — re-run the campaign or delete it"
+                )
             result.traces[pattern] = BandwidthTrace.from_dict(
-                json.loads((directory / f"{pattern}.json").read_text())
+                json.loads(trace_path.read_text())
             )
         return result
 
     def delete(self, campaign_id: str) -> None:
-        """Remove a stored campaign and its files."""
+        """Remove a stored campaign and its files.
+
+        Tolerates a missing campaign directory (the corrupt
+        manifest-only state :meth:`load` reports) so a broken entry can
+        always be cleared, as the corruption error's message advises.
+        """
+        _validate_id(campaign_id)
         if campaign_id not in self:
             raise KeyError(f"no stored campaign {campaign_id!r}")
         directory = self.root / campaign_id
-        for path in directory.glob("*.json"):
-            path.unlink()
-        directory.rmdir()
+        if directory.exists():
+            for path in directory.glob("*.json"):
+                path.unlink()
+            directory.rmdir()
         manifest = self._read_manifest()
         del manifest[campaign_id]
         self._write_manifest(manifest)

@@ -1,0 +1,429 @@
+"""Campaign orchestration: scenario matrices, caching, parallelism.
+
+KheOps-style campaign economics: a variability study is only as broad
+as the number of (provider, instance, arrival pattern, scheduler)
+cells it can afford to run, so the orchestrator makes cells cheap —
+
+* every :class:`ScenarioConfig` is content-hashed into a stable
+  ``scenario_id``, so a :class:`~repro.measurement.repository.TraceRepository`
+  can skip cells that already ran (re-running a sweep after adding one
+  arrival rate only executes the new column);
+* pending cells fan out across a ``multiprocessing`` pool — each cell
+  is a pure function of its config, so worker count never changes the
+  results, only the wall clock;
+* per-cell results aggregate through :mod:`repro.stats` into CoV and
+  CONFIRM-widening verdicts, the same statistics the paper reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.cloud.providers import default_providers
+from repro.measurement.campaign import CampaignConfig, CampaignResult
+from repro.measurement.repository import TraceRepository
+from repro.scenarios.generate import (
+    RandomDagConfig,
+    WorkloadMix,
+    burst_arrivals,
+    job_stream,
+    poisson_arrivals,
+)
+from repro.simulator.cluster import Cluster, NodeSpec
+from repro.simulator.engine import SCHEDULERS, SparkEngine
+from repro.stats.confirm import confirm_curve
+from repro.stats.cov import coefficient_of_variation
+from repro.trace import BandwidthTrace
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ScenarioCampaign",
+    "CampaignOutcome",
+    "run_scenario",
+    "scenario_matrix",
+    "DEFAULT_INSTANCES",
+]
+
+#: Default instance type per provider, matching the Table 3 catalog.
+DEFAULT_INSTANCES: dict[str, str] = {
+    "amazon": "c5.xlarge",
+    "google": "gce-4core",
+    "hpccloud": "hpccloud-8core",
+}
+
+#: Workload keyword -> generator mix.
+_MIXES: dict[str, WorkloadMix] = {
+    "mixed": WorkloadMix(),
+    "random": WorkloadMix(1.0, 0.0, 0.0),
+    "tpch": WorkloadMix(0.0, 1.0, 0.0),
+    "hibench": WorkloadMix(0.0, 0.0, 1.0),
+}
+
+#: Arrival-process keywords.
+_ARRIVALS: tuple[str, ...] = ("poisson", "burst")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One cell of a scenario matrix, fully determining its result."""
+
+    provider_name: str = "amazon"
+    instance_name: str = "c5.xlarge"
+    n_nodes: int = 8
+    slots: int = 4
+    n_jobs: int = 4
+    #: Poisson rate (jobs/minute) or burst cadence, per ``arrival``.
+    arrival_rate_per_min: float = 2.0
+    arrival: str = "poisson"
+    scheduler: str = "fifo"
+    workload: str = "mixed"
+    data_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalize numeric fields so equal configs hash equally:
+        # json.dumps renders 1 and 1.0 differently, and the scenario_id
+        # contract is "same fields => same id".
+        object.__setattr__(
+            self, "arrival_rate_per_min", float(self.arrival_rate_per_min)
+        )
+        object.__setattr__(self, "data_scale", float(self.data_scale))
+        for name in ("n_nodes", "slots", "n_jobs", "seed"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"expected one of {_ARRIVALS}"
+            )
+        if self.workload not in _MIXES:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"expected one of {sorted(_MIXES)}"
+            )
+        if self.n_nodes < 2 or self.slots < 1 or self.n_jobs < 1:
+            raise ValueError("n_nodes >= 2, slots >= 1, n_jobs >= 1 required")
+        if self.arrival_rate_per_min <= 0 or self.data_scale <= 0:
+            raise ValueError("rates and scales must be positive")
+
+    @property
+    def scenario_id(self) -> str:
+        """Content hash of the config: the repository cache key.
+
+        Two configs share an id exactly when every field matches, so a
+        stored result can stand in for re-execution.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True)
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return f"scn-{digest}"
+
+
+@dataclass
+class ScenarioResult:
+    """Per-job outcomes of one scenario cell."""
+
+    config: ScenarioConfig
+    #: Submission times, in submit order (seconds from stream start).
+    submits: np.ndarray
+    #: Per-job response times aligned with :attr:`submits`.
+    runtimes: np.ndarray
+    makespan_s: float
+    #: Job names, absent when reloaded from a repository cache.
+    job_names: tuple[str, ...] | None = None
+    cached: bool = False
+
+    def aggregate_row(self) -> dict:
+        """One sweep-table row: config axes plus CoV/CONFIRM verdicts.
+
+        Values are rounded so rows compare bit-for-bit across workers
+        and across cache reload (JSON round-trips floats exactly).
+        """
+        cov = (
+            coefficient_of_variation(self.runtimes)
+            if self.runtimes.size > 1 and float(np.mean(self.runtimes)) != 0.0
+            else 0.0
+        )
+        ci_widened = None
+        if self.runtimes.size >= 12:
+            ci_widened = confirm_curve(self.runtimes).widening_detected()
+        return {
+            "scenario": self.config.scenario_id,
+            "provider": self.config.provider_name,
+            "instance": self.config.instance_name,
+            "arrival": self.config.arrival,
+            "rate_per_min": self.config.arrival_rate_per_min,
+            "scheduler": self.config.scheduler,
+            "workload": self.config.workload,
+            "n_jobs": int(self.runtimes.size),
+            "mean_runtime_s": round(float(np.mean(self.runtimes)), 3),
+            "p50_runtime_s": round(float(np.median(self.runtimes)), 3),
+            "max_runtime_s": round(float(np.max(self.runtimes)), 3),
+            "makespan_s": round(float(self.makespan_s), 3),
+            "cov": round(float(cov), 4),
+            "ci_widened": ci_widened,
+        }
+
+    # -- repository round-trip ---------------------------------------------
+    def to_campaign_result(self) -> CampaignResult:
+        """Encode the cell as a storable campaign (runtimes as a trace)."""
+        config = CampaignConfig(
+            provider_name=self.config.provider_name,
+            instance_name=self.config.instance_name,
+            duration_s=float(self.makespan_s),
+            patterns=(),
+            seed=self.config.seed,
+        )
+        trace = BandwidthTrace(
+            times=self.submits,
+            values=self.runtimes,
+            label=f"scenario-runtimes/{self.config.scenario_id}",
+            durations=np.ones_like(self.runtimes),
+        )
+        result = CampaignResult(config=config)
+        result.traces["runtimes"] = trace
+        return result
+
+    @classmethod
+    def from_campaign_result(
+        cls, config: ScenarioConfig, stored: CampaignResult
+    ) -> "ScenarioResult":
+        """Rebuild a cell from its stored trace (cache hit)."""
+        trace = stored.trace("runtimes")
+        return cls(
+            config=config,
+            submits=np.asarray(trace.times, dtype=float),
+            runtimes=np.asarray(trace.values, dtype=float),
+            makespan_s=float(stored.config.duration_s),
+            job_names=None,
+            cached=True,
+        )
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Execute one scenario cell end to end.
+
+    A pure function of ``config``: provider incarnations, the arrival
+    process, the job mix, and the engine's compute noise all derive
+    from one seeded generator, so the same config always produces the
+    same result regardless of where (or how parallel) it runs.
+    """
+    rng = np.random.default_rng(config.seed)
+    provider = default_providers()[config.provider_name]
+    models = [
+        provider.link_model(config.instance_name, rng)
+        for _ in range(config.n_nodes)
+    ]
+    cluster = Cluster(
+        n_nodes=config.n_nodes,
+        node_spec=NodeSpec(slots=config.slots),
+        link_model_factory=lambda node: models[node],
+    )
+    if config.arrival == "burst":
+        per_burst = max(config.n_jobs // 2, 1)
+        n_bursts = -(-config.n_jobs // per_burst)  # ceil
+        times = burst_arrivals(
+            rng,
+            n_bursts=n_bursts,
+            jobs_per_burst=per_burst,
+            burst_spacing_s=60.0 / config.arrival_rate_per_min * per_burst,
+        )[: config.n_jobs]
+    else:
+        times = poisson_arrivals(
+            rng, rate_per_min=config.arrival_rate_per_min, n_jobs=config.n_jobs
+        )
+    stream = job_stream(
+        rng,
+        times,
+        n_nodes=config.n_nodes,
+        slots=config.slots,
+        data_scale=config.data_scale,
+        mix=_MIXES[config.workload],
+        dag_config=RandomDagConfig(),
+    )
+    engine = SparkEngine(cluster, rng=rng)
+    outcome = engine.run_stream(stream, scheduler=config.scheduler)
+    return ScenarioResult(
+        config=config,
+        submits=np.asarray([r.submit_s for r in outcome.job_results]),
+        runtimes=outcome.runtimes(),
+        makespan_s=outcome.makespan_s,
+        job_names=tuple(r.job_name for r in outcome.job_results),
+    )
+
+
+def scenario_matrix(
+    providers: tuple[str, ...] = ("amazon", "google"),
+    arrival_rates: tuple[float, ...] = (1.0, 4.0),
+    schedulers: tuple[str, ...] = SCHEDULERS,
+    workloads: tuple[str, ...] = ("mixed",),
+    n_jobs: int = 4,
+    n_nodes: int = 8,
+    slots: int = 4,
+    data_scale: float = 1.0,
+    seed: int = 0,
+    instances: dict[str, str] | None = None,
+) -> list[ScenarioConfig]:
+    """Cross product of the requested axes, one config per cell.
+
+    Each cell's seed derives from the base ``seed`` and the cell's own
+    axis values (not its position in the cross product), so cells are
+    statistically independent yet *stable*: extending an axis later
+    leaves every pre-existing cell's seed — and therefore its
+    ``scenario_id`` cache key — unchanged.
+    """
+    instances = {**DEFAULT_INSTANCES, **(instances or {})}
+    configs = []
+    for provider in providers:
+        for rate in arrival_rates:
+            for scheduler in schedulers:
+                for workload in workloads:
+                    cell_key = json.dumps(
+                        [
+                            int(seed),
+                            provider,
+                            instances[provider],
+                            float(rate),
+                            scheduler,
+                            workload,
+                        ]
+                    )
+                    cell_seed = seed + int.from_bytes(
+                        hashlib.sha256(cell_key.encode()).digest()[:4], "big"
+                    )
+                    configs.append(
+                        ScenarioConfig(
+                            provider_name=provider,
+                            instance_name=instances[provider],
+                            n_nodes=n_nodes,
+                            slots=slots,
+                            n_jobs=n_jobs,
+                            arrival_rate_per_min=rate,
+                            scheduler=scheduler,
+                            workload=workload,
+                            data_scale=data_scale,
+                            seed=cell_seed,
+                        )
+                    )
+    return configs
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one campaign run produced, cache hits included."""
+
+    results: dict[str, ScenarioResult]
+    cached_ids: tuple[str, ...]
+    computed_ids: tuple[str, ...]
+
+    def aggregate_rows(self) -> list[dict]:
+        """Sweep-table rows, deterministically ordered by scenario id."""
+        return [
+            self.results[sid].aggregate_row() for sid in sorted(self.results)
+        ]
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        total = len(self.cached_ids) + len(self.computed_ids)
+        return len(self.cached_ids) / total if total else 0.0
+
+
+class ScenarioCampaign:
+    """Runs a scenario matrix, caching cells in a trace repository.
+
+    Cells store as they complete, so an interrupted or partially
+    failing sweep keeps its finished work.  The repository's manifest
+    is a plain JSON file without locking: run one campaign against a
+    given repository root at a time (the process pool is fine — only
+    the parent writes).
+    """
+
+    def __init__(
+        self,
+        configs: list[ScenarioConfig],
+        repository: TraceRepository | None = None,
+        workers: int = 1,
+    ) -> None:
+        if not configs:
+            raise ValueError("a campaign needs at least one scenario")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        ids = [c.scenario_id for c in configs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate scenario configs in the matrix")
+        self.configs = list(configs)
+        self.repository = repository
+        self.workers = workers
+
+    def run(self) -> CampaignOutcome:
+        """Execute pending cells (in parallel), reload cached ones."""
+        # One manifest read up front; probing `sid in repository` per
+        # cell would re-parse the manifest for every cell of a large
+        # matrix.
+        stored_ids = (
+            set(self.repository.campaign_ids())
+            if self.repository is not None
+            else set()
+        )
+        cached: dict[str, ScenarioResult] = {}
+        pending: list[ScenarioConfig] = []
+        for config in self.configs:
+            sid = config.scenario_id
+            if sid in stored_ids:
+                cached[sid] = ScenarioResult.from_campaign_result(
+                    config, self.repository.load(sid)
+                )
+            else:
+                pending.append(config)
+
+        # Results are stored the moment they arrive (not after the whole
+        # pool drains), so a single failing cell — or a killed sweep —
+        # never discards minutes of completed work from the cache.
+        computed: list[ScenarioResult] = []
+        if not pending:
+            pass
+        elif self.workers == 1 or len(pending) == 1:
+            for config in pending:
+                result = run_scenario(config)
+                self._store(result)
+                computed.append(result)
+        else:
+            with multiprocessing.Pool(min(self.workers, len(pending))) as pool:
+                for result in pool.imap_unordered(run_scenario, pending):
+                    self._store(result)
+                    computed.append(result)
+
+        results = dict(cached)
+        for result in computed:
+            results[result.config.scenario_id] = result
+        return CampaignOutcome(
+            results=results,
+            cached_ids=tuple(sorted(cached)),
+            computed_ids=tuple(sorted(r.config.scenario_id for r in computed)),
+        )
+
+    def _store(self, result: ScenarioResult) -> None:
+        """Persist one cell; an already-stored id is a no-op.
+
+        The duplicate case arises when an interrupted earlier sweep
+        stored the cell after this run's up-front manifest snapshot was
+        taken.  Any other ValueError is a genuine persistence failure
+        and propagates — swallowing it would silently turn every future
+        run into a cache miss.
+        """
+        if self.repository is None:
+            return
+        sid = result.config.scenario_id
+        try:
+            self.repository.store(sid, result.to_campaign_result())
+        except ValueError:
+            if sid not in self.repository:
+                raise

@@ -21,7 +21,12 @@ package models exactly that interaction:
 """
 
 from repro.simulator.cluster import Cluster, NodeSpec
-from repro.simulator.engine import JobResult, SparkEngine
+from repro.simulator.engine import (
+    SCHEDULERS,
+    JobResult,
+    SparkEngine,
+    StreamResult,
+)
 from repro.simulator.events import EventQueue
 from repro.simulator.fabric import Fabric, Flow
 from repro.simulator.hdfs import HdfsCluster, HdfsFile
@@ -39,4 +44,6 @@ __all__ = [
     "StageSpec",
     "SparkEngine",
     "JobResult",
+    "StreamResult",
+    "SCHEDULERS",
 ]

@@ -19,6 +19,15 @@ the paper's application-level results emerge:
 The scheduler is FIFO over stages (Spark's default within a job):
 a stage becomes runnable when all its parents complete, and its tasks
 are handed to free executor slots round-robin across nodes.
+
+:meth:`SparkEngine.run_stream` generalizes the same machinery to a
+*stream* of jobs arriving over time on one shared cluster/fabric —
+the multi-tenant situation the scenarios subsystem sweeps.  Jobs
+contend for executor slots under FIFO (arrival order drains first) or
+fair (active jobs split free slots evenly) scheduling, and because the
+fabric is shared, token-bucket depletion caused by one job carries
+over into its successors — the Figure 19 mechanism generalized to
+contended runs.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -35,18 +45,31 @@ from repro.simulator.fabric import Fabric, Flow
 from repro.simulator.tasks import JobSpec, StageSpec
 from repro.trace import TimeSeries
 
-__all__ = ["SparkEngine", "JobResult", "rest_fabric"]
+__all__ = ["SparkEngine", "JobResult", "StreamResult", "rest_fabric", "SCHEDULERS"]
 
 #: Safety valve: a single job may not need more steps than this.
 _MAX_STEPS = 5_000_000
+
+#: Slot-scheduling policies understood by :meth:`SparkEngine.run_stream`.
+SCHEDULERS: tuple[str, ...] = ("fifo", "fair")
 
 
 class _TaskGroup:
     """A wave of same-stage tasks launched together on one node."""
 
-    __slots__ = ("stage_index", "node", "n_tasks", "pending_flows", "extra_compute_s")
+    __slots__ = (
+        "job_index",
+        "stage_index",
+        "node",
+        "n_tasks",
+        "pending_flows",
+        "extra_compute_s",
+    )
 
-    def __init__(self, stage_index: int, node: int, n_tasks: int) -> None:
+    def __init__(
+        self, job_index: int, stage_index: int, node: int, n_tasks: int
+    ) -> None:
+        self.job_index = job_index
         self.stage_index = stage_index
         self.node = node
         self.n_tasks = n_tasks
@@ -71,6 +94,10 @@ class JobResult:
     budgets: np.ndarray | None
     #: Tasks completed per node (over all stages).
     tasks_per_node: np.ndarray
+    #: When the job entered the system (0 for standalone runs).
+    submit_s: float = 0.0
+    #: When the job's last stage completed (``submit_s + runtime_s``).
+    finish_s: float = 0.0
 
     def node_bandwidth_series(self, node: int) -> TimeSeries:
         """Egress-rate time series for one node (Figure 15/18 panels)."""
@@ -115,6 +142,55 @@ class JobResult:
         ]
 
 
+@dataclass
+class StreamResult:
+    """Everything one multi-job stream execution produced.
+
+    Per-job details (stage windows, task placement, response times)
+    live in :attr:`job_results`, ordered by submission; the telemetry
+    arrays span the whole stream because egress shaping is a property
+    of the shared cluster, not of any single job.
+    """
+
+    scheduler: str
+    job_results: list[JobResult]
+    makespan_s: float
+    sample_times: np.ndarray
+    egress_rates: np.ndarray
+    budgets: np.ndarray | None
+
+    def __len__(self) -> int:
+        return len(self.job_results)
+
+    def runtimes(self) -> np.ndarray:
+        """Per-job response times (finish - submit), in submit order.
+
+        Queueing behind earlier jobs counts: this is the latency a
+        tenant observes, the quantity scenario campaigns aggregate.
+        """
+        return np.asarray([r.runtime_s for r in self.job_results])
+
+    def queueing_delays(self) -> np.ndarray:
+        """Seconds each job waited before its first task launched."""
+        delays = []
+        for result in self.job_results:
+            first_start = min(w[0] for w in result.stage_windows.values())
+            delays.append(first_start - result.submit_s)
+        return np.asarray(delays)
+
+    def rows(self) -> list[dict]:
+        """Printable per-job rows."""
+        return [
+            {
+                "job": r.job_name,
+                "submit_s": round(r.submit_s, 1),
+                "finish_s": round(r.finish_s, 1),
+                "runtime_s": round(r.runtime_s, 1),
+            }
+            for r in self.job_results
+        ]
+
+
 class SparkEngine:
     """Runs job DAGs on a cluster with shaped per-node egress."""
 
@@ -155,7 +231,38 @@ class SparkEngine:
         """
         if fabric is None:
             fabric = self.cluster.build_fabric()
-        state = _RunState(self, job, fabric)
+        state = _StreamState(self, [(0.0, job)], fabric, scheduler="fifo")
+        return state.execute().job_results[0]
+
+    def run_stream(
+        self,
+        arrivals: Sequence[tuple[float, JobSpec]],
+        fabric: Fabric | None = None,
+        scheduler: str = "fifo",
+    ) -> StreamResult:
+        """Execute a stream of jobs sharing this cluster's fabric.
+
+        ``arrivals`` pairs each job with its submission time (seconds
+        from stream start); jobs contend for executor slots under
+        ``scheduler`` ("fifo" gives earlier arrivals absolute priority,
+        "fair" splits free slots evenly across active jobs).  All jobs
+        share one fabric, so token-bucket state one job depletes is the
+        state the next job meets — the Figure 19 carry-over generalized
+        to multi-tenant contention.  Passing an existing ``fabric``
+        additionally carries shaper state in from earlier work.
+        """
+        if not arrivals:
+            raise ValueError("a stream needs at least one job")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        for submit_s, _job in arrivals:
+            if submit_s < 0:
+                raise ValueError("submission times cannot be negative")
+        if fabric is None:
+            fabric = self.cluster.build_fabric()
+        state = _StreamState(self, list(arrivals), fabric, scheduler=scheduler)
         return state.execute()
 
     def run_repetitions(
@@ -210,21 +317,37 @@ def rest_fabric(fabric: Fabric, duration_s: float) -> None:
             remaining -= step
 
 
-class _RunState:
-    """Mutable bookkeeping for one job execution."""
+class _StreamState:
+    """Mutable bookkeeping for one stream execution (1..n jobs)."""
 
-    def __init__(self, engine: SparkEngine, job: JobSpec, fabric: Fabric) -> None:
+    def __init__(
+        self,
+        engine: SparkEngine,
+        arrivals: list[tuple[float, JobSpec]],
+        fabric: Fabric,
+        scheduler: str,
+    ) -> None:
         self.engine = engine
-        self.job = job
         self.fabric = fabric
+        self.scheduler = scheduler
         self.now = 0.0
-        n_stages = len(job.stages)
+        # Stable sort: ties keep caller submission order (FIFO tiebreak).
+        order = sorted(range(len(arrivals)), key=lambda i: arrivals[i][0])
+        self.submits = [float(arrivals[i][0]) for i in order]
+        self.jobs = [arrivals[i][1] for i in order]
+        n_jobs = len(self.jobs)
         n_nodes = engine.cluster.n_nodes
-        self.launched = [0] * n_stages
-        self.done = [0] * n_stages
-        self.stage_start = [math.inf] * n_stages
-        self.stage_end = [math.inf] * n_stages
-        self.tasks_run = np.zeros((n_stages, n_nodes), dtype=float)
+        self.launched = [[0] * len(job.stages) for job in self.jobs]
+        self.done = [[0] * len(job.stages) for job in self.jobs]
+        self.stage_start = [[math.inf] * len(job.stages) for job in self.jobs]
+        self.stage_end = [[math.inf] * len(job.stages) for job in self.jobs]
+        self.tasks_run = [
+            np.zeros((len(job.stages), n_nodes), dtype=float) for job in self.jobs
+        ]
+        self.finished = [False] * n_jobs
+        self.finish_times = [math.inf] * n_jobs
+        self._next_arrival = 0
+        self._admitted: list[int] = []
         self.free_slots = [engine.cluster.node_spec.slots] * n_nodes
         self.compute_heap: list[tuple[float, int, _TaskGroup]] = []
         self._compute_counter = itertools.count()
@@ -243,20 +366,38 @@ class _RunState:
             hasattr(m, "budget_gbit") for m in self.fabric.egress_models
         )
 
-    def _stage_runnable(self, index: int) -> bool:
-        stage = self.job.stages[index]
-        if self.launched[index] >= stage.num_tasks:
+    def _admit_arrivals(self) -> None:
+        while (
+            self._next_arrival < len(self.jobs)
+            and self.submits[self._next_arrival] <= self.now + 1e-9
+        ):
+            self._admitted.append(self._next_arrival)
+            self._next_arrival += 1
+
+    def _active_jobs(self) -> list[int]:
+        """Admitted, unfinished jobs in submission order."""
+        return [j for j in self._admitted if not self.finished[j]]
+
+    def _stage_runnable(self, j: int, index: int) -> bool:
+        job = self.jobs[j]
+        stage = job.stages[index]
+        if self.launched[j][index] >= stage.num_tasks:
             return False
         return all(
-            self.done[p] >= self.job.stages[p].num_tasks for p in stage.parents
+            self.done[j][p] >= job.stages[p].num_tasks for p in stage.parents
         )
 
-    def _shuffle_shares(self, stage: StageSpec) -> np.ndarray:
+    def _job_has_runnable(self, j: int) -> bool:
+        return any(
+            self._stage_runnable(j, i) for i in range(len(self.jobs[j].stages))
+        )
+
+    def _shuffle_shares(self, j: int, stage: StageSpec) -> np.ndarray:
         """Per-node fraction of the stage's shuffle input held locally."""
         n_nodes = self.engine.cluster.n_nodes
         counts = np.zeros(n_nodes)
         for parent in stage.parents:
-            counts += self.tasks_run[parent]
+            counts += self.tasks_run[j][parent]
         if counts.sum() == 0:
             counts = np.ones(n_nodes)
         counts = counts * np.asarray(self.engine.node_data_skew)
@@ -264,41 +405,95 @@ class _RunState:
 
     # -- scheduling --------------------------------------------------------
     def _try_launch(self) -> None:
+        if self.scheduler == "fair":
+            self._try_launch_fair()
+            return
+        for j in self._active_jobs():
+            self._launch_for_job(j, math.inf)
+
+    def _try_launch_fair(self) -> None:
+        """Split the cluster's slots evenly across jobs with work.
+
+        Fairness is accounted against slots a job already *holds*, not
+        just slots free this instant: each pass computes the fair share
+        (total slots over active jobs) and offers freed slots to jobs
+        below their share first, most-starved first.  Without the
+        deficit accounting, a job that grabbed the whole cluster before
+        a second tenant arrived would reclaim every freed slot one at a
+        time and fair would degenerate to FIFO.  Slots left over once
+        every job is at its share (e.g. a tenant draining its last
+        wave) spill greedily, again most-starved first.
+        """
+        total_slots = self.engine.cluster.total_slots
+        while True:
+            active = [j for j in self._active_jobs() if self._job_has_runnable(j)]
+            free = sum(self.free_slots)
+            if not active or free <= 0:
+                return
+            share = max(1, total_slots // len(active))
+            # Fewest running tasks first; submission order breaks ties.
+            order = sorted(active, key=lambda j: (self._running_tasks(j), j))
+            launched = 0
+            for j in order:
+                deficit = share - self._running_tasks(j)
+                if deficit > 0:
+                    launched += self._launch_for_job(j, deficit)
+            if launched == 0:
+                # Everyone is at/above the fair share; spill what's left.
+                for j in order:
+                    launched += self._launch_for_job(j, math.inf)
+                    if launched:
+                        break
+            if launched == 0:
+                return
+
+    def _running_tasks(self, j: int) -> int:
+        """Slots job ``j`` currently occupies (launched, not done)."""
+        return sum(self.launched[j]) - sum(self.done[j])
+
+    def _launch_for_job(self, j: int, budget: float) -> int:
+        """Launch up to ``budget`` tasks of job ``j``; returns the count."""
         n_nodes = self.engine.cluster.n_nodes
-        for index, stage in enumerate(self.job.stages):
-            while self._stage_runnable(index) and any(
-                s > 0 for s in self.free_slots
+        total = 0
+        for index, stage in enumerate(self.jobs[j].stages):
+            while (
+                budget > 0
+                and self._stage_runnable(j, index)
+                and any(s > 0 for s in self.free_slots)
             ):
                 launched_any = False
                 for offset in range(n_nodes):
                     node = (self._rr_node + offset) % n_nodes
                     slots = self.free_slots[node]
-                    remaining = stage.num_tasks - self.launched[index]
+                    remaining = stage.num_tasks - self.launched[j][index]
                     if slots <= 0 or remaining <= 0:
                         continue
-                    group_size = min(slots, remaining)
-                    self._launch_group(index, stage, node, group_size)
+                    group_size = int(min(slots, remaining, budget))
+                    self._launch_group(j, index, stage, node, group_size)
                     self._rr_node = (node + 1) % n_nodes
+                    budget -= group_size
+                    total += group_size
                     launched_any = True
-                    if self.launched[index] >= stage.num_tasks:
+                    if self.launched[j][index] >= stage.num_tasks or budget <= 0:
                         break
                 if not launched_any:
                     break
+        return total
 
     def _launch_group(
-        self, index: int, stage: StageSpec, node: int, n_tasks: int
+        self, j: int, index: int, stage: StageSpec, node: int, n_tasks: int
     ) -> None:
-        if self.stage_start[index] == math.inf:
-            self.stage_start[index] = self.now
+        if self.stage_start[j][index] == math.inf:
+            self.stage_start[j][index] = self.now
         self.free_slots[node] -= n_tasks
-        self.launched[index] += n_tasks
-        group = _TaskGroup(index, node, n_tasks)
+        self.launched[j][index] += n_tasks
+        group = _TaskGroup(j, index, node, n_tasks)
         fraction = n_tasks / stage.num_tasks
         disk_gbps = self.engine.cluster.node_spec.disk_gbps
 
         # Shuffle fetches: one channel per remote source node.
         if stage.shuffle_gbit > 0:
-            shares = self._shuffle_shares(stage)
+            shares = self._shuffle_shares(j, stage)
             group_volume = stage.shuffle_gbit * fraction
             for src, share in enumerate(shares):
                 volume = group_volume * share
@@ -327,7 +522,7 @@ class _RunState:
             self._start_computes(group)
 
     def _start_computes(self, group: _TaskGroup) -> None:
-        stage = self.job.stages[group.stage_index]
+        stage = self.jobs[group.job_index].stages[group.stage_index]
         for _ in range(group.n_tasks):
             duration = (
                 self.engine.sample_compute_time(stage) + group.extra_compute_s
@@ -347,12 +542,20 @@ class _RunState:
             self._start_computes(group)
 
     def _on_compute_complete(self, group: _TaskGroup) -> None:
+        j = group.job_index
         index = group.stage_index
-        self.done[index] += 1
-        self.tasks_run[index][group.node] += 1
+        job = self.jobs[j]
+        self.done[j][index] += 1
+        self.tasks_run[j][index][group.node] += 1
         self.free_slots[group.node] += 1
-        if self.done[index] >= self.job.stages[index].num_tasks:
-            self.stage_end[index] = self.now
+        if self.done[j][index] >= job.stages[index].num_tasks:
+            self.stage_end[j][index] = self.now
+            if all(
+                self.done[j][i] >= job.stages[i].num_tasks
+                for i in range(len(job.stages))
+            ):
+                self.finished[j] = True
+                self.finish_times[j] = self.now
 
     # -- telemetry -------------------------------------------------------------
     def _record(self, force: bool = False) -> None:
@@ -377,25 +580,32 @@ class _RunState:
             )
 
     # -- main loop ---------------------------------------------------------------
-    def execute(self) -> JobResult:
+    def execute(self) -> StreamResult:
+        self._admit_arrivals()
         self._try_launch()
-        n_stages = len(self.job.stages)
-        for _ in range(_MAX_STEPS):
-            if all(
-                self.done[i] >= self.job.stages[i].num_tasks
-                for i in range(n_stages)
-            ):
+        max_steps = _MAX_STEPS * len(self.jobs)
+        for _ in range(max_steps):
+            if all(self.finished):
                 break
             self.fabric.compute_rates()
             self._record()
             next_compute = (
                 self.compute_heap[0][0] if self.compute_heap else math.inf
             )
-            dt = min(self.fabric.horizon(), next_compute - self.now)
+            next_arrival = (
+                self.submits[self._next_arrival]
+                if self._next_arrival < len(self.jobs)
+                else math.inf
+            )
+            dt = min(
+                self.fabric.horizon(),
+                next_compute - self.now,
+                next_arrival - self.now,
+            )
             if math.isinf(dt):
                 raise RuntimeError(
                     f"deadlock at t={self.now}: no flows, no computes, "
-                    f"stages done={self.done}"
+                    f"no arrivals, jobs done={self.finished}"
                 )
             dt = max(dt, 0.0)
             completed_flows = self.fabric.advance(dt)
@@ -405,25 +615,57 @@ class _RunState:
             while self.compute_heap and self.compute_heap[0][0] <= self.now + 1e-9:
                 _, _, group = heapq.heappop(self.compute_heap)
                 self._on_compute_complete(group)
+            self._admit_arrivals()
             self._try_launch()
         else:
-            raise RuntimeError("step budget exhausted; job did not converge")
+            raise RuntimeError("step budget exhausted; stream did not converge")
         self.fabric.compute_rates()
         self._record(force=True)
+        return self._build_result()
 
-        stage_windows = {
-            stage.name: (self.stage_start[i], self.stage_end[i])
-            for i, stage in enumerate(self.job.stages)
-        }
+    # -- result assembly ---------------------------------------------------
+    def _build_result(self) -> StreamResult:
+        sample_times = np.asarray(self.sample_times)
+        egress_rates = np.asarray(self.sample_rates).T
         budgets = None
         if self.sample_budgets is not None:
             budgets = np.asarray(self.sample_budgets).T
-        return JobResult(
-            job_name=self.job.name,
-            runtime_s=self.now,
-            stage_windows=stage_windows,
-            sample_times=np.asarray(self.sample_times),
-            egress_rates=np.asarray(self.sample_rates).T,
+        single = len(self.jobs) == 1
+        job_results = []
+        for j, job in enumerate(self.jobs):
+            submit = self.submits[j]
+            finish = self.finish_times[j]
+            if single:
+                times, rates, buds = sample_times, egress_rates, budgets
+            else:
+                mask = (sample_times >= submit - 1e-9) & (
+                    sample_times <= finish + 1e-9
+                )
+                times = sample_times[mask]
+                rates = egress_rates[:, mask]
+                buds = None if budgets is None else budgets[:, mask]
+            stage_windows = {
+                stage.name: (self.stage_start[j][i], self.stage_end[j][i])
+                for i, stage in enumerate(job.stages)
+            }
+            job_results.append(
+                JobResult(
+                    job_name=job.name,
+                    runtime_s=finish - submit,
+                    stage_windows=stage_windows,
+                    sample_times=times,
+                    egress_rates=rates,
+                    budgets=buds,
+                    tasks_per_node=self.tasks_run[j].sum(axis=0),
+                    submit_s=submit,
+                    finish_s=finish,
+                )
+            )
+        return StreamResult(
+            scheduler=self.scheduler,
+            job_results=job_results,
+            makespan_s=self.now,
+            sample_times=sample_times,
+            egress_rates=egress_rates,
             budgets=budgets,
-            tasks_per_node=self.tasks_run.sum(axis=0),
         )

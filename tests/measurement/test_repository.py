@@ -1,9 +1,16 @@
 """Tests for the trace repository."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.measurement import CampaignConfig, TraceRepository, run_campaign
+from repro.measurement import (
+    CampaignConfig,
+    RepositoryCorruptionError,
+    TraceRepository,
+    run_campaign,
+)
 
 
 @pytest.fixture
@@ -62,6 +69,48 @@ class TestStoreLoad:
     def test_missing_id_raises(self, repo):
         with pytest.raises(KeyError):
             repo.load("nope")
+
+    def test_unsafe_id_rejected_on_load(self, repo):
+        # A crafted id in a shared manifest must never escape the root.
+        for crafted in ("../escape", "..", ".", "a\n", "ok/../.."):
+            with pytest.raises(ValueError):
+                repo.load(crafted)
+            with pytest.raises(ValueError):
+                repo.delete(crafted)
+
+    def test_dot_ids_rejected_on_store(self, repo, campaign_result):
+        # repo.store("..") would write config.json into the parent and
+        # repo.delete("..") would unlink every json beside the root.
+        for crafted in ("..", ".", "a\n"):
+            with pytest.raises(ValueError):
+                repo.store(crafted, campaign_result)
+
+    def test_missing_trace_file_is_clear_error(self, repo, campaign_result):
+        repo.store("hpc-week1", campaign_result)
+        pattern = sorted(campaign_result.traces)[0]
+        (repo.root / "hpc-week1" / f"{pattern}.json").unlink()
+        with pytest.raises(RepositoryCorruptionError, match="hpc-week1"):
+            repo.load("hpc-week1")
+
+    def test_missing_config_file_is_clear_error(self, repo, campaign_result):
+        repo.store("hpc-week1", campaign_result)
+        (repo.root / "hpc-week1" / "config.json").unlink()
+        with pytest.raises(RepositoryCorruptionError, match="config"):
+            repo.load("hpc-week1")
+
+    def test_manifest_only_entry_is_clear_error(self, tmp_path):
+        # A manifest pointing at a directory that never materialized
+        # (interrupted copy) must not surface as a bare KeyError.
+        repo = TraceRepository(tmp_path / "traces")
+        manifest = {"ghost": {"provider": "amazon", "instance": "c5.xlarge",
+                              "duration_s": 1.0, "patterns": ["full-speed"]}}
+        (repo.root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(RepositoryCorruptionError):
+            repo.load("ghost")
+        # The recovery path the error message recommends must work:
+        # a manifest-only entry can still be deleted.
+        repo.delete("ghost")
+        assert "ghost" not in repo
 
 
 class TestManifest:

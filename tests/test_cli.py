@@ -22,6 +22,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_figures_accept_seed(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig16", "--fast", "--seed", "3"])
+        assert args.seed == 3
+        # Omitting --seed keeps the artifact's hardcoded default.
+        assert parser.parse_args(["fig16"]).seed is None
+
+    def test_scenario_registered(self):
+        args = build_parser().parse_args(
+            ["scenario", "--fast", "--seed", "7", "--workers", "2"]
+        )
+        assert args.seed == 7
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -55,4 +69,38 @@ class TestCommands:
 
     def test_fingerprint_unknown_instance(self, capsys):
         assert main(["fingerprint", "z9.mega"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_seed_changes_stochastic_artifact(self, capsys):
+        assert main(["fig12", "--seed", "0"]) == 0
+        base = capsys.readouterr().out
+        assert main(["fig12", "--seed", "0"]) == 0
+        assert capsys.readouterr().out == base
+        assert main(["fig12", "--seed", "5"]) == 0
+        assert capsys.readouterr().out != base
+
+    def test_seed_ignored_on_deterministic_artifact(self, capsys):
+        assert main(["fig02", "--seed", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "cloud=A" in captured.out
+        assert "--seed ignored" in captured.err
+
+    def test_scenario_fast(self, capsys, tmp_path):
+        repo = str(tmp_path / "cells")
+        argv = ["scenario", "--fast", "--seed", "7",
+                "--providers", "amazon", "--arrival-rates", "2.0",
+                "--repo", repo]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "scenario sweep" in first
+        assert "computed=2 cached=0" in first
+        # Re-running against the same repository hits the cache for
+        # every cell and reproduces the rows byte for byte.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "computed=0 cached=2" in second
+        assert second.replace("computed=0 cached=2", "computed=2 cached=0") == first
+
+    def test_scenario_bad_provider(self, capsys):
+        assert main(["scenario", "--fast", "--providers", "clowncloud"]) == 2
         assert "error" in capsys.readouterr().err

@@ -39,3 +39,10 @@ def test_straggler_postmortem(capsys):
     out = run_example("straggler_postmortem.py", capsys)
     assert "straggler" in out
     assert "verdict" in out
+
+
+def test_scenario_sweep(capsys):
+    out = run_example("scenario_sweep.py", capsys)
+    assert "scenario sweep: 8 cells" in out
+    assert "computed 8 cells" in out
+    assert "re-run cache hits: 8/8" in out
