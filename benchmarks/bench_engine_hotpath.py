@@ -1,0 +1,80 @@
+"""Simulator hot-path benchmarks: the perf trajectory anchor.
+
+Times the 16-node/200-job multi-tenant stream and the 10k-flow
+water-filling microbench defined in :mod:`repro.bench.hotpath`, and —
+when run as a script — records the numbers in ``BENCH_engine.json``
+next to the pinned pre-refactor baseline:
+
+    python benchmarks/bench_engine_hotpath.py            # update "current"
+    python benchmarks/bench_engine_hotpath.py --save-baseline
+    python benchmarks/bench_engine_hotpath.py --smoke    # CI-sized, no ledger
+
+Under pytest the benchmarks run once each (like every bench_* module)
+and print their rows without touching the ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.hotpath import (
+    DEFAULT_RESULTS_PATH,
+    bench_stream,
+    bench_waterfill,
+    run_and_record,
+)
+
+
+def test_stream_hotpath(benchmark):
+    from conftest import print_rows, run_once
+
+    result = run_once(benchmark, bench_stream)
+    print_rows("stream 16x200 hot path", [result])
+    assert result["checksum"] > 0
+
+
+def test_waterfill_microbench(benchmark):
+    from conftest import print_rows, run_once
+
+    result = run_once(benchmark, bench_waterfill)
+    print_rows("water-filling 10k flows", [result])
+    assert result["checksum"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--save-baseline",
+        action="store_true",
+        help="pin this run as the reference implementation",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run; prints results without writing the ledger",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_RESULTS_PATH,
+        help=f"results ledger path (default: {DEFAULT_RESULTS_PATH})",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored with the run"
+    )
+    args = parser.parse_args(argv)
+    return run_and_record(
+        smoke=args.smoke,
+        save_baseline=args.save_baseline,
+        path=args.json,
+        label=args.label,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

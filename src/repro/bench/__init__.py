@@ -1,0 +1,35 @@
+"""Hot-path benchmark suite and its results ledger.
+
+The ROADMAP's north star is "as fast as the hardware allows", which is
+only meaningful against a recorded trajectory.  This package defines
+the canonical hot-path benchmarks (a 16-node/200-job multi-tenant
+stream and a 10k-flow water-filling microbench), runs them with
+:func:`run_suite`, and records results in ``BENCH_engine.json`` at the
+repository root so every PR can compare itself against the pinned
+pre-refactor baseline.
+
+Run it via ``python -m repro bench`` or
+``python benchmarks/bench_engine_hotpath.py``.
+"""
+
+from repro.bench.hotpath import (
+    DEFAULT_RESULTS_PATH,
+    bench_stream,
+    bench_waterfill,
+    format_table,
+    load_results,
+    record_results,
+    run_and_record,
+    run_suite,
+)
+
+__all__ = [
+    "DEFAULT_RESULTS_PATH",
+    "bench_stream",
+    "bench_waterfill",
+    "run_suite",
+    "run_and_record",
+    "load_results",
+    "record_results",
+    "format_table",
+]

@@ -1,0 +1,244 @@
+"""The canonical simulator hot-path benchmarks.
+
+Two workloads bracket the fluid-fabric core:
+
+* ``stream_16x200`` — a 16-node, 200-job multi-tenant Poisson stream
+  under the fair scheduler with token-bucket shapers: the shape every
+  :class:`~repro.scenarios.orchestrate.ScenarioCampaign` cell and
+  Figure-19 carry-over study reduces to.  Tens of thousands of event
+  steps exercise water-filling, horizons, shaper advances, scheduling,
+  and telemetry together.
+* ``waterfill_10k`` — 10,000 simultaneous flows across 64 nodes,
+  timing :meth:`~repro.simulator.fabric.Fabric.compute_rates` alone:
+  the max-min allocation kernel in isolation.
+
+Each benchmark returns a ``checksum`` derived from simulation output
+(total runtime seconds / total allocated Gbps) so a recorded speedup
+can be trusted: if the checksum drifts, the comparison is between
+different computations and the numbers are void.
+
+Results live in ``BENCH_engine.json``: a pinned ``baseline`` section
+(captured once, on the pre-refactor engine) plus a ``current`` section
+refreshed by every run, with per-benchmark speedups derived from the
+two.  :func:`record_results` never overwrites the baseline unless
+explicitly asked.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.netmodel import ConstantRateModel, TokenBucketModel, TokenBucketParams
+from repro.scenarios.generate import job_stream, poisson_arrivals
+from repro.simulator import Cluster, Fabric, NodeSpec, SparkEngine
+
+__all__ = [
+    "DEFAULT_RESULTS_PATH",
+    "bench_stream",
+    "bench_waterfill",
+    "run_suite",
+    "run_and_record",
+    "load_results",
+    "record_results",
+    "format_table",
+]
+
+#: The results ledger, resolved against the current working directory
+#: (run benchmarks from the repository root).
+DEFAULT_RESULTS_PATH = Path("BENCH_engine.json")
+
+_SCHEMA = 1
+
+#: Shaper constants for the stream benchmark: c5.xlarge-like bucket,
+#: small enough (600 Gbit) that tier transitions actually occur.
+_STREAM_BUCKET = TokenBucketParams(
+    peak_gbps=10.0,
+    capped_gbps=1.0,
+    replenish_gbps=0.95,
+    capacity_gbit=600.0,
+)
+
+
+def bench_stream(
+    n_nodes: int = 16,
+    slots: int = 4,
+    n_jobs: int = 200,
+    rate_per_min: float = 6.0,
+    data_scale: float = 0.3,
+    seed: int = 1234,
+    scheduler: str = "fair",
+) -> dict:
+    """Time one multi-tenant stream execution end to end."""
+    rng = np.random.default_rng(seed)
+    cluster = Cluster(
+        n_nodes=n_nodes,
+        node_spec=NodeSpec(slots=slots),
+        link_model_factory=lambda node: TokenBucketModel(_STREAM_BUCKET),
+    )
+    times = poisson_arrivals(rng, rate_per_min=rate_per_min, n_jobs=n_jobs)
+    stream = job_stream(
+        rng, times, n_nodes=n_nodes, slots=slots, data_scale=data_scale
+    )
+    engine = SparkEngine(cluster, rng=rng)
+    start = time.perf_counter()
+    result = engine.run_stream(stream, scheduler=scheduler)
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": round(wall_s, 4),
+        "n_nodes": n_nodes,
+        "n_jobs": n_jobs,
+        "scheduler": scheduler,
+        "makespan_s": round(float(result.makespan_s), 6),
+        "samples": int(result.sample_times.size),
+        "checksum": round(float(np.sum(result.runtimes())), 6),
+    }
+
+
+def bench_waterfill(
+    n_flows: int = 10_000,
+    n_nodes: int = 64,
+    rounds: int = 5,
+    seed: int = 99,
+) -> dict:
+    """Time the max-min water-filling kernel on a dense flow set."""
+    rng = np.random.default_rng(seed)
+    fabric = Fabric(
+        egress_models=[ConstantRateModel(10.0) for _ in range(n_nodes)],
+        ingress_caps_gbps=[10.0] * n_nodes,
+    )
+    pairs = rng.integers(0, n_nodes, size=(n_flows, 2))
+    volumes = rng.uniform(1.0, 100.0, size=n_flows)
+    for (src, dst), volume in zip(pairs.tolist(), volumes.tolist()):
+        if src == dst:
+            dst = (dst + 1) % n_nodes
+        fabric.add_flow(src, dst, volume)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fabric.invalidate_rates()
+        fabric.compute_rates()
+    wall_s = (time.perf_counter() - start) / rounds
+    return {
+        "wall_s": round(wall_s, 6),
+        "n_flows": n_flows,
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "checksum": round(float(np.sum(fabric.node_egress_rates())), 6),
+    }
+
+
+def run_suite(smoke: bool = False) -> dict[str, dict]:
+    """Run every hot-path benchmark; ``smoke`` shrinks them for CI."""
+    if smoke:
+        return {
+            "stream_16x200": bench_stream(n_jobs=20),
+            "waterfill_10k": bench_waterfill(n_flows=1_000, rounds=2),
+        }
+    return {
+        "stream_16x200": bench_stream(),
+        "waterfill_10k": bench_waterfill(),
+    }
+
+
+# ----------------------------------------------------------------------
+# results ledger
+# ----------------------------------------------------------------------
+def load_results(path: Path | str = DEFAULT_RESULTS_PATH) -> dict:
+    """Read the ledger; an absent file is an empty ledger."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": _SCHEMA, "baseline": None, "current": None, "speedup": {}}
+    return json.loads(path.read_text())
+
+
+def _speedups(ledger: dict) -> dict[str, float]:
+    baseline = ledger.get("baseline") or {}
+    current = ledger.get("current") or {}
+    speedups: dict[str, float] = {}
+    for name, base in (baseline.get("results") or {}).items():
+        cur = (current.get("results") or {}).get(name)
+        if not cur or cur.get("wall_s", 0) <= 0:
+            continue
+        if base.get("checksum") != cur.get("checksum"):
+            # Different computation: a speedup would be meaningless.
+            continue
+        speedups[name] = round(base["wall_s"] / cur["wall_s"], 2)
+    return speedups
+
+
+def record_results(
+    results: dict[str, dict],
+    path: Path | str = DEFAULT_RESULTS_PATH,
+    label: str = "",
+    as_baseline: bool = False,
+) -> dict:
+    """Merge a suite run into the ledger and rewrite it.
+
+    ``as_baseline`` pins the run as the reference implementation; by
+    default only the ``current`` section (and derived speedups) move.
+    An existing baseline is never overwritten implicitly.
+    """
+    path = Path(path)
+    ledger = load_results(path)
+    entry = {"label": label, "results": results}
+    if as_baseline:
+        ledger["baseline"] = entry
+    else:
+        ledger["current"] = entry
+    ledger["schema"] = _SCHEMA
+    ledger["speedup"] = _speedups(ledger)
+    path.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+    return ledger
+
+
+def run_and_record(
+    smoke: bool = False,
+    save_baseline: bool = False,
+    path: Path | str = DEFAULT_RESULTS_PATH,
+    label: str = "",
+) -> int:
+    """Shared driver for every bench entry point (CLI and script).
+
+    Runs the suite, prints per-benchmark rows, and — except for smoke
+    runs, which never touch the ledger — records the results and prints
+    the before/after table.  Returns a process exit code.
+    """
+    results = run_suite(smoke=smoke)
+    for name, row in results.items():
+        print(f"{name}: " + "  ".join(f"{k}={v}" for k, v in row.items()))
+    if smoke:
+        return 0
+    ledger = record_results(
+        results, path=path, label=label, as_baseline=save_baseline
+    )
+    print()
+    print(format_table(ledger))
+    return 0
+
+
+def format_table(ledger: dict) -> str:
+    """Render the ledger as a before/after table."""
+    baseline = (ledger.get("baseline") or {}).get("results") or {}
+    current = (ledger.get("current") or {}).get("results") or {}
+    speedups = ledger.get("speedup") or {}
+    names = sorted(set(baseline) | set(current))
+    if not names:
+        return "(no benchmark results recorded)"
+    header = f"{'benchmark':<16} {'baseline_s':>12} {'current_s':>12} {'speedup':>9}"
+    lines = [header, "-" * len(header)]
+    for name in names:
+        base = baseline.get(name, {}).get("wall_s")
+        cur = current.get(name, {}).get("wall_s")
+        speed = speedups.get(name)
+        lines.append(
+            "{:<16} {:>12} {:>12} {:>9}".format(
+                name,
+                "-" if base is None else f"{base:.4f}",
+                "-" if cur is None else f"{cur:.4f}",
+                "-" if speed is None else f"{speed:.2f}x",
+            )
+        )
+    return "\n".join(lines)

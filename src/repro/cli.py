@@ -9,6 +9,8 @@ Usage::
     python -m repro table3
     python -m repro fingerprint c5.xlarge
     python -m repro scenario --fast --seed 7   # randomized sweep
+    python -m repro bench                # hot-path benchmarks + ledger
+    python -m repro bench --table-only   # recorded before/after table
 
 Output is the same row data the benchmark harness prints; ``--fast``
 shrinks run counts / durations for a quick look.  Every stochastic
@@ -94,6 +96,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("other:")
     print("  fingerprint <instance>   F5.2 baseline for an EC2 instance type")
     print("  scenario                 randomized multi-job scenario sweep")
+    print("  bench                    simulator hot-path benchmark suite")
     return 0
 
 
@@ -127,6 +130,20 @@ def _cmd_table(args: argparse.Namespace) -> int:
     print(f"== {name}: {_TABLES[name]} ==")
     _print_rows(result)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_table, load_results, run_and_record
+
+    if args.table_only:
+        print(format_table(load_results(args.json)))
+        return 0
+    return run_and_record(
+        smoke=args.smoke,
+        save_baseline=args.save_baseline,
+        path=args.json,
+        label=args.label,
+    )
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> int:
@@ -268,6 +285,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("instance", help="EC2 instance type, e.g. c5.xlarge")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_cmd_fingerprint)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the simulator hot-path benchmarks (BENCH_engine.json)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run; prints results without writing the ledger",
+    )
+    p.add_argument(
+        "--save-baseline", action="store_true",
+        help="pin this run as the reference implementation",
+    )
+    p.add_argument(
+        "--table-only", action="store_true",
+        help="print the recorded before/after table without benchmarking",
+    )
+    p.add_argument(
+        "--json", default="BENCH_engine.json", metavar="PATH",
+        help="results ledger path (default: BENCH_engine.json)",
+    )
+    p.add_argument("--label", default="", help="label stored with the run")
+    p.set_defaults(handler=_cmd_bench)
     return parser
 
 

@@ -23,6 +23,11 @@ from abc import ABC, abstractmethod
 
 __all__ = ["LinkModel", "ConstantRateModel", "integrate_transfer", "TransferResult"]
 
+#: Step-count bound for the generic idle-rest fallback: a model whose
+#: horizon collapses (e.g. a shaper hovering at a state boundary) must
+#: not turn a rest into millions of micro-steps.
+_MAX_REST_STEPS = 10_000
+
 
 class LinkModel(ABC):
     """Stateful bandwidth ceiling for one direction of one link."""
@@ -54,6 +59,26 @@ class LinkModel(ABC):
     @abstractmethod
     def reset(self) -> None:
         """Restore pristine initial state (a freshly created VM pair)."""
+
+    def rest(self, duration_s: float) -> None:
+        """Idle for ``duration_s`` seconds (no traffic offered).
+
+        Generic fallback: integrate at the model's idle horizon, with a
+        step floor of ``duration_s / 10_000`` so a shaper reporting a
+        vanishing horizon (a token bucket sitting at its resume
+        threshold, say) is bounded to a fixed step count rather than
+        busy-looping in microsecond steps.  Models with closed-form
+        idle dynamics override this (:class:`TokenBucketModel` refills
+        in a single analytic step).
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        remaining = duration_s
+        min_step = duration_s / _MAX_REST_STEPS
+        while remaining > 1e-9:
+            step = min(remaining, max(self.horizon(0.0), min_step, 1e-6))
+            self.advance(step, 0.0)
+            remaining -= step
 
 
 class ConstantRateModel(LinkModel):

@@ -147,13 +147,14 @@ class TokenBucketModel(LinkModel):
         return self.params.replenish_gbps - send_rate_gbps
 
     def horizon(self, send_rate_gbps: float) -> float:
-        fill = self._net_fill_rate(send_rate_gbps)
+        params = self.params
+        fill = params.replenish_gbps - send_rate_gbps
         if self._throttled:
             # Ceiling changes when the budget climbs past the resume
             # threshold.
             if fill <= 0:
                 return math.inf
-            gap = self.params.resume_threshold_gbit - self._budget
+            gap = params.resume_threshold_gbit - self._budget
             if gap <= _EMPTY_EPS_GBIT:
                 return 0.0
             return gap / fill
@@ -169,20 +170,31 @@ class TokenBucketModel(LinkModel):
             raise ValueError(f"dt must be non-negative, got {dt}")
         if send_rate_gbps < 0:
             raise ValueError("send rate cannot be negative")
-        fill = self._net_fill_rate(send_rate_gbps)
-        self._budget = min(
-            max(self._budget + fill * dt, 0.0), self.params.capacity_gbit
-        )
-        if self._budget <= _EMPTY_EPS_GBIT:
-            self._budget = 0.0
+        params = self.params
+        budget = self._budget + (params.replenish_gbps - send_rate_gbps) * dt
+        if budget < 0.0:
+            budget = 0.0
+        elif budget > params.capacity_gbit:
+            budget = params.capacity_gbit
+        if budget <= _EMPTY_EPS_GBIT:
+            budget = 0.0
+        self._budget = budget
         if self._throttled:
-            if (
-                self._budget
-                >= self.params.resume_threshold_gbit - _EMPTY_EPS_GBIT
-            ):
+            if budget >= params.resume_threshold_gbit - _EMPTY_EPS_GBIT:
                 self._throttled = False
-        elif self._budget <= 0.0:
+        elif budget <= 0.0:
             self._throttled = True
+
+    def rest(self, duration_s: float) -> None:
+        """Analytic idle refill: one closed-form step, no sub-stepping.
+
+        With zero offered traffic the net fill rate is ``replenish``
+        regardless of the throttled state, so :meth:`advance` is exact
+        over the whole interval even when it spans the resume-threshold
+        transition — the generic horizon-stepping fallback (which
+        busy-loops when the reported horizon is tiny) is unnecessary.
+        """
+        self.advance(duration_s, 0.0)
 
     def time_to_full_s(self, from_budget: float | None = None) -> float:
         """Rest time needed to completely refill the bucket."""

@@ -396,8 +396,15 @@ class ScenarioCampaign:
                 self._store(result)
                 computed.append(result)
         else:
-            with multiprocessing.Pool(min(self.workers, len(pending))) as pool:
-                for result in pool.imap_unordered(run_scenario, pending):
+            n_workers = min(self.workers, len(pending))
+            # Chunked submission amortizes per-task pickling/dispatch:
+            # ~4 chunks per worker keeps the tail balanced while large
+            # matrices stop paying one IPC round-trip per cell.
+            chunksize = max(1, len(pending) // (n_workers * 4))
+            with multiprocessing.Pool(n_workers) as pool:
+                for result in pool.imap_unordered(
+                    run_scenario, pending, chunksize=chunksize
+                ):
                     self._store(result)
                     computed.append(result)
 

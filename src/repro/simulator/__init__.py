@@ -18,6 +18,41 @@ package models exactly that interaction:
 * :mod:`repro.simulator.tasks` — tasks, stages, and job DAGs;
 * :mod:`repro.simulator.engine` — the DAG scheduler / execution engine
   producing runtimes and per-node utilization/budget telemetry.
+
+**Hot-path design (array-based fabric).**  Campaign throughput is
+gated by the event loop's per-step cost, so the innermost state is
+struct-of-arrays: the fabric keeps flow ``src``/``dst``/``remaining``/
+``rate`` in flat numpy arrays (insertion-ordered; :class:`Flow`
+objects are handles into them), water-fills via ``np.bincount``
+incidence counts with a vectorized fair-share pass per saturated
+resource, and fuses ``horizon``/``advance`` into single array
+expressions.  Below ~64 flows the water-filling/horizon scans cut over
+to the scalar reference algorithm (numpy dispatch overhead beats
+vectorization on tiny operands; both paths are bit-identical, which a
+hypothesis test enforces).  Per event step the cost is
+
+* one lazy water-filling — skipped entirely unless a flow arrived or
+  completed, a shaper ceiling moved, or a caller invalidated rates;
+  otherwise O(bottlenecks x flows) in vectorized ops;
+* one cached per-node egress aggregation (``bincount``), shared by
+  telemetry, ``horizon``, and ``advance`` instead of recomputed
+  thrice;
+* one ``advance``/``horizon``/``limit`` call per shaper model (these
+  stay scalar objects so heterogeneous fleets keep working);
+* O(1) scheduler bookkeeping: runnable stages are maintained
+  incrementally at stage-completion/launch-exhaustion events, and
+  launch passes are skipped on steps where no slot was freed, no
+  stage became runnable, and no job arrived.
+
+Telemetry appends into growable preallocated numpy buffers.  The
+refactor is *bit-exact* against the reference implementation — the
+golden-trace test (``tests/simulator/test_golden_trace.py``) pins
+pre-refactor outputs, and determinism tests guarantee same seed ⇒
+identical timings.  Benchmarks: ``python -m repro bench`` (or
+``python benchmarks/bench_engine_hotpath.py``) times a 16-node/200-job
+stream plus a 10k-flow water-filling microbench and records the
+trajectory in ``BENCH_engine.json``; read it with
+``python -m repro bench --table-only``.
 """
 
 from repro.simulator.cluster import Cluster, NodeSpec

@@ -35,6 +35,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -308,13 +309,16 @@ class SparkEngine:
 
 
 def rest_fabric(fabric: Fabric, duration_s: float) -> None:
-    """Let every shaper idle for ``duration_s`` (buckets refill)."""
+    """Let every shaper idle for ``duration_s`` (buckets refill).
+
+    Delegates to :meth:`~repro.netmodel.base.LinkModel.rest`: token
+    buckets refill in one closed-form step, other models step at their
+    horizon under a bounded step count.  Shaper ceilings may change
+    while resting, so the fabric's rate assignment is invalidated.
+    """
     for model in fabric.egress_models:
-        remaining = duration_s
-        while remaining > 1e-9:
-            step = min(remaining, max(model.horizon(0.0), 1e-6))
-            model.advance(min(step, remaining), 0.0)
-            remaining -= step
+        model.rest(duration_s)
+    fabric.invalidate_rates()
 
 
 class _StreamState:
@@ -345,18 +349,50 @@ class _StreamState:
             np.zeros((len(job.stages), n_nodes), dtype=float) for job in self.jobs
         ]
         self.finished = [False] * n_jobs
+        self._n_finished = 0
         self.finish_times = [math.inf] * n_jobs
+        # Launch passes are pure no-ops unless a slot was freed, a
+        # stage became runnable, or a job was admitted since the last
+        # pass; the flag lets flow-only event steps skip scheduling.
+        self._sched_dirty = True
         self._next_arrival = 0
         self._admitted: list[int] = []
         self.free_slots = [engine.cluster.node_spec.slots] * n_nodes
+        self._free_total = sum(self.free_slots)
         self.compute_heap: list[tuple[float, int, _TaskGroup]] = []
         self._compute_counter = itertools.count()
         self._rr_node = 0
-        # Telemetry buffers.
-        self.sample_times: list[float] = []
-        self.sample_rates: list[list[float]] = []
-        self.sample_budgets: list[list[float]] | None = (
-            [] if self._budgets_available() else None
+        # Incremental runnable-stage tracking: a stage is runnable while
+        # every parent has completed and it still has tasks to launch.
+        # Maintained at stage-completion and launch-exhaustion events so
+        # launch passes never rescan O(jobs x stages) state.
+        self._pending_parents = [
+            [len(set(stage.parents)) for stage in job.stages] for job in self.jobs
+        ]
+        self._children: list[list[list[int]]] = []
+        for job in self.jobs:
+            children: list[list[int]] = [[] for _ in job.stages]
+            for index, stage in enumerate(job.stages):
+                for parent in set(stage.parents):
+                    children[parent].append(index)
+            self._children.append(children)
+        self._runnable = [
+            [i for i, n_pending in enumerate(pending) if n_pending == 0]
+            for pending in self._pending_parents
+        ]
+        # O(1) progress counters (running-task and job-finished checks).
+        self._launched_total = [0] * n_jobs
+        self._done_total = [0] * n_jobs
+        self._job_tasks = [
+            sum(stage.num_tasks for stage in job.stages) for job in self.jobs
+        ]
+        # Telemetry: growable preallocated buffers, one row per sample.
+        capacity = 1024
+        self._n_samples = 0
+        self._t_buf = np.empty(capacity)
+        self._rate_buf = np.empty((capacity, n_nodes))
+        self._budget_buf: np.ndarray | None = (
+            np.empty((capacity, n_nodes)) if self._budgets_available() else None
         )
         self._last_sample_t = -math.inf
 
@@ -373,24 +409,21 @@ class _StreamState:
         ):
             self._admitted.append(self._next_arrival)
             self._next_arrival += 1
+            self._sched_dirty = True
 
     def _active_jobs(self) -> list[int]:
         """Admitted, unfinished jobs in submission order."""
         return [j for j in self._admitted if not self.finished[j]]
 
     def _stage_runnable(self, j: int, index: int) -> bool:
-        job = self.jobs[j]
-        stage = job.stages[index]
-        if self.launched[j][index] >= stage.num_tasks:
-            return False
-        return all(
-            self.done[j][p] >= job.stages[p].num_tasks for p in stage.parents
+        stage = self.jobs[j].stages[index]
+        return (
+            self._pending_parents[j][index] == 0
+            and self.launched[j][index] < stage.num_tasks
         )
 
     def _job_has_runnable(self, j: int) -> bool:
-        return any(
-            self._stage_runnable(j, i) for i in range(len(self.jobs[j].stages))
-        )
+        return bool(self._runnable[j])
 
     def _shuffle_shares(self, j: int, stage: StageSpec) -> np.ndarray:
         """Per-node fraction of the stage's shuffle input held locally."""
@@ -426,9 +459,8 @@ class _StreamState:
         """
         total_slots = self.engine.cluster.total_slots
         while True:
-            active = [j for j in self._active_jobs() if self._job_has_runnable(j)]
-            free = sum(self.free_slots)
-            if not active or free <= 0:
+            active = [j for j in self._active_jobs() if self._runnable[j]]
+            if not active or self._free_total <= 0:
                 return
             share = max(1, total_slots // len(active))
             # Fewest running tasks first; submission order breaks ties.
@@ -449,17 +481,21 @@ class _StreamState:
 
     def _running_tasks(self, j: int) -> int:
         """Slots job ``j`` currently occupies (launched, not done)."""
-        return sum(self.launched[j]) - sum(self.done[j])
+        return self._launched_total[j] - self._done_total[j]
 
     def _launch_for_job(self, j: int, budget: float) -> int:
         """Launch up to ``budget`` tasks of job ``j``; returns the count."""
         n_nodes = self.engine.cluster.n_nodes
         total = 0
-        for index, stage in enumerate(self.jobs[j].stages):
+        stages = self.jobs[j].stages
+        # Snapshot: launches only shrink the runnable set (a stage needs
+        # a *completion* to become runnable, which can't happen here).
+        for index in list(self._runnable[j]):
+            stage = stages[index]
             while (
                 budget > 0
-                and self._stage_runnable(j, index)
-                and any(s > 0 for s in self.free_slots)
+                and self.launched[j][index] < stage.num_tasks
+                and self._free_total > 0
             ):
                 launched_any = False
                 for offset in range(n_nodes):
@@ -486,7 +522,11 @@ class _StreamState:
         if self.stage_start[j][index] == math.inf:
             self.stage_start[j][index] = self.now
         self.free_slots[node] -= n_tasks
+        self._free_total -= n_tasks
         self.launched[j][index] += n_tasks
+        self._launched_total[j] += n_tasks
+        if self.launched[j][index] >= stage.num_tasks:
+            self._runnable[j].remove(index)
         group = _TaskGroup(j, index, node, n_tasks)
         fraction = n_tasks / stage.num_tasks
         disk_gbps = self.engine.cluster.node_spec.disk_gbps
@@ -546,15 +586,24 @@ class _StreamState:
         index = group.stage_index
         job = self.jobs[j]
         self.done[j][index] += 1
+        self._done_total[j] += 1
         self.tasks_run[j][index][group.node] += 1
         self.free_slots[group.node] += 1
+        self._free_total += 1
+        self._sched_dirty = True
         if self.done[j][index] >= job.stages[index].num_tasks:
             self.stage_end[j][index] = self.now
-            if all(
-                self.done[j][i] >= job.stages[i].num_tasks
-                for i in range(len(job.stages))
-            ):
+            pending = self._pending_parents[j]
+            for child in self._children[j][index]:
+                pending[child] -= 1
+                if (
+                    pending[child] == 0
+                    and self.launched[j][child] < job.stages[child].num_tasks
+                ):
+                    insort(self._runnable[j], child)
+            if self._done_total[j] >= self._job_tasks[j]:
                 self.finished[j] = True
+                self._n_finished += 1
                 self.finish_times[j] = self.now
 
     # -- telemetry -------------------------------------------------------------
@@ -572,33 +621,52 @@ class _StreamState:
         ):
             return
         self._last_sample_t = self.now
-        self.sample_times.append(self.now)
-        self.sample_rates.append(self.fabric.node_egress_rates())
-        if self.sample_budgets is not None:
-            self.sample_budgets.append(
-                [m.budget_gbit for m in self.fabric.egress_models]
-            )
+        k = self._n_samples
+        if k == self._t_buf.shape[0]:
+            self._grow_telemetry()
+        self._t_buf[k] = self.now
+        self._rate_buf[k, :] = self.fabric._egress_raw()
+        if self._budget_buf is not None:
+            self._budget_buf[k, :] = [
+                m.budget_gbit for m in self.fabric.egress_models
+            ]
+        self._n_samples = k + 1
+
+    def _grow_telemetry(self) -> None:
+        capacity = 2 * self._t_buf.shape[0]
+        k = self._n_samples
+        for name in ("_t_buf", "_rate_buf", "_budget_buf"):
+            old = getattr(self, name)
+            if old is None:
+                continue
+            new = np.empty((capacity,) + old.shape[1:])
+            new[:k] = old[:k]
+            setattr(self, name, new)
 
     # -- main loop ---------------------------------------------------------------
     def execute(self) -> StreamResult:
         self._admit_arrivals()
         self._try_launch()
+        self._sched_dirty = False
         max_steps = _MAX_STEPS * len(self.jobs)
+        fabric = self.fabric
+        compute_heap = self.compute_heap
+        submits = self.submits
+        n_jobs = len(self.jobs)
+        heappop = heapq.heappop
         for _ in range(max_steps):
-            if all(self.finished):
+            if self._n_finished == n_jobs:
                 break
-            self.fabric.compute_rates()
+            fabric.compute_rates()
             self._record()
-            next_compute = (
-                self.compute_heap[0][0] if self.compute_heap else math.inf
-            )
+            next_compute = compute_heap[0][0] if compute_heap else math.inf
             next_arrival = (
-                self.submits[self._next_arrival]
-                if self._next_arrival < len(self.jobs)
+                submits[self._next_arrival]
+                if self._next_arrival < n_jobs
                 else math.inf
             )
             dt = min(
-                self.fabric.horizon(),
+                fabric.horizon(),
                 next_compute - self.now,
                 next_arrival - self.now,
             )
@@ -608,28 +676,33 @@ class _StreamState:
                     f"no arrivals, jobs done={self.finished}"
                 )
             dt = max(dt, 0.0)
-            completed_flows = self.fabric.advance(dt)
+            completed_flows = fabric.advance(dt)
             self.now += dt
             for flow in completed_flows:
                 self._on_flow_complete(flow)
-            while self.compute_heap and self.compute_heap[0][0] <= self.now + 1e-9:
-                _, _, group = heapq.heappop(self.compute_heap)
-                self._on_compute_complete(group)
+            # Drain every compute due at (or epsilon-past) the new time
+            # as one batch, then run a single launch pass for all of it.
+            due_threshold = self.now + 1e-9
+            while compute_heap and compute_heap[0][0] <= due_threshold:
+                self._on_compute_complete(heappop(compute_heap)[2])
             self._admit_arrivals()
-            self._try_launch()
+            if self._sched_dirty:
+                self._sched_dirty = False
+                self._try_launch()
         else:
             raise RuntimeError("step budget exhausted; stream did not converge")
-        self.fabric.compute_rates()
+        fabric.compute_rates()
         self._record(force=True)
         return self._build_result()
 
     # -- result assembly ---------------------------------------------------
     def _build_result(self) -> StreamResult:
-        sample_times = np.asarray(self.sample_times)
-        egress_rates = np.asarray(self.sample_rates).T
+        k = self._n_samples
+        sample_times = self._t_buf[:k].copy()
+        egress_rates = self._rate_buf[:k].copy().T
         budgets = None
-        if self.sample_budgets is not None:
-            budgets = np.asarray(self.sample_budgets).T
+        if self._budget_buf is not None:
+            budgets = self._budget_buf[:k].copy().T
         single = len(self.jobs) == 1
         job_results = []
         for j, job in enumerate(self.jobs):

@@ -12,22 +12,56 @@ Rates are piecewise-constant: :meth:`Fabric.compute_rates` performs the
 water-filling, :meth:`Fabric.horizon` bounds how long the current rate
 assignment stays valid (flow completions and shaper transitions), and
 :meth:`Fabric.advance` integrates one step, returning completed flows.
+
+Internally the fabric is a struct-of-arrays engine: flow endpoints,
+remaining volumes, and rates live in flat numpy arrays kept in flow
+insertion order, so water-filling runs as ``np.bincount`` incidence
+counts plus vectorized fair-share passes, and ``horizon``/``advance``
+are single fused array expressions instead of per-flow Python loops.
+:class:`Flow` objects are handles into those arrays.  The vectorized
+water-filling reproduces the reference progressive-filling algorithm
+*bit for bit* — same saturation order, same tie-breaking (first
+resource in flow-insertion order wins), same floating-point operation
+order for the per-flow capacity subtractions — which is what lets the
+golden-trace equivalence test pin pre-refactor outputs exactly.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
+
+import numpy as np
 
 from repro.netmodel.base import LinkModel
 
 __all__ = ["Flow", "Fabric"]
 
+#: Flows whose remaining volume drops to/below this complete (Gbit).
+_COMPLETE_EPS_GBIT = 1e-9
+
+#: Initial capacity of the flow arrays; doubled on demand.
+_MIN_CAPACITY = 64
+
+#: Below this many flows the water-filling and horizon scans run the
+#: scalar reference algorithm: per-call numpy dispatch overhead beats
+#: vectorization on tiny operands (small scenario-campaign cells),
+#: while dense flow sets want the array path.  Both paths are
+#: bit-identical by construction (see tests/simulator/test_fabric.py).
+_SCALAR_CUTOFF = 64
+
 
 class Flow:
-    """One fluid transfer between two nodes."""
+    """One fluid transfer between two nodes.
 
-    __slots__ = ("flow_id", "src", "dst", "remaining_gbit", "rate_gbps", "tag")
+    While registered, the authoritative ``remaining_gbit``/``rate_gbps``
+    state lives in the owning fabric's arrays and the handle reads
+    through; once completed or removed, the final values are
+    materialized onto the handle (so a completed flow still reports its
+    terminal state, as callers of :meth:`Fabric.advance` expect).
+    """
+
+    __slots__ = ("flow_id", "src", "dst", "tag", "_fabric", "_index", "_remaining", "_rate")
 
     def __init__(
         self, flow_id: int, src: int, dst: int, volume_gbit: float, tag: object = None
@@ -35,17 +69,47 @@ class Flow:
         self.flow_id = flow_id
         self.src = src
         self.dst = dst
-        self.remaining_gbit = volume_gbit
-        self.rate_gbps = 0.0
         self.tag = tag
+        self._fabric: "Fabric | None" = None
+        self._index = -1
+        self._remaining = float(volume_gbit)
+        self._rate = 0.0
+
+    @property
+    def remaining_gbit(self) -> float:
+        if self._fabric is not None:
+            return float(self._fabric._remaining[self._index])
+        return self._remaining
+
+    @remaining_gbit.setter
+    def remaining_gbit(self, value: float) -> None:
+        if self._fabric is not None:
+            self._fabric._remaining[self._index] = value
+        else:
+            self._remaining = float(value)
+
+    @property
+    def rate_gbps(self) -> float:
+        if self._fabric is not None:
+            return float(self._fabric._rate[self._index])
+        return self._rate
+
+    @rate_gbps.setter
+    def rate_gbps(self, value: float) -> None:
+        if self._fabric is not None:
+            self._fabric._rate[self._index] = value
+        else:
+            self._rate = float(value)
 
     def completion_time(self) -> float:
         """Seconds until completion at the current rate."""
-        if self.remaining_gbit <= 0:
+        remaining = self.remaining_gbit
+        if remaining <= 0:
             return 0.0
-        if self.rate_gbps <= 0:
+        rate = self.rate_gbps
+        if rate <= 0:
             return math.inf
-        return self.remaining_gbit / self.rate_gbps
+        return remaining / rate
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -68,15 +132,29 @@ class Fabric:
             raise ValueError("ingress caps must be positive")
         self.egress_models = list(egress_models)
         self.ingress_caps = [float(c) for c in ingress_caps_gbps]
+        self._ingress_arr = np.asarray(self.ingress_caps, dtype=float)
         self.flows: dict[int, Flow] = {}
         self._next_id = 0
         self._rates_valid = False
+        # Struct-of-arrays flow state, in insertion order up to _n.
+        self._src = np.zeros(_MIN_CAPACITY, dtype=np.intp)
+        self._dst = np.zeros(_MIN_CAPACITY, dtype=np.intp)
+        self._remaining = np.zeros(_MIN_CAPACITY, dtype=float)
+        self._rate = np.zeros(_MIN_CAPACITY, dtype=float)
+        self._handles: list[Flow] = []
+        self._n = 0
+        #: Per-node aggregate send rates under the current assignment,
+        #: computed at most once per event step (``None`` = stale).
+        self._egress_cache: np.ndarray | None = None
 
     @property
     def n_nodes(self) -> int:
         """Number of nodes attached to the fabric."""
         return len(self.egress_models)
 
+    # ------------------------------------------------------------------
+    # flow registry
+    # ------------------------------------------------------------------
     def add_flow(self, src: int, dst: int, volume_gbit: float, tag: object = None) -> Flow:
         """Register a new transfer; rates are recomputed lazily."""
         if not 0 <= src < self.n_nodes or not 0 <= dst < self.n_nodes:
@@ -85,48 +163,180 @@ class Fabric:
             raise ValueError("loopback transfers never touch the fabric")
         if volume_gbit <= 0:
             raise ValueError("flow volume must be positive")
+        if self._n == self._src.shape[0]:
+            self._grow()
+        index = self._n
+        self._src[index] = src
+        self._dst[index] = dst
+        self._remaining[index] = volume_gbit
+        self._rate[index] = 0.0
         flow = Flow(self._next_id, src, dst, volume_gbit, tag=tag)
+        flow._fabric = self
+        flow._index = index
         self._next_id += 1
         self.flows[flow.flow_id] = flow
+        self._handles.append(flow)
+        self._n = index + 1
         self._rates_valid = False
+        self._egress_cache = None
         return flow
 
     def remove_flow(self, flow: Flow) -> None:
-        """Withdraw a flow (for cancelled tasks)."""
-        self.flows.pop(flow.flow_id, None)
-        self._rates_valid = False
+        """Withdraw a flow (for cancelled tasks).
 
+        A handle not registered here — already completed or removed,
+        or owned by a different fabric (flow ids are per-fabric
+        counters, so ids alone cannot identify a flow) — is a no-op.
+        """
+        if flow._fabric is not self:
+            return
+        keep = np.ones(self._n, dtype=bool)
+        keep[flow._index] = False
+        self._compact(keep)
+        self._rates_valid = False
+        self._egress_cache = None
+
+    def _grow(self) -> None:
+        capacity = max(2 * self._src.shape[0], _MIN_CAPACITY)
+        for name in ("_src", "_dst", "_remaining", "_rate"):
+            old = getattr(self, name)
+            new = np.zeros(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    def _compact(self, keep: np.ndarray) -> None:
+        """Drop flows where ``keep`` is False, preserving insertion order."""
+        n = self._n
+        for i in np.flatnonzero(~keep).tolist():
+            handle = self._handles[i]
+            handle._remaining = float(self._remaining[i])
+            handle._rate = float(self._rate[i])
+            handle._fabric = None
+            handle._index = -1
+            del self.flows[handle.flow_id]
+        kept = np.flatnonzero(keep)
+        k = kept.shape[0]
+        self._src[:k] = self._src[:n][keep]
+        self._dst[:k] = self._dst[:n][keep]
+        self._remaining[:k] = self._remaining[:n][keep]
+        self._rate[:k] = self._rate[:n][keep]
+        handles = [self._handles[i] for i in kept.tolist()]
+        for index, handle in enumerate(handles):
+            handle._index = index
+        self._handles = handles
+        self._n = k
+
+    # ------------------------------------------------------------------
+    # water-filling
+    # ------------------------------------------------------------------
     def compute_rates(self) -> None:
         """Water-filling max-min fair allocation under current limits.
 
         Resources are node egress limits (from the shapers' current
         state) and node ingress caps.  Classic progressive filling:
         repeatedly saturate the tightest resource and freeze its flows.
+        A no-op while the current assignment is still valid — flow
+        arrivals/completions and shaper ceiling changes (detected by
+        :meth:`advance`) invalidate it, as does
+        :meth:`invalidate_rates`.
         """
-        flows = list(self.flows.values())
-        for flow in flows:
-            flow.rate_gbps = 0.0
-        if not flows:
+        if self._rates_valid:
+            return
+        self._egress_cache = None
+        n = self._n
+        if n == 0:
             self._rates_valid = True
             return
+        if n < _SCALAR_CUTOFF:
+            self._compute_rates_scalar(n)
+            self._rates_valid = True
+            return
+        src = self._src[:n]
+        dst = self._dst[:n]
+        rate = self._rate[:n]
+        rate[:] = 0.0
+        n_nodes = self.n_nodes
 
-        # Remaining capacity per resource: ("out", node) and ("in", node).
+        out_rem = np.array([m.limit() for m in self.egress_models], dtype=float)
+        in_rem = self._ingress_arr.copy()
+        out_counts = np.bincount(src, minlength=n_nodes)
+        in_counts = np.bincount(dst, minlength=n_nodes)
+        ranks: np.ndarray | None = None
+
+        unfixed = np.ones(n, dtype=bool)
+        n_unfixed = n
+        shares = np.empty(2 * n_nodes, dtype=float)
+        while n_unfixed:
+            # Fair share each resource could give its unfixed flows.
+            shares[:] = np.inf
+            np.divide(
+                out_rem, out_counts, out=shares[:n_nodes], where=out_counts > 0
+            )
+            np.divide(
+                in_rem, in_counts, out=shares[n_nodes:], where=in_counts > 0
+            )
+            best_share = shares.min()
+            if not math.isfinite(best_share):
+                break
+            candidates = np.flatnonzero(shares == best_share)
+            if candidates.shape[0] == 1:
+                best = int(candidates[0])
+            else:
+                if ranks is None:
+                    ranks = self._tie_break_ranks(src, dst)
+                best = int(candidates[np.argmin(ranks[candidates])])
+            # Freeze the bottleneck's flows at the fair share.
+            if best < n_nodes:
+                selected = unfixed & (src == best)
+            else:
+                selected = unfixed & (dst == best - n_nodes)
+            frozen = np.flatnonzero(selected)
+            rate_val = max(float(best_share), 0.0)
+            rate[frozen] = rate_val
+            unfixed[frozen] = False
+            n_unfixed -= frozen.shape[0]
+            frozen_src = src[frozen]
+            frozen_dst = dst[frozen]
+            # Scalar clamped subtraction per frozen flow, matching the
+            # reference loop's floating-point operation order (the
+            # per-iteration rate is uniform, so order within the batch
+            # cannot change the result).
+            for s_node, d_node in zip(frozen_src.tolist(), frozen_dst.tolist()):
+                out_rem[s_node] = max(out_rem[s_node] - rate_val, 0.0)
+                in_rem[d_node] = max(in_rem[d_node] - rate_val, 0.0)
+            out_counts -= np.bincount(frozen_src, minlength=n_nodes)
+            in_counts -= np.bincount(frozen_dst, minlength=n_nodes)
+        self._rates_valid = True
+
+    def _compute_rates_scalar(self, n: int) -> None:
+        """Reference progressive filling over Python scalars.
+
+        Semantically (and bit-for-bit) the same algorithm as the
+        vectorized path: resources tracked in one insertion-ordered
+        dict — (out, src), (in, dst) per flow in flow order — the
+        tightest fair share saturates first, first-inserted resource
+        wins ties, and capacity subtraction clamps per frozen flow.
+        """
+        src = self._src[:n].tolist()
+        dst = self._dst[:n].tolist()
         remaining: dict[tuple[str, int], float] = {}
         members: dict[tuple[str, int], set[int]] = {}
-        for flow in flows:
-            for key in (("out", flow.src), ("in", flow.dst)):
-                members.setdefault(key, set()).add(flow.flow_id)
-        for key in members:
-            kind, node = key
-            if kind == "out":
-                remaining[key] = self.egress_models[node].limit()
-            else:
-                remaining[key] = self.ingress_caps[node]
-
-        unfixed = {flow.flow_id for flow in flows}
-        flow_by_id = {flow.flow_id: flow for flow in flows}
+        for i in range(n):
+            key = ("out", src[i])
+            ids = members.get(key)
+            if ids is None:
+                members[key] = ids = set()
+                remaining[key] = self.egress_models[src[i]].limit()
+            ids.add(i)
+            key = ("in", dst[i])
+            ids = members.get(key)
+            if ids is None:
+                members[key] = ids = set()
+                remaining[key] = self.ingress_caps[dst[i]]
+            ids.add(i)
+        rates = [0.0] * n
+        unfixed = set(range(n))
         while unfixed:
-            # Fair share each resource could give its unfixed flows.
             best_key = None
             best_share = math.inf
             for key, ids in members.items():
@@ -139,33 +349,79 @@ class Fabric:
                     best_key = key
             if best_key is None:
                 break
-            # Freeze the bottleneck's flows at the fair share.
-            saturated = list(members[best_key] & unfixed)
-            for flow_id in saturated:
-                flow = flow_by_id[flow_id]
-                flow.rate_gbps = max(best_share, 0.0)
-                unfixed.discard(flow_id)
-                for key in (("out", flow.src), ("in", flow.dst)):
-                    remaining[key] = max(remaining[key] - flow.rate_gbps, 0.0)
-        self._rates_valid = True
+            rate_val = max(best_share, 0.0)
+            for i in members[best_key] & unfixed:
+                rates[i] = rate_val
+                unfixed.discard(i)
+                key = ("out", src[i])
+                remaining[key] = max(remaining[key] - rate_val, 0.0)
+                key = ("in", dst[i])
+                remaining[key] = max(remaining[key] - rate_val, 0.0)
+        self._rate[:n] = rates
 
-    def node_egress_rates(self) -> list[float]:
+    def _tie_break_ranks(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Resource order used to break exact fair-share ties.
+
+        Replicates the reference implementation's dict ordering:
+        resources rank by first appearance in the (out, src), (in, dst)
+        sequence over flows in insertion order, and the lowest-ranked
+        resource wins.  Computed lazily — most water-filling iterations
+        have a unique bottleneck.
+        """
+        n = src.shape[0]
+        n_nodes = self.n_nodes
+        positions = 2 * np.arange(n, dtype=np.intp)
+        out_rank = np.full(n_nodes, 2 * n + 2, dtype=np.intp)
+        in_rank = np.full(n_nodes, 2 * n + 2, dtype=np.intp)
+        np.minimum.at(out_rank, src, positions)
+        np.minimum.at(in_rank, dst, positions + 1)
+        return np.concatenate([out_rank, in_rank])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _egress_raw(self) -> np.ndarray:
+        """Per-node aggregate send rates; cached until rates change."""
+        if self._egress_cache is None:
+            n = self._n
+            self._egress_cache = np.bincount(
+                self._src[:n], weights=self._rate[:n], minlength=self.n_nodes
+            )
+        return self._egress_cache
+
+    def node_egress_rates(self) -> np.ndarray:
         """Aggregate send rate per node under the current assignment."""
-        rates = [0.0] * self.n_nodes
-        for flow in self.flows.values():
-            rates[flow.src] += flow.rate_gbps
-        return rates
+        return self._egress_raw().copy()
 
     def horizon(self) -> float:
         """Seconds the current rate assignment is guaranteed valid."""
         if not self._rates_valid:
             self.compute_rates()
         bound = math.inf
-        for flow in self.flows.values():
-            bound = min(bound, flow.completion_time())
-        egress = self.node_egress_rates()
-        for node, model in enumerate(self.egress_models):
-            bound = min(bound, model.horizon(egress[node]))
+        n = self._n
+        if 0 < n < _SCALAR_CUTOFF:
+            rates = self._rate[:n].tolist()
+            for rem, rate in zip(self._remaining[:n].tolist(), rates):
+                if rem <= 0.0:
+                    completion = 0.0
+                elif rate <= 0.0:
+                    continue  # math.inf never tightens the bound
+                else:
+                    completion = rem / rate
+                if completion < bound:
+                    bound = completion
+        elif n:
+            remaining = self._remaining[:n]
+            rate = self._rate[:n]
+            completion = np.full(n, math.inf)
+            np.divide(remaining, rate, out=completion, where=rate > 0.0)
+            completion[remaining <= 0.0] = 0.0
+            bound = float(completion.min())
+        egress = self._egress_raw()
+        for model, node_rate in zip(self.egress_models, egress.tolist()):
+            model_bound = model.horizon(node_rate)
+            if model_bound < bound:
+                bound = model_bound
         return bound
 
     def advance(self, dt: float) -> list[Flow]:
@@ -173,25 +429,45 @@ class Fabric:
 
         Callers must not advance past :meth:`horizon`.  Shaper models
         advance with their node's aggregate egress rate so token
-        buckets drain exactly as much as the flows send.
+        buckets drain exactly as much as the flows send.  If any
+        shaper's ceiling changed over the step (a token-bucket tier
+        transition, a stochastic resample), the rate assignment is
+        invalidated even when no flow completed — rates computed
+        against the old ceiling are stale.
         """
         if dt < 0:
             raise ValueError(f"dt must be non-negative, got {dt}")
         if not self._rates_valid:
             self.compute_rates()
-        egress = self.node_egress_rates()
-        for node, model in enumerate(self.egress_models):
-            model.advance(dt, egress[node])
+        egress = self._egress_raw()
+        limit_changed = False
+        for model, node_rate in zip(self.egress_models, egress.tolist()):
+            before = model.limit()
+            model.advance(dt, node_rate)
+            if model.limit() != before:
+                limit_changed = True
         completed: list[Flow] = []
-        for flow in list(self.flows.values()):
-            flow.remaining_gbit -= flow.rate_gbps * dt
-            if flow.remaining_gbit <= 1e-9:
-                completed.append(flow)
-                del self.flows[flow.flow_id]
-        if completed:
+        n = self._n
+        if n:
+            remaining = self._remaining[:n]
+            remaining -= self._rate[:n] * dt
+            done = remaining <= _COMPLETE_EPS_GBIT
+            if done.any():
+                completed = [
+                    self._handles[i] for i in np.flatnonzero(done).tolist()
+                ]
+                self._compact(~done)
+                self._rates_valid = False
+                self._egress_cache = None
+        if limit_changed:
             self._rates_valid = False
         return completed
 
     def invalidate_rates(self) -> None:
-        """Force a rate recomputation before the next horizon/advance."""
+        """Force a rate recomputation before the next horizon/advance.
+
+        Required after mutating an egress model behind the fabric's
+        back (``set_budget``, ``reset``, resting a shaper directly).
+        """
         self._rates_valid = False
+        self._egress_cache = None

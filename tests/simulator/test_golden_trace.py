@@ -1,0 +1,113 @@
+"""Golden-trace equivalence contract for the fluid-fabric engine.
+
+The fixture in ``fixtures/golden_trace.json`` pins the complete output
+of a fixed seeded multi-job stream — stage windows, runtimes, task
+placement, and the full telemetry arrays — as produced by the
+pre-refactor (dict/set water-filling) engine.  Any reimplementation of
+the fabric or engine hot path must reproduce these values *exactly*:
+the same max-min allocation, the same tie-breaking, and the same RNG
+draw order, down to the last bit of every float.
+
+Regenerate (only when the simulation semantics intentionally change,
+with a PR note explaining why):
+
+    PYTHONPATH=src python tests/simulator/test_golden_trace.py --regen
+"""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.netmodel import TokenBucketModel, TokenBucketParams
+from repro.scenarios.generate import job_stream, poisson_arrivals
+from repro.simulator import Cluster, NodeSpec, SparkEngine
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_trace.json"
+
+_BUCKET = TokenBucketParams(
+    peak_gbps=10.0,
+    capped_gbps=1.0,
+    replenish_gbps=0.95,
+    capacity_gbit=400.0,
+    resume_threshold_gbit=40.0,
+)
+
+
+def _run_reference_stream():
+    """A 6-node, 6-job mixed stream with shaper tier transitions."""
+    rng = np.random.default_rng(20260727)
+    cluster = Cluster(
+        n_nodes=6,
+        node_spec=NodeSpec(slots=4),
+        link_model_factory=lambda node: TokenBucketModel(_BUCKET),
+    )
+    times = poisson_arrivals(rng, rate_per_min=3.0, n_jobs=6)
+    stream = job_stream(rng, times, n_nodes=6, slots=4, data_scale=0.15)
+    engine = SparkEngine(cluster, rng=rng, sample_interval_s=5.0)
+    return engine.run_stream(stream, scheduler="fair")
+
+
+def _snapshot(result) -> dict:
+    """Plain-JSON projection of a StreamResult (floats round-trip)."""
+    jobs = []
+    for job in result.job_results:
+        jobs.append(
+            {
+                "name": job.job_name,
+                "submit_s": float(job.submit_s),
+                "finish_s": float(job.finish_s),
+                "runtime_s": float(job.runtime_s),
+                "stage_windows": {
+                    name: [float(start), float(end)]
+                    for name, (start, end) in sorted(job.stage_windows.items())
+                },
+                "tasks_per_node": [float(v) for v in job.tasks_per_node],
+            }
+        )
+    assert result.budgets is not None
+    return {
+        "scheduler": result.scheduler,
+        "makespan_s": float(result.makespan_s),
+        "jobs": jobs,
+        "sample_times": [float(v) for v in result.sample_times],
+        "egress_rates": [[float(v) for v in row] for row in result.egress_rates],
+        "budgets": [[float(v) for v in row] for row in result.budgets],
+    }
+
+
+def test_golden_trace_matches_pre_refactor_engine():
+    snapshot = _snapshot(_run_reference_stream())
+    pinned = json.loads(FIXTURE.read_text())
+    # Compare piecewise for debuggable failures before the full check.
+    assert snapshot["makespan_s"] == pinned["makespan_s"]
+    assert [j["runtime_s"] for j in snapshot["jobs"]] == [
+        j["runtime_s"] for j in pinned["jobs"]
+    ]
+    for got, want in zip(snapshot["jobs"], pinned["jobs"]):
+        assert got["stage_windows"] == want["stage_windows"], got["name"]
+    assert snapshot["sample_times"] == pinned["sample_times"]
+    assert snapshot["egress_rates"] == pinned["egress_rates"]
+    assert snapshot["budgets"] == pinned["budgets"]
+    assert snapshot == pinned
+
+
+def test_snapshot_is_finite_and_consistent():
+    """The reference stream itself stays sane (guards fixture regen)."""
+    snapshot = _snapshot(_run_reference_stream())
+    assert all(math.isfinite(j["runtime_s"]) for j in snapshot["jobs"])
+    assert snapshot["makespan_s"] >= max(j["finish_s"] for j in snapshot["jobs"]) - 1e-9
+    assert len(snapshot["sample_times"]) == len(snapshot["egress_rates"][0])
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        raise SystemExit("pass --regen to overwrite the pinned fixture")
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(
+        json.dumps(_snapshot(_run_reference_stream()), indent=1) + "\n"
+    )
+    print(f"wrote {FIXTURE}")

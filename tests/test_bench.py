@@ -1,0 +1,81 @@
+"""Tests for the hot-path benchmark suite and its results ledger."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    bench_stream,
+    bench_waterfill,
+    format_table,
+    load_results,
+    record_results,
+)
+from repro.cli import main
+
+
+class TestBenchmarks:
+    def test_waterfill_microbench_reports_checksum(self):
+        result = bench_waterfill(n_flows=300, n_nodes=8, rounds=1)
+        assert result["n_flows"] == 300
+        assert result["wall_s"] >= 0
+        assert result["checksum"] > 0
+
+    def test_waterfill_checksum_is_deterministic(self):
+        a = bench_waterfill(n_flows=200, n_nodes=8, rounds=1)
+        b = bench_waterfill(n_flows=200, n_nodes=8, rounds=1)
+        assert a["checksum"] == b["checksum"]
+
+    def test_stream_bench_small(self):
+        result = bench_stream(n_nodes=4, n_jobs=2, data_scale=0.05)
+        assert result["checksum"] > 0
+        assert result["makespan_s"] > 0
+        assert result["samples"] > 0
+
+
+class TestLedger:
+    def test_missing_ledger_is_empty(self, tmp_path):
+        ledger = load_results(tmp_path / "nope.json")
+        assert ledger["baseline"] is None
+        assert "(no benchmark results recorded)" in format_table(ledger)
+
+    def test_record_and_speedup_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        base = {"x": {"wall_s": 2.0, "checksum": 42.0}}
+        cur = {"x": {"wall_s": 0.5, "checksum": 42.0}}
+        record_results(base, path=path, label="old", as_baseline=True)
+        ledger = record_results(cur, path=path, label="new")
+        assert ledger["speedup"]["x"] == pytest.approx(4.0)
+        reloaded = json.loads(path.read_text())
+        assert reloaded["baseline"]["label"] == "old"
+        assert reloaded["current"]["label"] == "new"
+        table = format_table(reloaded)
+        assert "4.00x" in table
+
+    def test_checksum_mismatch_voids_speedup(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        record_results(
+            {"x": {"wall_s": 2.0, "checksum": 1.0}}, path=path, as_baseline=True
+        )
+        ledger = record_results({"x": {"wall_s": 0.5, "checksum": 2.0}}, path=path)
+        assert "x" not in ledger["speedup"]
+
+    def test_recording_current_never_touches_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        record_results(
+            {"x": {"wall_s": 2.0, "checksum": 1.0}}, path=path, as_baseline=True
+        )
+        record_results({"x": {"wall_s": 1.0, "checksum": 1.0}}, path=path)
+        assert load_results(path)["baseline"]["results"]["x"]["wall_s"] == 2.0
+
+
+class TestCli:
+    def test_bench_table_only(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_engine.json"
+        record_results(
+            {"x": {"wall_s": 2.0, "checksum": 1.0}}, path=path, as_baseline=True
+        )
+        assert main(["bench", "--table-only", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark" in out
+        assert "2.0000" in out
