@@ -8,6 +8,7 @@ next to the pinned pre-refactor baseline:
     python benchmarks/bench_engine_hotpath.py            # update "current"
     python benchmarks/bench_engine_hotpath.py --save-baseline
     python benchmarks/bench_engine_hotpath.py --smoke    # CI-sized, no ledger
+    python benchmarks/bench_engine_hotpath.py --check    # regression gate
 
 Under pytest the benchmarks run once each (like every bench_* module)
 and print their rows without touching the ledger.
@@ -24,10 +25,13 @@ if __name__ == "__main__":  # standalone: make src/ importable
 
 from repro.bench.hotpath import (
     DEFAULT_RESULTS_PATH,
+    bench_shaper_fleet_vs_scalar,
     bench_stream,
     bench_waterfill,
     run_and_record,
+    run_check,
 )
+from repro.cli import add_bench_check_arguments
 
 
 def test_stream_hotpath(benchmark):
@@ -44,6 +48,17 @@ def test_waterfill_microbench(benchmark):
     result = run_once(benchmark, bench_waterfill)
     print_rows("water-filling 10k flows", [result])
     assert result["checksum"] > 0
+
+
+def test_shaper_fleet_vs_scalar(benchmark):
+    from conftest import print_rows, run_once
+
+    result = run_once(
+        benchmark, lambda: bench_shaper_fleet_vs_scalar(duration_s=300.0)
+    )
+    print_rows("64-node shaper fleet vs scalar adapter", [result])
+    assert result["checksum"] > 0
+    assert result["fleet_speedup"] > 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,12 +82,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--label", default="", help="free-form label stored with the run"
     )
+    add_bench_check_arguments(parser)
     args = parser.parse_args(argv)
+    if args.check:
+        return run_check(
+            smoke=args.smoke,
+            path=args.json,
+            wall_tolerance=args.wall_tolerance,
+        )
     return run_and_record(
         smoke=args.smoke,
         save_baseline=args.save_baseline,
         path=args.json,
         label=args.label,
+        save_smoke=args.save_smoke,
     )
 
 

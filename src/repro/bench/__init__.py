@@ -3,10 +3,16 @@
 The ROADMAP's north star is "as fast as the hardware allows", which is
 only meaningful against a recorded trajectory.  This package defines
 the canonical hot-path benchmarks (a 16-node/200-job multi-tenant
-stream and a 10k-flow water-filling microbench), runs them with
-:func:`run_suite`, and records results in ``BENCH_engine.json`` at the
-repository root so every PR can compare itself against the pinned
-pre-refactor baseline.
+stream, a 10k-flow water-filling microbench, and a 64-node
+shaper-fleet sweep that times the vectorized and scalar-adapter shaper
+paths against each other), runs them with :func:`run_suite`, and
+records results in ``BENCH_engine.json`` at the repository root so
+every PR can compare itself against the pinned pre-refactor baseline.
+
+``python -m repro bench --check`` re-runs the suite and exits non-zero
+when any case's checksum drifts from the ledger or its wall time
+regresses beyond a tolerance — the regression gate CI runs (against
+the ``smoke`` reference section recorded with ``--save-smoke``).
 
 Run it via ``python -m repro bench`` or
 ``python benchmarks/bench_engine_hotpath.py``.
@@ -14,21 +20,27 @@ Run it via ``python -m repro bench`` or
 
 from repro.bench.hotpath import (
     DEFAULT_RESULTS_PATH,
+    bench_shaper_fleet_vs_scalar,
     bench_stream,
     bench_waterfill,
+    check_results,
     format_table,
     load_results,
     record_results,
     run_and_record,
+    run_check,
     run_suite,
 )
 
 __all__ = [
     "DEFAULT_RESULTS_PATH",
     "bench_stream",
+    "bench_shaper_fleet_vs_scalar",
     "bench_waterfill",
     "run_suite",
     "run_and_record",
+    "run_check",
+    "check_results",
     "load_results",
     "record_results",
     "format_table",

@@ -32,16 +32,24 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.netmodel import ConstantRateModel, TokenBucketModel, TokenBucketParams
+from repro.netmodel import (
+    ConstantRateModel,
+    ScalarFleetAdapter,
+    TokenBucketModel,
+    TokenBucketParams,
+)
 from repro.scenarios.generate import job_stream, poisson_arrivals
 from repro.simulator import Cluster, Fabric, NodeSpec, SparkEngine
 
 __all__ = [
     "DEFAULT_RESULTS_PATH",
     "bench_stream",
+    "bench_shaper_fleet_vs_scalar",
     "bench_waterfill",
     "run_suite",
     "run_and_record",
+    "run_check",
+    "check_results",
     "load_results",
     "record_results",
     "format_table",
@@ -71,21 +79,39 @@ def bench_stream(
     data_scale: float = 0.3,
     seed: int = 1234,
     scheduler: str = "fair",
+    scalar_fleet: bool = False,
 ) -> dict:
-    """Time one multi-tenant stream execution end to end."""
+    """Time one multi-tenant stream execution end to end.
+
+    ``scalar_fleet`` forces the per-model
+    :class:`~repro.netmodel.fleet.ScalarFleetAdapter` loop instead of
+    the vectorized :class:`~repro.netmodel.fleet.TokenBucketFleet` the
+    homogeneous shaper list would normally get — the two paths are
+    bit-exact, so their checksums must agree and the wall-clock delta
+    is pure shaper-fleet speedup.
+    """
     rng = np.random.default_rng(seed)
     cluster = Cluster(
         n_nodes=n_nodes,
         node_spec=NodeSpec(slots=slots),
         link_model_factory=lambda node: TokenBucketModel(_STREAM_BUCKET),
     )
+    fabric = None
+    if scalar_fleet:
+        # The factory draws nothing from the RNG, so pre-building the
+        # fabric leaves the simulation stream identical.
+        models = [TokenBucketModel(_STREAM_BUCKET) for _ in range(n_nodes)]
+        fabric = Fabric(
+            ScalarFleetAdapter(models),
+            [cluster.node_spec.ingress_gbps] * n_nodes,
+        )
     times = poisson_arrivals(rng, rate_per_min=rate_per_min, n_jobs=n_jobs)
     stream = job_stream(
         rng, times, n_nodes=n_nodes, slots=slots, data_scale=data_scale
     )
     engine = SparkEngine(cluster, rng=rng)
     start = time.perf_counter()
-    result = engine.run_stream(stream, scheduler=scheduler)
+    result = engine.run_stream(stream, scheduler=scheduler, fabric=fabric)
     wall_s = time.perf_counter() - start
     return {
         "wall_s": round(wall_s, 4),
@@ -94,8 +120,113 @@ def bench_stream(
         "scheduler": scheduler,
         "makespan_s": round(float(result.makespan_s), 6),
         "samples": int(result.sample_times.size),
+        "n_steps": int(result.n_steps),
         "checksum": round(float(np.sum(result.runtimes())), 6),
     }
+
+
+#: Oscillating bucket for the shaper-heavy case: replenish slightly
+#: above the cap, so throttled nodes climb back over the resume
+#: threshold and flip tiers forever (the Figure 18 straggler dynamic).
+_OSC_BUCKET = dict(
+    peak_gbps=10.0,
+    capped_gbps=1.0,
+    replenish_gbps=1.05,
+    capacity_gbit=40.0,
+    resume_threshold_gbit=1.0,
+)
+
+
+def _run_shaper_sweep(
+    n_nodes: int, duration_s: float, max_step_s: float, scalar_fleet: bool
+) -> dict:
+    """Integrate never-completing pair flows through oscillating buckets.
+
+    One flow per group of 8 nodes keeps the water-filling trivial, so
+    the per-step cost is the shaper layer itself: every one of the
+    ``n_nodes`` buckets must be gathered, horizon-bounded, and advanced
+    each step — the O(N) scalar loop the fleets replace.  Sender
+    budgets are staggered in two phase groups whose members sit a float
+    residue apart (the near-tie fragmentation pattern event-horizon
+    coalescing absorbs).
+    """
+    models = []
+    n_senders = 0
+    for i in range(n_nodes):
+        if i % 8 == 0:
+            start = 2.0 + (n_senders % 2) * 16.0 + n_senders * 1e-10
+            n_senders += 1
+        else:
+            start = None  # full bucket, idles at capacity
+        params = TokenBucketParams(**_OSC_BUCKET, initial_budget_gbit=start)
+        models.append(TokenBucketModel(params))
+    egress = ScalarFleetAdapter(models) if scalar_fleet else models
+    fabric = Fabric(egress, [10.0] * n_nodes)
+    for i in range(0, n_nodes - 1, 8):
+        fabric.add_flow(i, i + 1, 1e15)
+    t = 0.0
+    steps = 0
+    start_t = time.perf_counter()
+    while t < duration_s:
+        fabric.compute_rates()
+        remaining = duration_s - t
+        dt = min(fabric.horizon(), max_step_s, remaining)
+        if dt <= 0.0:
+            dt = min(1e-6, remaining)
+        fabric.advance(dt)
+        t += dt
+        steps += 1
+    wall_s = time.perf_counter() - start_t
+    budgets = fabric.fleet.budgets()
+    assert budgets is not None
+    checksum = round(
+        float(np.sum(fabric.node_egress_rates()) + np.sum(budgets)), 6
+    )
+    return {"wall_s": round(wall_s, 4), "n_steps": steps, "checksum": checksum}
+
+
+def bench_shaper_fleet_vs_scalar(
+    n_nodes: int = 64,
+    duration_s: float = 3000.0,
+    max_step_s: float = 0.1,
+) -> dict:
+    """The shaper-heavy case: fleet vs scalar-adapter on pure shaping.
+
+    A 64-node ring of never-completing flows driven through
+    tier-oscillating token buckets: every step's cost is the shaper
+    layer (limit gathering, horizon bounding, advance accounting), the
+    workload PR 3's fleets vectorize.  The identical sweep runs through
+    the vectorized :class:`~repro.netmodel.fleet.TokenBucketFleet` and
+    the per-model :class:`~repro.netmodel.fleet.ScalarFleetAdapter`;
+    matching checksums prove the paths compute the same trajectory and
+    ``fleet_speedup`` is the pure fleet win.
+    """
+    fleet_run = _run_shaper_sweep(
+        n_nodes, duration_s, max_step_s, scalar_fleet=False
+    )
+    scalar_run = _run_shaper_sweep(
+        n_nodes, duration_s, max_step_s, scalar_fleet=True
+    )
+    if scalar_run["checksum"] != fleet_run["checksum"]:
+        raise AssertionError(
+            "fleet and scalar-adapter paths diverged: "
+            f"{fleet_run['checksum']} != {scalar_run['checksum']}"
+        )
+    if scalar_run["n_steps"] != fleet_run["n_steps"]:
+        raise AssertionError(
+            "fleet and scalar-adapter paths stepped differently: "
+            f"{fleet_run['n_steps']} != {scalar_run['n_steps']}"
+        )
+    row = dict(fleet_run)
+    row["n_nodes"] = n_nodes
+    row["duration_s"] = duration_s
+    row["scalar_wall_s"] = scalar_run["wall_s"]
+    row["fleet_speedup"] = (
+        round(scalar_run["wall_s"] / fleet_run["wall_s"], 2)
+        if fleet_run["wall_s"] > 0
+        else float("inf")
+    )
+    return row
 
 
 def bench_waterfill(
@@ -136,10 +267,12 @@ def run_suite(smoke: bool = False) -> dict[str, dict]:
         return {
             "stream_16x200": bench_stream(n_jobs=20),
             "waterfill_10k": bench_waterfill(n_flows=1_000, rounds=2),
+            "shaper_64_tb": bench_shaper_fleet_vs_scalar(duration_s=300.0),
         }
     return {
         "stream_16x200": bench_stream(),
         "waterfill_10k": bench_waterfill(),
+        "shaper_64_tb": bench_shaper_fleet_vs_scalar(),
     }
 
 
@@ -150,7 +283,13 @@ def load_results(path: Path | str = DEFAULT_RESULTS_PATH) -> dict:
     """Read the ledger; an absent file is an empty ledger."""
     path = Path(path)
     if not path.exists():
-        return {"schema": _SCHEMA, "baseline": None, "current": None, "speedup": {}}
+        return {
+            "schema": _SCHEMA,
+            "baseline": None,
+            "current": None,
+            "smoke": None,
+            "speedup": {},
+        }
     return json.loads(path.read_text())
 
 
@@ -174,24 +313,106 @@ def record_results(
     path: Path | str = DEFAULT_RESULTS_PATH,
     label: str = "",
     as_baseline: bool = False,
+    section: str | None = None,
 ) -> dict:
     """Merge a suite run into the ledger and rewrite it.
 
     ``as_baseline`` pins the run as the reference implementation; by
     default only the ``current`` section (and derived speedups) move.
-    An existing baseline is never overwritten implicitly.
+    ``section`` overrides the destination explicitly (``"smoke"``
+    records the CI-sized reference that ``--check --smoke`` gates
+    against).  An existing baseline is never overwritten implicitly.
     """
     path = Path(path)
     ledger = load_results(path)
     entry = {"label": label, "results": results}
-    if as_baseline:
-        ledger["baseline"] = entry
-    else:
-        ledger["current"] = entry
+    if section is None:
+        section = "baseline" if as_baseline else "current"
+    ledger[section] = entry
     ledger["schema"] = _SCHEMA
     ledger["speedup"] = _speedups(ledger)
     path.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
     return ledger
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+def check_results(
+    results: dict[str, dict],
+    reference: dict | None,
+    wall_tolerance: float = 1.25,
+) -> list[str]:
+    """Compare a fresh suite run against a recorded reference entry.
+
+    Returns human-readable failure strings: one per benchmark whose
+    checksum drifted from the recorded value (the simulation now
+    computes something different) or whose wall time exceeds
+    ``wall_tolerance`` times the recorded wall time (performance
+    regression).  Benchmarks missing from the reference are skipped —
+    they gate once recorded.
+    """
+    failures: list[str] = []
+    ref_results = (reference or {}).get("results") or {}
+    for name, row in results.items():
+        ref = ref_results.get(name)
+        if ref is None:
+            continue
+        if row.get("checksum") != ref.get("checksum"):
+            failures.append(
+                f"{name}: checksum drifted "
+                f"({row.get('checksum')} != recorded {ref.get('checksum')})"
+            )
+        ref_wall = ref.get("wall_s")
+        wall = row.get("wall_s")
+        if ref_wall and wall and wall > wall_tolerance * ref_wall:
+            failures.append(
+                f"{name}: wall time regressed "
+                f"({wall:.4f}s > {wall_tolerance:.2f}x recorded {ref_wall:.4f}s)"
+            )
+    return failures
+
+
+def run_check(
+    smoke: bool = False,
+    path: Path | str = DEFAULT_RESULTS_PATH,
+    wall_tolerance: float = 1.25,
+) -> int:
+    """Run the suite and gate it against the ledger (non-zero on drift).
+
+    Full runs compare against the ``current`` section, smoke runs
+    against the ``smoke`` section (recorded with ``--save-smoke``);
+    the ledger itself is never modified.  This is the regression gate
+    CI wires in: checksum drift always fails, wall-time regressions
+    fail beyond ``wall_tolerance`` (relax it on noisy shared runners).
+    """
+    import sys
+
+    # Validate the reference before burning minutes on the suite.
+    section = "smoke" if smoke else "current"
+    ledger = load_results(path)
+    reference = ledger.get(section)
+    if not reference:
+        hint = " --smoke --save-smoke" if smoke else ""
+        print(
+            f"error: no {section!r} reference in {path}; record one with "
+            f"`python -m repro bench{hint}` first",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_suite(smoke=smoke)
+    for name, row in results.items():
+        print(f"{name}: " + "  ".join(f"{k}={v}" for k, v in row.items()))
+    failures = check_results(results, reference, wall_tolerance=wall_tolerance)
+    if failures:
+        for failure in failures:
+            print(f"BENCH CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"bench check ok: {len(results)} case(s) within {wall_tolerance:.2f}x "
+        f"of the {section!r} reference, checksums unchanged"
+    )
+    return 0
 
 
 def run_and_record(
@@ -199,17 +420,24 @@ def run_and_record(
     save_baseline: bool = False,
     path: Path | str = DEFAULT_RESULTS_PATH,
     label: str = "",
+    save_smoke: bool = False,
 ) -> int:
     """Shared driver for every bench entry point (CLI and script).
 
     Runs the suite, prints per-benchmark rows, and — except for smoke
-    runs, which never touch the ledger — records the results and prints
-    the before/after table.  Returns a process exit code.
+    runs, which never touch the ledger unless ``save_smoke`` pins them
+    as the ``--check --smoke`` reference — records the results and
+    prints the before/after table.  Returns a process exit code.
     """
+    if save_smoke:
+        smoke = True
     results = run_suite(smoke=smoke)
     for name, row in results.items():
         print(f"{name}: " + "  ".join(f"{k}={v}" for k, v in row.items()))
     if smoke:
+        if save_smoke:
+            record_results(results, path=path, label=label, section="smoke")
+            print(f"recorded smoke reference in {path}")
         return 0
     ledger = record_results(
         results, path=path, label=label, as_baseline=save_baseline

@@ -11,6 +11,8 @@ Usage::
     python -m repro scenario --fast --seed 7   # randomized sweep
     python -m repro bench                # hot-path benchmarks + ledger
     python -m repro bench --table-only   # recorded before/after table
+    python -m repro bench --check        # fail on checksum/wall regression
+    python -m repro bench --smoke --check    # CI-sized regression gate
 
 Output is the same row data the benchmark harness prints; ``--fast``
 shrinks run counts / durations for a quick look.  Every stochastic
@@ -27,7 +29,40 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_bench_check_arguments"]
+
+
+def add_bench_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared bench regression-gate flags to a parser.
+
+    Both bench entry points (``python -m repro bench`` and
+    ``benchmarks/bench_engine_hotpath.py``) call this so the gate's
+    flags, defaults, and help text cannot drift apart.  It lives here
+    (not in :mod:`repro.bench`) so parser construction stays free of
+    the heavy simulator imports.
+    """
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: exit non-zero when a checksum drifts from "
+        "the ledger or wall time regresses beyond --wall-tolerance "
+        "(full runs gate on 'current', --smoke runs on 'smoke'); "
+        "never writes the ledger",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=1.25,
+        metavar="X",
+        help="wall-time regression factor for --check (default: 1.25, "
+        "i.e. fail beyond +25%%; raise on noisy shared runners)",
+    )
+    parser.add_argument(
+        "--save-smoke",
+        action="store_true",
+        help="record a CI-sized run as the 'smoke' reference for "
+        "--check --smoke (implies --smoke)",
+    )
 
 #: artifact name -> (description, fast kwargs, full kwargs)
 _FIGURES: dict[str, tuple[str, dict, dict]] = {
@@ -133,16 +168,23 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_table, load_results, run_and_record
+    from repro.bench import format_table, load_results, run_and_record, run_check
 
     if args.table_only:
         print(format_table(load_results(args.json)))
         return 0
+    if args.check:
+        return run_check(
+            smoke=args.smoke,
+            path=args.json,
+            wall_tolerance=args.wall_tolerance,
+        )
     return run_and_record(
         smoke=args.smoke,
         save_baseline=args.save_baseline,
         path=args.json,
         label=args.label,
+        save_smoke=args.save_smoke,
     )
 
 
@@ -302,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--table-only", action="store_true",
         help="print the recorded before/after table without benchmarking",
     )
+    add_bench_check_arguments(p)
     p.add_argument(
         "--json", default="BENCH_engine.json", metavar="PATH",
         help="results ledger path (default: BENCH_engine.json)",

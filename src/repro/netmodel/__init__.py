@@ -20,13 +20,27 @@ virtual-NIC implementation differences behind Figures 7, 8 and 12.
 
 All models implement the :class:`repro.netmodel.base.LinkModel`
 interface so the emulator, measurement probes, and cluster simulator
-can drive any of them interchangeably.
+can drive any of them interchangeably.  For whole-cluster simulation,
+:mod:`repro.netmodel.fleet` batches N links into one
+:class:`~repro.netmodel.fleet.LinkModelFleet` with struct-of-arrays
+state (vectorized limit/horizon/advance; the scalar objects remain
+live views into the fleet), falling back to a per-model
+:class:`~repro.netmodel.fleet.ScalarFleetAdapter` loop for
+heterogeneous or custom models.
 """
 
 from repro.netmodel.base import (
     ConstantRateModel,
     LinkModel,
     integrate_transfer,
+)
+from repro.netmodel.fleet import (
+    ConstantRateFleet,
+    LinkModelFleet,
+    ResamplingFleet,
+    ScalarFleetAdapter,
+    TokenBucketFleet,
+    build_fleet,
 )
 from repro.netmodel.cpu_bucket import CpuBucketParams, CpuTokenBucket
 from repro.netmodel.distributions import QuantileDistribution
@@ -43,6 +57,12 @@ __all__ = [
     "LinkModel",
     "ConstantRateModel",
     "integrate_transfer",
+    "LinkModelFleet",
+    "TokenBucketFleet",
+    "ConstantRateFleet",
+    "ResamplingFleet",
+    "ScalarFleetAdapter",
+    "build_fleet",
     "TokenBucketModel",
     "TokenBucketParams",
     "CpuTokenBucket",

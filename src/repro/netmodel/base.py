@@ -14,6 +14,13 @@ This design mirrors how the paper's experiments are layered: the same
 shaping behaviour must drive a raw iperf-style probe (Section 3), a
 ``tc``-based emulated link (Figure 14), and the per-node NICs of a
 Spark cluster (Section 4).
+
+For whole-cluster simulation, N scalar models batch into a
+:class:`~repro.netmodel.fleet.LinkModelFleet` (see
+:mod:`repro.netmodel.fleet`): the fleet owns the hot state in flat
+arrays and the scalar objects become live views into it, so the
+per-link contract here stays the semantic reference — every fleet
+operation must match N scalar calls bit for bit.
 """
 
 from __future__ import annotations

@@ -1,0 +1,484 @@
+"""Shaper fleets: batched limit/horizon/advance across a set of links.
+
+A fluid-fabric step must ask *every* node's egress shaper for its
+ceiling, its horizon under the node's aggregate send rate, and then
+advance it — per step.  With scalar :class:`~repro.netmodel.base.LinkModel`
+objects that is a Python-level loop of N method calls, and it dominates
+step cost once the water-filling itself is vectorized (the remaining
+~40% pinned by the PR 2 profile).  A :class:`LinkModelFleet` replaces
+the loop with struct-of-arrays state and single numpy expressions.
+
+Fleets *adopt* the scalar models they are built from: the hot state
+(token budgets, resample clocks) moves into flat fleet arrays and the
+scalar objects become read/write views into them — the same handle
+pattern :class:`~repro.simulator.fabric.Flow` uses — so existing code
+that pokes an individual model (``set_budget``, ``reset``, telemetry
+reads) stays correct with zero synchronization logic.  Every batched
+operation performs the exact same floating-point operations, in the
+same order, as N scalar calls would, which is what lets the
+golden-trace test pin fleet and scalar outputs bit-for-bit against
+each other.
+
+Four implementations:
+
+* :class:`TokenBucketFleet` — flat budget/capacity/fill/tier arrays,
+  vectorized net-fill accounting and an analytic batched idle
+  ``rest`` (all Amazon-style shapers);
+* :class:`ConstantRateFleet` — stateless fixed capacities;
+* :class:`ResamplingFleet` — vectorizes the interval clockwork of
+  :class:`~repro.netmodel.stochastic.UniformQuantileSamplingModel` /
+  :class:`~repro.netmodel.stochastic.Ar1QuantileModel` while keeping
+  each node's per-seed RNG draw sequence bit-exact (draws batch into
+  one RNG call per node via ``_draw_batch``);
+* :class:`ScalarFleetAdapter` — wraps heterogeneous or unknown scalar
+  models in the reference per-model loop, so every fabric holds *some*
+  fleet and the old ``Fabric(egress_models=...)`` constructor keeps
+  working unchanged.
+
+:func:`build_fleet` picks the best implementation for a model list.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.netmodel.base import _MAX_REST_STEPS, ConstantRateModel, LinkModel
+from repro.netmodel.stochastic import (
+    Ar1QuantileModel,
+    UniformQuantileSamplingModel,
+)
+from repro.netmodel.token_bucket import TokenBucketModel, _EMPTY_EPS_GBIT
+
+__all__ = [
+    "LinkModelFleet",
+    "TokenBucketFleet",
+    "ConstantRateFleet",
+    "ResamplingFleet",
+    "ScalarFleetAdapter",
+    "build_fleet",
+]
+
+
+class LinkModelFleet(ABC):
+    """Batched :class:`~repro.netmodel.base.LinkModel` over N links.
+
+    The per-link scalar contract carries over elementwise: ``limits()``
+    is N ``limit()`` calls, ``horizons(rates)`` is N ``horizon(rate)``
+    calls, and so on — implementations must produce bit-identical
+    values (callers rely on this to swap fleets for scalar loops under
+    golden-trace pins).  ``models`` exposes the adopted scalar handles;
+    reading or mutating one of them observes/updates fleet state
+    directly.
+    """
+
+    #: Adopted scalar handles, in node order.
+    models: list[LinkModel]
+
+    @property
+    def n(self) -> int:
+        """Number of links in the fleet."""
+        return len(self.models)
+
+    @abstractmethod
+    def limits(self) -> np.ndarray:
+        """Per-link rate ceilings (fresh array; callers may mutate)."""
+
+    @abstractmethod
+    def horizons(self, send_rates: np.ndarray) -> np.ndarray:
+        """Per-link ceiling-persistence bounds under ``send_rates``.
+
+        The returned array may be an internal scratch buffer: read it
+        before the next fleet call, and do not mutate it.
+        """
+
+    @abstractmethod
+    def advance(self, dt: float, send_rates: np.ndarray) -> bool:
+        """Account ``dt`` seconds of per-link traffic.
+
+        Returns True when any link's ceiling changed over the step —
+        the signal :meth:`~repro.simulator.fabric.Fabric.advance` uses
+        to invalidate its rate assignment.
+        """
+
+    @abstractmethod
+    def rest(self, duration_s: float) -> None:
+        """Idle every link for ``duration_s`` (buckets refill)."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore every link's pristine initial state."""
+
+    def budgets(self) -> np.ndarray | None:
+        """Per-link token budgets (Gbit), or None when not exposed.
+
+        Returned array may be an internal view — treat as read-only.
+        """
+        return None
+
+
+class ScalarFleetAdapter(LinkModelFleet):
+    """Reference fleet: per-model Python loops over arbitrary models.
+
+    This is the compatibility (and correctness-reference) path: any mix
+    of link models works, at the cost of N scalar calls per operation —
+    exactly the loops :class:`~repro.simulator.fabric.Fabric` ran
+    before fleets existed.
+    """
+
+    def __init__(self, models: Sequence[LinkModel]) -> None:
+        self.models = list(models)
+
+    def limits(self) -> np.ndarray:
+        return np.array([m.limit() for m in self.models], dtype=float)
+
+    def horizons(self, send_rates: np.ndarray) -> np.ndarray:
+        return np.array(
+            [
+                m.horizon(rate)
+                for m, rate in zip(self.models, send_rates.tolist())
+            ],
+            dtype=float,
+        )
+
+    def advance(self, dt: float, send_rates: np.ndarray) -> bool:
+        changed = False
+        for model, rate in zip(self.models, send_rates.tolist()):
+            before = model.limit()
+            model.advance(dt, rate)
+            if model.limit() != before:
+                changed = True
+        return changed
+
+    def rest(self, duration_s: float) -> None:
+        for model in self.models:
+            model.rest(duration_s)
+
+    def reset(self) -> None:
+        for model in self.models:
+            model.reset()
+
+    def budgets(self) -> np.ndarray | None:
+        if all(hasattr(m, "budget_gbit") for m in self.models):
+            return np.array([m.budget_gbit for m in self.models], dtype=float)
+        return None
+
+
+class TokenBucketFleet(LinkModelFleet):
+    """Struct-of-arrays token buckets (possibly heterogeneous params).
+
+    Budgets and throttled flags live in flat arrays; the vectorized
+    net-fill accounting in :meth:`advance` and the analytic batched
+    :meth:`rest` perform the same elementwise float operations as the
+    scalar :class:`~repro.netmodel.token_bucket.TokenBucketModel`
+    methods, so fleet and scalar paths are bit-exact.
+    """
+
+    def __init__(self, models: Sequence[TokenBucketModel]) -> None:
+        models = list(models)
+        for model in models:
+            if type(model) is not TokenBucketModel:
+                raise TypeError(f"not a TokenBucketModel: {model!r}")
+            if model._fleet is not None:
+                raise ValueError("model already adopted by another fleet")
+        self.models = models
+        params = [m.params for m in models]
+        self._peak = np.array([p.peak_gbps for p in params], dtype=float)
+        self._capped = np.array([p.capped_gbps for p in params], dtype=float)
+        self._replenish = np.array(
+            [p.replenish_gbps for p in params], dtype=float
+        )
+        self._capacity = np.array([p.capacity_gbit for p in params], dtype=float)
+        self._resume = np.array(
+            [p.resume_threshold_gbit for p in params], dtype=float
+        )
+        # Pristine state, mirroring TokenBucketModel.reset().
+        starts = [
+            p.capacity_gbit if p.initial_budget_gbit is None else p.initial_budget_gbit
+            for p in params
+        ]
+        self._reset_budget = np.minimum(np.array(starts, dtype=float), self._capacity)
+        self._reset_throttled = self._reset_budget <= 0.0
+        # Adopt: move current scalar state into the arrays.
+        self._budget = np.array([m._budget_local for m in models], dtype=float)
+        self._throttled = np.array(
+            [m._throttled_local for m in models], dtype=bool
+        )
+        n = len(models)
+        self._zeros = np.zeros(n, dtype=float)
+        # Dispatch-count economies for the per-step hot path: scratch
+        # buffers (arrays this small are dominated by allocation and
+        # ufunc-dispatch overhead, not arithmetic) and precomputed
+        # constants.
+        self._resume_minus_eps = self._resume - _EMPTY_EPS_GBIT
+        self._tier_differs = self._capped != self._peak
+        self._f64_scratch = np.empty(n, dtype=float)
+        self._f64_scratch2 = np.empty(n, dtype=float)
+        self._bool_scratch = np.empty(n, dtype=bool)
+        self._bool_scratch2 = np.empty(n, dtype=bool)
+        self._horizon_out = np.empty(n, dtype=float)
+        # Tier-flip threshold per link: a high link flips when its
+        # budget hits 0 (== any value at/below the empty snap, since
+        # advance snaps (0, eps] to 0), a throttled link when the
+        # budget reaches resume - eps.  Caching it per tier state turns
+        # the flip test into one vector compare.
+        self._flip_threshold = np.where(
+            self._throttled, self._resume_minus_eps, _EMPTY_EPS_GBIT
+        )
+        for index, model in enumerate(models):
+            model._fleet = self
+            model._fleet_index = index
+
+    def _sync_thresholds(self) -> None:
+        """Recompute the cached flip thresholds from ``_throttled``."""
+        self._flip_threshold = np.where(
+            self._throttled, self._resume_minus_eps, _EMPTY_EPS_GBIT
+        )
+
+    def _set_throttled(self, index: int, value: bool) -> None:
+        """Scalar-view write path (``set_budget``/``reset`` on a model).
+
+        Keeps the cached flip threshold coherent with the tier flag —
+        every write to ``_throttled`` from outside :meth:`advance` must
+        go through here.
+        """
+        self._throttled[index] = value
+        self._flip_threshold[index] = (
+            self._resume_minus_eps[index] if value else _EMPTY_EPS_GBIT
+        )
+
+    def limits(self) -> np.ndarray:
+        return np.where(self._throttled, self._capped, self._peak)
+
+    def horizons(self, send_rates: np.ndarray) -> np.ndarray:
+        """Per-link horizons; the returned array is a reused scratch
+        buffer, valid until the next fleet call."""
+        fill = np.subtract(self._replenish, send_rates, out=self._f64_scratch)
+        throttled = self._throttled
+        out = self._horizon_out
+        out.fill(math.inf)
+        # Throttled links: ceiling changes when the budget climbs past
+        # the resume threshold (never, if not refilling).
+        thr_div = np.greater(fill, 0.0, out=self._bool_scratch)
+        np.logical_and(throttled, thr_div, out=thr_div)
+        if thr_div.any():
+            gap = np.subtract(self._resume, self._budget, out=self._f64_scratch2)
+            np.divide(gap, fill, out=out, where=thr_div)
+            zero = np.less_equal(gap, _EMPTY_EPS_GBIT, out=self._bool_scratch2)
+            np.logical_and(thr_div, zero, out=zero)
+            if zero.any():
+                out[zero] = 0.0
+        # High links: ceiling changes when the budget empties.  For
+        # booleans ``a > b`` is ``a & ~b``, saving a negation temp.
+        high_div = np.less(fill, 0.0, out=self._bool_scratch)
+        np.greater(high_div, throttled, out=high_div)
+        if high_div.any():
+            np.negative(fill, out=fill)
+            np.divide(self._budget, fill, out=out, where=high_div)
+            zero = np.less_equal(
+                self._budget, _EMPTY_EPS_GBIT, out=self._bool_scratch2
+            )
+            np.logical_and(high_div, zero, out=zero)
+            if zero.any():
+                out[zero] = 0.0
+        return out
+
+    def advance(self, dt: float, send_rates: np.ndarray) -> bool:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        budget = self._budget
+        step = np.subtract(self._replenish, send_rates, out=self._f64_scratch)
+        step *= dt
+        budget += step
+        np.maximum(budget, 0.0, out=budget)
+        np.minimum(budget, self._capacity, out=budget)
+        # Snap float residue at/below eps to exactly 0 (see the scalar
+        # model): multiply-by-mask is the cheapest exact formulation.
+        alive = np.greater(budget, _EMPTY_EPS_GBIT, out=self._bool_scratch)
+        np.multiply(budget, alive, out=budget)
+        # After the snap, budgets live in {0} U (eps, capacity], so the
+        # scalar tier rules (throttled: budget >= resume - eps resumes;
+        # high: budget <= 0 throttles) reduce to one compare against
+        # the per-tier threshold.
+        flipped = np.less(budget, self._flip_threshold, out=self._bool_scratch)
+        throttled = self._throttled
+        np.not_equal(flipped, throttled, out=flipped)
+        if not flipped.any():
+            return False
+        np.logical_xor(throttled, flipped, out=throttled)
+        self._sync_thresholds()
+        # The ceiling only moves when the tier flips on a link whose
+        # two tiers actually differ.
+        np.logical_and(flipped, self._tier_differs, out=flipped)
+        return bool(flipped.any())
+
+    def rest(self, duration_s: float) -> None:
+        # Analytic idle refill, exactly TokenBucketModel.rest: with no
+        # offered traffic the net fill rate is `replenish` in both
+        # tiers, so one batched advance covers the whole interval.
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        self.advance(duration_s, self._zeros)
+
+    def reset(self) -> None:
+        self._budget[:] = self._reset_budget
+        self._throttled[:] = self._reset_throttled
+        self._sync_thresholds()
+
+    def budgets(self) -> np.ndarray | None:
+        return self._budget
+
+
+class ConstantRateFleet(LinkModelFleet):
+    """Fixed-capacity links: nothing to advance, horizons are infinite."""
+
+    def __init__(self, models: Sequence[ConstantRateModel]) -> None:
+        models = list(models)
+        for model in models:
+            if type(model) is not ConstantRateModel:
+                raise TypeError(f"not a ConstantRateModel: {model!r}")
+        self.models = models
+        self._rates = np.array([m.limit() for m in models], dtype=float)
+
+    def limits(self) -> np.ndarray:
+        return self._rates.copy()
+
+    def horizons(self, send_rates: np.ndarray) -> np.ndarray:
+        return np.full(self._rates.shape[0], math.inf)
+
+    def advance(self, dt: float, send_rates: np.ndarray) -> bool:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        return False
+
+    def rest(self, duration_s: float) -> None:
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+
+    def reset(self) -> None:
+        pass
+
+
+class ResamplingFleet(LinkModelFleet):
+    """Batched interval clockwork for periodically-resampled ceilings.
+
+    The elapsed-time bookkeeping of N resampling models advances as one
+    array operation; only links that actually cross a resample boundary
+    fall back to per-link handling, where all of a link's crossed-
+    boundary draws batch into a single RNG call
+    (:meth:`~repro.netmodel.stochastic._ResamplingModel._draw_batch`).
+    Each model keeps its own seeded generator, so per-node draw
+    sequences are bit-identical to the scalar path — including the
+    clockwork float residues, which replay the scalar operation order
+    per crossing link.
+    """
+
+    _ADOPTABLE = (UniformQuantileSamplingModel, Ar1QuantileModel)
+
+    def __init__(self, models: Sequence[LinkModel]) -> None:
+        models = list(models)
+        for model in models:
+            if type(model) not in self._ADOPTABLE:
+                raise TypeError(f"not a resampling model: {model!r}")
+            if model._fleet is not None:
+                raise ValueError("model already adopted by another fleet")
+        self.models = models
+        self._intervals = np.array([m._interval for m in models], dtype=float)
+        self._elapsed = np.array([m._elapsed_local for m in models], dtype=float)
+        self._current = np.array([m._current_local for m in models], dtype=float)
+        for index, model in enumerate(models):
+            model._fleet = self
+            model._fleet_index = index
+
+    def limits(self) -> np.ndarray:
+        return self._current.copy()
+
+    def horizons(self, send_rates: np.ndarray) -> np.ndarray:
+        return np.maximum(self._intervals - self._elapsed, 0.0)
+
+    def advance(self, dt: float, send_rates: np.ndarray) -> bool:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        elapsed = self._elapsed
+        elapsed += dt
+        crossed = elapsed >= self._intervals - 1e-12
+        if not crossed.any():
+            return False
+        changed = False
+        current = self._current
+        for i in np.flatnonzero(crossed).tolist():
+            interval = float(self._intervals[i])
+            e = float(elapsed[i])
+            k = 0
+            # Same repeated subtraction as the scalar while-loop, so
+            # the elapsed residue carries identical float error.
+            while e >= interval - 1e-12:
+                e -= interval
+                k += 1
+            elapsed[i] = e
+            value = self.models[i]._draw_batch(k)
+            if value != current[i]:
+                changed = True
+            current[i] = value
+        return changed
+
+    def rest(self, duration_s: float) -> None:
+        # Mirrors the generic LinkModel.rest horizon-stepping loop per
+        # link (the clockwork is RNG-independent, so step sizes and
+        # crossing counts replicate exactly), then takes every crossed
+        # boundary's draw in one batched RNG call per link.
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        min_step = duration_s / _MAX_REST_STEPS
+        elapsed = self._elapsed
+        current = self._current
+        for i, model in enumerate(self.models):
+            interval = float(self._intervals[i])
+            e = float(elapsed[i])
+            remaining = duration_s
+            k = 0
+            while remaining > 1e-9:
+                step = min(remaining, max(interval - e, min_step, 1e-6))
+                e += step
+                while e >= interval - 1e-12:
+                    e -= interval
+                    k += 1
+                remaining -= step
+            elapsed[i] = e
+            if k:
+                current[i] = model._draw_batch(k)
+
+    def reset(self) -> None:
+        for model in self.models:
+            model.reset()
+
+
+def build_fleet(
+    models: Sequence[LinkModel], prefer_scalar: bool = False
+) -> LinkModelFleet:
+    """Choose the best fleet implementation for ``models``.
+
+    Homogeneous lists of the known model *exact* types get their
+    vectorized fleet (the two resampling classes may mix, since their
+    clockwork is shared); anything else — mixed fleets, subclasses,
+    models already adopted elsewhere — falls back to the scalar
+    adapter, which is always correct.  ``prefer_scalar`` forces the
+    adapter (reference/regression-comparison runs).
+    """
+    models = list(models)
+    if prefer_scalar or not models:
+        return ScalarFleetAdapter(models)
+    if any(getattr(m, "_fleet", None) is not None for m in models):
+        return ScalarFleetAdapter(models)
+    first = type(models[0])
+    if all(type(m) is first for m in models):
+        if first is TokenBucketModel:
+            return TokenBucketFleet(models)
+        if first is ConstantRateModel:
+            return ConstantRateFleet(models)
+    if all(type(m) in ResamplingFleet._ADOPTABLE for m in models):
+        return ResamplingFleet(models)
+    return ScalarFleetAdapter(models)

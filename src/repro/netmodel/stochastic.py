@@ -30,7 +30,17 @@ __all__ = ["UniformQuantileSamplingModel", "Ar1QuantileModel"]
 
 
 class _ResamplingModel(LinkModel):
-    """Shared clockwork for models that redraw their ceiling periodically."""
+    """Shared clockwork for models that redraw their ceiling periodically.
+
+    When a :class:`~repro.netmodel.fleet.ResamplingFleet` adopts the
+    model, the interval clockwork (``elapsed``/``current``) moves into
+    the fleet's flat arrays and this handle reads/writes through; the
+    RNG stays on the model so each node keeps its own per-seed draw
+    sequence bit-exactly.  Long advances redraw through
+    :meth:`_draw_batch`, which subclasses override to pull every
+    crossed-boundary draw in one RNG call (sequence-identical to the
+    scalar one-draw-per-boundary loop, which remains the reference).
+    """
 
     def __init__(self, interval_s: float, seed: int) -> None:
         if interval_s <= 0:
@@ -38,11 +48,52 @@ class _ResamplingModel(LinkModel):
         self._interval = float(interval_s)
         self._seed = seed
         self._rng = np.random.default_rng(seed)
-        self._elapsed_in_interval = 0.0
-        self._current = 0.0
+        self._fleet = None
+        self._fleet_index = -1
+        self._elapsed_local = 0.0
+        self._current_local = 0.0
+
+    @property
+    def _elapsed_in_interval(self) -> float:
+        if self._fleet is None:
+            return self._elapsed_local
+        return float(self._fleet._elapsed[self._fleet_index])
+
+    @_elapsed_in_interval.setter
+    def _elapsed_in_interval(self, value: float) -> None:
+        if self._fleet is None:
+            self._elapsed_local = value
+        else:
+            self._fleet._elapsed[self._fleet_index] = value
+
+    @property
+    def _current(self) -> float:
+        if self._fleet is None:
+            return self._current_local
+        return float(self._fleet._current[self._fleet_index])
+
+    @_current.setter
+    def _current(self, value: float) -> None:
+        if self._fleet is None:
+            self._current_local = value
+        else:
+            self._fleet._current[self._fleet_index] = value
 
     def _draw(self) -> float:
         raise NotImplementedError
+
+    def _draw_batch(self, k: int) -> float:
+        """Value after ``k`` consecutive redraws (``k >= 1``).
+
+        Reference fallback: ``k`` scalar :meth:`_draw` calls.  Subclasses
+        override with one batched RNG call that consumes the exact same
+        stream, so a fleet advance crossing many resample boundaries
+        costs one RNG dispatch instead of ``k``.
+        """
+        value = self._current
+        for _ in range(k):
+            value = self._draw()
+        return value
 
     def _restart(self) -> None:
         """Reset subclass state before the first draw."""
@@ -91,6 +142,16 @@ class UniformQuantileSamplingModel(_ResamplingModel):
     def _draw(self) -> float:
         return max(float(self.distribution.sample(self._rng)), 1e-6)
 
+    def _draw_batch(self, k: int) -> float:
+        # One uniform call for all k draws; element i of a size-k
+        # ``Generator.uniform`` equals the i-th scalar call bit for bit
+        # (each value is one transformed next_double), so the RNG ends
+        # in the same state and the kept (last) value is identical.
+        if k <= 0:
+            return self._current
+        values = self.distribution.sample(self._rng, size=k)
+        return max(float(values[-1]), 1e-6)
+
 
 class Ar1QuantileModel(_ResamplingModel):
     """Autocorrelated ceiling with an arbitrary marginal distribution.
@@ -126,4 +187,21 @@ class Ar1QuantileModel(_ResamplingModel):
         )
         self._z = self.phi * self._z + innovation
         u = float(_scipy_stats.norm.cdf(self._z))
+        return max(float(self.distribution.quantile(u)), 1e-6)
+
+    def _draw_batch(self, k: int) -> float:
+        # One normal call for all k innovations (ziggurat fills arrays
+        # from the same bitstream as repeated scalar calls), then the
+        # cheap AR(1) recurrence in Python.  Only the surviving draw is
+        # pushed through the (scipy-costly) CDF/quantile transform —
+        # intermediate ceilings are discarded by the caller anyway.
+        if k <= 0:
+            return self._current
+        innovations = self._rng.standard_normal(size=k)
+        scale = math.sqrt(1.0 - self.phi**2)
+        z = self._z
+        for e in innovations.tolist():
+            z = self.phi * z + scale * e
+        self._z = z
+        u = float(_scipy_stats.norm.cdf(z))
         return max(float(self.distribution.quantile(u)), 1e-6)

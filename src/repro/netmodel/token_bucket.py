@@ -98,13 +98,49 @@ class TokenBucketModel(LinkModel):
     * **low** — budget depleted: ceiling is ``capped_gbps``; budget
       grows at ``replenish - send_rate`` and the high state resumes
       only once it exceeds ``resume_threshold_gbit``.
+
+    When a :class:`~repro.netmodel.fleet.TokenBucketFleet` adopts the
+    model, the authoritative ``budget``/``throttled`` state moves into
+    the fleet's struct-of-arrays storage and this handle reads/writes
+    through (the same pattern :class:`~repro.simulator.fabric.Flow`
+    uses), so scalar calls like :meth:`set_budget` stay consistent with
+    batched fleet advances.
     """
 
     def __init__(self, params: TokenBucketParams) -> None:
         self.params = params
-        self._budget = 0.0
-        self._throttled = False
+        self._fleet = None
+        self._fleet_index = -1
+        self._budget_local = 0.0
+        self._throttled_local = False
         self.reset()
+
+    @property
+    def _budget(self) -> float:
+        if self._fleet is None:
+            return self._budget_local
+        return float(self._fleet._budget[self._fleet_index])
+
+    @_budget.setter
+    def _budget(self, value: float) -> None:
+        if self._fleet is None:
+            self._budget_local = value
+        else:
+            self._fleet._budget[self._fleet_index] = value
+
+    @property
+    def _throttled(self) -> bool:
+        if self._fleet is None:
+            return self._throttled_local
+        return bool(self._fleet._throttled[self._fleet_index])
+
+    @_throttled.setter
+    def _throttled(self, value: bool) -> None:
+        if self._fleet is None:
+            self._throttled_local = value
+        else:
+            # Via the fleet so its cached flip threshold stays coherent.
+            self._fleet._set_throttled(self._fleet_index, value)
 
     def reset(self) -> None:
         start = self.params.initial_budget_gbit

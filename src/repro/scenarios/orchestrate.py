@@ -215,6 +215,13 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     process, the job mix, and the engine's compute noise all derive
     from one seeded generator, so the same config always produces the
     same result regardless of where (or how parallel) it runs.
+
+    The fabric is built once, up front: a provider hands out one model
+    class per instance type (token buckets for EC2 incarnations,
+    per-core QoS for GCE, ...), so homogeneous cells get the vectorized
+    shaper fleet (:func:`repro.netmodel.fleet.build_fleet`) and
+    anything exotic falls back to the scalar adapter — either way the
+    cell's result is bit-identical.
     """
     rng = np.random.default_rng(config.seed)
     provider = default_providers()[config.provider_name]
@@ -227,6 +234,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         node_spec=NodeSpec(slots=config.slots),
         link_model_factory=lambda node: models[node],
     )
+    fabric = cluster.build_fabric()
     if config.arrival == "burst":
         per_burst = max(config.n_jobs // 2, 1)
         n_bursts = -(-config.n_jobs // per_burst)  # ceil
@@ -250,7 +258,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         dag_config=RandomDagConfig(),
     )
     engine = SparkEngine(cluster, rng=rng)
-    outcome = engine.run_stream(stream, scheduler=config.scheduler)
+    outcome = engine.run_stream(stream, scheduler=config.scheduler, fabric=fabric)
     return ScenarioResult(
         config=config,
         submits=np.asarray([r.submit_s for r in outcome.job_results]),

@@ -159,6 +159,10 @@ class StreamResult:
     sample_times: np.ndarray
     egress_rates: np.ndarray
     budgets: np.ndarray | None
+    #: Event steps the fluid simulation integrated (perf diagnostics:
+    #: wall time / ``n_steps`` is the per-step cost, and event-horizon
+    #: coalescing shows up as fewer steps for the same makespan).
+    n_steps: int = 0
 
     def __len__(self) -> int:
         return len(self.job_results)
@@ -311,13 +315,15 @@ class SparkEngine:
 def rest_fabric(fabric: Fabric, duration_s: float) -> None:
     """Let every shaper idle for ``duration_s`` (buckets refill).
 
-    Delegates to :meth:`~repro.netmodel.base.LinkModel.rest`: token
-    buckets refill in one closed-form step, other models step at their
-    horizon under a bounded step count.  Shaper ceilings may change
-    while resting, so the fabric's rate assignment is invalidated.
+    Delegates to :meth:`~repro.netmodel.fleet.LinkModelFleet.rest`:
+    token-bucket fleets refill in one closed-form batched step,
+    resampling fleets batch each node's crossed-boundary redraws into
+    one RNG call, and the scalar adapter falls back to per-model
+    :meth:`~repro.netmodel.base.LinkModel.rest`.  Shaper ceilings may
+    change while resting, so the fabric's rate assignment is
+    invalidated.
     """
-    for model in fabric.egress_models:
-        model.rest(duration_s)
+    fabric.fleet.rest(duration_s)
     fabric.invalidate_rates()
 
 
@@ -350,6 +356,7 @@ class _StreamState:
         ]
         self.finished = [False] * n_jobs
         self._n_finished = 0
+        self._skew_arr = np.asarray(engine.node_data_skew)
         self.finish_times = [math.inf] * n_jobs
         # Launch passes are pure no-ops unless a slot was freed, a
         # stage became runnable, or a job was admitted since the last
@@ -389,6 +396,7 @@ class _StreamState:
         # Telemetry: growable preallocated buffers, one row per sample.
         capacity = 1024
         self._n_samples = 0
+        self._n_steps = 0
         self._t_buf = np.empty(capacity)
         self._rate_buf = np.empty((capacity, n_nodes))
         self._budget_buf: np.ndarray | None = (
@@ -398,9 +406,7 @@ class _StreamState:
 
     # -- structural helpers ------------------------------------------------
     def _budgets_available(self) -> bool:
-        return all(
-            hasattr(m, "budget_gbit") for m in self.fabric.egress_models
-        )
+        return self.fabric.fleet.budgets() is not None
 
     def _admit_arrivals(self) -> None:
         while (
@@ -433,7 +439,7 @@ class _StreamState:
             counts += self.tasks_run[j][parent]
         if counts.sum() == 0:
             counts = np.ones(n_nodes)
-        counts = counts * np.asarray(self.engine.node_data_skew)
+        counts = counts * self._skew_arr
         return counts / counts.sum()
 
     # -- scheduling --------------------------------------------------------
@@ -458,21 +464,32 @@ class _StreamState:
         wave) spill greedily, again most-starved first.
         """
         total_slots = self.engine.cluster.total_slots
+        launched_total = self._launched_total
+        done_total = self._done_total
+        finished = self.finished
+        runnable = self._runnable
         while True:
-            active = [j for j in self._active_jobs() if self._runnable[j]]
+            active = [
+                j for j in self._admitted if not finished[j] and runnable[j]
+            ]
             if not active or self._free_total <= 0:
                 return
             share = max(1, total_slots // len(active))
             # Fewest running tasks first; submission order breaks ties.
-            order = sorted(active, key=lambda j: (self._running_tasks(j), j))
+            # Sorting (running, j) pairs avoids a Python-level key
+            # callable per element — this pass runs every scheduling
+            # round of every event step.
+            order = sorted(
+                [(launched_total[j] - done_total[j], j) for j in active]
+            )
             launched = 0
-            for j in order:
-                deficit = share - self._running_tasks(j)
+            for running, j in order:
+                deficit = share - running
                 if deficit > 0:
                     launched += self._launch_for_job(j, deficit)
             if launched == 0:
                 # Everyone is at/above the fair share; spill what's left.
-                for j in order:
+                for _, j in order:
                     launched += self._launch_for_job(j, math.inf)
                     if launched:
                         break
@@ -627,9 +644,7 @@ class _StreamState:
         self._t_buf[k] = self.now
         self._rate_buf[k, :] = self.fabric._egress_raw()
         if self._budget_buf is not None:
-            self._budget_buf[k, :] = [
-                m.budget_gbit for m in self.fabric.egress_models
-            ]
+            self._budget_buf[k, :] = self.fabric.fleet.budgets()
         self._n_samples = k + 1
 
     def _grow_telemetry(self) -> None:
@@ -657,6 +672,7 @@ class _StreamState:
         for _ in range(max_steps):
             if self._n_finished == n_jobs:
                 break
+            self._n_steps += 1
             fabric.compute_rates()
             self._record()
             next_compute = compute_heap[0][0] if compute_heap else math.inf
@@ -741,4 +757,5 @@ class _StreamState:
             sample_times=sample_times,
             egress_rates=egress_rates,
             budgets=budgets,
+            n_steps=self._n_steps,
         )

@@ -24,6 +24,19 @@ water-filling reproduces the reference progressive-filling algorithm
 resource in flow-insertion order wins), same floating-point operation
 order for the per-flow capacity subtractions — which is what lets the
 golden-trace equivalence test pin pre-refactor outputs exactly.
+
+The shaper side is batched the same way: the fabric holds a
+:class:`~repro.netmodel.fleet.LinkModelFleet` (built automatically
+from the ``egress_models`` sequence — homogeneous model lists get
+struct-of-arrays fleets, anything else the per-model
+:class:`~repro.netmodel.fleet.ScalarFleetAdapter` loop), so gathering
+N egress ceilings, bounding N shaper horizons, and advancing N shapers
+are single array operations rather than N scalar calls per event step.
+Near-tied shaper horizons additionally *coalesce*: horizons within a
+relative ``coalesce_eps`` of the binding event are treated as one
+event, so a fleet of look-alike token buckets whose budgets differ
+only by float residue transitions in one step instead of fragmenting
+into N micro-steps.
 """
 
 from __future__ import annotations
@@ -34,6 +47,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.netmodel.base import LinkModel
+from repro.netmodel.fleet import LinkModelFleet, build_fleet
 
 __all__ = ["Flow", "Fabric"]
 
@@ -49,6 +63,14 @@ _MIN_CAPACITY = 64
 #: while dense flow sets want the array path.  Both paths are
 #: bit-identical by construction (see tests/simulator/test_fabric.py).
 _SCALAR_CUTOFF = 64
+
+#: Default relative tolerance for event-horizon coalescing: shaper
+#: horizons within this factor of the step bound resolve in the same
+#: step.  One part per billion is far below any physically distinct
+#: event spacing but wide enough to absorb accumulation residue that
+#: escapes the shapers' own state-snap epsilons (budget deltas just
+#: above ``_EMPTY_EPS_GBIT`` on ordinary bucket scales).
+_COALESCE_EPS = 1e-9
 
 
 class Flow:
@@ -123,15 +145,25 @@ class Fabric:
 
     def __init__(
         self,
-        egress_models: Sequence[LinkModel],
+        egress_models: Sequence[LinkModel] | LinkModelFleet,
         ingress_caps_gbps: Sequence[float],
+        coalesce_eps: float = _COALESCE_EPS,
     ) -> None:
-        if len(egress_models) != len(ingress_caps_gbps):
+        if isinstance(egress_models, LinkModelFleet):
+            self.fleet = egress_models
+        else:
+            self.fleet = build_fleet(egress_models)
+        if coalesce_eps < 0:
+            raise ValueError("coalesce_eps cannot be negative")
+        self.coalesce_eps = float(coalesce_eps)
+        if self.fleet.n != len(ingress_caps_gbps):
             raise ValueError("one ingress cap per egress model required")
         if any(cap <= 0 for cap in ingress_caps_gbps):
             raise ValueError("ingress caps must be positive")
-        self.egress_models = list(egress_models)
+        self.egress_models = list(self.fleet.models)
         self.ingress_caps = [float(c) for c in ingress_caps_gbps]
+        #: Number of nodes attached to the fabric.
+        self.n_nodes = self.fleet.n
         self._ingress_arr = np.asarray(self.ingress_caps, dtype=float)
         self.flows: dict[int, Flow] = {}
         self._next_id = 0
@@ -146,11 +178,6 @@ class Fabric:
         #: Per-node aggregate send rates under the current assignment,
         #: computed at most once per event step (``None`` = stale).
         self._egress_cache: np.ndarray | None = None
-
-    @property
-    def n_nodes(self) -> int:
-        """Number of nodes attached to the fabric."""
-        return len(self.egress_models)
 
     # ------------------------------------------------------------------
     # flow registry
@@ -204,10 +231,17 @@ class Fabric:
             new[: self._n] = old[: self._n]
             setattr(self, name, new)
 
-    def _compact(self, keep: np.ndarray) -> None:
-        """Drop flows where ``keep`` is False, preserving insertion order."""
+    def _compact(self, keep: np.ndarray, removed: np.ndarray | None = None) -> None:
+        """Drop flows where ``keep`` is False, preserving insertion order.
+
+        ``removed`` optionally carries the precomputed indices of the
+        dropped flows (callers that already ran ``flatnonzero`` on the
+        completion mask pass it to avoid a second scan).
+        """
         n = self._n
-        for i in np.flatnonzero(~keep).tolist():
+        if removed is None:
+            removed = np.flatnonzero(~keep)
+        for i in removed.tolist():
             handle = self._handles[i]
             handle._remaining = float(self._remaining[i])
             handle._rate = float(self._rate[i])
@@ -257,7 +291,7 @@ class Fabric:
         rate[:] = 0.0
         n_nodes = self.n_nodes
 
-        out_rem = np.array([m.limit() for m in self.egress_models], dtype=float)
+        out_rem = self.fleet.limits()
         in_rem = self._ingress_arr.copy()
         out_counts = np.bincount(src, minlength=n_nodes)
         in_counts = np.bincount(dst, minlength=n_nodes)
@@ -316,9 +350,16 @@ class Fabric:
         dict — (out, src), (in, dst) per flow in flow order — the
         tightest fair share saturates first, first-inserted resource
         wins ties, and capacity subtraction clamps per frozen flow.
+
+        Active-flow counts per resource are maintained incrementally
+        (decremented as flows freeze) instead of intersecting member
+        sets against the unfixed set on every scan — the shares and
+        the saturation order come out identical, without the O(R)
+        set allocations per water-filling round.
         """
         src = self._src[:n].tolist()
         dst = self._dst[:n].tolist()
+        limits = self.fleet.limits()
         remaining: dict[tuple[str, int], float] = {}
         members: dict[tuple[str, int], set[int]] = {}
         for i in range(n):
@@ -326,7 +367,7 @@ class Fabric:
             ids = members.get(key)
             if ids is None:
                 members[key] = ids = set()
-                remaining[key] = self.egress_models[src[i]].limit()
+                remaining[key] = float(limits[src[i]])
             ids.add(i)
             key = ("in", dst[i])
             ids = members.get(key)
@@ -334,16 +375,16 @@ class Fabric:
                 members[key] = ids = set()
                 remaining[key] = self.ingress_caps[dst[i]]
             ids.add(i)
+        counts = {key: len(ids) for key, ids in members.items()}
         rates = [0.0] * n
         unfixed = set(range(n))
         while unfixed:
             best_key = None
             best_share = math.inf
-            for key, ids in members.items():
-                active = ids & unfixed
-                if not active:
+            for key, count in counts.items():
+                if not count:
                     continue
-                share = remaining[key] / len(active)
+                share = remaining[key] / count
                 if share < best_share:
                     best_share = share
                     best_key = key
@@ -355,8 +396,10 @@ class Fabric:
                 unfixed.discard(i)
                 key = ("out", src[i])
                 remaining[key] = max(remaining[key] - rate_val, 0.0)
+                counts[key] -= 1
                 key = ("in", dst[i])
                 remaining[key] = max(remaining[key] - rate_val, 0.0)
+                counts[key] -= 1
         self._rate[:n] = rates
 
     def _tie_break_ranks(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
@@ -394,7 +437,16 @@ class Fabric:
         return self._egress_raw().copy()
 
     def horizon(self) -> float:
-        """Seconds the current rate assignment is guaranteed valid."""
+        """Seconds the current rate assignment is guaranteed valid.
+
+        The bound is the earliest flow completion or shaper transition,
+        except that shaper horizons within ``coalesce_eps`` (relative)
+        of that bound coalesce into the same event: the step extends to
+        the latest of the near-tied horizons, so shapers transitioning
+        at float-residue-distinct instants resolve together instead of
+        fragmenting the simulation into degenerate micro-steps.  Models
+        tolerate the resulting sub-epsilon overshoot by contract.
+        """
         if not self._rates_valid:
             self.compute_rates()
         bound = math.inf
@@ -418,10 +470,22 @@ class Fabric:
             completion[remaining <= 0.0] = 0.0
             bound = float(completion.min())
         egress = self._egress_raw()
-        for model, node_rate in zip(self.egress_models, egress.tolist()):
-            model_bound = model.horizon(node_rate)
-            if model_bound < bound:
-                bound = model_bound
+        shaper_bounds = self.fleet.horizons(egress)
+        if shaper_bounds.size:
+            shaper_min = float(shaper_bounds.min())
+            if shaper_min < bound:
+                bound = shaper_min
+            if self.coalesce_eps > 0.0 and 0.0 < bound < math.inf:
+                ceiling = bound * (1.0 + self.coalesce_eps)
+                # Only scan for near-ties when a shaper is at (or within
+                # epsilon of) the binding event; when a flow completion
+                # binds well before any shaper, there is nothing to
+                # coalesce.
+                if shaper_min <= ceiling:
+                    near = shaper_bounds[shaper_bounds <= ceiling]
+                    coalesced = float(near.max())
+                    if coalesced > bound:
+                        bound = coalesced
         return bound
 
     def advance(self, dt: float) -> list[Flow]:
@@ -440,23 +504,17 @@ class Fabric:
         if not self._rates_valid:
             self.compute_rates()
         egress = self._egress_raw()
-        limit_changed = False
-        for model, node_rate in zip(self.egress_models, egress.tolist()):
-            before = model.limit()
-            model.advance(dt, node_rate)
-            if model.limit() != before:
-                limit_changed = True
+        limit_changed = self.fleet.advance(dt, egress)
         completed: list[Flow] = []
         n = self._n
         if n:
             remaining = self._remaining[:n]
             remaining -= self._rate[:n] * dt
             done = remaining <= _COMPLETE_EPS_GBIT
-            if done.any():
-                completed = [
-                    self._handles[i] for i in np.flatnonzero(done).tolist()
-                ]
-                self._compact(~done)
+            done_idx = np.flatnonzero(done)
+            if done_idx.shape[0]:
+                completed = [self._handles[i] for i in done_idx.tolist()]
+                self._compact(~done, removed=done_idx)
                 self._rates_valid = False
                 self._egress_cache = None
         if limit_changed:

@@ -309,3 +309,68 @@ class TestArrayStateManagement:
         fabric.invalidate_rates()
         fabric.compute_rates()
         assert flow.rate_gbps == pytest.approx(1.0)
+
+
+class TestEventHorizonCoalescing:
+    """Near-tied shaper horizons must resolve as one event."""
+
+    @staticmethod
+    def _near_tie_fabric(coalesce_eps=None):
+        # Two identical buckets whose budgets differ by a residue just
+        # above the bucket's empty-snap epsilon: without coalescing
+        # their depletion horizons land a ~1e-10 relative step apart
+        # and fragment the simulation into a sub-nanosecond follow-up.
+        params = TokenBucketParams(
+            peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.95,
+            capacity_gbit=100.0,
+        )
+        models = [TokenBucketModel(params) for _ in range(2)]
+        kwargs = {} if coalesce_eps is None else {"coalesce_eps": coalesce_eps}
+        fabric = Fabric(models, [10.0, 10.0], **kwargs)
+        models[0].set_budget(50.0)
+        models[1].set_budget(50.0 + 5e-9)
+        fabric.add_flow(0, 1, 1e9)
+        fabric.add_flow(1, 0, 1e9)
+        fabric.invalidate_rates()
+        return fabric, models
+
+    def test_near_ties_transition_in_one_step(self):
+        fabric, models = self._near_tie_fabric()
+        fabric.compute_rates()
+        dt = fabric.horizon()
+        # The coalesced bound covers the *later* of the two horizons...
+        assert dt == max(m.horizon(10.0) for m in models)
+        fabric.advance(dt)
+        # ...so both buckets deplete in the same event step.
+        assert [m.throttled for m in models] == [True, True]
+
+    def test_disabled_coalescing_fragments_steps(self):
+        fabric, models = self._near_tie_fabric(coalesce_eps=0.0)
+        fabric.compute_rates()
+        dt = fabric.horizon()
+        assert dt == min(m.horizon(10.0) for m in models)
+        fabric.advance(dt)
+        assert [m.throttled for m in models] == [True, False]
+        fabric.compute_rates()
+        follow_up = fabric.horizon()
+        assert 0.0 <= follow_up < 1e-9  # the fragment coalescing removes
+        fabric.advance(follow_up)
+        assert [m.throttled for m in models] == [True, True]
+
+    def test_flow_bound_far_below_shapers_is_untouched(self):
+        params = TokenBucketParams(
+            peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.95,
+            capacity_gbit=1000.0,
+        )
+        fabric = Fabric(
+            [TokenBucketModel(params) for _ in range(2)], [10.0, 10.0]
+        )
+        flow = fabric.add_flow(0, 1, 5.0)  # completes long before depletion
+        fabric.compute_rates()
+        assert fabric.horizon() == pytest.approx(flow.completion_time())
+
+    def test_negative_coalesce_eps_rejected(self):
+        with pytest.raises(ValueError):
+            Fabric(
+                [ConstantRateModel(10.0)], [10.0], coalesce_eps=-1e-9
+            )

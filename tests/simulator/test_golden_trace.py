@@ -20,9 +20,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.netmodel import TokenBucketModel, TokenBucketParams
+from repro.netmodel import ScalarFleetAdapter, TokenBucketModel, TokenBucketParams
+from repro.netmodel.fleet import TokenBucketFleet
+from repro.simulator import Cluster, Fabric, NodeSpec, SparkEngine
 from repro.scenarios.generate import job_stream, poisson_arrivals
-from repro.simulator import Cluster, NodeSpec, SparkEngine
 
 FIXTURE = Path(__file__).parent / "fixtures" / "golden_trace.json"
 
@@ -35,18 +36,32 @@ _BUCKET = TokenBucketParams(
 )
 
 
-def _run_reference_stream():
-    """A 6-node, 6-job mixed stream with shaper tier transitions."""
+def _run_reference_stream(fleet_mode: str = "auto"):
+    """A 6-node, 6-job mixed stream with shaper tier transitions.
+
+    ``fleet_mode`` selects the shaper path: ``"auto"`` lets the fabric
+    build the vectorized :class:`TokenBucketFleet` (the default for a
+    homogeneous shaper list), ``"scalar"`` forces the per-model
+    :class:`ScalarFleetAdapter` reference loop.  Both must reproduce
+    the pinned fixture bit for bit.
+    """
     rng = np.random.default_rng(20260727)
     cluster = Cluster(
         n_nodes=6,
         node_spec=NodeSpec(slots=4),
         link_model_factory=lambda node: TokenBucketModel(_BUCKET),
     )
+    fabric = None
+    if fleet_mode == "scalar":
+        models = [TokenBucketModel(_BUCKET) for _ in range(6)]
+        fabric = Fabric(
+            ScalarFleetAdapter(models),
+            [cluster.node_spec.ingress_gbps] * 6,
+        )
     times = poisson_arrivals(rng, rate_per_min=3.0, n_jobs=6)
     stream = job_stream(rng, times, n_nodes=6, slots=4, data_scale=0.15)
     engine = SparkEngine(cluster, rng=rng, sample_interval_s=5.0)
-    return engine.run_stream(stream, scheduler="fair")
+    return engine.run_stream(stream, scheduler="fair", fabric=fabric)
 
 
 def _snapshot(result) -> dict:
@@ -91,6 +106,23 @@ def test_golden_trace_matches_pre_refactor_engine():
     assert snapshot["egress_rates"] == pinned["egress_rates"]
     assert snapshot["budgets"] == pinned["budgets"]
     assert snapshot == pinned
+
+
+def test_golden_trace_matches_through_scalar_adapter_path():
+    """The per-model reference loop reproduces the same pinned trace."""
+    snapshot = _snapshot(_run_reference_stream(fleet_mode="scalar"))
+    pinned = json.loads(FIXTURE.read_text())
+    assert snapshot == pinned
+
+
+def test_reference_stream_uses_vectorized_fleet_by_default():
+    """Guards the comparison above: "auto" really is the fleet path."""
+    cluster = Cluster(
+        n_nodes=6,
+        node_spec=NodeSpec(slots=4),
+        link_model_factory=lambda node: TokenBucketModel(_BUCKET),
+    )
+    assert isinstance(cluster.build_fabric().fleet, TokenBucketFleet)
 
 
 def test_snapshot_is_finite_and_consistent():

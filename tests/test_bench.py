@@ -5,8 +5,10 @@ import json
 import pytest
 
 from repro.bench import (
+    bench_shaper_fleet_vs_scalar,
     bench_stream,
     bench_waterfill,
+    check_results,
     format_table,
     load_results,
     record_results,
@@ -31,6 +33,22 @@ class TestBenchmarks:
         assert result["checksum"] > 0
         assert result["makespan_s"] > 0
         assert result["samples"] > 0
+
+    def test_stream_scalar_fleet_path_is_bit_exact(self):
+        fleet = bench_stream(n_nodes=4, n_jobs=2, data_scale=0.05)
+        scalar = bench_stream(
+            n_nodes=4, n_jobs=2, data_scale=0.05, scalar_fleet=True
+        )
+        assert scalar["checksum"] == fleet["checksum"]
+        assert scalar["n_steps"] == fleet["n_steps"]
+        assert scalar["makespan_s"] == fleet["makespan_s"]
+
+    def test_shaper_case_compares_paths_bit_exactly(self):
+        result = bench_shaper_fleet_vs_scalar(n_nodes=16, duration_s=60.0)
+        assert result["checksum"] > 0
+        assert result["n_steps"] > 0
+        assert result["fleet_speedup"] > 0
+        assert "scalar_wall_s" in result
 
 
 class TestLedger:
@@ -67,6 +85,87 @@ class TestLedger:
         )
         record_results({"x": {"wall_s": 1.0, "checksum": 1.0}}, path=path)
         assert load_results(path)["baseline"]["results"]["x"]["wall_s"] == 2.0
+
+
+class TestCheckGate:
+    _REF = {"label": "ref", "results": {"x": {"wall_s": 1.0, "checksum": 42.0}}}
+
+    def test_clean_run_passes(self):
+        results = {"x": {"wall_s": 1.1, "checksum": 42.0}}
+        assert check_results(results, self._REF) == []
+
+    def test_checksum_drift_fails(self):
+        results = {"x": {"wall_s": 1.0, "checksum": 43.0}}
+        failures = check_results(results, self._REF)
+        assert len(failures) == 1
+        assert "checksum drifted" in failures[0]
+
+    def test_wall_regression_fails_beyond_tolerance(self):
+        results = {"x": {"wall_s": 1.3, "checksum": 42.0}}
+        failures = check_results(results, self._REF, wall_tolerance=1.25)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+        assert check_results(results, self._REF, wall_tolerance=1.5) == []
+
+    def test_unrecorded_case_is_skipped(self):
+        results = {"new_case": {"wall_s": 9.0, "checksum": 1.0}}
+        assert check_results(results, self._REF) == []
+
+    def test_missing_reference_section_skips_everything(self):
+        results = {"x": {"wall_s": 9.0, "checksum": 99.0}}
+        assert check_results(results, None) == []
+
+    def test_cli_check_fails_without_reference(self, tmp_path, capsys):
+        # Reference validation happens before any benchmark runs, so
+        # this is instant despite going through the real CLI.
+        path = tmp_path / "BENCH_engine.json"
+        record_results(
+            {"x": {"wall_s": 2.0, "checksum": 1.0}}, path=path, as_baseline=True
+        )
+        code = main(["bench", "--smoke", "--check", "--json", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no 'smoke' reference" in err
+
+    def test_cli_smoke_check_round_trip(self, tmp_path, capsys, monkeypatch):
+        # Gate plumbing only (exit codes, sections, output); the suite
+        # itself is canned — the real smoke suite already runs in CI
+        # and in TestBenchmarks.
+        import repro.bench.hotpath as hotpath
+
+        canned = {"stream_16x200": {"wall_s": 1.0, "checksum": 42.0}}
+        monkeypatch.setattr(hotpath, "run_suite", lambda smoke=False: canned)
+        path = tmp_path / "BENCH_engine.json"
+        assert main(["bench", "--save-smoke", "--json", str(path)]) == 0
+        assert load_results(path)["smoke"] is not None
+        code = main(
+            [
+                "bench", "--smoke", "--check", "--json", str(path),
+                "--wall-tolerance", "1000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench check ok" in out
+
+    def test_cli_check_detects_checksum_drift(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.hotpath as hotpath
+
+        canned = {"stream_16x200": {"wall_s": 1.0, "checksum": 42.0}}
+        monkeypatch.setattr(hotpath, "run_suite", lambda smoke=False: canned)
+        path = tmp_path / "BENCH_engine.json"
+        assert main(["bench", "--save-smoke", "--json", str(path)]) == 0
+        ledger = load_results(path)
+        ledger["smoke"]["results"]["stream_16x200"]["checksum"] += 1.0
+        path.write_text(json.dumps(ledger))
+        code = main(
+            [
+                "bench", "--smoke", "--check", "--json", str(path),
+                "--wall-tolerance", "1000",
+            ]
+        )
+        assert code == 1
+        assert "checksum drifted" in capsys.readouterr().err
 
 
 class TestCli:
