@@ -16,6 +16,13 @@ Uta et al., packaged as a reusable library:
 * :mod:`repro.scenarios` — randomized workload generation (random DAG
   jobs, TPC-H-like templates, Poisson/burst arrivals) and parallel,
   cache-aware scenario-campaign orchestration;
+* :mod:`repro.runtime` — the unified campaign execution layer beneath
+  scenarios, measurement matrices, figure sweeps, and the bench
+  suite: content-hashed :class:`~repro.runtime.cell.Cell` units, a
+  crash-safe content-addressed
+  :class:`~repro.runtime.store.ArtifactStore`, and pluggable
+  serial / process-pool / multi-machine shard executors
+  (``python -m repro worker`` + ``merge``);
 * :mod:`repro.stats` — nonparametric CIs, CONFIRM, assumption tests;
 * :mod:`repro.survey` — the literature-survey pipeline of Section 2;
 * :mod:`repro.core` — the variability-aware experimentation
@@ -39,6 +46,14 @@ Scenario sweeps (randomized multi-job workloads across providers,
 arrival rates, and schedulers) run from the shell::
 
     python -m repro scenario --fast --seed 7 --workers 4
+
+Campaigns shard across machines through the runtime layer — write
+per-machine manifests, run each with the worker CLI, merge the stores
+back (byte-identical to a serial run)::
+
+    python -m repro scenario --fast --shards 4 --shard-dir shards/
+    python -m repro worker shards/shard-0.json --store shard0-store
+    python -m repro merge shard*-store --store campaign-store
 """
 
 __version__ = "1.0.0"

@@ -3,9 +3,11 @@
 The ROADMAP's north star is "as fast as the hardware allows", which is
 only meaningful against a recorded trajectory.  This package defines
 the canonical hot-path benchmarks (a 16-node/200-job multi-tenant
-stream, a 10k-flow water-filling microbench, and a 64-node
-shaper-fleet sweep that times the vectorized and scalar-adapter shaper
-paths against each other), runs them with :func:`run_suite`, and
+stream, a 10k-flow water-filling microbench, a 64-node shaper-fleet
+sweep that times the vectorized and scalar-adapter shaper paths
+against each other, and a ``campaign_overhead`` case that times the
+:mod:`repro.runtime` orchestration layer per cached cell), runs them
+with :func:`run_suite`, and
 records results in ``BENCH_engine.json`` at the repository root so
 every PR can compare itself against the pinned pre-refactor baseline.
 
@@ -20,12 +22,14 @@ Run it via ``python -m repro bench`` or
 
 from repro.bench.hotpath import (
     DEFAULT_RESULTS_PATH,
+    bench_campaign_overhead,
     bench_shaper_fleet_vs_scalar,
     bench_stream,
     bench_waterfill,
     check_results,
     format_table,
     load_results,
+    record_provenance,
     record_results,
     run_and_record,
     run_check,
@@ -35,8 +39,10 @@ from repro.bench.hotpath import (
 __all__ = [
     "DEFAULT_RESULTS_PATH",
     "bench_stream",
+    "bench_campaign_overhead",
     "bench_shaper_fleet_vs_scalar",
     "bench_waterfill",
+    "record_provenance",
     "run_suite",
     "run_and_record",
     "run_check",

@@ -27,6 +27,8 @@ explicitly asked.
 from __future__ import annotations
 
 import json
+import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -38,14 +40,17 @@ from repro.netmodel import (
     TokenBucketModel,
     TokenBucketParams,
 )
+from repro.runtime.store import ArtifactStore
 from repro.scenarios.generate import job_stream, poisson_arrivals
 from repro.simulator import Cluster, Fabric, NodeSpec, SparkEngine
 
 __all__ = [
     "DEFAULT_RESULTS_PATH",
     "bench_stream",
+    "bench_campaign_overhead",
     "bench_shaper_fleet_vs_scalar",
     "bench_waterfill",
+    "record_provenance",
     "run_suite",
     "run_and_record",
     "run_check",
@@ -261,19 +266,115 @@ def bench_waterfill(
     }
 
 
-def run_suite(smoke: bool = False) -> dict[str, dict]:
-    """Run every hot-path benchmark; ``smoke`` shrinks them for CI."""
+def bench_campaign_overhead(n_cells: int = 32, seed: int = 4321) -> dict:
+    """Time the runtime orchestration layer itself, per cached cell.
+
+    A store is populated with ``n_cells`` deliberately tiny scenario
+    cells (untimed), then a second :class:`ScenarioCampaign` run over
+    the same matrix is timed: every cell is a cache hit, so the wall
+    clock is pure orchestration — manifest snapshot, per-cell document
+    reads, decode, aggregation — the overhead each of the paper's
+    thousands of campaign cells pays on top of its simulation.  The
+    checksum sums the aggregate rows' mean runtimes, so a drift means
+    the cache round-trip changed what it reproduces.
+    """
+    from repro.measurement.repository import TraceRepository
+    from repro.scenarios.orchestrate import ScenarioCampaign, ScenarioConfig
+
+    configs = [
+        ScenarioConfig(
+            n_nodes=2,
+            slots=1,
+            n_jobs=1,
+            data_scale=0.01,
+            arrival_rate_per_min=4.0,
+            seed=seed + i,
+        )
+        for i in range(n_cells)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        repository = TraceRepository(Path(tmp) / "store")
+        ScenarioCampaign(configs, repository=repository).run()
+        start = time.perf_counter()
+        outcome = ScenarioCampaign(configs, repository=repository).run()
+        wall_s = time.perf_counter() - start
+    if len(outcome.cached_ids) != n_cells:
+        raise AssertionError(
+            f"expected {n_cells} cache hits, got {len(outcome.cached_ids)}"
+        )
+    rows = outcome.aggregate_rows()
+    return {
+        "wall_s": round(wall_s, 4),
+        "n_cells": n_cells,
+        "per_cell_ms": round(wall_s / n_cells * 1_000.0, 3),
+        "cache_hits": len(outcome.cached_ids),
+        "checksum": round(sum(row["mean_runtime_s"] for row in rows), 6),
+    }
+
+
+def run_suite(smoke: bool = False, seed: int | None = None) -> dict[str, dict]:
+    """Run every hot-path benchmark; ``smoke`` shrinks them for CI.
+
+    ``seed`` overrides each case's pinned workload seed (the shaper
+    sweep is seedless).  Overridden runs produce checksums that cannot
+    be compared against the ledger, so callers must not record or gate
+    them — the CLI refuses the combination.
+    """
+    seeded: dict[str, int] = {}
+    if seed is not None:
+        seeded = {"seed": int(seed)}
     if smoke:
         return {
-            "stream_16x200": bench_stream(n_jobs=20),
-            "waterfill_10k": bench_waterfill(n_flows=1_000, rounds=2),
+            "stream_16x200": bench_stream(n_jobs=20, **seeded),
+            "waterfill_10k": bench_waterfill(n_flows=1_000, rounds=2, **seeded),
             "shaper_64_tb": bench_shaper_fleet_vs_scalar(duration_s=300.0),
+            "campaign_overhead": bench_campaign_overhead(n_cells=8, **seeded),
         }
     return {
-        "stream_16x200": bench_stream(),
-        "waterfill_10k": bench_waterfill(),
+        "stream_16x200": bench_stream(**seeded),
+        "waterfill_10k": bench_waterfill(**seeded),
         "shaper_64_tb": bench_shaper_fleet_vs_scalar(),
+        "campaign_overhead": bench_campaign_overhead(**seeded),
     }
+
+
+# ----------------------------------------------------------------------
+# provenance
+# ----------------------------------------------------------------------
+def record_provenance(
+    results: dict[str, dict],
+    store_root: Path | str,
+    label: str = "",
+) -> ArtifactStore:
+    """Record each bench case as a cell in a campaign artifact store.
+
+    Every case becomes a ``bench-<name>`` artifact holding the full
+    result row plus the environment that produced it, in the same
+    :class:`~repro.runtime.store.ArtifactStore` layout campaign cells
+    use — so one store can archive a machine's simulation results *and*
+    the performance context they were measured under.  Re-recording a
+    case overwrites its provenance (benchmarks re-run; cells don't).
+    """
+    store = ArtifactStore(store_root)
+    environment = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+    }
+    for name, row in results.items():
+        store.put(
+            f"bench-{name}",
+            {"result": dict(row), "environment": environment},
+            meta={
+                "kind": "bench-provenance",
+                "case": name,
+                "label": label,
+                "checksum": row.get("checksum"),
+            },
+            overwrite=True,
+        )
+    return store
 
 
 # ----------------------------------------------------------------------
@@ -377,6 +478,7 @@ def run_check(
     smoke: bool = False,
     path: Path | str = DEFAULT_RESULTS_PATH,
     wall_tolerance: float = 1.25,
+    store: Path | str | None = None,
 ) -> int:
     """Run the suite and gate it against the ledger (non-zero on drift).
 
@@ -403,6 +505,8 @@ def run_check(
     results = run_suite(smoke=smoke)
     for name, row in results.items():
         print(f"{name}: " + "  ".join(f"{k}={v}" for k, v in row.items()))
+    if store is not None:
+        record_provenance(results, store)
     failures = check_results(results, reference, wall_tolerance=wall_tolerance)
     if failures:
         for failure in failures:
@@ -421,19 +525,24 @@ def run_and_record(
     path: Path | str = DEFAULT_RESULTS_PATH,
     label: str = "",
     save_smoke: bool = False,
+    store: Path | str | None = None,
 ) -> int:
     """Shared driver for every bench entry point (CLI and script).
 
     Runs the suite, prints per-benchmark rows, and — except for smoke
     runs, which never touch the ledger unless ``save_smoke`` pins them
     as the ``--check --smoke`` reference — records the results and
-    prints the before/after table.  Returns a process exit code.
+    prints the before/after table.  ``store`` additionally archives
+    per-case provenance into a campaign artifact store.  Returns a
+    process exit code.
     """
     if save_smoke:
         smoke = True
     results = run_suite(smoke=smoke)
     for name, row in results.items():
         print(f"{name}: " + "  ".join(f"{k}={v}" for k, v in row.items()))
+    if store is not None:
+        record_provenance(results, store, label=label)
     if smoke:
         if save_smoke:
             record_results(results, path=path, label=label, section="smoke")

@@ -9,6 +9,9 @@ Usage::
     python -m repro table3
     python -m repro fingerprint c5.xlarge
     python -m repro scenario --fast --seed 7   # randomized sweep
+    python -m repro scenario --fast --shards 2 --shard-dir shards/
+    python -m repro worker shards/shard-0.json --store shard0-store
+    python -m repro merge shard0-store shard1-store --store campaign-store
     python -m repro bench                # hot-path benchmarks + ledger
     python -m repro bench --table-only   # recorded before/after table
     python -m repro bench --check        # fail on checksum/wall regression
@@ -18,6 +21,11 @@ Output is the same row data the benchmark harness prints; ``--fast``
 shrinks run counts / durations for a quick look.  Every stochastic
 artifact accepts ``--seed`` so shell invocations are reproducible;
 omitting it keeps each artifact's published default seed.
+
+Campaign-shaped subcommands (``scenario``, ``bench``, ``worker``,
+``merge``) share one flag vocabulary — ``--workers``, ``--seed``,
+``--store`` — built from a common argparse parent so the spellings,
+defaults, and help text cannot drift apart.
 """
 
 from __future__ import annotations
@@ -29,7 +37,47 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["main", "build_parser", "add_bench_check_arguments"]
+__all__ = [
+    "main",
+    "build_parser",
+    "add_bench_check_arguments",
+    "make_runtime_parent",
+]
+
+
+def make_runtime_parent(
+    workers_default: int = 1,
+    workers_help: str = "process-pool size for pending cells (default: 1, serial)",
+    seed_default: int | None = 0,
+    seed_help: str = "base RNG seed (default: 0)",
+    store_help: str = (
+        "artifact-store directory; completed cells are cached there "
+        "(default: no store, results are not persisted)"
+    ),
+    store_required: bool = False,
+) -> argparse.ArgumentParser:
+    """The shared ``--workers`` / ``--seed`` / ``--store`` parent parser.
+
+    Every campaign-ish subcommand builds on this parent so the runtime
+    flag vocabulary is identical everywhere; per-command help strings
+    document what each flag means (or why it is inert) for that
+    command.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers", type=int, default=workers_default, help=workers_help
+    )
+    parent.add_argument(
+        "--seed", type=int, default=seed_default, help=seed_help
+    )
+    parent.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        required=store_required,
+        help=store_help,
+    )
+    return parent
 
 
 def add_bench_check_arguments(parser: argparse.ArgumentParser) -> None:
@@ -131,6 +179,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("other:")
     print("  fingerprint <instance>   F5.2 baseline for an EC2 instance type")
     print("  scenario                 randomized multi-job scenario sweep")
+    print("  worker <manifest>        execute one campaign shard manifest")
+    print("  merge <stores...>        merge shard stores into a campaign store")
     print("  bench                    simulator hot-path benchmark suite")
     return 0
 
@@ -142,12 +192,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     module = importlib.import_module(f"repro.paper.{name}")
     _, fast_kwargs, full_kwargs = _FIGURES[name]
     kwargs = dict(fast_kwargs if args.fast else full_kwargs)
+    parameters = inspect.signature(module.reproduce).parameters
     if args.seed is not None:
-        if "seed" in inspect.signature(module.reproduce).parameters:
+        if "seed" in parameters:
             kwargs["seed"] = args.seed
         else:
             print(
                 f"note: {name} is deterministic; --seed ignored",
+                file=sys.stderr,
+            )
+    if args.workers != 1:
+        if "workers" in parameters:
+            kwargs["workers"] = args.workers
+        else:
+            print(
+                f"note: {name} has no runtime replay sweep; --workers ignored",
                 file=sys.stderr,
             )
     result = module.reproduce(**kwargs)
@@ -168,16 +227,48 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_table, load_results, run_and_record, run_check
+    from repro.bench import (
+        format_table,
+        load_results,
+        record_provenance,
+        run_and_record,
+        run_check,
+        run_suite,
+    )
 
+    if args.workers != 1:
+        print(
+            "note: benchmarks always run serially to keep timings honest; "
+            "--workers ignored",
+            file=sys.stderr,
+        )
     if args.table_only:
         print(format_table(load_results(args.json)))
+        return 0
+    if args.seed is not None:
+        # Overridden seeds change every checksum, so the run can be
+        # printed and archived but never recorded as (or gated against)
+        # a ledger reference.
+        if args.check or args.save_baseline or args.save_smoke:
+            print(
+                "error: --seed changes benchmark checksums; it cannot be "
+                "combined with --check/--save-baseline/--save-smoke "
+                "(the ledger pins each case's published seed)",
+                file=sys.stderr,
+            )
+            return 2
+        results = run_suite(smoke=args.smoke, seed=args.seed)
+        for name, row in results.items():
+            print(f"{name}: " + "  ".join(f"{k}={v}" for k, v in row.items()))
+        if args.store:
+            record_provenance(results, args.store, label=args.label)
         return 0
     if args.check:
         return run_check(
             smoke=args.smoke,
             path=args.json,
             wall_tolerance=args.wall_tolerance,
+            store=args.store,
         )
     return run_and_record(
         smoke=args.smoke,
@@ -185,6 +276,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         path=args.json,
         label=args.label,
         save_smoke=args.save_smoke,
+        store=args.store,
     )
 
 
@@ -227,6 +319,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         n_jobs, n_nodes, data_scale = 3, 4, 0.05
     else:
         n_jobs, n_nodes, data_scale = 8, 12, 1.0
+    store = args.store or args.repo
     try:
         configs = scenario_matrix(
             providers=tuple(args.providers.split(",")),
@@ -242,10 +335,27 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        repository = TraceRepository(args.repo) if args.repo else None
+        repository = TraceRepository(store) if store else None
         campaign = ScenarioCampaign(
             configs, repository=repository, workers=args.workers
         )
+        if args.shards is not None:
+            if args.shards < 1:
+                raise ValueError("--shards must be >= 1")
+            if not args.shard_dir:
+                raise ValueError("--shards requires --shard-dir DIR")
+            manifests = campaign.shard_manifests(args.shard_dir, args.shards)
+            print(f"== scenario sweep: {len(configs)} cells, "
+                  f"{len(manifests)} shard manifest(s) ==")
+            for index, manifest in enumerate(manifests):
+                print(f"  python -m repro worker {manifest} "
+                      f"--store {args.shard_dir}/shard-{index}-store")
+            stores = " ".join(
+                f"{args.shard_dir}/shard-{i}-store" for i in range(len(manifests))
+            )
+            merged = store if store else "<campaign-store>"
+            print(f"  python -m repro merge {stores} --store {merged}")
+            return 0
         outcome = campaign.run()
     except (ValueError, RepositoryCorruptionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -256,6 +366,39 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         f"  computed={len(outcome.computed_ids)} "
         f"cached={len(outcome.cached_ids)} workers={args.workers}"
     )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runtime import run_manifest
+
+    try:
+        summary = run_manifest(
+            args.manifest, args.store, workers=args.workers
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"worker done: computed={len(summary['computed'])} "
+        f"cached={len(summary['cached'])} store={summary['store']}"
+    )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.runtime import merge_stores
+
+    try:
+        summary = merge_stores(args.shard_stores, args.store)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"merged {len(summary['adopted'])} new artifact(s) into "
+        f"{summary['store']} ({summary['total']} total)"
+    )
+    print(f"content hash: {summary['content_hash']}")
     return 0
 
 
@@ -282,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--seed", type=int, default=None,
             help="RNG seed (default: the artifact's published seed)",
         )
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="process-pool size for replay sweeps; figures whose "
+            "sweeps run through the runtime layer parallelize without "
+            "changing their numbers (default: 1)",
+        )
         p.set_defaults(handler=_cmd_figure, artifact=name)
 
     for name in _TABLES:
@@ -291,19 +440,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "scenario",
         help="randomized multi-job scenario sweep (provider x rate x scheduler)",
+        parents=[
+            make_runtime_parent(
+                workers_help="process-pool size for pending cells "
+                "(default: 1, serial; results are identical at any count)",
+                seed_help="matrix base seed (default: 0)",
+                store_help="campaign store directory (a TraceRepository); "
+                "completed cells are cached there (default: no store)",
+            )
+        ],
     )
     p.add_argument(
         "--fast", action="store_true",
         help="small clusters, few jobs, scaled-down data",
     )
-    p.add_argument("--seed", type=int, default=0, help="matrix base seed")
-    p.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool size for pending cells",
-    )
     p.add_argument(
         "--repo", default=None, metavar="DIR",
-        help="TraceRepository directory; completed cells are cached there",
+        help="deprecated alias for --store",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="instead of running, write N per-machine shard manifests "
+        "to --shard-dir and print the worker/merge commands",
+    )
+    p.add_argument(
+        "--shard-dir", default=None, metavar="DIR",
+        help="directory for --shards manifests",
     )
     p.add_argument(
         "--providers", default="amazon,google",
@@ -323,6 +485,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=_cmd_scenario)
 
+    p = sub.add_parser(
+        "worker",
+        help="execute one shard manifest into a local artifact store",
+        parents=[
+            make_runtime_parent(
+                workers_help="process-pool size for this shard's cells "
+                "(default: 1, serial)",
+                seed_default=None,
+                seed_help="accepted for CLI consistency; ignored — every "
+                "cell's seed is pinned in the shard manifest",
+                store_help="artifact store for this shard's results; "
+                "re-running resumes, skipping stored cells (required)",
+                store_required=True,
+            )
+        ],
+    )
+    p.add_argument("manifest", help="shard manifest written by --shards")
+    p.set_defaults(handler=_cmd_worker)
+
+    p = sub.add_parser(
+        "merge",
+        help="merge shard stores back into a campaign store",
+        parents=[
+            make_runtime_parent(
+                workers_help="accepted for CLI consistency; merging is "
+                "sequential and deterministic",
+                seed_default=None,
+                seed_help="accepted for CLI consistency; ignored — merging "
+                "computes nothing",
+                store_help="destination campaign store (required)",
+                store_required=True,
+            )
+        ],
+    )
+    p.add_argument(
+        "shard_stores", nargs="+", metavar="SHARD_STORE",
+        help="shard store directories written by `repro worker`",
+    )
+    p.set_defaults(handler=_cmd_merge)
+
     p = sub.add_parser("fingerprint", help="F5.2 baseline for an instance")
     p.add_argument("instance", help="EC2 instance type, e.g. c5.xlarge")
     p.add_argument("--seed", type=int, default=0)
@@ -331,6 +533,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench",
         help="run the simulator hot-path benchmarks (BENCH_engine.json)",
+        parents=[
+            make_runtime_parent(
+                workers_help="accepted for CLI consistency; benchmarks "
+                "always run serially to keep timings honest",
+                seed_default=None,
+                seed_help="override each case's pinned workload seed "
+                "(default: pinned seeds); seeded runs are printed but "
+                "never recorded or gated — their checksums are "
+                "incomparable to the ledger",
+                store_help="archive per-case provenance (result row + "
+                "environment) into this campaign artifact store "
+                "(default: no store)",
+            )
+        ],
     )
     p.add_argument(
         "--smoke", action="store_true",

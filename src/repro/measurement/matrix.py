@@ -1,0 +1,180 @@
+"""Matrix execution for measurement campaigns (Table 3 at scale).
+
+The seed library could run one :func:`~repro.measurement.campaign.run_campaign`
+at a time; this module gives the Table 3 catalog what scenario sweeps
+already had — content-hashed cells, store-backed caching, and pluggable
+executors — by mapping :class:`~repro.measurement.campaign.CampaignConfig`
+onto the :mod:`repro.runtime` layer:
+
+* :func:`campaign_cell_id` content-hashes a config into a stable
+  ``cmp-…`` key, so re-running a matrix after adding one configuration
+  only executes the new cell;
+* :func:`run_campaign_matrix` drives the whole catalog through a
+  :class:`~repro.runtime.campaign.CampaignRunner` — serially, across a
+  chunked process pool, or sharded onto other machines via
+  ``python -m repro worker``;
+* results persist as ordinary :class:`~repro.measurement.repository.TraceRepository`
+  artifacts (same documents, same manifest metadata), so a matrix store
+  doubles as a trace archive for the figures.
+
+Patterns are referenced *by name* in cell payloads (the paper's three:
+``full-speed``, ``10-30``, ``5-30``), which is what lets a shard
+manifest reconstruct the exact configuration on another machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.emulator.patterns import pattern_by_name
+from repro.measurement.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.measurement.repository import (
+    TraceRepository,
+    campaign_from_documents,
+    campaign_to_documents,
+    run_wrapping_corruption,
+)
+from repro.runtime.campaign import ArtifactCodec, CampaignRunner, RuntimeOutcome
+from repro.runtime.cell import Cell
+from repro.runtime.executors import ProcessPoolExecutor, SerialExecutor
+
+__all__ = [
+    "MEASUREMENT_CODEC",
+    "MatrixOutcome",
+    "campaign_cell_id",
+    "campaign_cells",
+    "campaign_payload",
+    "config_from_payload",
+    "decode_campaign_result",
+    "encode_campaign_result",
+    "run_campaign_matrix",
+    "run_campaign_payload",
+]
+
+
+def campaign_payload(config: CampaignConfig) -> dict:
+    """One config as a JSON payload (patterns by catalog name)."""
+    for pattern in config.patterns:
+        # Resolve through the catalog so a drifted or ad-hoc pattern
+        # fails here, on the coordinator, not on a worker machine.
+        catalog = pattern_by_name(pattern.name)
+        if catalog != pattern:
+            raise ValueError(
+                f"pattern {pattern.name!r} differs from the catalog "
+                "entry; matrix cells can only ship catalog patterns"
+            )
+    return {
+        "provider_name": config.provider_name,
+        "instance_name": config.instance_name,
+        "duration_s": float(config.duration_s),
+        "patterns": [pattern.name for pattern in config.patterns],
+        "write_size_bytes": int(config.write_size_bytes),
+        "seed": int(config.seed),
+        "nominal_weeks": config.nominal_weeks,
+    }
+
+
+def config_from_payload(payload: Mapping) -> CampaignConfig:
+    """Inverse of :func:`campaign_payload`."""
+    return CampaignConfig(
+        provider_name=payload["provider_name"],
+        instance_name=payload["instance_name"],
+        duration_s=payload["duration_s"],
+        patterns=tuple(
+            pattern_by_name(name) for name in payload["patterns"]
+        ),
+        write_size_bytes=payload["write_size_bytes"],
+        seed=payload["seed"],
+        nominal_weeks=payload["nominal_weeks"],
+    )
+
+
+def campaign_cell_id(config: CampaignConfig) -> str:
+    """Content hash of a campaign config: the matrix cache key."""
+    body = json.dumps(campaign_payload(config), sort_keys=True)
+    digest = hashlib.sha256(body.encode()).hexdigest()[:16]
+    return f"cmp-{digest}"
+
+
+def run_campaign_payload(payload: Mapping) -> CampaignResult:
+    """Cell function: reconstruct the config and run the campaign."""
+    return run_campaign(config_from_payload(payload))
+
+
+def encode_campaign_result(result: CampaignResult) -> tuple[dict, dict]:
+    """Codec encoder: trace-repository documents, as always."""
+    return campaign_to_documents(result)
+
+
+def decode_campaign_result(cell: Cell, documents: Mapping) -> CampaignResult:
+    """Codec decoder: rebuild a :class:`CampaignResult` from the store."""
+    return campaign_from_documents(documents)
+
+
+#: The measurement layer's store codec, import-referenced for shards.
+MEASUREMENT_CODEC = ArtifactCodec(
+    encode_ref="repro.measurement.matrix:encode_campaign_result",
+    decode_ref="repro.measurement.matrix:decode_campaign_result",
+)
+
+
+def campaign_cells(configs: Sequence[CampaignConfig]) -> list[Cell]:
+    """Map campaign configs to runtime cells."""
+    return [
+        Cell(
+            fn="repro.measurement.matrix:run_campaign_payload",
+            payload=campaign_payload(config),
+            key=campaign_cell_id(config),
+        )
+        for config in configs
+    ]
+
+
+@dataclass
+class MatrixOutcome(RuntimeOutcome):
+    """A matrix run's :class:`~repro.runtime.campaign.RuntimeOutcome`
+    (results keyed by ``campaign_cell_id``), plus the Table 3 view."""
+
+    def summary_rows(self) -> list[dict]:
+        """Table 3 rows, deterministically ordered by cell id."""
+        return [self.results[cid].summary_row() for cid in sorted(self.results)]
+
+
+def run_campaign_matrix(
+    configs: Sequence[CampaignConfig],
+    repository: TraceRepository | None = None,
+    workers: int = 1,
+    executor: Any = None,
+) -> MatrixOutcome:
+    """Execute a catalog of campaign configs with caching.
+
+    The Table 3 workflow the paper priced at thousands of dollars::
+
+        configs = table3_campaigns(duration_scale=1e-4, seed=0)
+        outcome = run_campaign_matrix(configs, repository=repo, workers=4)
+        for row in outcome.summary_rows():
+            print(row)
+
+    Cached cells reload from the repository; pending ones run through
+    the chosen executor (``workers`` picks serial vs chunked pool when
+    ``executor`` is not given) and persist as they complete.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if executor is None:
+        executor = SerialExecutor() if workers == 1 else ProcessPoolExecutor(workers)
+    runner = CampaignRunner(
+        campaign_cells(configs),
+        store=repository.artifacts if repository else None,
+        codec=MEASUREMENT_CODEC,
+        executor=executor,
+    )
+    outcome = run_wrapping_corruption(runner)
+    return MatrixOutcome(
+        results=outcome.results,
+        cached_keys=outcome.cached_keys,
+        computed_keys=outcome.computed_keys,
+    )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -11,6 +11,9 @@ from repro.netmodel.base import LinkModel
 from repro.netmodel.distributions import QuantileDistribution
 from repro.netmodel.stochastic import UniformQuantileSamplingModel
 from repro.netmodel.token_bucket import TokenBucketModel, TokenBucketParams
+from repro.runtime.campaign import CampaignRunner
+from repro.runtime.cell import Cell
+from repro.runtime.executors import ProcessPoolExecutor, SerialExecutor
 from repro.simulator.cluster import Cluster
 
 __all__ = [
@@ -19,7 +22,27 @@ __all__ = [
     "ballani_cluster",
     "gce_cluster",
     "hpccloud_cluster",
+    "run_replay_cells",
 ]
+
+
+def run_replay_cells(
+    fn_ref: str, payloads: Sequence[dict], workers: int = 1
+) -> list:
+    """Run a figure's replay sweep through the :mod:`repro.runtime` layer.
+
+    ``fn_ref`` names a module-level cell function (``"module:callable"``)
+    and each payload fully determines one sweep cell (budgets, seeds,
+    repetition counts); results come back in payload order.  Because
+    every cell seeds its own generator from the payload, ``workers``
+    changes only the wall clock, never the numbers — the same contract
+    ``--seed`` gives the CLI everywhere else.  Payloads must be
+    distinct (they are content-hashed into cell keys).
+    """
+    cells = [Cell(fn=fn_ref, payload=payload) for payload in payloads]
+    executor = SerialExecutor() if workers <= 1 else ProcessPoolExecutor(workers)
+    outcome = CampaignRunner(cells, executor=executor).run()
+    return [outcome.results[cell.key] for cell in cells]
 
 #: The c5.xlarge shaper constants used throughout Section 4's
 #: emulation (high 10 Gbps, low 1 Gbps, ~1 Gbit/s replenish).

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.runner import SimulatorExperiment
-from repro.paper._common import token_bucket_cluster
+from repro.paper._common import run_replay_cells, token_bucket_cluster
 from repro.trace import TimeSeries, concat_series
 from repro.workloads.hibench import build_terasort
 
@@ -88,46 +88,67 @@ class Figure15Result:
         return min(small) >= max(large)
 
 
+def _budget_cell(payload: dict) -> BudgetPanel:
+    """Runtime cell: one budget's consecutive-run panel."""
+    budget = float(payload["budget_gbit"])
+    node = int(payload["node"])
+    cluster = token_bucket_cluster(budget)
+    experiment = SimulatorExperiment(
+        cluster,
+        build_terasort(n_nodes=12, slots=4),
+        rng=np.random.default_rng(payload["rng_seed"]),
+        budget_gbit=budget,
+    )
+    bandwidth_parts: list[TimeSeries] = []
+    budget_parts: list[TimeSeries] = []
+    runtimes: list[float] = []
+    offset = 0.0
+    for _ in range(payload["runs"]):
+        result = experiment.engine.run(
+            experiment.job, fabric=experiment.fabric
+        )
+        runtimes.append(result.runtime_s)
+        bw = result.node_bandwidth_series(node)
+        bd = result.node_budget_series(node)
+        bandwidth_parts.append(
+            TimeSeries(bw.times + offset, bw.values, label=bw.label)
+        )
+        budget_parts.append(
+            TimeSeries(bd.times + offset, bd.values, label=bd.label)
+        )
+        offset += result.runtime_s
+    return BudgetPanel(
+        budget_gbit=budget,
+        bandwidth=concat_series(bandwidth_parts, label=f"node{node}-bw"),
+        budget=concat_series(budget_parts, label=f"node{node}-budget"),
+        runtimes_s=runtimes,
+    )
+
+
 def reproduce(
     budgets: tuple[float, ...] = DEFAULT_BUDGETS,
     consecutive_runs: int = 5,
     node: int = 0,
     seed: int = 0,
+    workers: int = 1,
 ) -> Figure15Result:
     """Run the consecutive-Terasort traffic study per budget."""
     if consecutive_runs < 1:
         raise ValueError("need at least one run")
-    panels: dict[float, BudgetPanel] = {}
-    for budget in budgets:
-        cluster = token_bucket_cluster(budget)
-        experiment = SimulatorExperiment(
-            cluster,
-            build_terasort(n_nodes=12, slots=4),
-            rng=np.random.default_rng(seed),
-            budget_gbit=budget,
-        )
-        bandwidth_parts: list[TimeSeries] = []
-        budget_parts: list[TimeSeries] = []
-        runtimes: list[float] = []
-        offset = 0.0
-        for _ in range(consecutive_runs):
-            result = experiment.engine.run(
-                experiment.job, fabric=experiment.fabric
-            )
-            runtimes.append(result.runtime_s)
-            bw = result.node_bandwidth_series(node)
-            bd = result.node_budget_series(node)
-            bandwidth_parts.append(
-                TimeSeries(bw.times + offset, bw.values, label=bw.label)
-            )
-            budget_parts.append(
-                TimeSeries(bd.times + offset, bd.values, label=bd.label)
-            )
-            offset += result.runtime_s
-        panels[budget] = BudgetPanel(
-            budget_gbit=budget,
-            bandwidth=concat_series(bandwidth_parts, label=f"node{node}-bw"),
-            budget=concat_series(budget_parts, label=f"node{node}-budget"),
-            runtimes_s=runtimes,
-        )
+    payloads = [
+        {
+            "budget_gbit": float(budget),
+            "runs": int(consecutive_runs),
+            "node": int(node),
+            "rng_seed": seed,
+        }
+        for budget in budgets
+    ]
+    panels_list = run_replay_cells(
+        "repro.paper.fig15:_budget_cell", payloads, workers=workers
+    )
+    panels = {
+        payload["budget_gbit"]: panel
+        for payload, panel in zip(payloads, panels_list)
+    }
     return Figure15Result(panels=panels)

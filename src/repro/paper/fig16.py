@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.runner import SimulatorExperiment
-from repro.paper._common import token_bucket_cluster
+from repro.paper._common import run_replay_cells, token_bucket_cluster
 from repro.trace import BoxSummary, summarize_box
 from repro.workloads.hibench import HIBENCH_CODES, hibench_job
 
@@ -71,31 +71,53 @@ class Figure16Result:
         return set(ranked[:2]) == {"TS", "WC"}
 
 
+def _budget_cell(payload: dict) -> np.ndarray:
+    """Runtime cell: one (application, budget) configuration's samples.
+
+    Pure in its payload — the experiment RNG seeds from it directly —
+    so the sweep parallelizes across workers without changing a digit.
+    """
+    budget = float(payload["budget_gbit"])
+    job = hibench_job(payload["app"], n_nodes=12, slots=4)
+    cluster = token_bucket_cluster(budget)
+    experiment = SimulatorExperiment(
+        cluster,
+        job,
+        rng=np.random.default_rng(payload["rng_seed"]),
+        budget_gbit=budget,
+    )
+    samples = np.empty(payload["runs"])
+    for i in range(payload["runs"]):
+        if i > 0:
+            experiment.reset()
+        samples[i] = experiment.measure()
+    return samples
+
+
 def reproduce(
     budgets: tuple[float, ...] = DEFAULT_BUDGETS,
     runs_per_config: int = 10,
     apps: tuple[str, ...] = APP_CODES,
     seed: int = 0,
+    workers: int = 1,
 ) -> Figure16Result:
     """Run the full budget sweep for the requested applications."""
     if runs_per_config < 1:
         raise ValueError("need at least one run per configuration")
-    runtimes: dict[str, dict[float, np.ndarray]] = {}
-    for a_index, code in enumerate(apps):
-        job = hibench_job(code, n_nodes=12, slots=4)
-        runtimes[code] = {}
-        for b_index, budget in enumerate(budgets):
-            cluster = token_bucket_cluster(budget)
-            experiment = SimulatorExperiment(
-                cluster,
-                job,
-                rng=np.random.default_rng(seed + 97 * a_index + b_index),
-                budget_gbit=budget,
-            )
-            samples = np.empty(runs_per_config)
-            for i in range(runs_per_config):
-                if i > 0:
-                    experiment.reset()
-                samples[i] = experiment.measure()
-            runtimes[code][budget] = samples
+    payloads = [
+        {
+            "app": code,
+            "budget_gbit": float(budget),
+            "runs": int(runs_per_config),
+            "rng_seed": seed + 97 * a_index + b_index,
+        }
+        for a_index, code in enumerate(apps)
+        for b_index, budget in enumerate(budgets)
+    ]
+    samples = run_replay_cells(
+        "repro.paper.fig16:_budget_cell", payloads, workers=workers
+    )
+    runtimes: dict[str, dict[float, np.ndarray]] = {code: {} for code in apps}
+    for payload, cell_samples in zip(payloads, samples):
+        runtimes[payload["app"]][payload["budget_gbit"]] = cell_samples
     return Figure16Result(runtimes=runtimes)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.runner import SimulatorExperiment
-from repro.paper._common import token_bucket_cluster
+from repro.paper._common import run_replay_cells, token_bucket_cluster
 from repro.trace import BoxSummary, summarize_box
 from repro.workloads.tpcds import TPCDS_QUERIES, tpcds_catalog, tpcds_job
 
@@ -87,31 +87,51 @@ class Figure17Result:
         return set(ranked[: len(heavy)]) == heavy
 
 
+def _budget_cell(payload: dict) -> np.ndarray:
+    """Runtime cell: one (query, budget) configuration's samples."""
+    budget = float(payload["budget_gbit"])
+    job = tpcds_job(payload["query"], n_nodes=12, slots=4)
+    cluster = token_bucket_cluster(budget)
+    experiment = SimulatorExperiment(
+        cluster,
+        job,
+        rng=np.random.default_rng(payload["rng_seed"]),
+        budget_gbit=budget,
+    )
+    samples = np.empty(payload["runs"])
+    for i in range(payload["runs"]):
+        if i > 0:
+            experiment.reset()
+        samples[i] = experiment.measure()
+    return samples
+
+
 def reproduce(
     budgets: tuple[float, ...] = DEFAULT_BUDGETS,
     runs_per_config: int = 10,
     queries: tuple[int, ...] = TPCDS_QUERIES,
     seed: int = 0,
+    workers: int = 1,
 ) -> Figure17Result:
     """Run the per-query budget sweep."""
     if runs_per_config < 1:
         raise ValueError("need at least one run per configuration")
-    runtimes: dict[int, dict[float, np.ndarray]] = {}
-    for q_index, query in enumerate(queries):
-        job = tpcds_job(query, n_nodes=12, slots=4)
-        runtimes[query] = {}
-        for b_index, budget in enumerate(budgets):
-            cluster = token_bucket_cluster(budget)
-            experiment = SimulatorExperiment(
-                cluster,
-                job,
-                rng=np.random.default_rng(seed + 131 * q_index + b_index),
-                budget_gbit=budget,
-            )
-            samples = np.empty(runs_per_config)
-            for i in range(runs_per_config):
-                if i > 0:
-                    experiment.reset()
-                samples[i] = experiment.measure()
-            runtimes[query][budget] = samples
+    payloads = [
+        {
+            "query": int(query),
+            "budget_gbit": float(budget),
+            "runs": int(runs_per_config),
+            "rng_seed": seed + 131 * q_index + b_index,
+        }
+        for q_index, query in enumerate(queries)
+        for b_index, budget in enumerate(budgets)
+    ]
+    samples = run_replay_cells(
+        "repro.paper.fig17:_budget_cell", payloads, workers=workers
+    )
+    runtimes: dict[int, dict[float, np.ndarray]] = {
+        int(query): {} for query in queries
+    }
+    for payload, cell_samples in zip(payloads, samples):
+        runtimes[payload["query"]][payload["budget_gbit"]] = cell_samples
     return Figure17Result(runtimes=runtimes)

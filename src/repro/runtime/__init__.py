@@ -1,0 +1,79 @@
+"""repro.runtime — the unified campaign execution layer.
+
+The paper's core argument is that credible cloud-performance
+conclusions require *many* long, repeated campaigns; this package is
+the substrate that makes such campaigns cheap to run, cache, and
+distribute.  Every campaign-shaped workload in the library — scenario
+sweeps (:mod:`repro.scenarios`), Table 3 measurement matrices
+(:mod:`repro.measurement`), figure replay sweeps (:mod:`repro.paper`),
+and the bench suite's provenance records (:mod:`repro.bench`) — runs
+through the same three abstractions:
+
+* :class:`~repro.runtime.cell.Cell` — the unit of work: a pure,
+  import-referenced function plus a JSON payload, identified by a
+  content hash so equal work shares one cache key everywhere;
+* :class:`~repro.runtime.store.ArtifactStore` — a content-addressed
+  directory store of JSON documents with atomic, crash-safe manifest
+  writes (documents land before the manifest entry, every file is
+  temp-written, fsynced, and renamed into place);
+* executors (:mod:`repro.runtime.executors`) —
+  :class:`~repro.runtime.executors.SerialExecutor`,
+  :class:`~repro.runtime.executors.ProcessPoolExecutor` (chunked), and
+  :class:`~repro.runtime.executors.ShardExecutor`, which partitions a
+  matrix into per-machine shard manifests executed by
+  ``python -m repro worker`` and merged back deterministically with
+  ``python -m repro merge``.
+
+Because cells are pure and content-keyed, executor choice never
+changes results: serial, pooled, and sharded runs of the same matrix
+produce byte-identical stores (checkable via
+:meth:`~repro.runtime.store.ArtifactStore.content_hash`).
+:class:`~repro.runtime.campaign.CampaignRunner` is the shared
+orchestration loop: snapshot the manifest, decode cached cells, run
+pending ones, persist each result as it arrives.
+"""
+
+from repro.runtime.campaign import ArtifactCodec, CampaignRunner, RuntimeOutcome
+from repro.runtime.cell import Cell, cell_key, execute_cell, resolve_ref
+from repro.runtime.executors import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    partition_cells,
+)
+from repro.runtime.store import (
+    ArtifactStore,
+    StoreCorruptionError,
+    atomic_write_text,
+    validate_key,
+)
+from repro.runtime.worker import (
+    MANIFEST_SCHEMA,
+    merge_stores,
+    read_shard_manifest,
+    run_manifest,
+    write_shard_manifests,
+)
+
+__all__ = [
+    "ArtifactCodec",
+    "ArtifactStore",
+    "CampaignRunner",
+    "Cell",
+    "MANIFEST_SCHEMA",
+    "ProcessPoolExecutor",
+    "RuntimeOutcome",
+    "SerialExecutor",
+    "ShardExecutor",
+    "StoreCorruptionError",
+    "atomic_write_text",
+    "cell_key",
+    "execute_cell",
+    "merge_stores",
+    "partition_cells",
+    "read_shard_manifest",
+    "resolve_ref",
+    "run_manifest",
+    "validate_key",
+    "write_shard_manifests",
+]

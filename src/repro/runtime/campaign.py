@@ -1,0 +1,142 @@
+"""The campaign runner: cache-aware execution of a cell matrix.
+
+:class:`CampaignRunner` is the one orchestration loop every consumer
+layer shares — scenario sweeps, Table 3 measurement matrices, figure
+replay sweeps, and the bench suite's provenance pass all reduce to:
+
+1. snapshot the store's manifest once (probing per cell would re-parse
+   it for every cell of a large matrix);
+2. decode cached cells, hand pending ones to the executor;
+3. persist each computed result the moment it arrives, so a failing
+   cell or a killed sweep never discards finished work.
+
+The runner is generic over the result type: an
+:class:`ArtifactCodec` pairs the encoder (result -> store documents +
+manifest metadata) with the decoder (cell + documents -> result), both
+referenced by import path so shard manifests can name them across
+machine boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.runtime.cell import Cell, resolve_ref
+from repro.runtime.executors import SerialExecutor
+from repro.runtime.store import ArtifactStore
+
+__all__ = ["ArtifactCodec", "CampaignRunner", "RuntimeOutcome"]
+
+
+@dataclass(frozen=True)
+class ArtifactCodec:
+    """How a cell result crosses the store boundary, by reference.
+
+    ``encode_ref`` names ``fn(result) -> (documents, meta)`` and
+    ``decode_ref`` names ``fn(cell, documents) -> result``; both must
+    be module-level callables so a shard manifest (which carries only
+    the encode reference) stays executable on any machine with the
+    package installed.
+    """
+
+    encode_ref: str
+    decode_ref: str
+
+    def encode(self, result: Any) -> tuple[dict, dict]:
+        return resolve_ref(self.encode_ref)(result)
+
+    def decode(self, cell: Cell, documents: Mapping[str, Mapping]) -> Any:
+        return resolve_ref(self.decode_ref)(cell, documents)
+
+
+@dataclass
+class RuntimeOutcome:
+    """Everything one runner pass produced, cache hits included."""
+
+    results: dict[str, Any]
+    cached_keys: tuple[str, ...]
+    computed_keys: tuple[str, ...]
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        total = len(self.cached_keys) + len(self.computed_keys)
+        return len(self.cached_keys) / total if total else 0.0
+
+
+class CampaignRunner:
+    """Run a cell matrix through an executor, caching via a store."""
+
+    def __init__(
+        self,
+        cells: Sequence[Cell],
+        store: ArtifactStore | None = None,
+        codec: ArtifactCodec | None = None,
+        executor=None,
+    ) -> None:
+        if not cells:
+            raise ValueError("a campaign needs at least one cell")
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate cell keys in the matrix")
+        if store is not None and codec is None:
+            raise ValueError(
+                "a store-backed campaign needs a codec to encode and "
+                "decode cell results"
+            )
+        self.cells = list(cells)
+        self.store = store
+        self.codec = codec
+        self.executor = executor if executor is not None else SerialExecutor()
+
+    def run(self) -> RuntimeOutcome:
+        """Execute pending cells, reload cached ones."""
+        # One manifest snapshot serves both the pending/cached split
+        # and every cached cell's document reads.
+        manifest = self.store.manifest() if self.store is not None else {}
+        cached: dict[str, Any] = {}
+        pending: list[Cell] = []
+        for cell in self.cells:
+            entry = manifest.get(cell.key)
+            if entry is not None:
+                cached[cell.key] = self.codec.decode(
+                    cell, self.store.get(cell.key, entry=entry)
+                )
+            else:
+                pending.append(cell)
+
+        computed: dict[str, Any] = {}
+
+        def emit(cell: Cell, result: Any, already_stored: bool) -> None:
+            if not already_stored:
+                self._persist(cell, result)
+            computed[cell.key] = result
+
+        if pending:
+            self.executor.run(pending, emit, codec=self.codec, store=self.store)
+
+        results = dict(cached)
+        results.update(computed)
+        return RuntimeOutcome(
+            results=results,
+            cached_keys=tuple(sorted(cached)),
+            computed_keys=tuple(sorted(computed)),
+        )
+
+    def _persist(self, cell: Cell, result: Any) -> None:
+        """Store one result; an already-stored key is a no-op.
+
+        The duplicate case arises when another writer (an interrupted
+        earlier sweep, a concurrent shard) stored the cell after this
+        run's up-front manifest snapshot.  Any other ValueError is a
+        genuine persistence failure and propagates — swallowing it
+        would silently turn every future run into a cache miss.
+        """
+        if self.store is None:
+            return
+        documents, meta = self.codec.encode(result)
+        try:
+            self.store.put(cell.key, documents, meta=meta)
+        except ValueError:
+            if cell.key not in self.store:
+                raise

@@ -1,0 +1,110 @@
+"""The unit of work: a pure function plus a content-hashed config.
+
+A :class:`Cell` is the quantum every executor schedules, every store
+caches, and every shard manifest ships to another machine.  It is
+deliberately minimal:
+
+* ``fn`` — an import reference (``"package.module:callable"``) to a
+  *cell function*: a module-level callable taking one JSON-shaped
+  payload dict and returning a result that is a pure function of it.
+  Referencing by name (not by pickled object) is what lets a shard
+  manifest be executed by ``python -m repro worker`` on a machine that
+  shares nothing with the parent but the installed package;
+* ``payload`` — the cell's entire configuration as a JSON value, so it
+  round-trips through manifests and process boundaries without loss;
+* ``key`` — the cache/store identity.  By default a content hash of
+  ``(fn, payload)``, so equal work shares one key everywhere; domain
+  layers may override it with their own content hash (scenario cells
+  keep their ``scn-…`` ids so pre-runtime caches stay warm).
+
+Purity is the contract that makes the whole runtime composable: because
+a cell's result depends only on its payload, executor choice, worker
+count, shard partitioning, and cache hits can never change *what* is
+computed — only when and where.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtime.store import validate_key
+
+__all__ = ["Cell", "cell_key", "resolve_ref", "execute_cell"]
+
+
+def resolve_ref(ref: str) -> Callable:
+    """Import a ``"module:attr"`` (or ``"module:attr.attr"``) reference."""
+    module_name, _, attr_path = ref.partition(":")
+    if not module_name or not attr_path:
+        raise ValueError(
+            f"function reference {ref!r} must look like 'package.module:callable'"
+        )
+    target: Any = importlib.import_module(module_name)
+    for attr in attr_path.split("."):
+        target = getattr(target, attr)
+    if not callable(target):
+        raise TypeError(f"function reference {ref!r} resolved to non-callable {target!r}")
+    return target
+
+
+def cell_key(fn: str, payload: Any) -> str:
+    """Content hash of a cell: same function + same payload => same key."""
+    body = json.dumps([fn, payload], sort_keys=True)
+    digest = hashlib.sha256(body.encode()).hexdigest()[:16]
+    return f"cell-{digest}"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable, cacheable, shippable unit of campaign work."""
+
+    fn: str
+    payload: Any = field(default_factory=dict)
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if ":" not in self.fn:
+            raise ValueError(
+                f"cell fn {self.fn!r} must be an import reference "
+                "('package.module:callable')"
+            )
+        # Round-trip the payload through JSON once, eagerly: a payload
+        # that cannot survive a shard manifest would otherwise only
+        # fail on the machine that received it.
+        try:
+            canonical = json.loads(json.dumps(self.payload))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"cell payload must be JSON-serializable: {exc}"
+            ) from exc
+        object.__setattr__(self, "payload", canonical)
+        if not self.key:
+            object.__setattr__(self, "key", cell_key(self.fn, self.payload))
+        validate_key(self.key, kind="cell key")
+
+    def run(self) -> Any:
+        """Resolve ``fn`` and apply it to the payload."""
+        return resolve_ref(self.fn)(self.payload)
+
+    # -- manifest round-trip -----------------------------------------------
+    def to_entry(self) -> dict:
+        """The shard-manifest representation of this cell."""
+        return {"fn": self.fn, "payload": self.payload, "key": self.key}
+
+    @classmethod
+    def from_entry(cls, entry: dict) -> "Cell":
+        return cls(fn=entry["fn"], payload=entry["payload"], key=entry["key"])
+
+
+def execute_cell(cell: Cell) -> tuple[str, Any]:
+    """Module-level pool target: run one cell, return ``(key, result)``.
+
+    Lives at module scope so :mod:`multiprocessing` can pickle it by
+    reference; the result itself must be picklable for pooled
+    executors (numpy arrays and plain dataclasses are).
+    """
+    return cell.key, cell.run()

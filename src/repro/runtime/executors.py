@@ -1,0 +1,210 @@
+"""Pluggable executors: how a set of cells turns into results.
+
+Three strategies cover the campaign scales the paper argues for:
+
+* :class:`SerialExecutor` — one cell at a time, in submission order;
+  the reference semantics everything else must match bit-for-bit.
+* :class:`ProcessPoolExecutor` — a chunked :mod:`multiprocessing`
+  pool (the PR 3 policy: ``min(workers, n)`` processes, ~4 chunks per
+  worker so large matrices stop paying one IPC round-trip per cell).
+  Results are emitted as they arrive so the caller can persist them
+  incrementally — a killed sweep keeps its finished cells.
+* :class:`ShardExecutor` — campaign-level sharding across *machines*:
+  the cell set is partitioned deterministically into per-shard JSON
+  manifests, each executed by ``python -m repro worker <manifest>``
+  (in-process by default, or as a real subprocess), and the per-shard
+  artifact stores are merged back into the campaign store.  Because
+  cells are pure and content-keyed, the merged store is byte-identical
+  to what a serial run would have produced.
+
+Every executor funnels results through the same ``emit(cell, result,
+stored)`` callback; ``stored=True`` tells the caller the artifact
+already reached the store through a worker, so it must not be written
+twice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.runtime.cell import Cell, execute_cell
+from repro.runtime.store import ArtifactStore
+
+__all__ = [
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "ShardExecutor",
+    "partition_cells",
+]
+
+#: ``emit(cell, result, stored)`` — invoked once per completed cell.
+EmitFn = Callable[[Cell, object, bool], None]
+
+
+def partition_cells(cells: Sequence[Cell], n_shards: int) -> list[list[Cell]]:
+    """Deterministic round-robin partition over key-sorted cells.
+
+    Sorting by key first makes the partition a pure function of the
+    cell *set* (not its submission order), so re-generating shard
+    manifests for the same matrix always assigns every cell to the
+    same shard — which is what lets a crashed shard resume against its
+    old store.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    ordered = sorted(cells, key=lambda cell: cell.key)
+    return [list(ordered[i::n_shards]) for i in range(n_shards)]
+
+
+class SerialExecutor:
+    """Run cells one at a time in the current process."""
+
+    def run(self, cells: Sequence[Cell], emit: EmitFn, **_: object) -> None:
+        for cell in cells:
+            emit(cell, cell.run(), False)
+
+
+class ProcessPoolExecutor:
+    """Chunked multiprocessing pool, results emitted as they arrive."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run(self, cells: Sequence[Cell], emit: EmitFn, **_: object) -> None:
+        if self.workers == 1 or len(cells) <= 1:
+            SerialExecutor().run(cells, emit)
+            return
+        by_key = {cell.key: cell for cell in cells}
+        n_workers = min(self.workers, len(cells))
+        chunksize = max(1, len(cells) // (n_workers * 4))
+        with multiprocessing.Pool(n_workers) as pool:
+            for key, result in pool.imap_unordered(
+                execute_cell, list(cells), chunksize=chunksize
+            ):
+                emit(by_key[key], result, False)
+
+
+class ShardExecutor:
+    """Partition a campaign into per-machine shard manifests and merge.
+
+    ``run`` drives the full round trip locally — write manifests,
+    execute each through the worker entry point, merge the shard
+    stores, decode results — which is exactly what the distributed
+    deployment does by hand::
+
+        # coordinator
+        campaign.shard_manifests("shards/", n_shards=4)
+        # one machine per manifest
+        python -m repro worker shards/shard-0.json --store shard0-store
+        # coordinator again
+        python -m repro merge shard0-store ... --store campaign-store
+
+    ``via_subprocess=True`` makes ``run`` spawn the real CLI instead of
+    calling the worker in-process, so tests and CI can exercise the
+    shipped command line end to end.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        work_dir: str | Path | None = None,
+        workers_per_shard: int = 1,
+        via_subprocess: bool = False,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self.work_dir = Path(work_dir) if work_dir is not None else None
+        self.workers_per_shard = workers_per_shard
+        self.via_subprocess = via_subprocess
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        emit: EmitFn,
+        codec=None,
+        store: ArtifactStore | None = None,
+        **_: object,
+    ) -> None:
+        # Imported here, not at module top: worker imports executors.
+        from repro.runtime.worker import run_manifest, write_shard_manifests
+
+        if codec is None:
+            raise ValueError(
+                "ShardExecutor needs a codec: shard workers persist "
+                "results as store artifacts, so the campaign must know "
+                "how to encode and decode them"
+            )
+        work_dir = self.work_dir
+        staging = None
+        if work_dir is None:
+            staging = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            work_dir = Path(staging.name)
+        try:
+            work_dir.mkdir(parents=True, exist_ok=True)
+            if store is None:
+                store = ArtifactStore(work_dir / "merged-store")
+            manifests = write_shard_manifests(
+                cells,
+                n_shards=self.n_shards,
+                directory=work_dir,
+                encode_ref=codec.encode_ref,
+            )
+            shard_stores = []
+            for index, manifest in enumerate(manifests):
+                shard_root = work_dir / f"shard-{index}-store"
+                if self.via_subprocess:
+                    self._run_worker_cli(manifest, shard_root)
+                else:
+                    run_manifest(
+                        manifest,
+                        shard_root,
+                        workers=self.workers_per_shard,
+                        echo=None,
+                    )
+                shard_stores.append(ArtifactStore(shard_root))
+            # Adopt only this run's cells: a reused work_dir may hold
+            # shard stores from an earlier, different matrix, and those
+            # artifacts must not leak into the campaign store (which
+            # has to stay byte-identical to a serial run).
+            store.merge_from(shard_stores, keys=[c.key for c in cells])
+            manifest = store.manifest()
+            for cell in cells:
+                emit(
+                    cell,
+                    codec.decode(
+                        cell, store.get(cell.key, entry=manifest[cell.key])
+                    ),
+                    True,
+                )
+        finally:
+            if staging is not None:
+                staging.cleanup()
+
+    def _run_worker_cli(self, manifest: Path, store_root: Path) -> None:
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                str(manifest),
+                "--store",
+                str(store_root),
+                "--workers",
+                str(self.workers_per_shard),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"shard worker failed for {manifest}:\n{completed.stderr}"
+            )

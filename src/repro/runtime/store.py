@@ -1,0 +1,397 @@
+"""Content-addressed artifact store with atomic, durable writes.
+
+One :class:`ArtifactStore` is the persistence substrate for every
+campaign-shaped workload in the library: scenario sweeps, Table 3
+measurement matrices, shard workers on other machines, and the bench
+ledger's provenance records all write the same layout::
+
+    <root>/
+      manifest.json            index: key -> metadata (+ document list)
+      <key>/
+        <name>.json            one JSON document per named artifact part
+
+Three durability rules make the store safe for crashed writers and
+for concurrent writers on one machine:
+
+* every file — documents and manifest alike — is written to a
+  process-unique temp file, fsynced, and moved into place with
+  :func:`os.replace`, so a reader can never observe a torn write;
+* an artifact's documents are fully on disk (and synced) *before* its
+  manifest entry is written, so a manifest can never point at files
+  that do not exist.  A crash mid-store leaves at worst an orphaned
+  artifact directory, which the next ``put`` of the same key adopts;
+* manifest read-modify-writes hold an ``flock`` on a sidecar lock
+  file, so two writers updating one store (a resumed worker racing
+  the original it was presumed to have replaced) cannot lose each
+  other's entries.  Because artifacts are content-addressed, racing
+  writers produce identical documents — the lock only has to keep the
+  *index* consistent.  (The lock is advisory and same-machine;
+  cross-machine coordination goes through per-shard stores and an
+  explicit merge, never a shared manifest.)
+
+The store is content-addressed by convention: callers derive keys from
+a content hash of the producing configuration (see
+:meth:`repro.runtime.cell.Cell.key`), so two stores populated from the
+same work — serially, via a process pool, or merged back from per-shard
+stores on different machines — end up byte-identical
+(:meth:`ArtifactStore.content_hash` makes that checkable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Mapping
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+__all__ = [
+    "ArtifactStore",
+    "StoreCorruptionError",
+    "atomic_write_text",
+    "validate_key",
+]
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+MANIFEST_NAME = "manifest.json"
+
+
+class StoreCorruptionError(RuntimeError):
+    """A manifest entry and the files on disk disagree.
+
+    Raised when reading an artifact whose directory or document files
+    have gone missing behind the manifest's back (partial copy, manual
+    deletion) — distinct from the ``KeyError`` of asking for a key that
+    was never stored.  Thanks to the write ordering in
+    :meth:`ArtifactStore.put`, a *crashed writer* can no longer produce
+    this state; it now signals external interference.
+    """
+
+
+def validate_key(key: str, kind: str = "artifact key") -> None:
+    """Refuse keys that could escape the store root.
+
+    fullmatch (not match) so a trailing newline cannot ride along, and
+    all-dot names are refused: "." and ".." are valid per the character
+    class but resolve outside the artifact's directory.
+    """
+    if not isinstance(key, str) or not _KEY_RE.fullmatch(key) or set(key) <= {"."}:
+        raise ValueError(
+            f"{kind} {key!r} must be filesystem-safe "
+            "(letters, digits, dot, dash, underscore; not all dots)"
+        )
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` durably: temp file + fsync + rename.
+
+    The temp file lives in the destination directory (``os.replace``
+    must not cross filesystems) with a process-unique name, so
+    concurrent writers cannot trample each other's staging files and an
+    interrupted write leaves the destination untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _canonical_json(payload) -> str:
+    """The one JSON rendering the store ever writes.
+
+    Sorted keys and a fixed separator/indent policy make document bytes
+    a pure function of their content, which is what lets
+    :meth:`ArtifactStore.content_hash` compare stores across machines.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class ArtifactStore:
+    """Directory-backed store of named JSON documents per artifact key."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / MANIFEST_NAME
+        if not self._manifest_path.exists():
+            self._write_manifest({})
+
+    # -- manifest ----------------------------------------------------------
+    def _read_manifest(self) -> dict:
+        return json.loads(self._manifest_path.read_text())
+
+    def _write_manifest(self, manifest: dict) -> None:
+        atomic_write_text(self._manifest_path, _canonical_json(manifest))
+
+    @contextmanager
+    def _manifest_lock(self):
+        """Exclusive advisory lock for manifest read-modify-writes.
+
+        Readers stay lock-free (they only ever see a complete manifest
+        thanks to the atomic rename); writers serialize so concurrent
+        puts/deletes cannot drop each other's index entries.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        fd = os.open(self.root / ".manifest.lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def keys(self) -> list[str]:
+        """All stored artifact keys, sorted."""
+        return sorted(self._read_manifest())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._read_manifest()
+
+    def __len__(self) -> int:
+        return len(self._read_manifest())
+
+    def meta(self, key: str) -> dict:
+        """The manifest metadata recorded with :meth:`put`."""
+        validate_key(key)
+        manifest = self._read_manifest()
+        if key not in manifest:
+            raise KeyError(f"no stored artifact {key!r}")
+        return dict(manifest[key])
+
+    def manifest(self) -> dict[str, dict]:
+        """A copy of the full manifest (key -> metadata)."""
+        return {key: dict(entry) for key, entry in self._read_manifest().items()}
+
+    # -- store / load ------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        documents: Mapping[str, Mapping],
+        meta: Mapping | None = None,
+        overwrite: bool = False,
+    ) -> Path:
+        """Persist one artifact; refuses to overwrite unless asked.
+
+        ``documents`` maps file stems to JSON-serializable payloads.
+        All files land on disk (each atomically) before the manifest
+        entry appears, so no observable manifest state ever references
+        missing files.
+        """
+        validate_key(key)
+        if not documents:
+            raise ValueError(f"artifact {key!r} needs at least one document")
+        for name in documents:
+            validate_key(name, kind="document name")
+        if not overwrite and key in self:
+            raise ValueError(f"artifact {key!r} already stored")
+        directory = self.root / key
+        directory.mkdir(exist_ok=True)
+        for name, payload in documents.items():
+            atomic_write_text(directory / f"{name}.json", _canonical_json(payload))
+        # Drop documents a previous version of the key wrote but this
+        # one does not: the directory must mirror the manifest entry,
+        # or the legacy glob fallback would resurrect stale files.
+        # (Concurrent writers of the same key write the identical
+        # content-addressed set, so this never removes a peer's work.)
+        for stale in directory.glob("*.json"):
+            if stale.stem not in documents:
+                stale.unlink()
+        entry = dict(meta or {})
+        entry["documents"] = sorted(documents)
+        with self._manifest_lock():
+            manifest = self._read_manifest()
+            if not overwrite and key in manifest:
+                # A concurrent writer won the race after our unlocked
+                # probe; its documents are identical (content
+                # addressing), so the refusal mirrors the serial case.
+                raise ValueError(f"artifact {key!r} already stored")
+            manifest[key] = entry
+            self._write_manifest(manifest)
+        return directory
+
+    def _entry_document_names(self, key: str, entry: Mapping) -> list[str]:
+        names = entry.get("documents")
+        if names is None:
+            # Pre-runtime manifests (seed-era TraceRepository) did not
+            # record a document list; fall back to the files on disk.
+            names = sorted(p.stem for p in (self.root / key).glob("*.json"))
+        return list(names)
+
+    def document_names(self, key: str) -> list[str]:
+        """Names of the documents stored under ``key``."""
+        return self._entry_document_names(key, self.meta(key))
+
+    def _read_document_file(self, key: str, name: str) -> dict:
+        """Read one document file, assuming the key is manifested."""
+        path = self.root / key / f"{name}.json"
+        if not path.exists():
+            raise StoreCorruptionError(
+                f"artifact {key!r} is in the manifest but its document "
+                f"{path} is missing; the store is corrupt — delete the "
+                "manifest entry or restore the files"
+            )
+        return json.loads(path.read_text())
+
+    def read_document(self, key: str, name: str) -> dict:
+        """Load one named document of a stored artifact."""
+        validate_key(key)
+        validate_key(name, kind="document name")
+        if key not in self:
+            raise KeyError(f"no stored artifact {key!r}")
+        return self._read_document_file(key, name)
+
+    def get(self, key: str, entry: Mapping | None = None) -> dict[str, dict]:
+        """Load every document of a stored artifact, by name.
+
+        ``entry`` lets bulk readers pass the key's already-read
+        manifest entry (from one :meth:`manifest` snapshot), so loading
+        N artifacts costs one manifest parse, not O(N).
+        """
+        validate_key(key)
+        if entry is None:
+            entry = self.meta(key)
+        return {
+            name: self._read_document_file(key, name)
+            for name in self._entry_document_names(key, entry)
+        }
+
+    def delete(self, key: str) -> None:
+        """Remove an artifact and its files.
+
+        The manifest entry goes first, the files after: a crash
+        mid-delete leaves at worst an orphaned directory (which a
+        later ``put`` of the key adopts), never a manifest entry
+        pointing at missing files.  Tolerates an already-missing
+        artifact directory (the manifest-only state
+        :meth:`read_document` reports) so a broken entry can always be
+        cleared, as the corruption error's message advises.
+        """
+        validate_key(key)
+        if key not in self:
+            raise KeyError(f"no stored artifact {key!r}")
+        with self._manifest_lock():
+            manifest = self._read_manifest()
+            manifest.pop(key, None)
+            self._write_manifest(manifest)
+        directory = self.root / key
+        if directory.exists():
+            for path in directory.glob("*.json"):
+                path.unlink()
+            directory.rmdir()
+
+    # -- cross-store operations --------------------------------------------
+    def merge_from(
+        self,
+        others: "ArtifactStore" | Iterable["ArtifactStore"],
+        keys: Iterable[str] | None = None,
+    ) -> list[str]:
+        """Adopt artifacts of ``others`` this store lacks.
+
+        Shard stores merge deterministically: sources are processed in
+        the order given, keys within each source in sorted order, and a
+        key already present locally is left untouched (cells are pure
+        functions of their content-hashed config, so duplicate keys
+        hold identical content by construction).  ``keys`` restricts
+        adoption to a wanted set, so a reused shard directory cannot
+        leak a previous campaign's artifacts into this one.  Document
+        files are copied byte-for-byte (preserving
+        :meth:`content_hash` equality) and each source contributes one
+        manifest update, not one per key.  Returns the newly adopted
+        keys in adoption order.
+        """
+        if isinstance(others, ArtifactStore):
+            others = [others]
+        wanted = None if keys is None else set(keys)
+        adopted: list[str] = []
+        staged: dict[str, dict] = {}
+        present = set(self._read_manifest())
+        for other in others:
+            other_manifest = other._read_manifest()
+            for key in sorted(other_manifest):
+                if key in present or key in staged:
+                    continue
+                if wanted is not None and key not in wanted:
+                    continue
+                entry = dict(other_manifest[key])
+                names = entry.get("documents")
+                if names is None:
+                    names = sorted(
+                        p.stem for p in (other.root / key).glob("*.json")
+                    )
+                    entry["documents"] = names
+                directory = self.root / key
+                directory.mkdir(exist_ok=True)
+                for name in names:
+                    source = other.root / key / f"{name}.json"
+                    if not source.exists():
+                        raise StoreCorruptionError(
+                            f"artifact {key!r} in {other.root} lists "
+                            f"document {name!r} but {source} is missing; "
+                            "re-run that shard or delete the entry"
+                        )
+                    atomic_write_text(
+                        directory / f"{name}.json", source.read_text()
+                    )
+                staged[key] = entry
+                adopted.append(key)
+        if staged:
+            with self._manifest_lock():
+                manifest = self._read_manifest()
+                for key, entry in staged.items():
+                    manifest.setdefault(key, entry)
+                self._write_manifest(manifest)
+        return adopted
+
+    def content_hash(self) -> str:
+        """Order-independent digest of every stored document's bytes.
+
+        Two stores that hold the same artifacts — regardless of the
+        executor, worker count, or shard partitioning that produced
+        them — report the same hash, which is how the executor
+        equivalence suite (and a cautious operator) verifies a merge.
+        """
+        digest = hashlib.sha256()
+        for key in self.keys():
+            for name in self.document_names(key):
+                path = self.root / key / f"{name}.json"
+                digest.update(f"{key}/{name}\n".encode())
+                digest.update(path.read_bytes())
+        return digest.hexdigest()

@@ -1,0 +1,187 @@
+"""Shard manifests and the ``repro worker`` / ``repro merge`` engine.
+
+A *shard manifest* is the contract between a campaign coordinator and
+a worker machine: a self-contained JSON file naming the cells to run
+(function reference + payload + key) and the encoder that turns each
+result into store documents::
+
+    {
+      "schema": 1,
+      "shard": 0,
+      "n_shards": 2,
+      "encode": "repro.scenarios.orchestrate:encode_scenario_result",
+      "cells": [{"fn": "...", "payload": {...}, "key": "scn-..."}, ...]
+    }
+
+``python -m repro worker shard-0.json --store DIR`` executes the
+manifest into a local :class:`~repro.runtime.store.ArtifactStore`;
+``python -m repro merge DIR... --store MAIN`` folds the shard stores
+back into the campaign store.  Workers are *resumable*: every finished
+cell is persisted immediately, and a re-run skips keys already in the
+store — so a crashed or preempted shard just restarts with the same
+command line and only pays for its unfinished cells.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.runtime.cell import Cell, resolve_ref
+from repro.runtime.executors import ProcessPoolExecutor, partition_cells
+from repro.runtime.store import ArtifactStore, atomic_write_text
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "write_shard_manifests",
+    "read_shard_manifest",
+    "run_manifest",
+    "merge_stores",
+]
+
+MANIFEST_SCHEMA = 1
+
+
+def write_shard_manifests(
+    cells: Sequence[Cell],
+    n_shards: int,
+    directory: str | Path,
+    encode_ref: str,
+    prefix: str = "shard",
+) -> list[Path]:
+    """Partition ``cells`` and write one manifest file per shard.
+
+    The partition is deterministic (see
+    :func:`~repro.runtime.executors.partition_cells`), so regenerating
+    manifests for the same matrix reproduces the same shard contents —
+    a worker resuming against its old store finds its keys unchanged.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shards = partition_cells(cells, n_shards)
+    paths: list[Path] = []
+    for index, shard in enumerate(shards):
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "shard": index,
+            "n_shards": n_shards,
+            "encode": encode_ref,
+            "cells": [cell.to_entry() for cell in shard],
+        }
+        path = directory / f"{prefix}-{index}.json"
+        atomic_write_text(path, json.dumps(manifest, indent=2) + "\n")
+        paths.append(path)
+    return paths
+
+
+def read_shard_manifest(path: str | Path) -> dict:
+    """Load and validate a shard manifest."""
+    path = Path(path)
+    manifest = json.loads(path.read_text())
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"shard manifest {path} has schema {schema!r}; "
+            f"this worker understands schema {MANIFEST_SCHEMA}"
+        )
+    for field in ("encode", "cells"):
+        if field not in manifest:
+            raise ValueError(f"shard manifest {path} is missing {field!r}")
+    for index, entry in enumerate(manifest["cells"]):
+        missing = {"fn", "payload", "key"} - set(entry)
+        if missing:
+            raise ValueError(
+                f"shard manifest {path} cell #{index} is missing "
+                f"{sorted(missing)}"
+            )
+    return manifest
+
+
+def run_manifest(
+    manifest_path: str | Path,
+    store_root: str | Path,
+    workers: int = 1,
+    echo: Callable[[str], None] | None = print,
+) -> dict:
+    """Execute a shard manifest into a local artifact store.
+
+    Already-stored keys are skipped (that is the resume path), pending
+    cells run serially or through a chunked process pool, and each
+    result is encoded and persisted the moment it completes — a crash
+    mid-shard therefore loses at most the cells in flight, never the
+    finished ones.  Returns a summary dict with ``computed`` /
+    ``cached`` key tuples.
+    """
+
+    def say(message: str) -> None:
+        if echo is not None:
+            echo(message)
+
+    manifest = read_shard_manifest(manifest_path)
+    encode = resolve_ref(manifest["encode"])
+    store = ArtifactStore(store_root)
+    cells = [Cell.from_entry(entry) for entry in manifest["cells"]]
+    stored = set(store.keys())
+    cached = tuple(cell.key for cell in cells if cell.key in stored)
+    pending = [cell for cell in cells if cell.key not in stored]
+    say(
+        f"shard {manifest.get('shard', '?')}/{manifest.get('n_shards', '?')}: "
+        f"{len(cells)} cell(s), {len(cached)} already stored, "
+        f"{len(pending)} to run"
+    )
+
+    computed: list[str] = []
+
+    def emit(cell: Cell, result: object, already_stored: bool) -> None:
+        if not already_stored:
+            documents, meta = encode(result)
+            try:
+                store.put(cell.key, documents, meta=meta)
+            except ValueError:
+                # Another worker on the same store (an operator
+                # relaunching a shard presumed dead) persisted this
+                # cell after our snapshot; identical content, so losing
+                # the race is not an error.
+                if cell.key not in store:
+                    raise
+        computed.append(cell.key)
+        say(f"  done {cell.key}")
+
+    ProcessPoolExecutor(workers).run(pending, emit)
+    return {
+        "shard": manifest.get("shard"),
+        "n_shards": manifest.get("n_shards"),
+        "store": str(store.root),
+        "computed": tuple(computed),
+        "cached": cached,
+    }
+
+
+def merge_stores(
+    shard_roots: Sequence[str | Path], store_root: str | Path
+) -> dict:
+    """Fold shard stores into the campaign store, deterministically.
+
+    Sources merge in the order given, keys within each in sorted
+    order; keys the campaign store already holds are left untouched.
+    A source without a manifest is refused — opening it would silently
+    create an empty store, and a typo'd shard path must not merge as
+    "nothing to adopt".  Returns a summary with the adopted keys and
+    the merged store's content hash (compare it across re-merges or
+    machines to confirm determinism).
+    """
+    for root in shard_roots:
+        if not (Path(root) / "manifest.json").exists():
+            raise ValueError(
+                f"shard store {root} has no manifest.json — not a store "
+                "(wrong path, or the worker never ran?)"
+            )
+    store = ArtifactStore(store_root)
+    adopted = store.merge_from([ArtifactStore(root) for root in shard_roots])
+    return {
+        "store": str(store.root),
+        "adopted": tuple(adopted),
+        "total": len(store),
+        "content_hash": store.content_hash(),
+    }

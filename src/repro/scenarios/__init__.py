@@ -9,7 +9,9 @@ of replaying them:
 * :mod:`repro.scenarios.generate` — seeded random DAG jobs,
   TPC-H-like query templates, and Poisson/burst arrival processes;
 * :mod:`repro.scenarios.orchestrate` — content-hashed scenario cells
-  fanned across a process pool, cached in a
+  executed through the :mod:`repro.runtime` layer (serial, chunked
+  process pool, or per-machine shard manifests via ``repro worker`` /
+  ``repro merge``), cached in a
   :class:`~repro.measurement.repository.TraceRepository`, and
   aggregated into CoV/CONFIRM sweep tables.
 
@@ -47,11 +49,14 @@ from repro.scenarios.generate import (
 )
 from repro.scenarios.orchestrate import (
     DEFAULT_INSTANCES,
+    SCENARIO_CODEC,
     CampaignOutcome,
     ScenarioCampaign,
     ScenarioConfig,
     ScenarioResult,
     run_scenario,
+    run_scenario_payload,
+    scenario_cells,
     scenario_matrix,
 )
 
@@ -69,6 +74,9 @@ __all__ = [
     "ScenarioCampaign",
     "CampaignOutcome",
     "run_scenario",
+    "run_scenario_payload",
+    "scenario_cells",
     "scenario_matrix",
+    "SCENARIO_CODEC",
     "DEFAULT_INSTANCES",
 ]

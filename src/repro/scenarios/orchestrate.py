@@ -8,25 +8,43 @@ cells it can afford to run, so the orchestrator makes cells cheap —
   ``scenario_id``, so a :class:`~repro.measurement.repository.TraceRepository`
   can skip cells that already ran (re-running a sweep after adding one
   arrival rate only executes the new column);
-* pending cells fan out across a ``multiprocessing`` pool — each cell
-  is a pure function of its config, so worker count never changes the
+* pending cells run through a pluggable :mod:`repro.runtime` executor —
+  serial, a chunked ``multiprocessing`` pool, or per-machine shard
+  manifests (``python -m repro worker``) — and each cell is a pure
+  function of its config, so the execution strategy never changes the
   results, only the wall clock;
 * per-cell results aggregate through :mod:`repro.stats` into CoV and
   CONFIRM-widening verdicts, the same statistics the paper reports.
+
+:class:`ScenarioCampaign` is a thin adapter over
+:class:`repro.runtime.campaign.CampaignRunner`: it maps configs to
+:class:`~repro.runtime.cell.Cell`\\ s (keyed by ``scenario_id``, so
+pre-runtime repositories stay warm) and decodes stored artifacts back
+into :class:`ScenarioResult`\\ s.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
 from repro.cloud.providers import default_providers
 from repro.measurement.campaign import CampaignConfig, CampaignResult
-from repro.measurement.repository import TraceRepository
+from repro.measurement.repository import (
+    TraceRepository,
+    campaign_from_documents,
+    campaign_to_documents,
+    run_wrapping_corruption,
+)
+from repro.runtime.campaign import ArtifactCodec, CampaignRunner
+from repro.runtime.cell import Cell
+from repro.runtime.executors import ProcessPoolExecutor, SerialExecutor
+from repro.runtime.worker import write_shard_manifests
 from repro.scenarios.generate import (
     RandomDagConfig,
     WorkloadMix,
@@ -46,7 +64,12 @@ __all__ = [
     "ScenarioCampaign",
     "CampaignOutcome",
     "run_scenario",
+    "run_scenario_payload",
     "scenario_matrix",
+    "scenario_cells",
+    "encode_scenario_result",
+    "decode_scenario_result",
+    "SCENARIO_CODEC",
     "DEFAULT_INSTANCES",
 ]
 
@@ -324,6 +347,56 @@ def scenario_matrix(
     return configs
 
 
+# ----------------------------------------------------------------------
+# runtime plumbing: cells and the store codec
+# ----------------------------------------------------------------------
+def run_scenario_payload(payload: Mapping) -> ScenarioResult:
+    """Cell function: reconstruct the config and run the scenario.
+
+    The module-global :func:`run_scenario` is looked up at call time
+    (not captured), so tests and instrumentation that patch it keep
+    working when cells execute in-process.
+    """
+    return run_scenario(ScenarioConfig(**payload))
+
+
+def encode_scenario_result(result: ScenarioResult) -> tuple[dict, dict]:
+    """Codec encoder: a scenario cell as trace-repository documents."""
+    return campaign_to_documents(result.to_campaign_result())
+
+
+def decode_scenario_result(cell: Cell, documents: Mapping) -> ScenarioResult:
+    """Codec decoder: rebuild a :class:`ScenarioResult` from the store."""
+    config = ScenarioConfig(**cell.payload)
+    return ScenarioResult.from_campaign_result(
+        config, campaign_from_documents(documents)
+    )
+
+
+#: The scenario layer's store codec, referenced by import path so shard
+#: manifests can name it across machines.
+SCENARIO_CODEC = ArtifactCodec(
+    encode_ref="repro.scenarios.orchestrate:encode_scenario_result",
+    decode_ref="repro.scenarios.orchestrate:decode_scenario_result",
+)
+
+
+def scenario_cells(configs: list[ScenarioConfig]) -> list[Cell]:
+    """Map scenario configs to runtime cells.
+
+    Cells keep ``scenario_id`` as their key, so repositories populated
+    before the runtime refactor keep serving cache hits.
+    """
+    return [
+        Cell(
+            fn="repro.scenarios.orchestrate:run_scenario_payload",
+            payload=asdict(config),
+            key=config.scenario_id,
+        )
+        for config in configs
+    ]
+
+
 @dataclass
 class CampaignOutcome:
     """Everything one campaign run produced, cache hits included."""
@@ -347,11 +420,17 @@ class CampaignOutcome:
 class ScenarioCampaign:
     """Runs a scenario matrix, caching cells in a trace repository.
 
-    Cells store as they complete, so an interrupted or partially
-    failing sweep keeps its finished work.  The repository's manifest
-    is a plain JSON file without locking: run one campaign against a
-    given repository root at a time (the process pool is fine — only
-    the parent writes).
+    A thin adapter over :class:`repro.runtime.campaign.CampaignRunner`:
+    cells store as they complete, so an interrupted or partially
+    failing sweep keeps its finished work, and the repository's
+    manifest writes are atomic (single coordinating writer per
+    executor; shard workers write their own stores and merge).
+
+    ``executor`` overrides the strategy derived from ``workers``
+    (serial for 1, a chunked process pool otherwise) — pass a
+    :class:`repro.runtime.executors.ShardExecutor` to split the matrix
+    into per-machine manifests, or use :meth:`shard_manifests` and the
+    ``repro worker`` / ``repro merge`` CLI directly.
     """
 
     def __init__(
@@ -359,6 +438,7 @@ class ScenarioCampaign:
         configs: list[ScenarioConfig],
         repository: TraceRepository | None = None,
         workers: int = 1,
+        executor=None,
     ) -> None:
         if not configs:
             raise ValueError("a campaign needs at least one scenario")
@@ -370,75 +450,51 @@ class ScenarioCampaign:
         self.configs = list(configs)
         self.repository = repository
         self.workers = workers
+        if executor is None:
+            executor = (
+                SerialExecutor()
+                if workers == 1
+                else ProcessPoolExecutor(workers)
+            )
+        self.executor = executor
+
+    @property
+    def cells(self) -> list[Cell]:
+        """The matrix as runtime cells (keyed by ``scenario_id``)."""
+        return scenario_cells(self.configs)
+
+    def shard_manifests(
+        self, directory: str | Path, n_shards: int
+    ) -> list[Path]:
+        """Write per-machine shard manifests for this matrix.
+
+        Each manifest runs via ``python -m repro worker <manifest>
+        --store <dir>``; the resulting stores merge back with
+        ``python -m repro merge``.
+        """
+        return write_shard_manifests(
+            self.cells,
+            n_shards=n_shards,
+            directory=directory,
+            encode_ref=SCENARIO_CODEC.encode_ref,
+        )
 
     def run(self) -> CampaignOutcome:
-        """Execute pending cells (in parallel), reload cached ones."""
-        # One manifest read up front; probing `sid in repository` per
-        # cell would re-parse the manifest for every cell of a large
-        # matrix.
-        stored_ids = (
-            set(self.repository.campaign_ids())
-            if self.repository is not None
-            else set()
-        )
-        cached: dict[str, ScenarioResult] = {}
-        pending: list[ScenarioConfig] = []
-        for config in self.configs:
-            sid = config.scenario_id
-            if sid in stored_ids:
-                cached[sid] = ScenarioResult.from_campaign_result(
-                    config, self.repository.load(sid)
-                )
-            else:
-                pending.append(config)
+        """Execute pending cells (per the executor), reload cached ones.
 
-        # Results are stored the moment they arrive (not after the whole
-        # pool drains), so a single failing cell — or a killed sweep —
-        # never discards minutes of completed work from the cache.
-        computed: list[ScenarioResult] = []
-        if not pending:
-            pass
-        elif self.workers == 1 or len(pending) == 1:
-            for config in pending:
-                result = run_scenario(config)
-                self._store(result)
-                computed.append(result)
-        else:
-            n_workers = min(self.workers, len(pending))
-            # Chunked submission amortizes per-task pickling/dispatch:
-            # ~4 chunks per worker keeps the tail balanced while large
-            # matrices stop paying one IPC round-trip per cell.
-            chunksize = max(1, len(pending) // (n_workers * 4))
-            with multiprocessing.Pool(n_workers) as pool:
-                for result in pool.imap_unordered(
-                    run_scenario, pending, chunksize=chunksize
-                ):
-                    self._store(result)
-                    computed.append(result)
-
-        results = dict(cached)
-        for result in computed:
-            results[result.config.scenario_id] = result
-        return CampaignOutcome(
-            results=results,
-            cached_ids=tuple(sorted(cached)),
-            computed_ids=tuple(sorted(r.config.scenario_id for r in computed)),
-        )
-
-    def _store(self, result: ScenarioResult) -> None:
-        """Persist one cell; an already-stored id is a no-op.
-
-        The duplicate case arises when an interrupted earlier sweep
-        stored the cell after this run's up-front manifest snapshot was
-        taken.  Any other ValueError is a genuine persistence failure
-        and propagates — swallowing it would silently turn every future
-        run into a cache miss.
+        Raises :class:`~repro.measurement.repository.RepositoryCorruptionError`
+        when a cached cell's files have gone missing behind the
+        manifest's back, exactly as the pre-runtime campaign did.
         """
-        if self.repository is None:
-            return
-        sid = result.config.scenario_id
-        try:
-            self.repository.store(sid, result.to_campaign_result())
-        except ValueError:
-            if sid not in self.repository:
-                raise
+        runner = CampaignRunner(
+            self.cells,
+            store=self.repository.artifacts if self.repository else None,
+            codec=SCENARIO_CODEC,
+            executor=self.executor,
+        )
+        outcome = run_wrapping_corruption(runner)
+        return CampaignOutcome(
+            results=dict(outcome.results),
+            cached_ids=outcome.cached_keys,
+            computed_ids=outcome.computed_keys,
+        )

@@ -1,0 +1,87 @@
+"""Tests for measurement-campaign matrix execution."""
+
+import numpy as np
+import pytest
+
+from repro.measurement import (
+    CampaignConfig,
+    TraceRepository,
+    campaign_cell_id,
+    run_campaign,
+    run_campaign_matrix,
+    table3_campaigns,
+)
+from repro.measurement.matrix import (
+    campaign_payload,
+    config_from_payload,
+)
+
+#: One-hour campaigns (the duration floor) keep cells test-sized.
+SCALE = 1e-6
+
+
+def small_catalog(n=3, seed=0):
+    return table3_campaigns(duration_scale=SCALE, seed=seed)[:n]
+
+
+class TestPayloadRoundtrip:
+    def test_config_survives_payload_roundtrip(self):
+        for config in small_catalog():
+            clone = config_from_payload(campaign_payload(config))
+            assert clone == config
+
+    def test_cell_id_is_content_hash(self):
+        a, b = small_catalog(2)
+        assert campaign_cell_id(a) == campaign_cell_id(a)
+        assert campaign_cell_id(a) != campaign_cell_id(b)
+        assert campaign_cell_id(a).startswith("cmp-")
+
+    def test_non_catalog_pattern_rejected(self):
+        from repro.emulator.patterns import TrafficPattern
+
+        config = CampaignConfig(
+            provider_name="amazon",
+            instance_name="c5.xlarge",
+            duration_s=3_600.0,
+            patterns=(TrafficPattern("bespoke", 1.0, 1.0),),
+        )
+        with pytest.raises(KeyError):
+            campaign_payload(config)
+
+
+class TestRunCampaignMatrix:
+    def test_matches_single_campaign_path(self):
+        configs = small_catalog(2)
+        outcome = run_campaign_matrix(configs)
+        assert len(outcome.computed_keys) == 2
+        direct = run_campaign(configs[0])
+        via_matrix = outcome.results[campaign_cell_id(configs[0])]
+        assert direct.summary_row() == via_matrix.summary_row()
+        for name, trace in direct.traces.items():
+            assert np.array_equal(trace.values, via_matrix.traces[name].values)
+
+    def test_caching_roundtrip(self, tmp_path):
+        configs = small_catalog(2)
+        repo = TraceRepository(tmp_path / "store")
+        first = run_campaign_matrix(configs, repository=repo)
+        assert first.cache_hit_fraction == 0.0
+        second = run_campaign_matrix(configs, repository=repo)
+        assert second.cache_hit_fraction == 1.0
+        assert second.summary_rows() == first.summary_rows()
+        # Extending the catalog recomputes only the new cell.
+        extended = small_catalog(3)
+        third = run_campaign_matrix(extended, repository=repo)
+        assert len(third.cached_keys) == 2
+        assert len(third.computed_keys) == 1
+
+    def test_worker_count_does_not_change_rows(self):
+        configs = small_catalog(3)
+        serial = run_campaign_matrix(configs)
+        pooled = run_campaign_matrix(configs, workers=3)
+        assert serial.summary_rows() == pooled.summary_rows()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_campaign_matrix(small_catalog(1), workers=0)
+        with pytest.raises(ValueError):
+            run_campaign_matrix([])

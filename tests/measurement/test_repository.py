@@ -141,3 +141,38 @@ class TestManifest:
         fresh = TraceRepository(root)
         assert "a" in fresh
         assert len(fresh.load("a").traces) == 3
+
+
+class TestDurability:
+    def test_store_leaves_no_staging_litter(self, repo, campaign_result):
+        repo.store("a", campaign_result)
+        names = sorted(p.name for p in repo.root.rglob("*"))
+        assert not any(name.endswith(".tmp") for name in names)
+
+    def test_crashed_store_cannot_strand_the_manifest(
+        self, repo, campaign_result, monkeypatch
+    ):
+        # The satellite contract: an interrupted store (killed between
+        # writing trace files and the manifest) leaves the manifest
+        # consistent — RepositoryCorruptionError is unreachable from a
+        # crashed writer.
+        from repro.runtime.store import ArtifactStore
+
+        real = ArtifactStore._write_manifest
+
+        def boom(self, manifest):
+            raise OSError("killed before manifest update")
+
+        repo.store("survivor", campaign_result)
+        monkeypatch.setattr(ArtifactStore, "_write_manifest", boom)
+        with pytest.raises(OSError):
+            repo.store("victim", campaign_result)
+        monkeypatch.setattr(ArtifactStore, "_write_manifest", real)
+        # The victim never reached the manifest; every listed campaign
+        # still loads in full.
+        assert "victim" not in repo
+        assert repo.campaign_ids() == ["survivor"]
+        repo.load("survivor")
+        # Retrying the interrupted store succeeds (orphan dir adopted).
+        repo.store("victim", campaign_result)
+        assert len(repo.load("victim").traces) == 3

@@ -1,0 +1,242 @@
+"""Tests for the content-addressed artifact store."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.store import (
+    ArtifactStore,
+    StoreCorruptionError,
+    atomic_write_text,
+    validate_key,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+DOCS = {"config": {"seed": 1, "patterns": ["a"]}, "a": {"values": [1.0, 2.0]}}
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        store.put("k1", DOCS, meta={"kind": "test"})
+        assert "k1" in store
+        assert store.get("k1") == DOCS
+        assert store.meta("k1")["kind"] == "test"
+        assert store.meta("k1")["documents"] == ["a", "config"]
+
+    def test_duplicate_rejected_unless_overwrite(self, store):
+        store.put("k1", DOCS)
+        with pytest.raises(ValueError):
+            store.put("k1", DOCS)
+        store.put("k1", {"config": {"seed": 2}}, overwrite=True)
+        assert store.get("k1") == {"config": {"seed": 2}}
+
+    def test_overwrite_drops_stale_documents(self, store):
+        # The directory must mirror the manifest entry: a shrunken
+        # overwrite may not leave the old version's files behind.
+        store.put("k1", DOCS)
+        store.put("k1", {"config": {"seed": 2}}, overwrite=True)
+        assert sorted(p.name for p in (store.root / "k1").iterdir()) == [
+            "config.json"
+        ]
+
+    def test_empty_documents_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("k1", {})
+
+    def test_unsafe_keys_rejected(self, store):
+        for crafted in ("../escape", "..", ".", "a\n", "ok/../.."):
+            with pytest.raises(ValueError):
+                store.put(crafted, DOCS)
+            with pytest.raises(ValueError):
+                store.read_document(crafted, "config")
+            with pytest.raises(ValueError):
+                store.delete(crafted)
+        with pytest.raises(ValueError):
+            store.put("ok", {"../escape": {}})
+
+    def test_missing_key_raises_keyerror(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope")
+        with pytest.raises(KeyError):
+            store.meta("nope")
+        with pytest.raises(KeyError):
+            store.delete("nope")
+
+    def test_missing_document_is_corruption(self, store):
+        store.put("k1", DOCS)
+        (store.root / "k1" / "a.json").unlink()
+        with pytest.raises(StoreCorruptionError, match="k1"):
+            store.read_document("k1", "a")
+
+    def test_delete_tolerates_manifest_only_entry(self, store):
+        manifest = {"ghost": {"documents": ["config"]}}
+        (store.root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreCorruptionError):
+            store.read_document("ghost", "config")
+        store.delete("ghost")
+        assert "ghost" not in store
+
+    def test_persistent_across_instances(self, tmp_path):
+        root = tmp_path / "store"
+        ArtifactStore(root).put("k1", DOCS)
+        fresh = ArtifactStore(root)
+        assert fresh.keys() == ["k1"]
+        assert fresh.get("k1") == DOCS
+
+
+class TestDurability:
+    def test_atomic_write_leaves_no_temp_litter(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "{}")
+        atomic_write_text(path, '{"a": 1}')
+        assert path.read_text() == '{"a": 1}'
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_interrupted_write_preserves_old_content(self, tmp_path, monkeypatch):
+        # A crash before the rename (simulated by making os.replace
+        # fail) must leave the destination untouched and clean up the
+        # staging file.
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "old")
+
+        def boom(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(path, "new")
+        monkeypatch.undo()
+        assert path.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_crashed_delete_never_strands_the_manifest(self, store, monkeypatch):
+        # The manifest entry goes before the files: a delete killed
+        # mid-unlink leaves an orphaned directory, never a manifest
+        # entry pointing at missing files.
+        from pathlib import Path
+
+        store.put("k1", DOCS)
+
+        def boom(self):
+            raise OSError("killed mid-delete")
+
+        monkeypatch.setattr(Path, "unlink", boom)
+        with pytest.raises(OSError):
+            store.delete("k1")
+        monkeypatch.undo()
+        assert "k1" not in store  # entry already gone
+        for key in store.keys():
+            store.get(key)  # nothing listed is unreadable
+        store.put("k1", DOCS)  # the orphan directory is adopted
+        assert store.get("k1") == DOCS
+
+    def test_crashed_put_never_strands_the_manifest(self, store, monkeypatch):
+        # Documents land before the manifest entry: if the writer dies
+        # between them, the manifest still describes only complete
+        # artifacts — the corruption error is unreachable from a crash.
+        real = ArtifactStore._write_manifest
+
+        def boom(self, manifest):
+            raise OSError("killed before manifest update")
+
+        monkeypatch.setattr(ArtifactStore, "_write_manifest", boom)
+        with pytest.raises(OSError):
+            store.put("k1", DOCS)
+        monkeypatch.setattr(ArtifactStore, "_write_manifest", real)
+        assert "k1" not in store  # manifest never saw the artifact
+        for key in store.keys():  # every listed key is fully readable
+            store.get(key)
+        # The orphaned directory is adopted by the next put of the key.
+        store.put("k1", DOCS)
+        assert store.get("k1") == DOCS
+
+
+class TestConcurrentWriters:
+    def test_parallel_puts_lose_no_manifest_entries(self, tmp_path):
+        # Two writers racing on one store (e.g. a resumed worker beside
+        # the original it was presumed to have replaced): the manifest
+        # lock must keep every writer's index entry.
+        import threading
+
+        store = ArtifactStore(tmp_path / "store")
+        errors = []
+
+        def writer(offset):
+            try:
+                mine = ArtifactStore(tmp_path / "store")
+                for i in range(10):
+                    mine.put(f"k{offset}-{i}", {"config": {"i": i}})
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store.keys()) == 40
+        for key in store.keys():
+            store.get(key)
+
+
+class TestMergeAndHash:
+    def test_merge_adopts_only_missing_keys(self, tmp_path):
+        a = ArtifactStore(tmp_path / "a")
+        b = ArtifactStore(tmp_path / "b")
+        a.put("k1", DOCS, meta={"kind": "x"})
+        b.put("k1", {"config": {"seed": 9}})  # ignored: a already has k1
+        b.put("k2", DOCS, meta={"kind": "y"})
+        adopted = a.merge_from(b)
+        assert adopted == ["k2"]
+        assert a.get("k1") == DOCS
+        assert a.meta("k2")["kind"] == "y"
+
+    def test_merge_keys_filter_excludes_stale_artifacts(self, tmp_path):
+        a = ArtifactStore(tmp_path / "a")
+        b = ArtifactStore(tmp_path / "b")
+        b.put("wanted", DOCS)
+        b.put("stale", DOCS)
+        adopted = a.merge_from(b, keys=["wanted", "never-computed"])
+        assert adopted == ["wanted"]
+        assert a.keys() == ["wanted"]
+
+    def test_merge_preserves_document_bytes(self, tmp_path):
+        # Byte-for-byte copies keep content hashes comparable across a
+        # merge — the property the shard-equivalence gate relies on.
+        a = ArtifactStore(tmp_path / "a")
+        b = ArtifactStore(tmp_path / "b")
+        b.put("k1", DOCS, meta={"kind": "x"})
+        a.merge_from(b)
+        assert a.content_hash() == b.content_hash()
+
+    def test_merge_refuses_corrupt_source(self, tmp_path):
+        a = ArtifactStore(tmp_path / "a")
+        b = ArtifactStore(tmp_path / "b")
+        b.put("k1", DOCS)
+        (b.root / "k1" / "a.json").unlink()
+        with pytest.raises(StoreCorruptionError, match="k1"):
+            a.merge_from(b)
+
+    def test_content_hash_is_order_independent(self, tmp_path):
+        a = ArtifactStore(tmp_path / "a")
+        b = ArtifactStore(tmp_path / "b")
+        a.put("k1", DOCS)
+        a.put("k2", {"config": {"seed": 2}})
+        b.put("k2", {"config": {"seed": 2}})
+        b.put("k1", DOCS)
+        assert a.content_hash() == b.content_hash()
+        b.delete("k1")
+        assert a.content_hash() != b.content_hash()
+
+
+class TestValidateKey:
+    def test_kind_appears_in_message(self):
+        with pytest.raises(ValueError, match="campaign id"):
+            validate_key("..", kind="campaign id")

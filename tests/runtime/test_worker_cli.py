@@ -1,0 +1,47 @@
+"""The shipped ``repro worker`` CLI, driven as a real subprocess."""
+
+from repro.measurement import TraceRepository
+from repro.runtime import ShardExecutor
+from repro.scenarios import ScenarioCampaign, scenario_matrix
+
+
+def test_subprocess_shard_roundtrip_matches_serial(tmp_path):
+    configs = scenario_matrix(
+        providers=("amazon",),
+        arrival_rates=(2.0,),
+        schedulers=("fifo", "fair"),
+        seed=5,
+        n_nodes=4,
+        n_jobs=3,
+        data_scale=0.05,
+    )
+    serial_repo = TraceRepository(tmp_path / "serial")
+    serial = ScenarioCampaign(configs, repository=serial_repo).run()
+
+    shard_repo = TraceRepository(tmp_path / "shard")
+    sharded = ScenarioCampaign(
+        configs,
+        repository=shard_repo,
+        executor=ShardExecutor(
+            2, work_dir=tmp_path / "work", via_subprocess=True
+        ),
+    ).run()
+
+    assert sharded.aggregate_rows() == serial.aggregate_rows()
+    assert (
+        shard_repo.artifacts.content_hash()
+        == serial_repo.artifacts.content_hash()
+    )
+
+
+def test_merge_refuses_nonexistent_shard_store(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main([
+        "merge", str(tmp_path / "no-such-store"),
+        "--store", str(tmp_path / "merged"),
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "manifest.json" in err

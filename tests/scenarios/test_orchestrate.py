@@ -184,21 +184,31 @@ class TestScenarioCampaign:
             assert config.scenario_id in repo
         assert poison not in repo
 
-    def test_store_skips_already_stored_cell(self, tmp_path):
+    def _runner(self, configs, repo):
+        from repro.runtime import CampaignRunner
+        from repro.scenarios import SCENARIO_CODEC, scenario_cells
+
+        return CampaignRunner(
+            scenario_cells(configs), store=repo.artifacts, codec=SCENARIO_CODEC
+        )
+
+    def test_persist_skips_already_stored_cell(self, tmp_path):
         # A cell stored after the run's manifest snapshot (e.g. by an
         # interrupted earlier sweep) must not crash the current one.
         configs = fast_matrix()
         repo = TraceRepository(tmp_path)
-        campaign = ScenarioCampaign(configs, repository=repo, workers=1)
+        runner = self._runner(configs, repo)
         result = run_scenario(configs[0])
         repo.store(result.config.scenario_id, result.to_campaign_result())
-        campaign._store(result)  # must be a silent no-op, not a ValueError
+        # Must be a silent no-op, not a ValueError.
+        runner._persist(runner.cells[0], result)
         assert result.config.scenario_id in repo
 
-    def test_store_reraises_genuine_persistence_failure(self, tmp_path):
+    def test_persist_reraises_genuine_persistence_failure(self, tmp_path):
         repo = TraceRepository(tmp_path)
-        campaign = ScenarioCampaign(fast_matrix(), repository=repo, workers=1)
-        result = run_scenario(campaign.configs[0])
+        configs = fast_matrix()
+        runner = self._runner(configs, repo)
+        result = run_scenario(configs[0])
         broken = ScenarioResult(
             config=result.config,
             submits=result.submits,
@@ -206,7 +216,21 @@ class TestScenarioCampaign:
             makespan_s=result.makespan_s,
         )
         with pytest.raises(ValueError):
-            campaign._store(broken)
+            runner._persist(runner.cells[0], broken)
+
+    def test_corrupted_cache_raises_repository_error(self, tmp_path):
+        # Deleting a cached cell's trace file behind the manifest must
+        # surface as the repository's corruption error (as it did
+        # before the runtime refactor), not a raw store exception.
+        from repro.measurement import RepositoryCorruptionError
+
+        configs = fast_matrix()
+        repo = TraceRepository(tmp_path)
+        ScenarioCampaign(configs, repository=repo, workers=1).run()
+        victim = configs[0].scenario_id
+        (repo.root / victim / "runtimes.json").unlink()
+        with pytest.raises(RepositoryCorruptionError, match=victim):
+            ScenarioCampaign(configs, repository=repo, workers=1).run()
 
     def test_validation(self):
         with pytest.raises(ValueError):

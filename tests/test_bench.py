@@ -178,3 +178,40 @@ class TestCli:
         out = capsys.readouterr().out
         assert "benchmark" in out
         assert "2.0000" in out
+
+
+class TestCampaignOverhead:
+    def test_overhead_case_is_deterministic_and_cached(self):
+        from repro.bench import bench_campaign_overhead
+
+        a = bench_campaign_overhead(n_cells=4, seed=77)
+        b = bench_campaign_overhead(n_cells=4, seed=77)
+        assert a["cache_hits"] == 4
+        assert a["checksum"] == b["checksum"]
+        assert a["wall_s"] >= 0.0
+        # per_cell_ms derives from the unrounded wall clock; it must
+        # sit within a rounding step of the recorded wall_s / n_cells.
+        assert a["per_cell_ms"] == pytest.approx(
+            a["wall_s"] / 4 * 1_000.0, abs=0.05
+        )
+
+
+class TestProvenance:
+    def test_record_provenance_archives_each_case(self, tmp_path):
+        from repro.bench import record_provenance
+        from repro.runtime import ArtifactStore
+
+        results = {
+            "stream_16x200": {"wall_s": 1.0, "checksum": 2.0},
+            "waterfill_10k": {"wall_s": 0.1, "checksum": 3.0},
+        }
+        record_provenance(results, tmp_path / "store", label="pr")
+        store = ArtifactStore(tmp_path / "store")
+        assert store.keys() == ["bench-stream_16x200", "bench-waterfill_10k"]
+        doc = store.get("bench-stream_16x200")
+        assert doc["result"] == results["stream_16x200"]
+        assert "python" in doc["environment"]
+        assert store.meta("bench-stream_16x200")["label"] == "pr"
+        # Benchmarks re-run: provenance overwrites instead of refusing.
+        record_provenance(results, tmp_path / "store")
+        assert store.get("bench-stream_16x200")["result"]["wall_s"] == 1.0

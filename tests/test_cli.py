@@ -36,6 +36,34 @@ class TestParser:
         assert args.seed == 7
         assert args.workers == 2
 
+    def test_campaign_subcommands_share_runtime_flags(self):
+        # The CLI-consistency contract: every campaign-ish subcommand
+        # accepts the same --workers/--seed/--store vocabulary.
+        parser = build_parser()
+        cases = {
+            "scenario": ["scenario"],
+            "bench": ["bench"],
+            "worker": ["worker", "m.json"],
+            "merge": ["merge", "s0", "s1"],
+        }
+        for name, argv in cases.items():
+            args = parser.parse_args(
+                argv + ["--workers", "3", "--seed", "9", "--store", "d"]
+            )
+            assert args.workers == 3, name
+            assert args.seed == 9, name
+            assert args.store == "d", name
+
+    def test_worker_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "m.json"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["merge", "s0"])
+
+    def test_figures_accept_workers(self):
+        args = build_parser().parse_args(["fig16", "--fast", "--workers", "2"])
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -104,3 +132,64 @@ class TestCommands:
     def test_scenario_bad_provider(self, capsys):
         assert main(["scenario", "--fast", "--providers", "clowncloud"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_scenario_store_flag_matches_repo_alias(self, capsys, tmp_path):
+        argv = ["scenario", "--fast", "--seed", "7",
+                "--providers", "amazon", "--arrival-rates", "2.0"]
+        assert main(argv + ["--store", str(tmp_path / "a")]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--repo", str(tmp_path / "b")]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_shard_worker_merge_workflow(self, capsys, tmp_path):
+        base = ["scenario", "--fast", "--seed", "7",
+                "--providers", "amazon", "--arrival-rates", "2.0"]
+        shard_dir = tmp_path / "shards"
+        assert main(base + ["--shards", "2", "--shard-dir", str(shard_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard manifest(s)" in out
+        assert (shard_dir / "shard-0.json").exists()
+        for index in range(2):
+            assert main([
+                "worker", str(shard_dir / f"shard-{index}.json"),
+                "--store", str(shard_dir / f"shard-{index}-store"),
+            ]) == 0
+            assert "worker done" in capsys.readouterr().out
+        merged = tmp_path / "merged"
+        assert main([
+            "merge", str(shard_dir / "shard-0-store"),
+            str(shard_dir / "shard-1-store"), "--store", str(merged),
+        ]) == 0
+        assert "content hash" in capsys.readouterr().out
+        # The merged store serves the whole sweep from cache.
+        assert main(base + ["--store", str(merged)]) == 0
+        assert "computed=0 cached=2" in capsys.readouterr().out
+
+    def test_shards_requires_shard_dir(self, capsys):
+        assert main(["scenario", "--fast", "--shards", "2"]) == 2
+        assert "shard-dir" in capsys.readouterr().err
+
+    def test_worker_missing_manifest(self, capsys, tmp_path):
+        code = main(["worker", str(tmp_path / "nope.json"),
+                     "--store", str(tmp_path / "s")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_scenario_corrupted_cache_is_clean_error(self, capsys, tmp_path):
+        store = tmp_path / "cells"
+        argv = ["scenario", "--fast", "--seed", "7",
+                "--providers", "amazon", "--arrival-rates", "2.0",
+                "--store", str(store)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        victim = next(store.glob("scn-*"))
+        (victim / "runtimes.json").unlink()
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "corrupt" in err
+
+    def test_bench_seed_refuses_ledger_operations(self, capsys):
+        assert main(["bench", "--seed", "5", "--check"]) == 2
+        assert "checksums" in capsys.readouterr().err

@@ -46,3 +46,11 @@ def test_scenario_sweep(capsys):
     assert "scenario sweep: 8 cells" in out
     assert "computed 8 cells" in out
     assert "re-run cache hits: 8/8" in out
+
+
+def test_sharded_campaign(capsys):
+    out = run_example("sharded_campaign.py", capsys)
+    assert "2 shards" in out
+    assert "shard 1 resumed" in out
+    assert "content hash matches a serial run" in out
+    assert "8/8 cache hits" in out
