@@ -11,18 +11,24 @@ Uta et al., packaged as a reusable library:
 * :mod:`repro.measurement` — iperf/RTT probes, week-long campaigns,
   and baseline fingerprinting;
 * :mod:`repro.simulator` — a discrete-event Spark-like cluster engine
-  with single-job and multi-tenant job-stream execution;
+  with single-job and multi-tenant job-stream execution under five
+  slot schedulers (FIFO, fair, checkpoint-preempting fair, SRPT, and
+  deadline/EDF with per-tenant slowdown and miss telemetry);
 * :mod:`repro.workloads` — HiBench and TPC-DS workload models;
 * :mod:`repro.scenarios` — randomized workload generation (random DAG
-  jobs, TPC-H-like templates, Poisson/burst arrivals) and parallel,
-  cache-aware scenario-campaign orchestration;
+  jobs, TPC-H-like templates, Poisson/burst arrivals, synthesized
+  per-job deadlines) and parallel, cache-aware scenario-campaign
+  orchestration, including warm-fabric chains: a cell may name a
+  predecessor whose persisted shaper state seeds its run
+  (back-to-back tenants, the Figure 19 carry-over at campaign scale);
 * :mod:`repro.runtime` — the unified campaign execution layer beneath
   scenarios, measurement matrices, figure sweeps, and the bench
-  suite: content-hashed :class:`~repro.runtime.cell.Cell` units, a
-  crash-safe content-addressed
+  suite: content-hashed :class:`~repro.runtime.cell.Cell` units
+  (optionally chained via ``after``), a crash-safe content-addressed
   :class:`~repro.runtime.store.ArtifactStore`, and pluggable
   serial / process-pool / multi-machine shard executors
-  (``python -m repro worker`` + ``merge``);
+  (``python -m repro worker`` + ``merge``; chains stay whole on one
+  shard and resume mid-chain from their store);
 * :mod:`repro.stats` — nonparametric CIs, CONFIRM, assumption tests;
 * :mod:`repro.survey` — the literature-survey pipeline of Section 2;
 * :mod:`repro.core` — the variability-aware experimentation
@@ -46,6 +52,8 @@ Scenario sweeps (randomized multi-job workloads across providers,
 arrival rates, and schedulers) run from the shell::
 
     python -m repro scenario --fast --seed 7 --workers 4
+    python -m repro scenario --schedulers fifo,fair,preempt,srpt,edf \
+        --deadline-slack 1.5 --chain 2   # deadline misses on warm fabrics
 
 Campaigns shard across machines through the runtime layer — write
 per-machine manifests, run each with the worker CLI, merge the stores

@@ -8,6 +8,10 @@ Two workloads bracket the fluid-fabric core:
   Figure-19 carry-over study reduces to.  Tens of thousands of event
   steps exercise water-filling, horizons, shaper advances, scheduling,
   and telemetry together.
+* ``stream_fair_preempt`` — the same stream shape under the
+  checkpoint-preempting fair scheduler, so the preemption machinery's
+  overhead (group tracking, flow withdrawal, heap cancellation) is
+  tracked next to plain fair in the ledger.
 * ``waterfill_10k`` — 10,000 simultaneous flows across 64 nodes,
   timing :meth:`~repro.simulator.fabric.Fabric.compute_rates` alone:
   the max-min allocation kernel in isolation.
@@ -326,12 +330,16 @@ def run_suite(smoke: bool = False, seed: int | None = None) -> dict[str, dict]:
     if smoke:
         return {
             "stream_16x200": bench_stream(n_jobs=20, **seeded),
+            "stream_fair_preempt": bench_stream(
+                n_jobs=20, scheduler="preempt", **seeded
+            ),
             "waterfill_10k": bench_waterfill(n_flows=1_000, rounds=2, **seeded),
             "shaper_64_tb": bench_shaper_fleet_vs_scalar(duration_s=300.0),
             "campaign_overhead": bench_campaign_overhead(n_cells=8, **seeded),
         }
     return {
         "stream_16x200": bench_stream(**seeded),
+        "stream_fair_preempt": bench_stream(scheduler="preempt", **seeded),
         "waterfill_10k": bench_waterfill(**seeded),
         "shaper_64_tb": bench_shaper_fleet_vs_scalar(),
         "campaign_overhead": bench_campaign_overhead(**seeded),

@@ -330,6 +330,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             n_nodes=n_nodes,
             data_scale=data_scale,
             seed=args.seed,
+            deadline_slack=args.deadline_slack,
+            chain_length=args.chain,
         )
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -477,11 +479,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--schedulers", default="fifo,fair",
-        help="comma-separated slot schedulers",
+        help="comma-separated slot schedulers "
+        "(fifo,fair,preempt,srpt,edf)",
     )
     p.add_argument(
         "--workloads", default="mixed",
         help="comma-separated workload mixes (mixed,random,tpch,hibench)",
+    )
+    p.add_argument(
+        "--deadline-slack", type=float, default=1.0, metavar="X",
+        help="mean multiplicative deadline slack for synthesized per-job "
+        "deadlines (rows report miss_rate; the edf scheduler orders by "
+        "them); the value is part of each cell's cache key, so pass 0 "
+        "to disable deadlines and reuse repositories populated before "
+        "deadlines existed (default: 1.0)",
+    )
+    p.add_argument(
+        "--chain", type=int, default=1, metavar="N",
+        help="expand every cell into a warm-fabric chain of N cells: "
+        "each link is a new tenant arriving on the shaper state its "
+        "predecessor left behind (default: 1, independent cells)",
     )
     p.set_defaults(handler=_cmd_scenario)
 

@@ -47,6 +47,7 @@ from repro.netmodel.distributions import QuantileDistribution
 from repro.netmodel.latency import Ec2LatencyModel, GceLatencyModel, LatencyModel
 from repro.netmodel.nic import NicBehavior, VirtualNic, WriteSizeEffect
 from repro.netmodel.percore import PerCoreQosModel
+from repro.netmodel.state import model_from_state, model_state_dict
 from repro.netmodel.stochastic import (
     Ar1QuantileModel,
     UniformQuantileSamplingModel,
@@ -55,6 +56,8 @@ from repro.netmodel.token_bucket import TokenBucketModel, TokenBucketParams
 
 __all__ = [
     "LinkModel",
+    "model_state_dict",
+    "model_from_state",
     "ConstantRateModel",
     "integrate_transfer",
     "LinkModelFleet",

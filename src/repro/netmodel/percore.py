@@ -106,8 +106,14 @@ class PerCoreQosModel(LinkModel):
         sending = send_rate_gbps > 1e-9
         if sending:
             if self._idle_time >= self.idle_reset_s:
-                # The flow went cold during the idle gap; restart its age.
+                # The flow went cold during the idle gap: restart its age
+                # AND redraw the efficiency from the cold distribution.
+                # Without the redraw a resumed burst keeps the stale warm
+                # draw until the next interval boundary, so bursts
+                # shorter than ``interval_s`` never sample the cold tail
+                # Figure 5 measures.
                 self._stream_age = 0.0
+                self._efficiency = self._draw_efficiency()
             self._stream_age += dt
             self._idle_time = 0.0
         else:

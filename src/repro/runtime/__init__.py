@@ -34,11 +34,19 @@ pending ones, persist each result as it arrives.
 """
 
 from repro.runtime.campaign import ArtifactCodec, CampaignRunner, RuntimeOutcome
-from repro.runtime.cell import Cell, cell_key, execute_cell, resolve_ref
+from repro.runtime.cell import (
+    Cell,
+    cell_key,
+    execute_cell,
+    execute_cell_graph,
+    order_cells,
+    resolve_ref,
+)
 from repro.runtime.executors import (
     ProcessPoolExecutor,
     SerialExecutor,
     ShardExecutor,
+    cell_components,
     partition_cells,
 )
 from repro.runtime.store import (
@@ -67,9 +75,12 @@ __all__ = [
     "ShardExecutor",
     "StoreCorruptionError",
     "atomic_write_text",
+    "cell_components",
     "cell_key",
     "execute_cell",
+    "execute_cell_graph",
     "merge_stores",
+    "order_cells",
     "partition_cells",
     "read_shard_manifest",
     "resolve_ref",

@@ -105,6 +105,22 @@ class CampaignRunner:
             else:
                 pending.append(cell)
 
+        # Chained cells must find their predecessor in this same matrix
+        # (pending, so the executor runs it first, or cached, so its
+        # decoded result ships as an upstream seed).  Catching a
+        # dangling link here gives a clear error before any cell runs.
+        pending_keys = {cell.key for cell in pending}
+        for cell in pending:
+            if (
+                cell.after is not None
+                and cell.after not in pending_keys
+                and cell.after not in cached
+            ):
+                raise ValueError(
+                    f"cell {cell.key!r} chains after {cell.after!r}, "
+                    "which is not part of this campaign's matrix"
+                )
+
         computed: dict[str, Any] = {}
 
         def emit(cell: Cell, result: Any, already_stored: bool) -> None:
@@ -113,7 +129,15 @@ class CampaignRunner:
             computed[cell.key] = result
 
         if pending:
-            self.executor.run(pending, emit, codec=self.codec, store=self.store)
+            by_key = {cell.key: cell for cell in self.cells}
+            self.executor.run(
+                pending,
+                emit,
+                codec=self.codec,
+                store=self.store,
+                upstream=cached,
+                upstream_cells={key: by_key[key] for key in cached},
+            )
 
         results = dict(cached)
         results.update(computed)

@@ -15,12 +15,20 @@ deliberately minimal:
 * ``key`` — the cache/store identity.  By default a content hash of
   ``(fn, payload)``, so equal work shares one key everywhere; domain
   layers may override it with their own content hash (scenario cells
-  keep their ``scn-…`` ids so pre-runtime caches stay warm).
+  keep their ``scn-…`` ids so pre-runtime caches stay warm);
+* ``after`` — optionally, the key of a *predecessor* cell whose
+  decoded result is handed to this cell's function as a second
+  argument.  This is the warm-fabric chain primitive: a successor
+  tenant runs on the fabric state its predecessor persisted.
+  Executors run a chain's cells in order (keeping whole chains on one
+  shard), so a chained cell's result is a pure function of its own
+  payload plus — transitively — its chain's payloads.
 
 Purity is the contract that makes the whole runtime composable: because
-a cell's result depends only on its payload, executor choice, worker
-count, shard partitioning, and cache hits can never change *what* is
-computed — only when and where.
+a cell's result depends only on its payload (and, for chained cells,
+its predecessors' payloads), executor choice, worker count, shard
+partitioning, and cache hits can never change *what* is computed —
+only when and where.
 """
 
 from __future__ import annotations
@@ -29,11 +37,18 @@ import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.runtime.store import validate_key
 
-__all__ = ["Cell", "cell_key", "resolve_ref", "execute_cell"]
+__all__ = [
+    "Cell",
+    "cell_key",
+    "resolve_ref",
+    "execute_cell",
+    "execute_cell_graph",
+    "order_cells",
+]
 
 
 def resolve_ref(ref: str) -> Callable:
@@ -51,9 +66,18 @@ def resolve_ref(ref: str) -> Callable:
     return target
 
 
-def cell_key(fn: str, payload: Any) -> str:
-    """Content hash of a cell: same function + same payload => same key."""
-    body = json.dumps([fn, payload], sort_keys=True)
+def cell_key(fn: str, payload: Any, after: str | None = None) -> str:
+    """Content hash of a cell: same function + same payload => same key.
+
+    A chained cell's key additionally covers its predecessor key (the
+    same payload seeded by a different upstream is different work);
+    unchained cells hash exactly as they always did, so existing stores
+    stay warm.
+    """
+    body = json.dumps(
+        [fn, payload] if after is None else [fn, payload, after],
+        sort_keys=True,
+    )
     digest = hashlib.sha256(body.encode()).hexdigest()[:16]
     return f"cell-{digest}"
 
@@ -65,6 +89,9 @@ class Cell:
     fn: str
     payload: Any = field(default_factory=dict)
     key: str = ""
+    #: Key of the predecessor cell whose decoded result seeds this one
+    #: (warm-fabric chains); ``None`` for independent cells.
+    after: str | None = None
 
     def __post_init__(self) -> None:
         if ":" not in self.fn:
@@ -83,21 +110,77 @@ class Cell:
             ) from exc
         object.__setattr__(self, "payload", canonical)
         if not self.key:
-            object.__setattr__(self, "key", cell_key(self.fn, self.payload))
+            object.__setattr__(
+                self, "key", cell_key(self.fn, self.payload, self.after)
+            )
         validate_key(self.key, kind="cell key")
+        if self.after is not None:
+            validate_key(self.after, kind="predecessor key")
+            if self.after == self.key:
+                raise ValueError(f"cell {self.key!r} cannot chain to itself")
 
-    def run(self) -> Any:
-        """Resolve ``fn`` and apply it to the payload."""
-        return resolve_ref(self.fn)(self.payload)
+    def run(self, upstream: Any = None) -> Any:
+        """Resolve ``fn`` and apply it to the payload.
+
+        A chained cell (``after`` set) passes its predecessor's decoded
+        result as the function's second positional argument.
+        """
+        fn = resolve_ref(self.fn)
+        if self.after is None:
+            return fn(self.payload)
+        return fn(self.payload, upstream)
 
     # -- manifest round-trip -----------------------------------------------
     def to_entry(self) -> dict:
         """The shard-manifest representation of this cell."""
-        return {"fn": self.fn, "payload": self.payload, "key": self.key}
+        entry = {"fn": self.fn, "payload": self.payload, "key": self.key}
+        if self.after is not None:
+            entry["after"] = self.after
+        return entry
 
     @classmethod
     def from_entry(cls, entry: dict) -> "Cell":
-        return cls(fn=entry["fn"], payload=entry["payload"], key=entry["key"])
+        return cls(
+            fn=entry["fn"],
+            payload=entry["payload"],
+            key=entry["key"],
+            after=entry.get("after"),
+        )
+
+
+def order_cells(cells: Sequence["Cell"]) -> list["Cell"]:
+    """Dependency-order ``cells``: predecessors before their successors.
+
+    Stable: cells keep their submission order except where an ``after``
+    edge (to another cell *in the set*) forces a successor later.
+    Edges to keys outside the set are the caller's concern (a cached or
+    stored predecessor) and do not constrain the order.  Raises on
+    dependency cycles.
+    """
+    keys = {cell.key for cell in cells}
+    emitted: set[str] = set()
+    ordered: list[Cell] = []
+    pending = list(cells)
+    while pending:
+        rest: list[Cell] = []
+        progressed = False
+        for cell in pending:
+            blocked = (
+                cell.after is not None
+                and cell.after in keys
+                and cell.after not in emitted
+            )
+            if blocked:
+                rest.append(cell)
+            else:
+                ordered.append(cell)
+                emitted.add(cell.key)
+                progressed = True
+        if not progressed:
+            cycle = sorted(cell.key for cell in rest)
+            raise ValueError(f"cell dependency cycle among {cycle}")
+        pending = rest
+    return ordered
 
 
 def execute_cell(cell: Cell) -> tuple[str, Any]:
@@ -108,3 +191,33 @@ def execute_cell(cell: Cell) -> tuple[str, Any]:
     executors (numpy arrays and plain dataclasses are).
     """
     return cell.key, cell.run()
+
+
+def execute_cell_graph(
+    args: tuple[list[Cell], dict[str, Any]],
+) -> list[tuple[str, Any]]:
+    """Module-level pool target: run one dependency-ordered cell group.
+
+    ``args`` is ``(cells, upstream)`` where ``cells`` are already in
+    dependency order (see :func:`order_cells`) and ``upstream`` maps
+    predecessor keys *outside* the group (cached cells the coordinator
+    decoded) to their results.  Results computed inside the group feed
+    later group members directly, which is what keeps a whole chain in
+    one process/pool task.
+    """
+    cells, upstream = args
+    results: dict[str, Any] = dict(upstream)
+    out: list[tuple[str, Any]] = []
+    for cell in cells:
+        if cell.after is not None:
+            if cell.after not in results:
+                raise KeyError(
+                    f"cell {cell.key!r} needs predecessor {cell.after!r}, "
+                    "which is neither in its group nor supplied upstream"
+                )
+            result = cell.run(results[cell.after])
+        else:
+            result = cell.run()
+        results[cell.key] = result
+        out.append((cell.key, result))
+    return out

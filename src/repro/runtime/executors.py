@@ -21,24 +21,33 @@ Every executor funnels results through the same ``emit(cell, result,
 stored)`` callback; ``stored=True`` tells the caller the artifact
 already reached the store through a worker, so it must not be written
 twice.
+
+Warm-fabric chains (cells whose ``after`` names a predecessor) add one
+constraint every strategy honors identically: a chain executes in
+dependency order with each successor fed its predecessor's result, and
+a whole chain stays in one process / pool task / shard
+(:func:`cell_components` groups them), so serial, pooled, and sharded
+runs of a chained matrix remain byte-identical.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
-from repro.runtime.cell import Cell, execute_cell
+from repro.runtime.cell import Cell, execute_cell_graph, order_cells
 from repro.runtime.store import ArtifactStore
 
 __all__ = [
     "SerialExecutor",
     "ProcessPoolExecutor",
     "ShardExecutor",
+    "cell_components",
     "partition_cells",
 ]
 
@@ -46,49 +55,138 @@ __all__ = [
 EmitFn = Callable[[Cell, object, bool], None]
 
 
-def partition_cells(cells: Sequence[Cell], n_shards: int) -> list[list[Cell]]:
-    """Deterministic round-robin partition over key-sorted cells.
+def cell_components(cells: Sequence[Cell]) -> list[list[Cell]]:
+    """Group cells into chain components, deterministically ordered.
 
-    Sorting by key first makes the partition a pure function of the
-    cell *set* (not its submission order), so re-generating shard
+    Cells connected through ``after`` links *within the set* form one
+    component (a warm-fabric chain; links to keys outside the set do
+    not merge components — those predecessors are cached and shipped
+    as upstream results).  Components are sorted by their smallest
+    member key and each component's cells are in dependency order, so
+    the grouping is a pure function of the cell set — the property the
+    shard partition needs for crash-resume stability.
+    """
+    parent = {cell.key: cell.key for cell in cells}
+
+    def find(key: str) -> str:
+        while parent[key] != key:
+            parent[key] = parent[parent[key]]
+            key = parent[key]
+        return key
+
+    for cell in cells:
+        if cell.after is not None and cell.after in parent:
+            root_a, root_b = find(cell.key), find(cell.after)
+            if root_a != root_b:
+                # Attach the larger root under the smaller, so every
+                # component's root is its minimum key.
+                parent[max(root_a, root_b)] = min(root_a, root_b)
+    groups: dict[str, list[Cell]] = {}
+    for cell in cells:
+        groups.setdefault(find(cell.key), []).append(cell)
+    return [order_cells(groups[root]) for root in sorted(groups)]
+
+
+def partition_cells(cells: Sequence[Cell], n_shards: int) -> list[list[Cell]]:
+    """Deterministic round-robin partition over chain components.
+
+    Components (single cells, or whole warm-fabric chains — a chain
+    never splits across shards) are ordered by their smallest key and
+    dealt round-robin, which makes the partition a pure function of
+    the cell *set* (not its submission order): re-generating shard
     manifests for the same matrix always assigns every cell to the
     same shard — which is what lets a crashed shard resume against its
-    old store.
+    old store.  For chainless matrices this reduces exactly to the
+    historical key-sorted round-robin over individual cells.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
-    ordered = sorted(cells, key=lambda cell: cell.key)
-    return [list(ordered[i::n_shards]) for i in range(n_shards)]
+    shards: list[list[Cell]] = [[] for _ in range(n_shards)]
+    for index, component in enumerate(cell_components(cells)):
+        shards[index % n_shards].extend(component)
+    return shards
+
+
+def _component_tasks(
+    cells: Sequence[Cell], upstream: Mapping[str, object]
+) -> list[tuple[list[Cell], dict[str, object]]]:
+    """Pair each chain component with the upstream results it needs."""
+    keys = {cell.key for cell in cells}
+    tasks = []
+    for component in cell_components(cells):
+        need: dict[str, object] = {}
+        for cell in component:
+            if cell.after is not None and cell.after not in keys:
+                if cell.after not in upstream:
+                    raise ValueError(
+                        f"cell {cell.key!r} needs predecessor "
+                        f"{cell.after!r}, which is neither pending nor "
+                        "available as a cached upstream result"
+                    )
+                need[cell.after] = upstream[cell.after]
+        tasks.append((component, need))
+    return tasks
 
 
 class SerialExecutor:
     """Run cells one at a time in the current process."""
 
-    def run(self, cells: Sequence[Cell], emit: EmitFn, **_: object) -> None:
-        for cell in cells:
-            emit(cell, cell.run(), False)
+    def run(
+        self,
+        cells: Sequence[Cell],
+        emit: EmitFn,
+        upstream: Mapping[str, object] | None = None,
+        **_: object,
+    ) -> None:
+        results: dict[str, object] = dict(upstream or {})
+        for cell in order_cells(cells):
+            if cell.after is not None:
+                if cell.after not in results:
+                    raise ValueError(
+                        f"cell {cell.key!r} needs predecessor "
+                        f"{cell.after!r}, which is neither pending nor "
+                        "available as a cached upstream result"
+                    )
+                result = cell.run(results[cell.after])
+            else:
+                result = cell.run()
+            results[cell.key] = result
+            emit(cell, result, False)
 
 
 class ProcessPoolExecutor:
-    """Chunked multiprocessing pool, results emitted as they arrive."""
+    """Chunked multiprocessing pool, results emitted as they arrive.
+
+    The pool's unit of work is a chain component, so a warm-fabric
+    chain runs start-to-finish inside one worker process while
+    independent cells (and independent chains) still parallelize.
+    """
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
 
-    def run(self, cells: Sequence[Cell], emit: EmitFn, **_: object) -> None:
+    def run(
+        self,
+        cells: Sequence[Cell],
+        emit: EmitFn,
+        upstream: Mapping[str, object] | None = None,
+        **_: object,
+    ) -> None:
         if self.workers == 1 or len(cells) <= 1:
-            SerialExecutor().run(cells, emit)
+            SerialExecutor().run(cells, emit, upstream=upstream)
             return
         by_key = {cell.key: cell for cell in cells}
-        n_workers = min(self.workers, len(cells))
-        chunksize = max(1, len(cells) // (n_workers * 4))
+        tasks = _component_tasks(cells, dict(upstream or {}))
+        n_workers = min(self.workers, len(tasks))
+        chunksize = max(1, len(tasks) // (n_workers * 4))
         with multiprocessing.Pool(n_workers) as pool:
-            for key, result in pool.imap_unordered(
-                execute_cell, list(cells), chunksize=chunksize
+            for pairs in pool.imap_unordered(
+                execute_cell_graph, tasks, chunksize=chunksize
             ):
-                emit(by_key[key], result, False)
+                for key, result in pairs:
+                    emit(by_key[key], result, False)
 
 
 class ShardExecutor:
@@ -131,6 +229,8 @@ class ShardExecutor:
         emit: EmitFn,
         codec=None,
         store: ArtifactStore | None = None,
+        upstream: Mapping[str, object] | None = None,
+        upstream_cells: Mapping[str, Cell] | None = None,
         **_: object,
     ) -> None:
         # Imported here, not at module top: worker imports executors.
@@ -149,17 +249,44 @@ class ShardExecutor:
             work_dir = Path(staging.name)
         try:
             work_dir.mkdir(parents=True, exist_ok=True)
+            campaign_store = store
             if store is None:
                 store = ArtifactStore(work_dir / "merged-store")
+            upstream_keys = set(upstream_cells or {})
             manifests = write_shard_manifests(
                 cells,
                 n_shards=self.n_shards,
                 directory=work_dir,
                 encode_ref=codec.encode_ref,
+                decode_ref=codec.decode_ref,
+                context_cells=list((upstream_cells or {}).values()),
             )
             shard_stores = []
             for index, manifest in enumerate(manifests):
                 shard_root = work_dir / f"shard-{index}-store"
+                # A chained cell whose predecessor was a cache hit
+                # resumes from its shard store: copy the predecessor
+                # artifact in so the worker finds it exactly as if a
+                # previous worker run had produced it.  The manifest is
+                # the single source of truth for which cached
+                # predecessors a shard needs — write_shard_manifests
+                # prepended their context entries.
+                entries = json.loads(manifest.read_text())["cells"]
+                cached_needed = sorted(
+                    entry["key"]
+                    for entry in entries
+                    if entry["key"] in upstream_keys
+                )
+                if cached_needed:
+                    if campaign_store is None:
+                        raise ValueError(
+                            "chained cells with cached predecessors "
+                            "require a campaign store to ship the "
+                            "predecessor artifacts to shard workers"
+                        )
+                    ArtifactStore(shard_root).merge_from(
+                        campaign_store, keys=cached_needed
+                    )
                 if self.via_subprocess:
                     self._run_worker_cli(manifest, shard_root)
                 else:

@@ -10,8 +10,15 @@ result into store documents::
       "shard": 0,
       "n_shards": 2,
       "encode": "repro.scenarios.orchestrate:encode_scenario_result",
-      "cells": [{"fn": "...", "payload": {...}, "key": "scn-..."}, ...]
+      "decode": "repro.scenarios.orchestrate:decode_scenario_result",
+      "cells": [{"fn": "...", "payload": {...}, "key": "scn-...",
+                 "after": "scn-..."?}, ...]
     }
+
+Cells may chain (``after`` names a predecessor cell in the same
+manifest — the partition keeps warm-fabric chains on one shard); the
+optional ``decode`` reference lets a resumed worker rebuild a stored
+predecessor's result to seed its pending successors.
 
 ``python -m repro worker shard-0.json --store DIR`` executes the
 manifest into a local :class:`~repro.runtime.store.ArtifactStore`;
@@ -49,6 +56,8 @@ def write_shard_manifests(
     directory: str | Path,
     encode_ref: str,
     prefix: str = "shard",
+    decode_ref: str | None = None,
+    context_cells: Sequence[Cell] = (),
 ) -> list[Path]:
     """Partition ``cells`` and write one manifest file per shard.
 
@@ -56,19 +65,42 @@ def write_shard_manifests(
     :func:`~repro.runtime.executors.partition_cells`), so regenerating
     manifests for the same matrix reproduces the same shard contents —
     a worker resuming against its old store finds its keys unchanged.
+    Warm-fabric chains land whole on one shard; pass ``decode_ref`` so
+    a resumed worker can rebuild a stored predecessor's result for its
+    pending successors.
+
+    ``context_cells`` are predecessors that are *not* part of the
+    partition (already cached in the campaign store): any shard whose
+    members chain after one gets its entry prepended, so the worker can
+    decode the pre-seeded artifact — or recompute the predecessor from
+    its payload if the artifact is absent.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     shards = partition_cells(cells, n_shards)
+    context_by_key = {cell.key: cell for cell in context_cells}
     paths: list[Path] = []
     for index, shard in enumerate(shards):
+        shard_keys = {cell.key for cell in shard}
+        extras: list[Cell] = []
+        for cell in shard:
+            after = cell.after
+            if (
+                after is not None
+                and after not in shard_keys
+                and after in context_by_key
+                and all(extra.key != after for extra in extras)
+            ):
+                extras.append(context_by_key[after])
         manifest = {
             "schema": MANIFEST_SCHEMA,
             "shard": index,
             "n_shards": n_shards,
             "encode": encode_ref,
-            "cells": [cell.to_entry() for cell in shard],
+            "cells": [cell.to_entry() for cell in extras + shard],
         }
+        if decode_ref is not None:
+            manifest["decode"] = decode_ref
         path = directory / f"{prefix}-{index}.json"
         atomic_write_text(path, json.dumps(manifest, indent=2) + "\n")
         paths.append(path)
@@ -131,6 +163,41 @@ def run_manifest(
         f"{len(pending)} to run"
     )
 
+    # Chained resume: a pending successor whose predecessor is already
+    # in the store (finished before a crash, or pre-seeded by the
+    # coordinator for a cached cell) needs that predecessor's *result*,
+    # which only the codec's decoder can rebuild from the documents.
+    by_key = {cell.key: cell for cell in cells}
+    pending_keys = {cell.key for cell in pending}
+    upstream: dict[str, object] = {}
+    for cell in pending:
+        after = cell.after
+        if after is None or after in pending_keys or after in upstream:
+            continue
+        if after not in stored:
+            raise ValueError(
+                f"cell {cell.key!r} chains after {after!r}, which is "
+                "neither in this shard manifest nor in the shard store "
+                "(chains must stay on one shard)"
+            )
+        decode_ref = manifest.get("decode")
+        if decode_ref is None:
+            raise ValueError(
+                f"cell {cell.key!r} needs stored predecessor {after!r} "
+                "decoded, but the shard manifest carries no 'decode' "
+                "reference — regenerate the manifests"
+            )
+        predecessor = by_key.get(after)
+        if predecessor is None:
+            raise ValueError(
+                f"cell {cell.key!r} chains after {after!r}, which is "
+                "stored but absent from this shard manifest; cannot "
+                "rebuild its result without its cell entry"
+            )
+        upstream[after] = resolve_ref(decode_ref)(
+            predecessor, store.get(after)
+        )
+
     computed: list[str] = []
 
     def emit(cell: Cell, result: object, already_stored: bool) -> None:
@@ -148,7 +215,7 @@ def run_manifest(
         computed.append(cell.key)
         say(f"  done {cell.key}")
 
-    ProcessPoolExecutor(workers).run(pending, emit)
+    ProcessPoolExecutor(workers).run(pending, emit, upstream=upstream)
     return {
         "shard": manifest.get("shard"),
         "n_shards": manifest.get("n_shards"),

@@ -45,6 +45,7 @@ from repro.scenarios.generate import (
     job_stream,
     poisson_arrivals,
     random_job,
+    synthesize_deadlines,
     tpch_like_job,
 )
 from repro.scenarios.orchestrate import (
@@ -54,6 +55,7 @@ from repro.scenarios.orchestrate import (
     ScenarioCampaign,
     ScenarioConfig,
     ScenarioResult,
+    chain_scenarios,
     run_scenario,
     run_scenario_payload,
     scenario_cells,
@@ -76,7 +78,9 @@ __all__ = [
     "run_scenario",
     "run_scenario_payload",
     "scenario_cells",
+    "chain_scenarios",
     "scenario_matrix",
+    "synthesize_deadlines",
     "SCENARIO_CODEC",
     "DEFAULT_INSTANCES",
 ]

@@ -27,13 +27,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
 from repro.cloud.providers import default_providers
+from repro.netmodel.state import model_from_state, model_state_dict
+from repro.simulator.fabric import Fabric
 from repro.measurement.campaign import CampaignConfig, CampaignResult
 from repro.measurement.repository import (
     TraceRepository,
@@ -51,6 +53,7 @@ from repro.scenarios.generate import (
     burst_arrivals,
     job_stream,
     poisson_arrivals,
+    synthesize_deadlines,
 )
 from repro.simulator.cluster import Cluster, NodeSpec
 from repro.simulator.engine import SCHEDULERS, SparkEngine
@@ -66,6 +69,7 @@ __all__ = [
     "run_scenario",
     "run_scenario_payload",
     "scenario_matrix",
+    "chain_scenarios",
     "scenario_cells",
     "encode_scenario_result",
     "decode_scenario_result",
@@ -108,6 +112,13 @@ class ScenarioConfig:
     workload: str = "mixed"
     data_scale: float = 1.0
     seed: int = 0
+    #: Mean multiplicative deadline slack; 0 disables deadlines (jobs
+    #: arrive without one and miss telemetry reports ``None``).
+    deadline_slack: float = 0.0
+    #: ``scenario_id`` of the cell whose final fabric/shaper state
+    #: seeds this cell's run (warm-fabric chains); ``None`` for a
+    #: fresh fabric.
+    predecessor: str | None = None
 
     def __post_init__(self) -> None:
         # Normalize numeric fields so equal configs hash equally:
@@ -117,6 +128,7 @@ class ScenarioConfig:
             self, "arrival_rate_per_min", float(self.arrival_rate_per_min)
         )
         object.__setattr__(self, "data_scale", float(self.data_scale))
+        object.__setattr__(self, "deadline_slack", float(self.deadline_slack))
         for name in ("n_nodes", "slots", "n_jobs", "seed"):
             object.__setattr__(self, name, int(getattr(self, name)))
         if self.scheduler not in SCHEDULERS:
@@ -137,15 +149,31 @@ class ScenarioConfig:
             raise ValueError("n_nodes >= 2, slots >= 1, n_jobs >= 1 required")
         if self.arrival_rate_per_min <= 0 or self.data_scale <= 0:
             raise ValueError("rates and scales must be positive")
+        if self.deadline_slack < 0:
+            raise ValueError("deadline slack cannot be negative")
+        if self.predecessor is not None and not self.predecessor.startswith(
+            "scn-"
+        ):
+            raise ValueError(
+                f"predecessor must be a scenario id, got {self.predecessor!r}"
+            )
 
     @property
     def scenario_id(self) -> str:
         """Content hash of the config: the repository cache key.
 
         Two configs share an id exactly when every field matches, so a
-        stored result can stand in for re-execution.
+        stored result can stand in for re-execution.  Fields still at
+        their defaults that did not exist when a repository was
+        populated (``deadline_slack``, ``predecessor``) are dropped
+        from the hash, so pre-existing caches stay warm.
         """
-        payload = json.dumps(asdict(self), sort_keys=True)
+        payload_dict = asdict(self)
+        if self.deadline_slack == 0.0:
+            payload_dict.pop("deadline_slack")
+        if self.predecessor is None:
+            payload_dict.pop("predecessor")
+        payload = json.dumps(payload_dict, sort_keys=True)
         digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
         return f"scn-{digest}"
 
@@ -163,6 +191,25 @@ class ScenarioResult:
     #: Job names, absent when reloaded from a repository cache.
     job_names: tuple[str, ...] | None = None
     cached: bool = False
+    #: Absolute per-job deadlines aligned with :attr:`submits`, or
+    #: ``None`` when the cell ran without deadline synthesis.
+    deadlines: np.ndarray | None = None
+    #: Per-tenant slowdowns (response over ideal service time).
+    slowdowns: np.ndarray | None = None
+    #: Per-node link-model snapshots captured when the stream finished
+    #: (:func:`repro.netmodel.state.model_state_dict`); what a chained
+    #: successor cell seeds its fabric from.
+    fabric_state: list[dict] | None = None
+
+    def deadline_miss_rate(self) -> float | None:
+        """Fraction of deadlined jobs finishing late; None without deadlines."""
+        if self.deadlines is None:
+            return None
+        finite = np.isfinite(self.deadlines)
+        if not finite.any():
+            return None
+        finishes = self.submits[finite] + self.runtimes[finite]
+        return float(np.mean(finishes > self.deadlines[finite] + 1e-9))
 
     def aggregate_row(self) -> dict:
         """One sweep-table row: config axes plus CoV/CONFIRM verdicts.
@@ -172,12 +219,13 @@ class ScenarioResult:
         """
         cov = (
             coefficient_of_variation(self.runtimes)
-            if self.runtimes.size > 1 and float(np.mean(self.runtimes)) != 0.0
+            if self.runtimes.size > 1
             else 0.0
         )
         ci_widened = None
         if self.runtimes.size >= 12:
             ci_widened = confirm_curve(self.runtimes).widening_detected()
+        miss_rate = self.deadline_miss_rate()
         return {
             "scenario": self.config.scenario_id,
             "provider": self.config.provider_name,
@@ -186,6 +234,7 @@ class ScenarioResult:
             "rate_per_min": self.config.arrival_rate_per_min,
             "scheduler": self.config.scheduler,
             "workload": self.config.workload,
+            "chained": self.config.predecessor is not None,
             "n_jobs": int(self.runtimes.size),
             "mean_runtime_s": round(float(np.mean(self.runtimes)), 3),
             "p50_runtime_s": round(float(np.median(self.runtimes)), 3),
@@ -193,11 +242,22 @@ class ScenarioResult:
             "makespan_s": round(float(self.makespan_s), 3),
             "cov": round(float(cov), 4),
             "ci_widened": ci_widened,
+            "miss_rate": None if miss_rate is None else round(miss_rate, 4),
+            "mean_slowdown": (
+                None
+                if self.slowdowns is None
+                else round(float(np.mean(self.slowdowns)), 3)
+            ),
         }
 
     # -- repository round-trip ---------------------------------------------
     def to_campaign_result(self) -> CampaignResult:
-        """Encode the cell as a storable campaign (runtimes as a trace)."""
+        """Encode the cell as a storable campaign (runtimes as a trace).
+
+        Deadlines and slowdowns ride along as extra traces when
+        present, so a cache reload reproduces the same aggregate row a
+        fresh computation would.
+        """
         config = CampaignConfig(
             provider_name=self.config.provider_name,
             instance_name=self.config.instance_name,
@@ -205,14 +265,17 @@ class ScenarioResult:
             patterns=(),
             seed=self.config.seed,
         )
-        trace = BandwidthTrace(
-            times=self.submits,
-            values=self.runtimes,
-            label=f"scenario-runtimes/{self.config.scenario_id}",
-            durations=np.ones_like(self.runtimes),
-        )
         result = CampaignResult(config=config)
-        result.traces["runtimes"] = trace
+        extras = {"deadlines": self.deadlines, "slowdowns": self.slowdowns}
+        for name, values in [("runtimes", self.runtimes), *extras.items()]:
+            if values is None:
+                continue
+            result.traces[name] = BandwidthTrace(
+                times=self.submits,
+                values=np.asarray(values, dtype=float),
+                label=f"scenario-{name}/{self.config.scenario_id}",
+                durations=np.ones_like(self.runtimes),
+            )
         return result
 
     @classmethod
@@ -221,6 +284,12 @@ class ScenarioResult:
     ) -> "ScenarioResult":
         """Rebuild a cell from its stored trace (cache hit)."""
         trace = stored.trace("runtimes")
+
+        def optional(name: str) -> np.ndarray | None:
+            if name not in stored.traces:
+                return None
+            return np.asarray(stored.trace(name).values, dtype=float)
+
         return cls(
             config=config,
             submits=np.asarray(trace.times, dtype=float),
@@ -228,16 +297,23 @@ class ScenarioResult:
             makespan_s=float(stored.config.duration_s),
             job_names=None,
             cached=True,
+            deadlines=optional("deadlines"),
+            slowdowns=optional("slowdowns"),
         )
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+def run_scenario(
+    config: ScenarioConfig, upstream: "ScenarioResult | None" = None
+) -> ScenarioResult:
     """Execute one scenario cell end to end.
 
-    A pure function of ``config``: provider incarnations, the arrival
-    process, the job mix, and the engine's compute noise all derive
-    from one seeded generator, so the same config always produces the
-    same result regardless of where (or how parallel) it runs.
+    A pure function of ``config`` (plus, for chained cells, the
+    predecessor's result): provider incarnations, the arrival process,
+    the job mix, and the engine's compute noise all derive from one
+    seeded generator, so the same config always produces the same
+    result regardless of where (or how parallel) it runs.  Deadlines
+    draw from a *separate* generator derived from the seed, so turning
+    deadline synthesis on never perturbs the workload stream itself.
 
     The fabric is built once, up front: a provider hands out one model
     class per instance type (token buckets for EC2 incarnations,
@@ -245,13 +321,52 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     shaper fleet (:func:`repro.netmodel.fleet.build_fleet`) and
     anything exotic falls back to the scalar adapter — either way the
     cell's result is bit-identical.
+
+    When ``config.predecessor`` names another cell, ``upstream`` must
+    be that cell's result: the fabric is rebuilt from its persisted
+    per-node shaper snapshots (same incarnations, same budgets, same
+    RNG positions — back-to-back tenants on a warm fabric, the
+    Figure 19 carry-over at campaign scale) instead of drawing fresh
+    VMs.
     """
     rng = np.random.default_rng(config.seed)
-    provider = default_providers()[config.provider_name]
-    models = [
-        provider.link_model(config.instance_name, rng)
-        for _ in range(config.n_nodes)
-    ]
+    if config.predecessor is not None:
+        if upstream is None:
+            raise ValueError(
+                f"cell {config.scenario_id} chains after "
+                f"{config.predecessor} but no upstream result was supplied"
+            )
+        if upstream.fabric_state is None:
+            raise ValueError(
+                f"predecessor {config.predecessor} carries no fabric "
+                "state (stored by an older version?); recompute it"
+            )
+        if (
+            upstream.config.provider_name != config.provider_name
+            or upstream.config.instance_name != config.instance_name
+        ):
+            # The inherited models ARE the predecessor's provider
+            # incarnations; letting a cell labeled for another provider
+            # run on them would poison rows and cache keys alike.
+            raise ValueError(
+                f"chained cell {config.scenario_id} targets "
+                f"{config.provider_name}/{config.instance_name} but its "
+                f"predecessor ran {upstream.config.provider_name}/"
+                f"{upstream.config.instance_name}; a warm-fabric chain "
+                "stays on one provider incarnation"
+            )
+        if len(upstream.fabric_state) != config.n_nodes:
+            raise ValueError(
+                f"predecessor fabric has {len(upstream.fabric_state)} "
+                f"nodes, this cell needs {config.n_nodes}"
+            )
+        models = [model_from_state(s) for s in upstream.fabric_state]
+    else:
+        provider = default_providers()[config.provider_name]
+        models = [
+            provider.link_model(config.instance_name, rng)
+            for _ in range(config.n_nodes)
+        ]
     cluster = Cluster(
         n_nodes=config.n_nodes,
         node_spec=NodeSpec(slots=config.slots),
@@ -280,21 +395,62 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         mix=_MIXES[config.workload],
         dag_config=RandomDagConfig(),
     )
+    if config.deadline_slack > 0:
+        deadline_rng = np.random.default_rng([config.seed, 0xDEAD11E5])
+        stream = synthesize_deadlines(
+            deadline_rng,
+            stream,
+            n_nodes=config.n_nodes,
+            slots=config.slots,
+            mean_slack=config.deadline_slack,
+        )
     engine = SparkEngine(cluster, rng=rng)
     outcome = engine.run_stream(stream, scheduler=config.scheduler, fabric=fabric)
+    deadlines = None
+    if config.deadline_slack > 0:
+        # Read back from the results (submit order) rather than the
+        # stream, so alignment never depends on arrival-time ordering.
+        deadlines = np.asarray([r.deadline_s for r in outcome.job_results])
     return ScenarioResult(
         config=config,
         submits=np.asarray([r.submit_s for r in outcome.job_results]),
         runtimes=outcome.runtimes(),
         makespan_s=outcome.makespan_s,
         job_names=tuple(r.job_name for r in outcome.job_results),
+        deadlines=deadlines,
+        slowdowns=outcome.slowdowns(),
+        fabric_state=[model_state_dict(m) for m in fabric.egress_models],
     )
+
+
+def chain_scenarios(base: ScenarioConfig, length: int) -> list[ScenarioConfig]:
+    """A warm-fabric chain of ``length`` cells rooted at ``base``.
+
+    Link ``i`` names link ``i-1`` as its predecessor and derives a
+    distinct workload seed, so each link is a *different* tenant
+    arriving on the fabric the previous tenant left warm — shaper
+    budgets, stream ages, and RNG positions all carry over.  Chain ids
+    are stable: each link's ``scenario_id`` covers its predecessor's,
+    so extending a chain never invalidates its existing prefix.
+    """
+    if length < 1:
+        raise ValueError("a chain needs at least one cell")
+    configs = [base]
+    for i in range(1, length):
+        configs.append(
+            replace(
+                base,
+                seed=base.seed + i,
+                predecessor=configs[-1].scenario_id,
+            )
+        )
+    return configs
 
 
 def scenario_matrix(
     providers: tuple[str, ...] = ("amazon", "google"),
     arrival_rates: tuple[float, ...] = (1.0, 4.0),
-    schedulers: tuple[str, ...] = SCHEDULERS,
+    schedulers: tuple[str, ...] = ("fifo", "fair"),
     workloads: tuple[str, ...] = ("mixed",),
     n_jobs: int = 4,
     n_nodes: int = 8,
@@ -302,6 +458,8 @@ def scenario_matrix(
     data_scale: float = 1.0,
     seed: int = 0,
     instances: dict[str, str] | None = None,
+    deadline_slack: float = 0.0,
+    chain_length: int = 1,
 ) -> list[ScenarioConfig]:
     """Cross product of the requested axes, one config per cell.
 
@@ -310,7 +468,14 @@ def scenario_matrix(
     statistically independent yet *stable*: extending an axis later
     leaves every pre-existing cell's seed — and therefore its
     ``scenario_id`` cache key — unchanged.
+
+    ``deadline_slack`` > 0 synthesizes per-job deadlines in every cell
+    (reported as miss rates; ordering-relevant under the "edf"
+    scheduler), and ``chain_length`` > 1 expands every cell into a
+    warm-fabric chain (see :func:`chain_scenarios`).
     """
+    if chain_length < 1:
+        raise ValueError("chain_length must be >= 1")
     instances = {**DEFAULT_INSTANCES, **(instances or {})}
     configs = []
     for provider in providers:
@@ -330,47 +495,68 @@ def scenario_matrix(
                     cell_seed = seed + int.from_bytes(
                         hashlib.sha256(cell_key.encode()).digest()[:4], "big"
                     )
-                    configs.append(
-                        ScenarioConfig(
-                            provider_name=provider,
-                            instance_name=instances[provider],
-                            n_nodes=n_nodes,
-                            slots=slots,
-                            n_jobs=n_jobs,
-                            arrival_rate_per_min=rate,
-                            scheduler=scheduler,
-                            workload=workload,
-                            data_scale=data_scale,
-                            seed=cell_seed,
-                        )
+                    base = ScenarioConfig(
+                        provider_name=provider,
+                        instance_name=instances[provider],
+                        n_nodes=n_nodes,
+                        slots=slots,
+                        n_jobs=n_jobs,
+                        arrival_rate_per_min=rate,
+                        scheduler=scheduler,
+                        workload=workload,
+                        data_scale=data_scale,
+                        seed=cell_seed,
+                        deadline_slack=deadline_slack,
                     )
+                    configs.extend(chain_scenarios(base, chain_length))
     return configs
 
 
 # ----------------------------------------------------------------------
 # runtime plumbing: cells and the store codec
 # ----------------------------------------------------------------------
-def run_scenario_payload(payload: Mapping) -> ScenarioResult:
+def run_scenario_payload(
+    payload: Mapping, upstream: ScenarioResult | None = None
+) -> ScenarioResult:
     """Cell function: reconstruct the config and run the scenario.
 
     The module-global :func:`run_scenario` is looked up at call time
     (not captured), so tests and instrumentation that patch it keep
-    working when cells execute in-process.
+    working when cells execute in-process.  ``upstream`` is the
+    predecessor's decoded result for chained cells (the runtime passes
+    it when the cell's ``after`` is set); unchained cells call through
+    with the historical single-argument shape, so patches that take
+    only a config keep working.
     """
-    return run_scenario(ScenarioConfig(**payload))
+    config = ScenarioConfig(**payload)
+    if upstream is None:
+        return run_scenario(config)
+    return run_scenario(config, upstream=upstream)
 
 
 def encode_scenario_result(result: ScenarioResult) -> tuple[dict, dict]:
-    """Codec encoder: a scenario cell as trace-repository documents."""
-    return campaign_to_documents(result.to_campaign_result())
+    """Codec encoder: a scenario cell as trace-repository documents.
+
+    The per-node fabric snapshot travels as an extra ``fabric``
+    document (not a trace), so chained successors can reload it and
+    legacy readers that only walk ``patterns`` are unaffected.
+    """
+    documents, meta = campaign_to_documents(result.to_campaign_result())
+    if result.fabric_state is not None:
+        documents["fabric"] = {"models": result.fabric_state}
+    return documents, meta
 
 
 def decode_scenario_result(cell: Cell, documents: Mapping) -> ScenarioResult:
     """Codec decoder: rebuild a :class:`ScenarioResult` from the store."""
     config = ScenarioConfig(**cell.payload)
-    return ScenarioResult.from_campaign_result(
+    result = ScenarioResult.from_campaign_result(
         config, campaign_from_documents(documents)
     )
+    fabric_doc = documents.get("fabric")
+    if fabric_doc is not None:
+        result.fabric_state = list(fabric_doc["models"])
+    return result
 
 
 #: The scenario layer's store codec, referenced by import path so shard
@@ -385,13 +571,17 @@ def scenario_cells(configs: list[ScenarioConfig]) -> list[Cell]:
     """Map scenario configs to runtime cells.
 
     Cells keep ``scenario_id`` as their key, so repositories populated
-    before the runtime refactor keep serving cache hits.
+    before the runtime refactor keep serving cache hits; a config's
+    ``predecessor`` becomes the cell's ``after`` link, which is what
+    keeps a warm-fabric chain ordered (and on one shard) under every
+    executor.
     """
     return [
         Cell(
             fn="repro.scenarios.orchestrate:run_scenario_payload",
             payload=asdict(config),
             key=config.scenario_id,
+            after=config.predecessor,
         )
         for config in configs
     ]
@@ -477,6 +667,7 @@ class ScenarioCampaign:
             n_shards=n_shards,
             directory=directory,
             encode_ref=SCENARIO_CODEC.encode_ref,
+            decode_ref=SCENARIO_CODEC.decode_ref,
         )
 
     def run(self) -> CampaignOutcome:

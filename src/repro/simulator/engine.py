@@ -23,11 +23,28 @@ are handed to free executor slots round-robin across nodes.
 :meth:`SparkEngine.run_stream` generalizes the same machinery to a
 *stream* of jobs arriving over time on one shared cluster/fabric —
 the multi-tenant situation the scenarios subsystem sweeps.  Jobs
-contend for executor slots under FIFO (arrival order drains first) or
-fair (active jobs split free slots evenly) scheduling, and because the
-fabric is shared, token-bucket depletion caused by one job carries
-over into its successors — the Figure 19 mechanism generalized to
-contended runs.
+contend for executor slots under one of five schedulers:
+
+* ``fifo`` — arrival order drains first (Spark's default);
+* ``fair`` — active jobs split slots evenly, with deficit accounting
+  so freed slots go to tenants below their share first and remainder
+  slots spill round-robin across equally deficient peers;
+* ``preempt`` — fair, plus preemption: when a starved tenant cannot
+  reach its share because an over-share job holds every slot, the
+  over-share job's most recently launched task groups are checkpointed
+  back to their stage queue (flows withdrawn, slots freed; the tasks
+  restart from scratch when relaunched);
+* ``srpt`` — shortest remaining processing time: jobs ranked by
+  outstanding expected task-seconds, the smallest drains first;
+* ``edf`` — earliest deadline first, ordered by slack (deadline minus
+  now minus the job's remaining work spread over the cluster); jobs
+  without a deadline rank last.  Arrivals optionally carry a deadline
+  as a third tuple element, and :class:`StreamResult` reports
+  per-tenant slowdown and deadline-miss telemetry.
+
+Because the fabric is shared, token-bucket depletion caused by one job
+carries over into its successors — the Figure 19 mechanism generalized
+to contended runs.
 """
 
 from __future__ import annotations
@@ -52,7 +69,7 @@ __all__ = ["SparkEngine", "JobResult", "StreamResult", "rest_fabric", "SCHEDULER
 _MAX_STEPS = 5_000_000
 
 #: Slot-scheduling policies understood by :meth:`SparkEngine.run_stream`.
-SCHEDULERS: tuple[str, ...] = ("fifo", "fair")
+SCHEDULERS: tuple[str, ...] = ("fifo", "fair", "preempt", "srpt", "edf")
 
 
 class _TaskGroup:
@@ -63,8 +80,11 @@ class _TaskGroup:
         "stage_index",
         "node",
         "n_tasks",
+        "n_done",
         "pending_flows",
         "extra_compute_s",
+        "flows",
+        "cancelled",
     )
 
     def __init__(
@@ -74,8 +94,14 @@ class _TaskGroup:
         self.stage_index = stage_index
         self.node = node
         self.n_tasks = n_tasks
+        self.n_done = 0
         self.pending_flows = 0
         self.extra_compute_s = 0.0
+        #: Live flow handles, kept so preemption can withdraw them.
+        self.flows: list[Flow] = []
+        #: Set when the group is preempted; queued compute completions
+        #: of a cancelled group are discarded at the heap.
+        self.cancelled = False
 
 
 @dataclass
@@ -99,6 +125,31 @@ class JobResult:
     submit_s: float = 0.0
     #: When the job's last stage completed (``submit_s + runtime_s``).
     finish_s: float = 0.0
+    #: Absolute completion deadline (``inf`` when none was set).
+    deadline_s: float = math.inf
+    #: Contention-free service-time proxy: the job's expected compute
+    #: task-seconds spread over every slot in the cluster.  The
+    #: denominator of :attr:`slowdown`.
+    service_estimate_s: float = 0.0
+
+    @property
+    def slowdown(self) -> float:
+        """Response time over the ideal service-time proxy (>= 0).
+
+        The classic scheduling metric: 1.0 means the tenant saw the
+        cluster as if alone and perfectly parallel; queueing, slot
+        contention, and shaped-network transfer time all inflate it.
+        """
+        if self.service_estimate_s <= 0:
+            return math.inf
+        return self.runtime_s / self.service_estimate_s
+
+    @property
+    def deadline_missed(self) -> bool | None:
+        """Whether the job finished past its deadline; None without one."""
+        if math.isinf(self.deadline_s):
+            return None
+        return self.finish_s > self.deadline_s + 1e-9
 
     def node_bandwidth_series(self, node: int) -> TimeSeries:
         """Egress-rate time series for one node (Figure 15/18 panels)."""
@@ -183,17 +234,44 @@ class StreamResult:
             delays.append(first_start - result.submit_s)
         return np.asarray(delays)
 
+    def slowdowns(self) -> np.ndarray:
+        """Per-tenant slowdown (response over ideal service), submit order."""
+        return np.asarray([r.slowdown for r in self.job_results])
+
+    def deadline_misses(self) -> np.ndarray:
+        """Boolean miss flags for the jobs that carried a deadline."""
+        return np.asarray(
+            [
+                bool(r.deadline_missed)
+                for r in self.job_results
+                if r.deadline_missed is not None
+            ],
+            dtype=bool,
+        )
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadlined jobs that finished late (0.0 if none)."""
+        misses = self.deadline_misses()
+        if misses.size == 0:
+            return 0.0
+        return float(np.mean(misses))
+
     def rows(self) -> list[dict]:
         """Printable per-job rows."""
-        return [
-            {
+        rows = []
+        for r in self.job_results:
+            row = {
                 "job": r.job_name,
                 "submit_s": round(r.submit_s, 1),
                 "finish_s": round(r.finish_s, 1),
                 "runtime_s": round(r.runtime_s, 1),
+                "slowdown": round(r.slowdown, 2),
             }
-            for r in self.job_results
-        ]
+            if r.deadline_missed is not None:
+                row["deadline_s"] = round(r.deadline_s, 1)
+                row["missed"] = r.deadline_missed
+            rows.append(row)
+        return rows
 
 
 class SparkEngine:
@@ -241,20 +319,24 @@ class SparkEngine:
 
     def run_stream(
         self,
-        arrivals: Sequence[tuple[float, JobSpec]],
+        arrivals: Sequence[tuple],
         fabric: Fabric | None = None,
         scheduler: str = "fifo",
     ) -> StreamResult:
         """Execute a stream of jobs sharing this cluster's fabric.
 
         ``arrivals`` pairs each job with its submission time (seconds
-        from stream start); jobs contend for executor slots under
-        ``scheduler`` ("fifo" gives earlier arrivals absolute priority,
-        "fair" splits free slots evenly across active jobs).  All jobs
-        share one fabric, so token-bucket state one job depletes is the
-        state the next job meets — the Figure 19 carry-over generalized
-        to multi-tenant contention.  Passing an existing ``fabric``
-        additionally carries shaper state in from earlier work.
+        from stream start): ``(submit_s, job)``, optionally extended to
+        ``(submit_s, job, deadline_s)`` where ``deadline_s`` is an
+        absolute completion deadline (``None``/``inf`` for no
+        deadline).  Jobs contend for executor slots under ``scheduler``
+        (see :data:`SCHEDULERS`; "edf" orders by deadline slack, the
+        others ignore deadlines but still report miss telemetry).  All
+        jobs share one fabric, so token-bucket state one job depletes
+        is the state the next job meets — the Figure 19 carry-over
+        generalized to multi-tenant contention.  Passing an existing
+        ``fabric`` additionally carries shaper state in from earlier
+        work.
         """
         if not arrivals:
             raise ValueError("a stream needs at least one job")
@@ -262,9 +344,16 @@ class SparkEngine:
             raise ValueError(
                 f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
             )
-        for submit_s, _job in arrivals:
+        for entry in arrivals:
+            submit_s = entry[0]
             if submit_s < 0:
                 raise ValueError("submission times cannot be negative")
+            if len(entry) > 2 and entry[2] is not None:
+                deadline = float(entry[2])
+                if not math.isinf(deadline) and deadline < submit_s:
+                    raise ValueError(
+                        f"deadline {deadline} precedes submission {submit_s}"
+                    )
         if fabric is None:
             fabric = self.cluster.build_fabric()
         state = _StreamState(self, list(arrivals), fabric, scheduler=scheduler)
@@ -333,7 +422,7 @@ class _StreamState:
     def __init__(
         self,
         engine: SparkEngine,
-        arrivals: list[tuple[float, JobSpec]],
+        arrivals: list[tuple],
         fabric: Fabric,
         scheduler: str,
     ) -> None:
@@ -345,6 +434,12 @@ class _StreamState:
         order = sorted(range(len(arrivals)), key=lambda i: arrivals[i][0])
         self.submits = [float(arrivals[i][0]) for i in order]
         self.jobs = [arrivals[i][1] for i in order]
+        self.deadlines = [
+            math.inf
+            if len(arrivals[i]) < 3 or arrivals[i][2] is None
+            else float(arrivals[i][2])
+            for i in order
+        ]
         n_jobs = len(self.jobs)
         n_nodes = engine.cluster.n_nodes
         self.launched = [[0] * len(job.stages) for job in self.jobs]
@@ -393,6 +488,28 @@ class _StreamState:
         self._job_tasks = [
             sum(stage.num_tasks for stage in job.stages) for job in self.jobs
         ]
+        # Expected outstanding compute task-seconds per job: the SRPT
+        # rank and the EDF slack numerator.  Decremented by the stage's
+        # *mean* task time on each completion, so the estimate is a
+        # deterministic function of progress, not of sampled durations.
+        self._remaining_est = [
+            sum(stage.compute_s * stage.num_tasks for stage in job.stages)
+            for job in self.jobs
+        ]
+        total_slots = engine.cluster.total_slots
+        # Contention-free service proxy: all task-seconds spread over
+        # every slot (the slowdown denominator reported per tenant).
+        self._service_est = [
+            max(est / total_slots, 1e-9) for est in self._remaining_est
+        ]
+        # Launched-but-unfinished groups per job, in launch order; the
+        # preemptive scheduler checkpoints from the tail (most recent
+        # launch = least sunk work).  Only that scheduler pays for the
+        # tracking — the per-flow handle retention and per-completion
+        # list upkeep would otherwise tax every fifo/fair/srpt/edf
+        # event step for state nothing reads.
+        self._track_groups = scheduler == "preempt"
+        self._active_groups: list[list[_TaskGroup]] = [[] for _ in self.jobs]
         # Telemetry: growable preallocated buffers, one row per sample.
         capacity = 1024
         self._n_samples = 0
@@ -444,11 +561,16 @@ class _StreamState:
 
     # -- scheduling --------------------------------------------------------
     def _try_launch(self) -> None:
-        if self.scheduler == "fair":
+        scheduler = self.scheduler
+        if scheduler == "fair":
             self._try_launch_fair()
-            return
-        for j in self._active_jobs():
-            self._launch_for_job(j, math.inf)
+        elif scheduler == "preempt":
+            self._try_launch_preempt()
+        elif scheduler in ("srpt", "edf"):
+            self._try_launch_ranked()
+        else:  # fifo
+            for j in self._active_jobs():
+                self._launch_for_job(j, math.inf)
 
     def _try_launch_fair(self) -> None:
         """Split the cluster's slots evenly across jobs with work.
@@ -488,10 +610,15 @@ class _StreamState:
                 if deficit > 0:
                     launched += self._launch_for_job(j, deficit)
             if launched == 0:
-                # Everyone is at/above the fair share; spill what's left.
+                # Everyone is at/above the fair share; spill what's left
+                # round-robin, one slot per job per pass, so equally
+                # deficient peers split the remainder instead of the
+                # first job in the sorted order taking every leftover
+                # slot.  The enclosing loop re-sorts by running count,
+                # so successive spill passes keep rotating fairly.
                 for _, j in order:
-                    launched += self._launch_for_job(j, math.inf)
-                    if launched:
+                    launched += self._launch_for_job(j, 1)
+                    if self._free_total <= 0:
                         break
             if launched == 0:
                 return
@@ -499,6 +626,128 @@ class _StreamState:
     def _running_tasks(self, j: int) -> int:
         """Slots job ``j`` currently occupies (launched, not done)."""
         return self._launched_total[j] - self._done_total[j]
+
+    def _try_launch_preempt(self) -> None:
+        """Fair scheduling plus checkpoint-preemption of over-share jobs.
+
+        After the ordinary fair pass, if a tenant with runnable work is
+        still below its fair share and no slots are free (the situation
+        a job that grabbed the whole cluster before the tenant arrived
+        creates), the plan phase checkpoints task groups of the most
+        over-share job — most recently launched first, so the least
+        sunk work is lost — until the starved tenants' *unmet demand*
+        (their share deficits, capped by what they can actually
+        launch) is covered by freed slots, every victim is at its
+        share, or no starved tenant remains.  Preempted tasks return
+        to their stage's queue and restart from scratch when
+        relaunched; a final fair pass then hands the freed slots to
+        the starved tenants, most deficient first.
+        """
+        self._try_launch_fair()
+        if self._free_total > 0:
+            return
+        total_slots = self.engine.cluster.total_slots
+        preempted = False
+        while True:
+            active = self._active_jobs()
+            if len(active) < 2:
+                break
+            # The share counts every active tenant, whether or not it
+            # still has tasks to launch: a job occupying the cluster
+            # with its final wave is exactly the victim preemption
+            # exists for.
+            share = max(1, total_slots // len(active))
+            demand = 0
+            for j in active:
+                if not self._runnable[j]:
+                    continue
+                deficit = share - self._running_tasks(j)
+                if deficit <= 0:
+                    continue
+                launchable = sum(
+                    self.jobs[j].stages[i].num_tasks - self.launched[j][i]
+                    for i in self._runnable[j]
+                )
+                demand += min(deficit, launchable)
+            if demand <= self._free_total:
+                # Already-freed slots cover everything the starved
+                # tenants can use; preempting further would only
+                # discard a victim's work to leave slots idle.
+                break
+            victims = [
+                (self._running_tasks(j), j)
+                for j in active
+                if self._running_tasks(j) > share and self._active_groups[j]
+            ]
+            if not victims:
+                break
+            # Most over-share job loses work; ties resolve to the
+            # latest submission (it has the least seniority).
+            _, victim = max(victims)
+            self._preempt_group(self._active_groups[victim][-1])
+            preempted = True
+        if preempted:
+            self._try_launch_fair()
+
+    def _preempt_group(self, group: _TaskGroup) -> None:
+        """Checkpoint one launched group back to its stage queue."""
+        j, index = group.job_index, group.stage_index
+        group.cancelled = True
+        for flow in group.flows:
+            self.fabric.remove_flow(flow)  # no-op for completed flows
+        group.flows.clear()
+        group.pending_flows = 0
+        remaining = group.n_tasks - group.n_done
+        self.free_slots[group.node] += remaining
+        self._free_total += remaining
+        self.launched[j][index] -= remaining
+        self._launched_total[j] -= remaining
+        self._active_groups[j].remove(group)
+        stage = self.jobs[j].stages[index]
+        if (
+            self._pending_parents[j][index] == 0
+            and self.launched[j][index] < stage.num_tasks
+            and index not in self._runnable[j]
+        ):
+            insort(self._runnable[j], index)
+        self._sched_dirty = True
+
+    def _try_launch_ranked(self) -> None:
+        """Strict-priority launch for the srpt and edf schedulers.
+
+        Jobs are ranked each pass — by outstanding expected
+        task-seconds for srpt, by deadline slack for edf — and drain
+        the free slots greedily in that order.  Job index breaks ties,
+        so the order (and therefore the whole simulation) is
+        deterministic.
+        """
+        active = [
+            j
+            for j in self._admitted
+            if not self.finished[j] and self._runnable[j]
+        ]
+        if not active or self._free_total <= 0:
+            return
+        if self.scheduler == "srpt":
+            order = sorted(active, key=lambda j: (self._remaining_est[j], j))
+        else:
+            order = sorted(active, key=lambda j: (self._slack(j), j))
+        for j in order:
+            if self._free_total <= 0:
+                return
+            self._launch_for_job(j, math.inf)
+
+    def _slack(self, j: int) -> float:
+        """EDF rank: time to deadline minus ideally-parallel remaining work.
+
+        Jobs without a deadline report infinite slack and therefore
+        yield to every deadlined job.
+        """
+        deadline = self.deadlines[j]
+        if math.isinf(deadline):
+            return math.inf
+        remaining = self._remaining_est[j] / self.engine.cluster.total_slots
+        return deadline - self.now - remaining
 
     def _launch_for_job(self, j: int, budget: float) -> int:
         """Launch up to ``budget`` tasks of job ``j``; returns the count."""
@@ -545,6 +794,8 @@ class _StreamState:
         if self.launched[j][index] >= stage.num_tasks:
             self._runnable[j].remove(index)
         group = _TaskGroup(j, index, node, n_tasks)
+        if self._track_groups:
+            self._active_groups[j].append(group)
         fraction = n_tasks / stage.num_tasks
         disk_gbps = self.engine.cluster.node_spec.disk_gbps
 
@@ -559,7 +810,9 @@ class _StreamState:
                 if src == node:
                     group.extra_compute_s += volume / disk_gbps / n_tasks
                     continue
-                self.fabric.add_flow(src, node, volume, tag=group)
+                flow = self.fabric.add_flow(src, node, volume, tag=group)
+                if self._track_groups:
+                    group.flows.append(flow)
                 group.pending_flows += 1
 
         # Remote input reads (non-local HDFS blocks), spread uniformly
@@ -572,7 +825,9 @@ class _StreamState:
             others = [n for n in range(n_nodes) if n != node]
             per_src = remote_input / len(others)
             for src in others:
-                self.fabric.add_flow(src, node, per_src, tag=group)
+                flow = self.fabric.add_flow(src, node, per_src, tag=group)
+                if self._track_groups:
+                    group.flows.append(flow)
                 group.pending_flows += 1
 
         if group.pending_flows == 0:
@@ -604,6 +859,10 @@ class _StreamState:
         job = self.jobs[j]
         self.done[j][index] += 1
         self._done_total[j] += 1
+        group.n_done += 1
+        if self._track_groups and group.n_done >= group.n_tasks:
+            self._active_groups[j].remove(group)
+        self._remaining_est[j] -= job.stages[index].compute_s
         self.tasks_run[j][index][group.node] += 1
         self.free_slots[group.node] += 1
         self._free_total += 1
@@ -669,12 +928,19 @@ class _StreamState:
         submits = self.submits
         n_jobs = len(self.jobs)
         heappop = heapq.heappop
+        preemptable = self._track_groups
         for _ in range(max_steps):
             if self._n_finished == n_jobs:
                 break
             self._n_steps += 1
             fabric.compute_rates()
             self._record()
+            if preemptable:
+                # Entries of preempted groups are discarded lazily;
+                # purge them from the head so they never bound the
+                # step size.
+                while compute_heap and compute_heap[0][2].cancelled:
+                    heappop(compute_heap)
             next_compute = compute_heap[0][0] if compute_heap else math.inf
             next_arrival = (
                 submits[self._next_arrival]
@@ -700,7 +966,9 @@ class _StreamState:
             # as one batch, then run a single launch pass for all of it.
             due_threshold = self.now + 1e-9
             while compute_heap and compute_heap[0][0] <= due_threshold:
-                self._on_compute_complete(heappop(compute_heap)[2])
+                group = heappop(compute_heap)[2]
+                if not group.cancelled:
+                    self._on_compute_complete(group)
             self._admit_arrivals()
             if self._sched_dirty:
                 self._sched_dirty = False
@@ -748,6 +1016,8 @@ class _StreamState:
                     tasks_per_node=self.tasks_run[j].sum(axis=0),
                     submit_s=submit,
                     finish_s=finish,
+                    deadline_s=self.deadlines[j],
+                    service_estimate_s=self._service_est[j],
                 )
             )
         return StreamResult(

@@ -21,15 +21,17 @@ __all__ = ["coefficient_of_variation", "dispersion_summary", "DispersionSummary"
 def coefficient_of_variation(samples: Sequence[float] | np.ndarray) -> float:
     """Standard deviation divided by the mean, as a fraction.
 
-    Raises :class:`ValueError` for empty input or a zero mean, for which
-    the statistic is undefined.
+    Raises :class:`ValueError` for empty input.  A zero mean yields
+    ``inf`` — the same contract as :func:`dispersion_summary`, so
+    campaign rows built from degenerate samples (all-zero runtimes)
+    summarize as "infinitely dispersed" instead of crashing the sweep.
     """
     arr = np.asarray(samples, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot compute CoV of an empty sample")
     mean = float(np.mean(arr))
     if mean == 0.0:
-        raise ValueError("CoV undefined for zero mean")
+        return float("inf")
     return float(np.std(arr) / mean)
 
 
@@ -55,7 +57,11 @@ class DispersionSummary:
 
 
 def dispersion_summary(samples: Sequence[float] | np.ndarray) -> DispersionSummary:
-    """Compute a :class:`DispersionSummary` for ``samples``."""
+    """Compute a :class:`DispersionSummary` for ``samples``.
+
+    Shares :func:`coefficient_of_variation`'s contract: empty input
+    raises, a zero mean reports ``cov=inf``.
+    """
     arr = np.asarray(samples, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarize an empty sample")

@@ -139,6 +139,50 @@ class TestPerCoreQos:
         model.advance(0.5, 8.0)
         assert model.is_warm
 
+    def test_cold_resume_redraws_efficiency_immediately(self):
+        # Regression: a burst resumed after an idle gap >= idle_reset_s
+        # must sample the *cold* distribution at resume, not keep the
+        # stale warm draw until the next interval boundary — otherwise
+        # bursts shorter than interval_s never see the Figure 5 cold
+        # tail.  Disjoint degenerate distributions make the draws
+        # unambiguous: warm always 1.0, cold always 0.1.
+        from repro.netmodel.percore import PerCoreQosModel as Model
+
+        warm = QuantileDistribution(probs=(0.01, 0.99), values=(1.0, 1.0))
+        cold = QuantileDistribution(probs=(0.01, 0.99), values=(0.1, 0.1))
+        model = Model(
+            cores=4,
+            warm_efficiency=warm,
+            cold_efficiency=cold,
+            ramp_s=4.0,
+            idle_reset_s=15.0,
+            interval_s=2.5,
+            seed=7,
+        )
+        # Warm the stream past the ramp and through interval redraws.
+        model.advance(10.0, 8.0)
+        assert model.is_warm
+        assert model.limit() == pytest.approx(8.0 * 1.0)
+        # Long idle: the flow is de-programmed.  During the idle the
+        # clockwork keeps redrawing (still warm — the age only resets
+        # on resume), so the stale value is a warm 1.0.
+        model.advance(20.0, 0.0)
+        # A short resumed burst (shorter than interval_s!) must see a
+        # cold-tail efficiency immediately.
+        model.advance(0.5, 8.0)
+        assert not model.is_warm
+        assert model.limit() == pytest.approx(8.0 * 0.1)
+
+    def test_short_idle_resume_does_not_redraw(self):
+        # The cold redraw must not fire for idles below the reset
+        # threshold: the efficiency (and the RNG position) stay put.
+        model = PerCoreQosModel(cores=4, ramp_s=4.0, idle_reset_s=15.0, seed=9)
+        model.advance(10.0, 8.0)
+        before = model.limit()
+        model.advance(1.0, 0.0)  # brief idle, same resample interval
+        model.advance(0.4, 8.0)
+        assert model.limit() == before
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PerCoreQosModel(cores=0)

@@ -1,0 +1,325 @@
+"""Scheduler-family tests: preempt/srpt/edf, deadlines, fair spill.
+
+The equivalence contract: every scheduler collapses to the plain FIFO
+single-job execution when only one job exists (same launches, same RNG
+draw order, bit-identical telemetry), and the new policies only change
+*which* job gets slots, never how the fluid fabric integrates.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netmodel import ConstantRateModel, TokenBucketModel, TokenBucketParams
+from repro.simulator import Cluster, JobSpec, NodeSpec, SparkEngine, StageSpec
+from repro.simulator.engine import SCHEDULERS
+
+TB_PARAMS = TokenBucketParams(
+    peak_gbps=10.0, capped_gbps=1.0, replenish_gbps=0.95, capacity_gbit=400.0
+)
+
+NEW_SCHEDULERS = ("preempt", "srpt", "edf")
+
+
+def constant_cluster(n=2, slots=4):
+    return Cluster(
+        n_nodes=n,
+        node_spec=NodeSpec(slots=slots),
+        link_model_factory=lambda node: ConstantRateModel(10.0),
+    )
+
+
+def bucket_cluster(budget, n=6):
+    return Cluster(
+        n_nodes=n,
+        node_spec=NodeSpec(slots=4),
+        link_model_factory=lambda node: TokenBucketModel(
+            TB_PARAMS.with_budget(budget)
+        ),
+    )
+
+
+def compute_job(name="cpu", tasks=8, compute=3.0):
+    return JobSpec(
+        name=name,
+        stages=(
+            StageSpec(name="only", num_tasks=tasks, compute_s=compute, compute_cov=0.0),
+        ),
+    )
+
+
+def shuffle_job(name="job", shuffle=100.0, tasks=8, compute=1.0, cov=0.0):
+    return JobSpec(
+        name=name,
+        stages=(
+            StageSpec(name="map", num_tasks=tasks, compute_s=compute, compute_cov=cov),
+            StageSpec(
+                name="reduce",
+                num_tasks=tasks,
+                compute_s=compute,
+                compute_cov=cov,
+                shuffle_gbit=shuffle,
+                parents=(0,),
+            ),
+        ),
+    )
+
+
+class TestSingleJobEquivalence:
+    """Every scheduler must reproduce run() bit-exactly for one job."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_matches_run_bit_exactly(self, scheduler):
+        job = shuffle_job(shuffle=800.0, tasks=48, compute=5.0, cov=0.2)
+        direct = SparkEngine(
+            bucket_cluster(100.0), rng=np.random.default_rng(7)
+        ).run(job)
+        stream = SparkEngine(
+            bucket_cluster(100.0), rng=np.random.default_rng(7)
+        ).run_stream([(0.0, job)], scheduler=scheduler)
+        result = stream.job_results[0]
+        assert result.runtime_s == direct.runtime_s
+        assert result.stage_windows == direct.stage_windows
+        assert np.array_equal(result.sample_times, direct.sample_times)
+        assert np.array_equal(result.egress_rates, direct.egress_rates)
+        assert np.array_equal(result.budgets, direct.budgets)
+        assert np.array_equal(result.tasks_per_node, direct.tasks_per_node)
+
+    @pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+    def test_single_job_with_deadline_changes_nothing(self, scheduler):
+        job = compute_job(tasks=24, compute=2.0)
+        plain = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(3)
+        ).run_stream([(0.0, job)], scheduler=scheduler)
+        deadlined = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(3)
+        ).run_stream([(0.0, job, 500.0)], scheduler=scheduler)
+        assert (
+            deadlined.job_results[0].runtime_s == plain.job_results[0].runtime_s
+        )
+        assert deadlined.job_results[0].deadline_missed is False
+        assert plain.job_results[0].deadline_missed is None
+
+
+class TestGoldenTraceReplay:
+    """The golden reference stream replays deterministically under the
+    new schedulers (the fixture itself pins the fair scheduler)."""
+
+    def _replay(self, scheduler):
+        from tests.simulator.test_golden_trace import (
+            _BUCKET,
+            _snapshot,
+        )
+        from repro.scenarios.generate import job_stream, poisson_arrivals
+
+        rng = np.random.default_rng(20260727)
+        cluster = Cluster(
+            n_nodes=6,
+            node_spec=NodeSpec(slots=4),
+            link_model_factory=lambda node: TokenBucketModel(_BUCKET),
+        )
+        times = poisson_arrivals(rng, rate_per_min=3.0, n_jobs=6)
+        stream = job_stream(rng, times, n_nodes=6, slots=4, data_scale=0.15)
+        engine = SparkEngine(cluster, rng=rng, sample_interval_s=5.0)
+        return _snapshot(engine.run_stream(stream, scheduler=scheduler))
+
+    @pytest.mark.parametrize("scheduler", NEW_SCHEDULERS)
+    def test_replay_is_deterministic_and_finite(self, scheduler):
+        first = self._replay(scheduler)
+        second = self._replay(scheduler)
+        assert first == second
+        assert all(
+            math.isfinite(j["runtime_s"]) and j["runtime_s"] > 0
+            for j in first["jobs"]
+        )
+        assert first["scheduler"] == scheduler
+
+
+class TestPreemptiveFair:
+    def test_starved_tenant_preempts_over_share_job(self):
+        # A's single long wave holds every slot; under plain fair B must
+        # wait the whole 30 s, under preempt B's arrival checkpoints
+        # part of A's wave and B runs immediately.
+        a = compute_job("a", tasks=8, compute=30.0)
+        b = compute_job("b", tasks=4, compute=1.0)
+        arrivals = [(0.0, a), (1.0, b)]
+        fair = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(arrivals, scheduler="fair")
+        pre = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(arrivals, scheduler="preempt")
+        assert fair.job_results[1].runtime_s == pytest.approx(30.0)
+        assert pre.job_results[1].runtime_s == pytest.approx(1.0)
+        # The preempted tasks restart: A pays for B's service.
+        assert (
+            pre.job_results[0].runtime_s > fair.job_results[0].runtime_s - 1e-9
+        )
+
+    def test_preempted_shuffle_flows_are_withdrawn(self):
+        # Preempt a group whose shuffle fetches are in flight: the
+        # stream must still converge, with every task accounted for.
+        a = shuffle_job("a", shuffle=600.0, tasks=8, compute=10.0)
+        b = compute_job("b", tasks=4, compute=1.0)
+        result = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(1)
+        ).run_stream([(0.0, a), (2.0, b)], scheduler="preempt")
+        assert all(math.isfinite(r.runtime_s) for r in result.job_results)
+        assert result.job_results[0].tasks_per_node.sum() == 16
+        assert result.job_results[1].tasks_per_node.sum() == 4
+
+    def test_no_preemption_when_slots_are_free(self):
+        # Half-empty cluster: the starved-tenant plan must never fire,
+        # so preempt degenerates to fair exactly.
+        a = compute_job("a", tasks=4, compute=5.0)
+        b = compute_job("b", tasks=4, compute=5.0)
+        arrivals = [(0.0, a), (1.0, b)]
+        fair = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(arrivals, scheduler="fair")
+        pre = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(arrivals, scheduler="preempt")
+        assert [r.runtime_s for r in pre.job_results] == [
+            r.runtime_s for r in fair.job_results
+        ]
+
+    def test_preempt_deterministic(self):
+        jobs = [
+            (0.0, shuffle_job("a", shuffle=900.0, tasks=24, compute=4.0, cov=0.2)),
+            (3.0, compute_job("b", tasks=8, compute=2.0)),
+            (5.0, shuffle_job("c", shuffle=300.0, tasks=16, compute=1.0, cov=0.2)),
+        ]
+
+        def run():
+            return SparkEngine(
+                bucket_cluster(200.0), rng=np.random.default_rng(11)
+            ).run_stream(jobs, scheduler="preempt")
+
+        r1, r2 = run(), run()
+        assert [a.runtime_s for a in r1.job_results] == [
+            b.runtime_s for b in r2.job_results
+        ]
+        assert np.array_equal(r1.sample_times, r2.sample_times)
+        assert np.array_equal(r1.egress_rates, r2.egress_rates)
+
+
+class TestSrpt:
+    def test_short_job_jumps_long_queue(self):
+        long_ = compute_job("long", tasks=40, compute=5.0)
+        short = compute_job("short", tasks=8, compute=1.0)
+        arrivals = [(0.0, long_), (0.5, short)]
+        fifo = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(arrivals, scheduler="fifo")
+        srpt = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(arrivals, scheduler="srpt")
+        assert srpt.job_results[1].runtime_s < 0.5 * fifo.job_results[1].runtime_s
+
+    def test_rank_tracks_outstanding_work(self):
+        # Two equal jobs: once the first makes progress, it stays ahead
+        # (monotone SRPT), so jobs drain one after the other rather
+        # than round-robining — makespan matches FIFO here.
+        a = compute_job("a", tasks=16, compute=3.0)
+        b = compute_job("b", tasks=16, compute=3.0)
+        result = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream([(0.0, a), (0.0, b)], scheduler="srpt")
+        runtimes = [r.runtime_s for r in result.job_results]
+        assert runtimes[0] == pytest.approx(6.0)
+        assert runtimes[1] == pytest.approx(12.0)
+
+
+class TestEdf:
+    def test_tight_deadline_wins_slots(self):
+        # Without deadlines FIFO order would run A first; EDF must give
+        # the slot wave to B, whose deadline is tight.
+        a = compute_job("a", tasks=8, compute=3.0)
+        b = compute_job("b", tasks=8, compute=3.0)
+        result = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(
+            [(0.0, a, 1000.0), (0.0, b, 4.0)], scheduler="edf"
+        )
+        ra, rb = result.job_results
+        assert rb.runtime_s == pytest.approx(3.0)
+        assert ra.runtime_s == pytest.approx(6.0)
+        assert rb.deadline_missed is False
+        assert ra.deadline_missed is False  # 1000 s of slack: both make it
+        assert result.deadline_miss_rate() == 0.0
+
+    def test_deadlined_jobs_outrank_undeadlined(self):
+        a = compute_job("a", tasks=8, compute=3.0)  # no deadline
+        b = compute_job("b", tasks=8, compute=3.0)
+        result = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream([(0.0, a), (0.0, b, 50.0)], scheduler="edf")
+        ra, rb = result.job_results
+        assert rb.runtime_s == pytest.approx(3.0)
+        assert ra.runtime_s == pytest.approx(6.0)
+
+    def test_miss_telemetry(self):
+        a = compute_job("a", tasks=8, compute=3.0)
+        b = compute_job("b", tasks=8, compute=3.0)
+        result = SparkEngine(
+            constant_cluster(), rng=np.random.default_rng(0)
+        ).run_stream(
+            [(0.0, a, 3.5), (0.0, b, 4.0)], scheduler="edf"
+        )
+        # One of the two waves necessarily runs second and misses.
+        assert result.deadline_miss_rate() == pytest.approx(0.5)
+        misses = result.deadline_misses()
+        assert misses.size == 2 and misses.sum() == 1
+        rows = result.rows()
+        assert {"deadline_s", "missed", "slowdown"} <= set(rows[0])
+
+    def test_deadline_validation(self):
+        engine = SparkEngine(constant_cluster())
+        with pytest.raises(ValueError, match="deadline"):
+            engine.run_stream(
+                [(10.0, compute_job(), 5.0)], scheduler="edf"
+            )
+
+    def test_slowdowns_reported_for_all_schedulers(self):
+        a = compute_job("a", tasks=8, compute=3.0)
+        b = compute_job("b", tasks=8, compute=3.0)
+        for scheduler in SCHEDULERS:
+            result = SparkEngine(
+                constant_cluster(), rng=np.random.default_rng(0)
+            ).run_stream([(0.0, a), (0.0, b)], scheduler=scheduler)
+            slowdowns = result.slowdowns()
+            assert slowdowns.shape == (2,)
+            assert (slowdowns >= 1.0 - 1e-9).all()
+            assert result.deadline_miss_rate() == 0.0
+
+
+class TestFairSpillRoundRobin:
+    def test_remainder_slots_split_across_equally_deficient_peers(self):
+        # Three tenants on 8 slots: share = 2 each, 2 remainder slots.
+        # The buggy spill handed both to the first job in sort order
+        # (it finished its 4 tasks in one wave, t=3); round-robin gives
+        # one each to two tenants, so no tenant finishes early.
+        cluster = constant_cluster(n=4, slots=2)
+        jobs = [compute_job(f"j{i}", tasks=4, compute=3.0) for i in range(3)]
+        result = SparkEngine(cluster, rng=np.random.default_rng(0)).run_stream(
+            [(0.0, job) for job in jobs], scheduler="fair"
+        )
+        runtimes = [r.runtime_s for r in result.job_results]
+        assert runtimes == pytest.approx([6.0, 6.0, 6.0])
+
+    def test_two_tenant_remainder_is_stable(self):
+        # Two tenants on an odd slot count: the single remainder slot
+        # goes to the most starved job; totals must stay conserved and
+        # both finish together in the balanced case.
+        cluster = constant_cluster(n=3, slots=3)  # 9 slots
+        a = compute_job("a", tasks=9, compute=3.0)
+        b = compute_job("b", tasks=9, compute=3.0)
+        result = SparkEngine(cluster, rng=np.random.default_rng(0)).run_stream(
+            [(0.0, a), (0.0, b)], scheduler="fair"
+        )
+        ra, rb = result.job_results
+        assert ra.tasks_per_node.sum() == 9
+        assert rb.tasks_per_node.sum() == 9
+        assert abs(ra.runtime_s - rb.runtime_s) <= 3.0 + 1e-9

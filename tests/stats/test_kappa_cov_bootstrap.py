@@ -58,9 +58,12 @@ class TestCov:
         samples = [8.0, 12.0]  # mean 10, std 2
         assert coefficient_of_variation(samples) == pytest.approx(0.2)
 
-    def test_zero_mean_rejected(self):
-        with pytest.raises(ValueError):
-            coefficient_of_variation([-1.0, 1.0])
+    def test_zero_mean_is_inf(self):
+        # Unified contract with dispersion_summary: degenerate samples
+        # summarize as infinitely dispersed instead of crashing a sweep.
+        assert coefficient_of_variation([-1.0, 1.0]) == float("inf")
+        assert dispersion_summary([-1.0, 1.0]).cov == float("inf")
+        assert dispersion_summary([0.0, 0.0]).cov == float("inf")
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

@@ -48,6 +48,15 @@ def test_scenario_sweep(capsys):
     assert "re-run cache hits: 8/8" in out
 
 
+def test_deadline_campaign(capsys):
+    out = run_example("deadline_campaign.py", capsys)
+    assert "deadline campaign: 10 cells (5 fresh + 5 chained)" in out
+    assert "miss_rate" in out
+    assert "re-run cache hits: 10/10" in out
+    assert "mean slowdown: srpt" in out
+    assert "warm-fabric slowdown" in out
+
+
 def test_sharded_campaign(capsys):
     out = run_example("sharded_campaign.py", capsys)
     assert "2 shards" in out
