@@ -29,6 +29,16 @@ Uta et al., packaged as a reusable library:
   serial / process-pool / multi-machine shard executors
   (``python -m repro worker`` + ``merge``; chains stay whole on one
   shard and resume mid-chain from their store);
+* :mod:`repro.obs` — observability across engine, fabric, and
+  runtime: Prometheus-style metrics with an in-simulation scraper,
+  streaming P² sliding-window latency quantiles, job/stage/task-group
+  /flow span tracing exportable as Chrome trace-event JSON, per-cell
+  execution provenance in store manifests, structured worker logging,
+  and ``python -m repro campaign status`` for live progress /
+  throughput / ETA / stragglers of a sharded campaign (``--prom``
+  emits Prometheus text exposition).  Inert by default: with no
+  recorder attached the simulator pays one ``is not None`` check per
+  event step and results are bit-identical either way;
 * :mod:`repro.stats` — nonparametric CIs, CONFIRM, assumption tests;
 * :mod:`repro.survey` — the literature-survey pipeline of Section 2;
 * :mod:`repro.core` — the variability-aware experimentation
@@ -62,6 +72,11 @@ back (byte-identical to a serial run)::
     python -m repro scenario --fast --shards 4 --shard-dir shards/
     python -m repro worker shards/shard-0.json --store shard0-store
     python -m repro merge shard*-store --store campaign-store
+
+and report live progress while the workers run::
+
+    python -m repro campaign status shards/          # table + stragglers
+    python -m repro campaign status shards/ --prom   # Prometheus text
 """
 
 __version__ = "1.0.0"

@@ -15,6 +15,10 @@ Two workloads bracket the fluid-fabric core:
 * ``waterfill_10k`` — 10,000 simultaneous flows across 64 nodes,
   timing :meth:`~repro.simulator.fabric.Fabric.compute_rates` alone:
   the max-min allocation kernel in isolation.
+* ``obs_overhead`` — the stream workload bare vs. under a full
+  :class:`~repro.obs.recorder.ObsRecorder`, proving checksum equality
+  with observability attached and tracking what full metrics + span
+  tracing costs (the recorder-off wall time gates the disabled path).
 
 Each benchmark returns a ``checksum`` derived from simulation output
 (total runtime seconds / total allocated Gbps) so a recorded speedup
@@ -52,6 +56,7 @@ __all__ = [
     "DEFAULT_RESULTS_PATH",
     "bench_stream",
     "bench_campaign_overhead",
+    "bench_obs_overhead",
     "bench_shaper_fleet_vs_scalar",
     "bench_waterfill",
     "record_provenance",
@@ -89,6 +94,7 @@ def bench_stream(
     seed: int = 1234,
     scheduler: str = "fair",
     scalar_fleet: bool = False,
+    recorder=None,
 ) -> dict:
     """Time one multi-tenant stream execution end to end.
 
@@ -98,6 +104,10 @@ def bench_stream(
     homogeneous shaper list would normally get — the two paths are
     bit-exact, so their checksums must agree and the wall-clock delta
     is pure shaper-fleet speedup.
+
+    ``recorder`` attaches an :class:`~repro.obs.recorder.ObsRecorder`
+    to the run; the recorder only reads simulation state, so the
+    checksum must not move (``bench_obs_overhead`` enforces that).
     """
     rng = np.random.default_rng(seed)
     cluster = Cluster(
@@ -120,7 +130,9 @@ def bench_stream(
     )
     engine = SparkEngine(cluster, rng=rng)
     start = time.perf_counter()
-    result = engine.run_stream(stream, scheduler=scheduler, fabric=fabric)
+    result = engine.run_stream(
+        stream, scheduler=scheduler, fabric=fabric, recorder=recorder
+    )
     wall_s = time.perf_counter() - start
     return {
         "wall_s": round(wall_s, 4),
@@ -316,6 +328,54 @@ def bench_campaign_overhead(n_cells: int = 32, seed: int = 4321) -> dict:
     }
 
 
+def bench_obs_overhead(n_jobs: int = 200, seed: int = 1234) -> dict:
+    """Price full observability against the recorder-off hot path.
+
+    Runs the ``stream_16x200`` workload twice — once bare, once with a
+    full :class:`~repro.obs.recorder.ObsRecorder` (metrics scraping,
+    latency/queueing quantiles, job/stage/task-group/flow spans) — and
+    reports both wall times plus the relative cost.  The recorder only
+    *reads* engine and fabric state, so both runs must produce the
+    same checksum and step count; a divergence means observability
+    perturbed the simulation and the run fails outright.
+
+    ``wall_s`` (the recorder-off time) is what the ledger's wall-time
+    gate pins, so a regression on the *disabled* path — the one every
+    production campaign cell pays — fails ``bench --check`` even
+    though ``overhead_pct`` itself is too noisy to gate directly.
+    """
+    from repro.obs.recorder import ObsRecorder
+
+    off = bench_stream(n_jobs=n_jobs, seed=seed)
+    recorder = ObsRecorder(scrape_interval_s=5.0, window_s=300.0)
+    on = bench_stream(n_jobs=n_jobs, seed=seed, recorder=recorder)
+    if on["checksum"] != off["checksum"]:
+        raise AssertionError(
+            "observability perturbed the simulation: checksum "
+            f"{on['checksum']} != {off['checksum']} with recorder attached"
+        )
+    if on["n_steps"] != off["n_steps"]:
+        raise AssertionError(
+            "observability perturbed the simulation: n_steps "
+            f"{on['n_steps']} != {off['n_steps']} with recorder attached"
+        )
+    overhead_pct = (
+        round((on["wall_s"] - off["wall_s"]) / off["wall_s"] * 100.0, 2)
+        if off["wall_s"] > 0
+        else float("inf")
+    )
+    return {
+        "wall_s": off["wall_s"],
+        "obs_wall_s": on["wall_s"],
+        "overhead_pct": overhead_pct,
+        "n_jobs": n_jobs,
+        "n_steps": off["n_steps"],
+        "spans": len(recorder.tracer.records()),
+        "scrapes": int(recorder.series()["active_flows"].times.size),
+        "checksum": off["checksum"],
+    }
+
+
 def run_suite(smoke: bool = False, seed: int | None = None) -> dict[str, dict]:
     """Run every hot-path benchmark; ``smoke`` shrinks them for CI.
 
@@ -336,6 +396,7 @@ def run_suite(smoke: bool = False, seed: int | None = None) -> dict[str, dict]:
             "waterfill_10k": bench_waterfill(n_flows=1_000, rounds=2, **seeded),
             "shaper_64_tb": bench_shaper_fleet_vs_scalar(duration_s=300.0),
             "campaign_overhead": bench_campaign_overhead(n_cells=8, **seeded),
+            "obs_overhead": bench_obs_overhead(n_jobs=20, **seeded),
         }
     return {
         "stream_16x200": bench_stream(**seeded),
@@ -343,6 +404,7 @@ def run_suite(smoke: bool = False, seed: int | None = None) -> dict[str, dict]:
         "waterfill_10k": bench_waterfill(**seeded),
         "shaper_64_tb": bench_shaper_fleet_vs_scalar(),
         "campaign_overhead": bench_campaign_overhead(**seeded),
+        "obs_overhead": bench_obs_overhead(**seeded),
     }
 
 

@@ -181,6 +181,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("  scenario                 randomized multi-job scenario sweep")
     print("  worker <manifest>        execute one campaign shard manifest")
     print("  merge <stores...>        merge shard stores into a campaign store")
+    print("  campaign status <dir>    live progress of a sharded campaign")
     print("  bench                    simulator hot-path benchmark suite")
     return 0
 
@@ -376,7 +377,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     try:
         summary = run_manifest(
-            args.manifest, args.store, workers=args.workers
+            args.manifest,
+            args.store,
+            workers=args.workers,
+            echo=None if args.quiet else print,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -385,6 +389,27 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         f"worker done: computed={len(summary['computed'])} "
         f"cached={len(summary['cached'])} store={summary['store']}"
     )
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.obs.status import (
+        campaign_status,
+        render_prometheus,
+        render_text,
+    )
+
+    try:
+        status = campaign_status(
+            args.shard_dir, prefix=args.prefix, stores=args.stores
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.prom:
+        sys.stdout.write(render_prometheus(status))
+    else:
+        print(render_text(status))
     return 0
 
 
@@ -519,7 +544,43 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     p.add_argument("manifest", help="shard manifest written by --shards")
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell structured log lines (the final summary "
+        "still prints)",
+    )
     p.set_defaults(handler=_cmd_worker)
+
+    p = sub.add_parser(
+        "campaign",
+        help="campaign-level operations (status)",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+    p = campaign_sub.add_parser(
+        "status",
+        help="report per-shard progress, throughput, ETA, and stragglers "
+        "from shard manifests plus whatever the workers have stored",
+    )
+    p.add_argument(
+        "shard_dir",
+        help="directory holding the shard manifests written by "
+        "`repro scenario --shards` (shard-0.json, ...)",
+    )
+    p.add_argument(
+        "--prefix", default="shard", metavar="NAME",
+        help="manifest filename prefix (default: shard); shard i pairs "
+        "with store DIR/<prefix>-<i>-store unless --stores overrides",
+    )
+    p.add_argument(
+        "--stores", nargs="*", default=None, metavar="DIR",
+        help="explicit shard store directories, one per shard in shard "
+        "order (default: DIR/<prefix>-<i>-store)",
+    )
+    p.add_argument(
+        "--prom", action="store_true",
+        help="emit Prometheus text exposition instead of the table",
+    )
+    p.set_defaults(handler=_cmd_campaign_status)
 
     p = sub.add_parser(
         "merge",

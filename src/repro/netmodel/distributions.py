@@ -77,11 +77,18 @@ class QuantileDistribution:
         return self.quantile(0.5)
 
     def box_summary(self) -> BoxSummary:
-        """Project back to the paper's five-point summary."""
-        p01, p25, p50, p75, p99 = (
-            self.quantile(q) for q in (0.01, 0.25, 0.50, 0.75, 0.99)
+        """Project back to the paper's box summary.
+
+        ``p999`` clips to this distribution's anchored probability
+        range: the Ballani quantile tables end at p99, so beyond it
+        the tail estimate saturates at the p99 value.
+        """
+        p01, p25, p50, p75, p99, p999 = (
+            self.quantile(q) for q in (0.01, 0.25, 0.50, 0.75, 0.99, 0.999)
         )
-        return BoxSummary(p01=p01, p25=p25, p50=p50, p75=p75, p99=p99)
+        return BoxSummary(
+            p01=p01, p25=p25, p50=p50, p75=p75, p99=p99, p999=p999
+        )
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
         """Draw samples by uniform inversion of the piecewise-linear CDF."""

@@ -78,6 +78,14 @@ class LinkModelFleet(ABC):
     #: Adopted scalar handles, in node order.
     models: list[LinkModel]
 
+    #: Optional observability callback, ``hook(changed_indices,
+    #: limits)``, invoked from :meth:`advance` when any link's ceiling
+    #: actually changed — ``changed_indices`` is an int array of the
+    #: links that flipped and ``limits`` the fresh post-step ceilings.
+    #: Class-level None: attaching a recorder costs nothing until a
+    #: transition occurs, and the unhooked path stays allocation-free.
+    transition_hook = None
+
     @property
     def n(self) -> int:
         """Number of links in the fleet."""
@@ -145,13 +153,22 @@ class ScalarFleetAdapter(LinkModelFleet):
         )
 
     def advance(self, dt: float, send_rates: np.ndarray) -> bool:
-        changed = False
-        for model, rate in zip(self.models, send_rates.tolist()):
+        changed_indices: list[int] | None = None
+        for index, (model, rate) in enumerate(
+            zip(self.models, send_rates.tolist())
+        ):
             before = model.limit()
             model.advance(dt, rate)
             if model.limit() != before:
-                changed = True
-        return changed
+                if changed_indices is None:
+                    changed_indices = []
+                changed_indices.append(index)
+        if changed_indices is None:
+            return False
+        hook = self.transition_hook
+        if hook is not None:
+            hook(np.asarray(changed_indices, dtype=np.intp), self.limits())
+        return True
 
     def rest(self, duration_s: float) -> None:
         for model in self.models:
@@ -313,7 +330,12 @@ class TokenBucketFleet(LinkModelFleet):
         # The ceiling only moves when the tier flips on a link whose
         # two tiers actually differ.
         np.logical_and(flipped, self._tier_differs, out=flipped)
-        return bool(flipped.any())
+        changed = bool(flipped.any())
+        if changed:
+            hook = self.transition_hook
+            if hook is not None:
+                hook(np.flatnonzero(flipped), self.limits())
+        return changed
 
     def rest(self, duration_s: float) -> None:
         # Analytic idle refill, exactly TokenBucketModel.rest: with no
@@ -407,7 +429,7 @@ class ResamplingFleet(LinkModelFleet):
         crossed = elapsed >= self._intervals - 1e-12
         if not crossed.any():
             return False
-        changed = False
+        changed_indices: list[int] | None = None
         current = self._current
         for i in np.flatnonzero(crossed).tolist():
             interval = float(self._intervals[i])
@@ -421,9 +443,16 @@ class ResamplingFleet(LinkModelFleet):
             elapsed[i] = e
             value = self.models[i]._draw_batch(k)
             if value != current[i]:
-                changed = True
+                if changed_indices is None:
+                    changed_indices = []
+                changed_indices.append(i)
             current[i] = value
-        return changed
+        if changed_indices is None:
+            return False
+        hook = self.transition_hook
+        if hook is not None:
+            hook(np.asarray(changed_indices, dtype=np.intp), self.limits())
+        return True
 
     def rest(self, duration_s: float) -> None:
         # Mirrors the generic LinkModel.rest horizon-stepping loop per

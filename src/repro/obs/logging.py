@@ -1,0 +1,76 @@
+"""Structured logging for campaign workers.
+
+Replaces the free-form ``say()`` lines the shard workers used to print
+with single-line ``key=value`` records carrying a UTC timestamp and an
+event name, so multi-machine campaign logs can be grepped, joined on
+shard id / cell key, and fed to a collector without a parser per
+message shape.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Callable, Optional
+
+__all__ = ["StructuredLogger", "format_fields"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format(value, ".6g")
+    text = str(value)
+    if text == "" or any(c.isspace() or c == '"' for c in text):
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+def format_fields(**fields: object) -> str:
+    """Render ``key=value`` pairs in call order, quoting as needed."""
+    return " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
+
+
+class StructuredLogger:
+    """Emits timestamped ``event=... key=value`` lines through ``echo``.
+
+    ``echo=None`` silences the logger entirely (the ``--quiet`` path);
+    any other callable — ``print``, a file writer, a test spy —
+    receives one fully formatted line per event.
+    """
+
+    def __init__(
+        self,
+        echo: Optional[Callable[[str], None]] = print,
+        component: str = "",
+        clock: Callable[[], datetime.datetime] | None = None,
+    ) -> None:
+        self._echo = echo
+        self.component = component
+        self._clock = clock or (
+            lambda: datetime.datetime.now(datetime.timezone.utc)
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """False when the logger swallows everything (``echo=None``)."""
+        return self._echo is not None
+
+    def log(self, event: str, **fields: object) -> None:
+        """Emit one structured record."""
+        if self._echo is None:
+            return
+        stamp = self._clock().strftime("%Y-%m-%dT%H:%M:%S.%f")[:-3] + "Z"
+        parts = [f"ts={stamp}"]
+        if self.component:
+            parts.append(f"component={self.component}")
+        parts.append(f"event={event}")
+        if fields:
+            parts.append(format_fields(**fields))
+        self._echo(" ".join(parts))
+
+    def child(self, component: str) -> "StructuredLogger":
+        """A logger tagged with ``component``, sharing this sink."""
+        return StructuredLogger(
+            echo=self._echo, component=component, clock=self._clock
+        )

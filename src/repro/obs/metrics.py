@@ -1,0 +1,327 @@
+"""Lightweight metrics: counters, gauges, histograms with label sets.
+
+The paper's methodology (F5.x) insists that variability be *observed*,
+not assumed; this module gives the simulator and the campaign runtime a
+zero-dependency metrics vocabulary modelled on the Prometheus data
+model.  A :class:`MetricsRegistry` holds named metrics; each metric
+keeps one float (or bucket vector) per label set.  The registry renders
+the standard text exposition format (``# HELP`` / ``# TYPE`` / sample
+lines) so ``repro campaign status --prom`` output can be scraped by any
+Prometheus-compatible collector, and :func:`parse_prometheus_text`
+round-trips it for validation in tests and CI.
+
+Nothing here allocates on the hot path unless a metric is actually
+touched — the simulator's disabled-observability contract lives in
+:mod:`repro.obs.recorder`, not here.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, in seconds (latency-shaped).
+DEFAULT_BUCKETS = (
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+    1800.0,
+    7200.0,
+)
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted, stringified) form of a label mapping."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Base class: a named family of samples keyed by label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help = help
+        self._samples: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def value(self, **labels: str) -> float:
+        """Current value for one label set (0.0 when never touched)."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def samples(self) -> dict[tuple[tuple[str, str], ...], float]:
+        """All (label-set, value) samples of this family."""
+        return dict(self._samples)
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key in sorted(self._samples):
+            lines.append(
+                f"{self.name}{_render_labels(key)} "
+                f"{_format_value(self._samples[key])}"
+            )
+        return lines
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels: str) -> None:
+        """Add ``value`` (must be >= 0) to the labelled sample."""
+        if value < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled sample to ``value``."""
+        self._samples[_label_key(labels)] = float(value)
+
+    def inc(self, value: float = 1.0, **labels: str) -> None:
+        """Add ``value`` (may be negative) to the labelled sample."""
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + value
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Each label set keeps per-bucket counts plus ``_sum`` and ``_count``;
+    buckets are cumulative at render time (``le`` upper bounds with a
+    final ``+Inf``).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.buckets = bounds
+        self._bucket_counts: dict[tuple[tuple[str, str], ...], list[int]] = {}
+        self._counts: dict[tuple[tuple[str, str], ...], int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        key = _label_key(labels)
+        counts = self._bucket_counts.get(key)
+        if counts is None:
+            counts = [0] * (len(self.buckets) + 1)
+            self._bucket_counts[key] = counts
+        # First bucket whose upper bound covers the value; the extra
+        # slot is the +Inf overflow bucket.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._samples[key] = self._samples.get(key, 0.0) + float(value)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        """Total number of observations for one label set."""
+        return self._counts.get(_label_key(labels), 0)
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key in sorted(self._bucket_counts):
+            counts = self._bucket_counts[key]
+            cumulative = 0
+            for bound, n in zip(self.buckets, counts):
+                cumulative += n
+                le = 'le="' + _format_value(bound) + '"'
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(key, le)} {cumulative}"
+                )
+            cumulative += counts[-1]
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{self.name}_bucket{_render_labels(key, inf)} {cumulative}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(self._samples.get(key, 0.0))}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(key)} "
+                f"{self._counts.get(key, 0)}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(name, lambda: Histogram(name, help, buckets), "histogram")
+
+    def metrics(self) -> list[_Metric]:
+        """All registered metrics, in name order."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+|Inf|NaN))"
+    r"(?:\s+\d+)?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    This is a strict validating parser for the subset the registry
+    renders (and what ``repro campaign status --prom`` emits): ``# HELP``
+    and ``# TYPE`` comments plus sample lines.  Raises
+    :class:`ValueError` on any malformed line so CI can use it as a
+    format gate.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    typed: set[str] = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) >= 3 and fields[1] in ("HELP", "TYPE"):
+                if not _NAME_RE.match(fields[2]):
+                    raise ValueError(
+                        f"line {lineno}: bad metric name in comment: {raw!r}"
+                    )
+                if fields[1] == "TYPE":
+                    typed.add(fields[2])
+                continue
+            raise ValueError(f"line {lineno}: malformed comment: {raw!r}")
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        labels: list[tuple[str, str]] = []
+        body = match.group("labels")
+        if body:
+            pos = 0
+            while pos < len(body):
+                pair = _LABEL_PAIR_RE.match(body, pos)
+                if not pair:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels: {raw!r}"
+                    )
+                value = (
+                    pair.group("value")
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels.append((pair.group("key"), value))
+                pos = pair.end()
+        key = (match.group("name"), tuple(sorted(labels)))
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample: {raw!r}")
+        samples[key] = float(match.group("value"))
+    return samples

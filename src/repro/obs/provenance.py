@@ -1,0 +1,53 @@
+"""Per-cell execution provenance for the campaign runtime.
+
+Every cell a worker executes gets a small provenance record — wall
+time, peak RSS, completion wall-clock, and the simulator step count
+when the result exposes one — stored in the cell's ``ArtifactStore``
+manifest *meta* (never in the documents, so store content hashes and
+the serial == pool == shard byte-equivalence contract are untouched).
+``repro campaign status`` reads these records back to compute per-shard
+throughput and ETA.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+__all__ = ["PROVENANCE_KEY", "cell_provenance"]
+
+#: Manifest-meta key under which provenance records are stored.
+PROVENANCE_KEY = "obs"
+
+
+def _result_n_steps(result: object) -> int | None:
+    if isinstance(result, Mapping):
+        value = result.get("n_steps")
+    else:
+        value = getattr(result, "n_steps", None)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def cell_provenance(wall_s: float, result: object = None) -> dict:
+    """Build one provenance record for a just-executed cell."""
+    record = {
+        "wall_s": round(float(wall_s), 6),
+        "unix_s": round(time.time(), 3),
+    }
+    try:
+        import resource
+
+        record["maxrss_kb"] = int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+    except (ImportError, OSError):  # non-unix platforms
+        pass
+    n_steps = _result_n_steps(result)
+    if n_steps is not None:
+        record["n_steps"] = n_steps
+    return record

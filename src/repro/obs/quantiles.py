@@ -1,0 +1,180 @@
+"""Streaming quantile estimation (P², Jain & Chlamtac 1985).
+
+The open-loop telemetry the ROADMAP asks for — sliding-window p50 /
+p99 / p99.9 of task latency and queueing delay — must run *inside* the
+simulator without retaining every observation.  The P² algorithm keeps
+five markers per tracked quantile and updates them in O(1) per
+observation with a parabolic (falling back to linear) height
+adjustment; its estimates converge to the true quantile for iid
+streams, which the property tests pin against :func:`numpy.percentile`.
+
+:class:`WindowedQuantiles` composes per-window estimators over tumbling
+sim-time windows — the streaming approximation of a sliding window that
+the "When Should I Run My Application Benchmark?" methodology calls
+for (within-run time series, not just end-of-run aggregates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["P2Quantile", "WindowedQuantiles", "quantile_key"]
+
+
+def quantile_key(q: float) -> str:
+    """Column name for quantile ``q``: 0.5 → ``p50``, 0.999 → ``p999``."""
+    return "p" + format(q * 100.0, "g").replace(".", "")
+
+
+class P2Quantile:
+    """Streaming estimator of one quantile via the P² algorithm.
+
+    Keeps five markers: minimum, the p/2, p, and (1+p)/2 quantile
+    estimates, and the maximum.  Until five observations arrive the
+    exact value is interpolated from the sorted sample (matching
+    ``numpy.percentile``'s default linear definition).
+    """
+
+    __slots__ = ("p", "_q", "_n", "_np", "_dn", "count")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self.count = 0
+        self._q: list[float] = []  # marker heights
+        self._n = [0, 1, 2, 3, 4]  # marker positions (0-based)
+        self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        x = float(x)
+        self.count += 1
+        q = self._q
+        if self.count <= 5:
+            q.append(x)
+            if self.count == 5:
+                q.sort()
+            return
+        n = self._n
+        # Find the cell k with q[k] <= x < q[k+1]; clamp the extremes.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1
+        np_ = self._np
+        dn = self._dn
+        for i in range(5):
+            np_[i] += dn[i]
+        # Adjust the three interior markers toward their desired
+        # positions with the P² parabolic formula, falling back to
+        # linear when the parabola would break monotonicity.
+        for i in (1, 2, 3):
+            d = np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                d = 1 if d >= 0 else -1
+                qi = q[i] + d / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + d)
+                    * (q[i + 1] - q[i])
+                    / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - d)
+                    * (q[i] - q[i - 1])
+                    / (n[i] - n[i - 1])
+                )
+                if q[i - 1] < qi < q[i + 1]:
+                    q[i] = qi
+                else:
+                    q[i] = q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+                n[i] += d
+
+    def value(self) -> float:
+        """Current quantile estimate (NaN before any observation)."""
+        if self.count == 0:
+            return math.nan
+        if self.count <= 5:
+            # Exact: numpy.percentile's linear interpolation.
+            ordered = sorted(self._q)
+            pos = self.p * (len(ordered) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = pos - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return self._q[2]
+
+
+class WindowedQuantiles:
+    """Tumbling-window streaming quantiles over a sim-time stream.
+
+    Observations ``(t, value)`` are bucketed into consecutive windows
+    of ``window_s`` simulated seconds; each window keeps one
+    :class:`P2Quantile` per tracked quantile, plus whole-stream
+    estimators for the run-level summary.
+    """
+
+    def __init__(
+        self,
+        window_s: float,
+        quantiles: Sequence[float] = (0.5, 0.99, 0.999),
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = float(window_s)
+        self.quantiles = tuple(quantiles)
+        self._windows: dict[int, list[P2Quantile]] = {}
+        self._counts: dict[int, int] = {}
+        self.overall = [P2Quantile(q) for q in self.quantiles]
+
+    def add(self, t: float, value: float) -> None:
+        """Record ``value`` observed at sim time ``t``."""
+        index = int(t // self.window_s)
+        estimators = self._windows.get(index)
+        if estimators is None:
+            estimators = [P2Quantile(q) for q in self.quantiles]
+            self._windows[index] = estimators
+            self._counts[index] = 0
+        for est in estimators:
+            est.add(value)
+        for est in self.overall:
+            est.add(value)
+        self._counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations across all windows."""
+        return sum(self._counts.values())
+
+    def rows(self) -> list[dict[str, float]]:
+        """One row per non-empty window, in time order.
+
+        Each row carries ``window_start``, ``count``, and one column per
+        tracked quantile (``p50`` / ``p99`` / ``p999`` by default).
+        """
+        rows = []
+        for index in sorted(self._windows):
+            row: dict[str, float] = {
+                "window_start": index * self.window_s,
+                "count": float(self._counts[index]),
+            }
+            for q, est in zip(self.quantiles, self._windows[index]):
+                row[quantile_key(q)] = est.value()
+            rows.append(row)
+        return rows
+
+    def summary(self) -> dict[str, float]:
+        """Whole-stream quantile estimates keyed by column name."""
+        return {
+            quantile_key(q): est.value()
+            for q, est in zip(self.quantiles, self.overall)
+        }

@@ -1,0 +1,163 @@
+"""Span and event tracing in simulated time.
+
+Records job / stage / task-group / flow spans and discrete events
+(admission, launch, preempt, deadline-miss, shaper transitions) as they
+happen inside the simulator, then exports them as JSONL or as Chrome
+trace-event JSON — the ``{"traceEvents": [...]}`` format that
+chrome://tracing and Perfetto open directly, so a simulated campaign
+can be inspected with the same tools as a real distributed trace.
+
+Timestamps are simulated seconds; the Chrome export converts them to
+microseconds (the trace-event unit).  Tracks (one per job, one for the
+fabric, ...) map to thread lanes via ``thread_name`` metadata events.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["SpanTracer"]
+
+
+class SpanTracer:
+    """Collects spans (``begin``/``end``) and instant events in sim time."""
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+        self._open: dict[int, dict] = {}
+        self._next_id = 1
+        self._tracks: dict[str, int] = {}
+
+    def _track_id(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = len(self._tracks)
+            self._tracks[track] = tid
+        return tid
+
+    def begin(self, name: str, cat: str, t: float, track: str, **args) -> int:
+        """Open a span; returns an id for the matching :meth:`end`."""
+        span_id = self._next_id
+        self._next_id += 1
+        record = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "t0": float(t),
+            "t1": None,
+            "track": track,
+            "args": args,
+        }
+        self._track_id(track)
+        self._records.append(record)
+        self._open[span_id] = record
+        return span_id
+
+    def end(self, span_id: int, t: float, **args) -> None:
+        """Close the span opened as ``span_id`` at sim time ``t``."""
+        record = self._open.pop(span_id)
+        record["t1"] = float(t)
+        if args:
+            record["args"].update(args)
+
+    def event(self, name: str, cat: str, t: float, track: str, **args) -> None:
+        """Record an instant event."""
+        self._track_id(track)
+        self._records.append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "t0": float(t),
+                "track": track,
+                "args": args,
+            }
+        )
+
+    def close_open_spans(self, t: float) -> int:
+        """Close any still-open spans at ``t`` (end-of-run flush)."""
+        closed = 0
+        for span_id in list(self._open):
+            self.end(span_id, t, truncated=True)
+            closed += 1
+        return closed
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[dict]:
+        """All raw records (spans carry ``t0``/``t1``, events ``t0``)."""
+        return list(self._records)
+
+    def spans(self, cat: str | None = None) -> list[dict]:
+        """Completed spans, optionally filtered by category."""
+        return [
+            r
+            for r in self._records
+            if r["ph"] == "X"
+            and r["t1"] is not None
+            and (cat is None or r["cat"] == cat)
+        ]
+
+    def events(self, cat: str | None = None) -> list[dict]:
+        """Instant events, optionally filtered by category."""
+        return [
+            r
+            for r in self._records
+            if r["ph"] == "i" and (cat is None or r["cat"] == cat)
+        ]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in record order."""
+        return "\n".join(json.dumps(r, sort_keys=True) for r in self._records)
+
+    def _chrome_events(self) -> Iterator[dict]:
+        for track, tid in self._tracks.items():
+            yield {
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        for record in self._records:
+            tid = self._tracks[record["track"]]
+            event = {
+                "name": record["name"],
+                "cat": record["cat"],
+                "pid": 0,
+                "tid": tid,
+                "ts": record["t0"] * 1e6,
+                "args": record["args"],
+            }
+            if record["ph"] == "X":
+                t1 = record["t1"]
+                if t1 is None:
+                    continue  # never closed and not flushed: drop
+                event["ph"] = "X"
+                event["dur"] = (t1 - record["t0"]) * 1e6
+            else:
+                event["ph"] = "i"
+                event["s"] = "t"
+            yield event
+
+    def to_chrome_trace(self) -> dict:
+        """The trace in Chrome trace-event JSON (Perfetto-loadable)."""
+        return {
+            "traceEvents": list(self._chrome_events()),
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Write :meth:`to_chrome_trace` JSON to ``path``."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
+        return path
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write :meth:`to_jsonl` to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_jsonl() + "\n")
+        return path

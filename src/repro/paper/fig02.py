@@ -47,5 +47,6 @@ def reproduce() -> Figure2Result:
             p50=gbps_to_mbps(box.p50),
             p75=gbps_to_mbps(box.p75),
             p99=gbps_to_mbps(box.p99),
+            p999=gbps_to_mbps(box.p999),
         )
     return Figure2Result(boxes=boxes)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.obs.provenance import PROVENANCE_KEY
 from repro.runtime.cell import Cell, resolve_ref
 from repro.runtime.executors import SerialExecutor
 from repro.runtime.store import ArtifactStore
@@ -122,10 +123,11 @@ class CampaignRunner:
                 )
 
         computed: dict[str, Any] = {}
+        provenance: dict[str, dict] = {}
 
         def emit(cell: Cell, result: Any, already_stored: bool) -> None:
             if not already_stored:
-                self._persist(cell, result)
+                self._persist(cell, result, provenance.get(cell.key))
             computed[cell.key] = result
 
         if pending:
@@ -137,6 +139,7 @@ class CampaignRunner:
                 store=self.store,
                 upstream=cached,
                 upstream_cells={key: by_key[key] for key in cached},
+                on_provenance=provenance.__setitem__,
             )
 
         results = dict(cached)
@@ -147,7 +150,9 @@ class CampaignRunner:
             computed_keys=tuple(sorted(computed)),
         )
 
-    def _persist(self, cell: Cell, result: Any) -> None:
+    def _persist(
+        self, cell: Cell, result: Any, provenance: dict | None = None
+    ) -> None:
         """Store one result; an already-stored key is a no-op.
 
         The duplicate case arises when another writer (an interrupted
@@ -155,10 +160,18 @@ class CampaignRunner:
         run's up-front manifest snapshot.  Any other ValueError is a
         genuine persistence failure and propagates — swallowing it
         would silently turn every future run into a cache miss.
+
+        Execution provenance rides in the manifest *meta* (never the
+        documents), so the store's content hash — and the serial ==
+        pool == shard byte-equivalence contract built on it — ignores
+        where and how long the cell ran.
         """
         if self.store is None:
             return
         documents, meta = self.codec.encode(result)
+        if provenance is not None:
+            meta = dict(meta)
+            meta[PROVENANCE_KEY] = provenance
         try:
             self.store.put(cell.key, documents, meta=meta)
         except ValueError:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -195,7 +196,7 @@ def execute_cell(cell: Cell) -> tuple[str, Any]:
 
 def execute_cell_graph(
     args: tuple[list[Cell], dict[str, Any]],
-) -> list[tuple[str, Any]]:
+) -> list[tuple[str, Any, dict]]:
     """Module-level pool target: run one dependency-ordered cell group.
 
     ``args`` is ``(cells, upstream)`` where ``cells`` are already in
@@ -204,11 +205,19 @@ def execute_cell_graph(
     decoded) to their results.  Results computed inside the group feed
     later group members directly, which is what keeps a whole chain in
     one process/pool task.
+
+    Each returned triple carries the cell's execution provenance
+    (wall seconds, peak RSS, step count — see
+    :func:`repro.obs.provenance.cell_provenance`), measured in the
+    process that actually ran the cell.
     """
+    from repro.obs.provenance import cell_provenance
+
     cells, upstream = args
     results: dict[str, Any] = dict(upstream)
-    out: list[tuple[str, Any]] = []
+    out: list[tuple[str, Any, dict]] = []
     for cell in cells:
+        t0 = time.perf_counter()
         if cell.after is not None:
             if cell.after not in results:
                 raise KeyError(
@@ -218,6 +227,7 @@ def execute_cell_graph(
             result = cell.run(results[cell.after])
         else:
             result = cell.run()
+        prov = cell_provenance(time.perf_counter() - t0, result)
         results[cell.key] = result
-        out.append((cell.key, result))
+        out.append((cell.key, result, prov))
     return out

@@ -20,7 +20,11 @@ Three strategies cover the campaign scales the paper argues for:
 Every executor funnels results through the same ``emit(cell, result,
 stored)`` callback; ``stored=True`` tells the caller the artifact
 already reached the store through a worker, so it must not be written
-twice.
+twice.  Callers that want execution provenance (per-cell wall time,
+peak RSS, step count) pass ``on_provenance(key, record)``, invoked
+just before the cell's ``emit`` — the serial and pooled executors
+measure it where the cell actually ran; the shard executor leaves it
+to the workers, which persist provenance into their shard stores.
 
 Warm-fabric chains (cells whose ``after`` names a predecessor) add one
 constraint every strategy honors identically: a chain executes in
@@ -37,9 +41,11 @@ import multiprocessing
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro.obs.provenance import cell_provenance
 from repro.runtime.cell import Cell, execute_cell_graph, order_cells
 from repro.runtime.store import ArtifactStore
 
@@ -136,10 +142,12 @@ class SerialExecutor:
         cells: Sequence[Cell],
         emit: EmitFn,
         upstream: Mapping[str, object] | None = None,
+        on_provenance: Callable[[str, dict], None] | None = None,
         **_: object,
     ) -> None:
         results: dict[str, object] = dict(upstream or {})
         for cell in order_cells(cells):
+            t0 = time.perf_counter()
             if cell.after is not None:
                 if cell.after not in results:
                     raise ValueError(
@@ -151,6 +159,11 @@ class SerialExecutor:
             else:
                 result = cell.run()
             results[cell.key] = result
+            if on_provenance is not None:
+                on_provenance(
+                    cell.key,
+                    cell_provenance(time.perf_counter() - t0, result),
+                )
             emit(cell, result, False)
 
 
@@ -172,20 +185,25 @@ class ProcessPoolExecutor:
         cells: Sequence[Cell],
         emit: EmitFn,
         upstream: Mapping[str, object] | None = None,
+        on_provenance: Callable[[str, dict], None] | None = None,
         **_: object,
     ) -> None:
         if self.workers == 1 or len(cells) <= 1:
-            SerialExecutor().run(cells, emit, upstream=upstream)
+            SerialExecutor().run(
+                cells, emit, upstream=upstream, on_provenance=on_provenance
+            )
             return
         by_key = {cell.key: cell for cell in cells}
         tasks = _component_tasks(cells, dict(upstream or {}))
         n_workers = min(self.workers, len(tasks))
         chunksize = max(1, len(tasks) // (n_workers * 4))
         with multiprocessing.Pool(n_workers) as pool:
-            for pairs in pool.imap_unordered(
+            for triples in pool.imap_unordered(
                 execute_cell_graph, tasks, chunksize=chunksize
             ):
-                for key, result in pairs:
+                for key, result, prov in triples:
+                    if on_provenance is not None:
+                        on_provenance(key, prov)
                     emit(by_key[key], result, False)
 
 

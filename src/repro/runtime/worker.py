@@ -35,6 +35,8 @@ import json
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.logging import StructuredLogger
+from repro.obs.provenance import PROVENANCE_KEY
 from repro.runtime.cell import Cell, resolve_ref
 from repro.runtime.executors import ProcessPoolExecutor, partition_cells
 from repro.runtime.store import ArtifactStore, atomic_write_text
@@ -144,12 +146,15 @@ def run_manifest(
     mid-shard therefore loses at most the cells in flight, never the
     finished ones.  Returns a summary dict with ``computed`` /
     ``cached`` key tuples.
+
+    Progress is reported as structured ``key=value`` log lines through
+    ``echo`` (``None`` silences them — the ``--quiet`` path), and every
+    computed cell's execution provenance (wall seconds, peak RSS, step
+    count) is stored in its manifest meta under
+    :data:`~repro.obs.provenance.PROVENANCE_KEY`, where
+    ``repro campaign status`` finds it.
     """
-
-    def say(message: str) -> None:
-        if echo is not None:
-            echo(message)
-
+    log = StructuredLogger(echo=echo, component="worker")
     manifest = read_shard_manifest(manifest_path)
     encode = resolve_ref(manifest["encode"])
     store = ArtifactStore(store_root)
@@ -157,10 +162,14 @@ def run_manifest(
     stored = set(store.keys())
     cached = tuple(cell.key for cell in cells if cell.key in stored)
     pending = [cell for cell in cells if cell.key not in stored]
-    say(
-        f"shard {manifest.get('shard', '?')}/{manifest.get('n_shards', '?')}: "
-        f"{len(cells)} cell(s), {len(cached)} already stored, "
-        f"{len(pending)} to run"
+    log.log(
+        "shard_start",
+        shard=manifest.get("shard", "?"),
+        n_shards=manifest.get("n_shards", "?"),
+        cells=len(cells),
+        cached=len(cached),
+        pending=len(pending),
+        store=str(store.root),
     )
 
     # Chained resume: a pending successor whose predecessor is already
@@ -199,10 +208,18 @@ def run_manifest(
         )
 
     computed: list[str] = []
+    provenance: dict[str, dict] = {}
 
     def emit(cell: Cell, result: object, already_stored: bool) -> None:
+        prov = provenance.get(cell.key)
         if not already_stored:
             documents, meta = encode(result)
+            if prov is not None:
+                # Provenance lives in manifest meta, never documents:
+                # the store content hash (and shard == serial
+                # byte-equivalence) must not see wall times.
+                meta = dict(meta)
+                meta[PROVENANCE_KEY] = prov
             try:
                 store.put(cell.key, documents, meta=meta)
             except ValueError:
@@ -213,9 +230,17 @@ def run_manifest(
                 if cell.key not in store:
                     raise
         computed.append(cell.key)
-        say(f"  done {cell.key}")
+        log.log(
+            "cell_done",
+            shard=manifest.get("shard", "?"),
+            cell=cell.key,
+            already_stored=already_stored,
+            wall_s=prov.get("wall_s", 0.0) if prov else 0.0,
+        )
 
-    ProcessPoolExecutor(workers).run(pending, emit, upstream=upstream)
+    ProcessPoolExecutor(workers).run(
+        pending, emit, upstream=upstream, on_provenance=provenance.__setitem__
+    )
     return {
         "shard": manifest.get("shard"),
         "n_shards": manifest.get("n_shards"),

@@ -200,6 +200,11 @@ class ScenarioResult:
     #: (:func:`repro.netmodel.state.model_state_dict`); what a chained
     #: successor cell seeds its fabric from.
     fabric_state: list[dict] | None = None
+    #: Engine event-loop steps the cell cost (``None`` when reloaded
+    #: from cache).  Deliberately *not* encoded into store documents —
+    #: it feeds execution provenance (manifest meta), so stored bytes
+    #: stay independent of engine-internals accounting.
+    n_steps: int | None = None
 
     def deadline_miss_rate(self) -> float | None:
         """Fraction of deadlined jobs finishing late; None without deadlines."""
@@ -303,7 +308,9 @@ class ScenarioResult:
 
 
 def run_scenario(
-    config: ScenarioConfig, upstream: "ScenarioResult | None" = None
+    config: ScenarioConfig,
+    upstream: "ScenarioResult | None" = None,
+    recorder=None,
 ) -> ScenarioResult:
     """Execute one scenario cell end to end.
 
@@ -328,6 +335,11 @@ def run_scenario(
     RNG positions — back-to-back tenants on a warm fabric, the
     Figure 19 carry-over at campaign scale) instead of drawing fresh
     VMs.
+
+    ``recorder`` forwards to :meth:`SparkEngine.run_stream
+    <repro.simulator.engine.SparkEngine.run_stream>` — an
+    :class:`~repro.obs.ObsRecorder` observes the cell's stream without
+    changing its result.
     """
     rng = np.random.default_rng(config.seed)
     if config.predecessor is not None:
@@ -405,7 +417,9 @@ def run_scenario(
             mean_slack=config.deadline_slack,
         )
     engine = SparkEngine(cluster, rng=rng)
-    outcome = engine.run_stream(stream, scheduler=config.scheduler, fabric=fabric)
+    outcome = engine.run_stream(
+        stream, scheduler=config.scheduler, fabric=fabric, recorder=recorder
+    )
     deadlines = None
     if config.deadline_slack > 0:
         # Read back from the results (submit order) rather than the
@@ -420,6 +434,7 @@ def run_scenario(
         deadlines=deadlines,
         slowdowns=outcome.slowdowns(),
         fabric_state=[model_state_dict(m) for m in fabric.egress_models],
+        n_steps=outcome.n_steps,
     )
 
 

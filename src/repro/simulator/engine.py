@@ -85,6 +85,7 @@ class _TaskGroup:
         "extra_compute_s",
         "flows",
         "cancelled",
+        "t_launch",
     )
 
     def __init__(
@@ -97,6 +98,8 @@ class _TaskGroup:
         self.n_done = 0
         self.pending_flows = 0
         self.extra_compute_s = 0.0
+        #: Sim time the group launched; the recorder's task-latency base.
+        self.t_launch = 0.0
         #: Live flow handles, kept so preemption can withdraw them.
         self.flows: list[Flow] = []
         #: Set when the group is preempted; queued compute completions
@@ -305,16 +308,24 @@ class SparkEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def run(self, job: JobSpec, fabric: Fabric | None = None) -> JobResult:
+    def run(
+        self,
+        job: JobSpec,
+        fabric: Fabric | None = None,
+        recorder=None,
+    ) -> JobResult:
         """Execute ``job``; returns runtimes and telemetry.
 
         Passing an existing ``fabric`` preserves shaper state across
         runs (budget carry-over); omitting it builds a fresh one
         ("fresh VMs for every experiment", the F5.4 recommendation).
+        ``recorder`` attaches an :class:`~repro.obs.ObsRecorder`.
         """
         if fabric is None:
             fabric = self.cluster.build_fabric()
-        state = _StreamState(self, [(0.0, job)], fabric, scheduler="fifo")
+        state = _StreamState(
+            self, [(0.0, job)], fabric, scheduler="fifo", recorder=recorder
+        )
         return state.execute().job_results[0]
 
     def run_stream(
@@ -322,6 +333,7 @@ class SparkEngine:
         arrivals: Sequence[tuple],
         fabric: Fabric | None = None,
         scheduler: str = "fifo",
+        recorder=None,
     ) -> StreamResult:
         """Execute a stream of jobs sharing this cluster's fabric.
 
@@ -337,6 +349,11 @@ class SparkEngine:
         generalized to multi-tenant contention.  Passing an existing
         ``fabric`` additionally carries shaper state in from earlier
         work.
+
+        ``recorder`` attaches an :class:`~repro.obs.ObsRecorder` that
+        collects metrics, sim-time scrapes, streaming quantiles, and
+        spans for this run.  Recorders only observe — results are
+        bit-identical with and without one.
         """
         if not arrivals:
             raise ValueError("a stream needs at least one job")
@@ -356,7 +373,9 @@ class SparkEngine:
                     )
         if fabric is None:
             fabric = self.cluster.build_fabric()
-        state = _StreamState(self, list(arrivals), fabric, scheduler=scheduler)
+        state = _StreamState(
+            self, list(arrivals), fabric, scheduler=scheduler, recorder=recorder
+        )
         return state.execute()
 
     def run_repetitions(
@@ -425,11 +444,20 @@ class _StreamState:
         arrivals: list[tuple],
         fabric: Fabric,
         scheduler: str,
+        recorder=None,
     ) -> None:
         self.engine = engine
         self.fabric = fabric
         self.scheduler = scheduler
         self.now = 0.0
+        # Observability: normalized to None when absent or disabled so
+        # the hot path pays exactly one identity check per event.  The
+        # recorder only reads state — it never perturbs the run.
+        self._obs = (
+            recorder
+            if recorder is not None and getattr(recorder, "enabled", True)
+            else None
+        )
         # Stable sort: ties keep caller submission order (FIFO tiebreak).
         order = sorted(range(len(arrivals)), key=lambda i: arrivals[i][0])
         self.submits = [float(arrivals[i][0]) for i in order]
@@ -520,6 +548,9 @@ class _StreamState:
             np.empty((capacity, n_nodes)) if self._budgets_available() else None
         )
         self._last_sample_t = -math.inf
+        if self._obs is not None:
+            self._obs.bind_stream(self)
+            self.fabric.set_recorder(self._obs)
 
     # -- structural helpers ------------------------------------------------
     def _budgets_available(self) -> bool:
@@ -531,6 +562,8 @@ class _StreamState:
             and self.submits[self._next_arrival] <= self.now + 1e-9
         ):
             self._admitted.append(self._next_arrival)
+            if self._obs is not None:
+                self._obs.on_job_admitted(self, self._next_arrival)
             self._next_arrival += 1
             self._sched_dirty = True
 
@@ -693,6 +726,10 @@ class _StreamState:
         """Checkpoint one launched group back to its stage queue."""
         j, index = group.job_index, group.stage_index
         group.cancelled = True
+        if self._obs is not None:
+            # Before the flow handles are withdrawn, so the recorder
+            # can close the group's flow spans as cancelled.
+            self._obs.on_group_preempt(self, group)
         for flow in group.flows:
             self.fabric.remove_flow(flow)  # no-op for completed flows
         group.flows.clear()
@@ -785,8 +822,11 @@ class _StreamState:
     def _launch_group(
         self, j: int, index: int, stage: StageSpec, node: int, n_tasks: int
     ) -> None:
+        obs = self._obs
         if self.stage_start[j][index] == math.inf:
             self.stage_start[j][index] = self.now
+            if obs is not None:
+                obs.on_stage_start(self, j, index)
         self.free_slots[node] -= n_tasks
         self._free_total -= n_tasks
         self.launched[j][index] += n_tasks
@@ -794,6 +834,7 @@ class _StreamState:
         if self.launched[j][index] >= stage.num_tasks:
             self._runnable[j].remove(index)
         group = _TaskGroup(j, index, node, n_tasks)
+        group.t_launch = self.now
         if self._track_groups:
             self._active_groups[j].append(group)
         fraction = n_tasks / stage.num_tasks
@@ -813,6 +854,8 @@ class _StreamState:
                 flow = self.fabric.add_flow(src, node, volume, tag=group)
                 if self._track_groups:
                     group.flows.append(flow)
+                if obs is not None:
+                    obs.on_flow_open(self, flow, group)
                 group.pending_flows += 1
 
         # Remote input reads (non-local HDFS blocks), spread uniformly
@@ -828,8 +871,12 @@ class _StreamState:
                 flow = self.fabric.add_flow(src, node, per_src, tag=group)
                 if self._track_groups:
                     group.flows.append(flow)
+                if obs is not None:
+                    obs.on_flow_open(self, flow, group)
                 group.pending_flows += 1
 
+        if obs is not None:
+            obs.on_group_launch(self, group)
         if group.pending_flows == 0:
             self._start_computes(group)
 
@@ -846,6 +893,8 @@ class _StreamState:
 
     # -- completions ---------------------------------------------------------
     def _on_flow_complete(self, flow: Flow) -> None:
+        if self._obs is not None:
+            self._obs.on_flow_close(self, flow)
         group = flow.tag
         if not isinstance(group, _TaskGroup):
             return
@@ -854,6 +903,7 @@ class _StreamState:
             self._start_computes(group)
 
     def _on_compute_complete(self, group: _TaskGroup) -> None:
+        obs = self._obs
         j = group.job_index
         index = group.stage_index
         job = self.jobs[j]
@@ -862,6 +912,8 @@ class _StreamState:
         group.n_done += 1
         if self._track_groups and group.n_done >= group.n_tasks:
             self._active_groups[j].remove(group)
+        if obs is not None:
+            obs.on_task_done(self, group)
         self._remaining_est[j] -= job.stages[index].compute_s
         self.tasks_run[j][index][group.node] += 1
         self.free_slots[group.node] += 1
@@ -869,6 +921,8 @@ class _StreamState:
         self._sched_dirty = True
         if self.done[j][index] >= job.stages[index].num_tasks:
             self.stage_end[j][index] = self.now
+            if obs is not None:
+                obs.on_stage_end(self, j, index)
             pending = self._pending_parents[j]
             for child in self._children[j][index]:
                 pending[child] -= 1
@@ -881,6 +935,8 @@ class _StreamState:
                 self.finished[j] = True
                 self._n_finished += 1
                 self.finish_times[j] = self.now
+                if obs is not None:
+                    obs.on_job_finish(self, j)
 
     # -- telemetry -------------------------------------------------------------
     def _record(self, force: bool = False) -> None:
@@ -929,12 +985,15 @@ class _StreamState:
         n_jobs = len(self.jobs)
         heappop = heapq.heappop
         preemptable = self._track_groups
+        obs = self._obs
         for _ in range(max_steps):
             if self._n_finished == n_jobs:
                 break
             self._n_steps += 1
             fabric.compute_rates()
             self._record()
+            if obs is not None:
+                obs.maybe_scrape(self)
             if preemptable:
                 # Entries of preempted groups are discarded lazily;
                 # purge them from the head so they never bound the
@@ -958,6 +1017,10 @@ class _StreamState:
                     f"no arrivals, jobs done={self.finished}"
                 )
             dt = max(dt, 0.0)
+            if obs is not None:
+                # Shaper transitions fire from inside advance(); stamp
+                # them at the end of the step being integrated.
+                obs.now = self.now + dt
             completed_flows = fabric.advance(dt)
             self.now += dt
             for flow in completed_flows:
@@ -977,6 +1040,9 @@ class _StreamState:
             raise RuntimeError("step budget exhausted; stream did not converge")
         fabric.compute_rates()
         self._record(force=True)
+        if obs is not None:
+            obs.finalize(self)
+            fabric.set_recorder(None)
         return self._build_result()
 
     # -- result assembly ---------------------------------------------------

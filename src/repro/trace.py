@@ -30,7 +30,9 @@ class BoxSummary:
     """Box-and-whiskers summary used throughout the paper's figures.
 
     The paper's boxes show the interquartile range with whiskers at the
-    1st and 99th percentiles (Figures 2, 4, 5, 9, 16, 17).
+    1st and 99th percentiles (Figures 2, 4, 5, 9, 16, 17); ``p999``
+    extends the summary into the tail the observability layer tracks
+    (its whiskers and IQR are unchanged).
     """
 
     p01: float
@@ -38,6 +40,7 @@ class BoxSummary:
     p50: float
     p75: float
     p99: float
+    p999: float
 
     @property
     def iqr(self) -> float:
@@ -50,13 +53,14 @@ class BoxSummary:
         return self.p99 - self.p01
 
     def as_dict(self) -> dict[str, float]:
-        """Return the five summary percentiles keyed by name."""
+        """Return the summary percentiles keyed by name."""
         return {
             "p01": self.p01,
             "p25": self.p25,
             "p50": self.p50,
             "p75": self.p75,
             "p99": self.p99,
+            "p999": self.p999,
         }
 
 
@@ -69,8 +73,10 @@ def summarize_box(values: Sequence[float] | np.ndarray) -> BoxSummary:
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarize an empty sample")
-    p01, p25, p50, p75, p99 = np.percentile(arr, [1, 25, 50, 75, 99])
-    return BoxSummary(p01=p01, p25=p25, p50=p50, p75=p75, p99=p99)
+    p01, p25, p50, p75, p99, p999 = np.percentile(
+        arr, [1, 25, 50, 75, 99, 99.9]
+    )
+    return BoxSummary(p01=p01, p25=p25, p50=p50, p75=p75, p99=p99, p999=p999)
 
 
 @dataclass

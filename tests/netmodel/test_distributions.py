@@ -19,9 +19,14 @@ def dist():
 
 class TestConstruction:
     def test_from_box(self):
-        box = BoxSummary(p01=1, p25=3, p50=5, p75=7, p99=9)
+        box = BoxSummary(p01=1, p25=3, p50=5, p75=7, p99=9, p999=9.5)
         dist = QuantileDistribution.from_box(box)
         assert dist.median == 5.0
+        # from_box anchors the paper's five probabilities only (the
+        # sampling inversion must not change underneath golden pins);
+        # box_summary round-trips with the tail clipped to p99.
+        assert dist.probs == (0.01, 0.25, 0.5, 0.75, 0.99)
+        assert dist.box_summary().p999 == 9.0
 
     def test_from_mapping_sorts(self):
         dist = QuantileDistribution.from_mapping({0.75: 7.0, 0.25: 3.0, 0.5: 5.0})

@@ -1,0 +1,70 @@
+"""Tests for the structured worker logger."""
+
+import datetime
+import re
+
+from repro.obs.logging import StructuredLogger, format_fields
+
+
+def _frozen_clock():
+    return datetime.datetime(
+        2026, 8, 8, 12, 0, 0, 123456, tzinfo=datetime.timezone.utc
+    )
+
+
+class TestFormatFields:
+    def test_plain_values_stay_bare(self):
+        assert format_fields(shard=0, cells=12) == "shard=0 cells=12"
+
+    def test_booleans_lowercase(self):
+        assert format_fields(cached=True, fresh=False) == (
+            "cached=true fresh=false"
+        )
+
+    def test_floats_compact(self):
+        assert format_fields(wall_s=0.0345170001) == "wall_s=0.034517"
+
+    def test_spaces_and_quotes_force_quoting(self):
+        assert format_fields(path="/a b") == 'path="/a b"'
+        assert format_fields(msg='say "hi"') == 'msg="say \\"hi\\""'
+        assert format_fields(empty="") == 'empty=""'
+
+
+class TestStructuredLogger:
+    def test_emits_timestamped_line(self):
+        lines = []
+        log = StructuredLogger(
+            echo=lines.append, component="worker", clock=_frozen_clock
+        )
+        log.log("cell_done", shard=1, wall_s=0.5)
+        assert lines == [
+            "ts=2026-08-08T12:00:00.123Z component=worker "
+            "event=cell_done shard=1 wall_s=0.5"
+        ]
+        assert log.enabled
+
+    def test_none_echo_silences_everything(self):
+        log = StructuredLogger(echo=None, component="worker")
+        log.log("cell_done", shard=1)  # must not raise
+        assert not log.enabled
+
+    def test_component_is_optional(self):
+        lines = []
+        StructuredLogger(echo=lines.append, clock=_frozen_clock).log("x")
+        assert lines == ["ts=2026-08-08T12:00:00.123Z event=x"]
+
+    def test_child_shares_sink_with_new_component(self):
+        lines = []
+        parent = StructuredLogger(echo=lines.append, clock=_frozen_clock)
+        parent.child("merge").log("start")
+        assert lines == [
+            "ts=2026-08-08T12:00:00.123Z component=merge event=start"
+        ]
+
+    def test_default_clock_is_utc_iso(self):
+        lines = []
+        StructuredLogger(echo=lines.append).log("x")
+        assert re.match(
+            r"^ts=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z event=x$",
+            lines[0],
+        )

@@ -1,0 +1,115 @@
+"""Tests for the metrics registry and the Prometheus text round trip."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_accumulates_per_label_set(self):
+        c = Counter("jobs_total")
+        c.inc()
+        c.inc(2.0)
+        c.inc(tenant="a")
+        assert c.value() == 3.0
+        assert c.value(tenant="a") == 1.0
+        assert c.value(tenant="b") == 0.0
+
+    def test_rejects_negative_increment(self):
+        c = Counter("jobs_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(ValueError):
+            Counter("1bad-name")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("depth")
+        g.set(4.0, tenant="a")
+        g.inc(-1.5, tenant="a")
+        assert g.value(tenant="a") == 2.5
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative_in_render(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        lines = h.render()
+        assert 'lat_bucket{le="1"} 2' in lines
+        assert 'lat_bucket{le="10"} 3' in lines
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+        assert "lat_count 4" in lines
+        assert h.count() == 4
+
+    def test_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_getters_are_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_collision_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_render_parse_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs").inc(3.0, tenant="t 0")
+        reg.gauge("repro_depth", "Depth").set(2.5)
+        h = reg.histogram("repro_lat_seconds", "Latency", buckets=(1.0, 60.0))
+        h.observe(0.5)
+        h.observe(90.0)
+        samples = parse_prometheus_text(reg.render_prometheus())
+        assert samples[("repro_jobs_total", (("tenant", "t 0"),))] == 3.0
+        assert samples[("repro_depth", ())] == 2.5
+        assert samples[("repro_lat_seconds_bucket", (("le", "1"),))] == 1.0
+        assert samples[("repro_lat_seconds_bucket", (("le", "+Inf"),))] == 2.0
+        assert samples[("repro_lat_seconds_count", ())] == 2.0
+        assert samples[("repro_lat_seconds_sum", ())] == 90.5
+
+    def test_nan_gauge_survives_the_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.gauge("eta").set(math.nan)
+        value = parse_prometheus_text(reg.render_prometheus())[("eta", ())]
+        assert math.isnan(value)
+
+
+class TestParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_without_value\n")
+
+    def test_rejects_malformed_labels(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text('m{a=unquoted} 1\n')
+
+    def test_rejects_malformed_comment(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# just prose\n")
+
+    def test_rejects_duplicate_sample(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m 1\nm 2\n")
+
+    def test_unescapes_label_values(self):
+        samples = parse_prometheus_text('m{a="x\\"y\\\\z"} 1\n')
+        assert samples[("m", (("a", 'x"y\\z'),))] == 1.0

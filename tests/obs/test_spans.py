@@ -1,0 +1,84 @@
+"""Tests for sim-time span tracing and the Chrome trace export."""
+
+import json
+
+from repro.obs.spans import SpanTracer
+
+
+class TestSpanLifecycle:
+    def test_begin_end_records_a_completed_span(self):
+        tracer = SpanTracer()
+        sid = tracer.begin("job 0", "job", 1.5, track="job:a", tenant="a")
+        tracer.end(sid, 4.0, missed=False)
+        (span,) = tracer.spans("job")
+        assert span["t0"] == 1.5
+        assert span["t1"] == 4.0
+        assert span["args"] == {"tenant": "a", "missed": False}
+
+    def test_events_and_spans_filter_by_category(self):
+        tracer = SpanTracer()
+        tracer.event("admit", "job", 0.0, track="job:a")
+        sid = tracer.begin("g", "taskgroup", 0.0, track="job:a")
+        tracer.end(sid, 1.0)
+        assert len(tracer.events("job")) == 1
+        assert tracer.events("taskgroup") == []
+        assert len(tracer.spans("taskgroup")) == 1
+        assert len(tracer.records()) == 2
+        assert len(tracer) == 2
+
+    def test_close_open_spans_marks_truncation(self):
+        tracer = SpanTracer()
+        tracer.begin("a", "job", 0.0, track="t")
+        tracer.begin("b", "job", 1.0, track="t")
+        assert tracer.close_open_spans(5.0) == 2
+        spans = tracer.spans()
+        assert all(s["t1"] == 5.0 and s["args"]["truncated"] for s in spans)
+
+
+class TestExports:
+    def _tracer(self):
+        tracer = SpanTracer()
+        sid = tracer.begin("stage 0", "stage", 2.0, track="job:a")
+        tracer.event("throttle", "shaper", 2.5, track="fabric", node=3)
+        tracer.end(sid, 3.0)
+        return tracer
+
+    def test_jsonl_is_one_object_per_line(self):
+        lines = self._tracer().to_jsonl().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["ph"] == "X"
+        assert records[1]["ph"] == "i"
+
+    def test_chrome_trace_structure(self):
+        trace = self._tracer().to_chrome_trace()
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        meta = [e for e in events if e["ph"] == "M"]
+        # One thread_name metadata event per track, tid in first-use order.
+        assert [(m["tid"], m["args"]["name"]) for m in meta] == [
+            (0, "job:a"),
+            (1, "fabric"),
+        ]
+        (complete,) = [e for e in events if e["ph"] == "X"]
+        assert complete["ts"] == 2.0 * 1e6
+        assert complete["dur"] == 1.0 * 1e6
+        assert complete["tid"] == 0
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["s"] == "t"
+        assert instant["ts"] == 2.5 * 1e6
+        assert instant["args"] == {"node": 3}
+
+    def test_never_closed_span_is_dropped_from_chrome_export(self):
+        tracer = SpanTracer()
+        tracer.begin("open", "job", 0.0, track="t")
+        events = tracer.to_chrome_trace()["traceEvents"]
+        assert [e["ph"] for e in events] == ["M"]
+
+    def test_write_roundtrip(self, tmp_path):
+        tracer = self._tracer()
+        chrome = tracer.write_chrome_trace(tmp_path / "trace.json")
+        jsonl = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        loaded = json.loads(chrome.read_text())
+        assert len(loaded["traceEvents"]) == 4  # 2 meta + 1 span + 1 event
+        assert len(jsonl.read_text().splitlines()) == 2

@@ -1,0 +1,166 @@
+"""Tests for the campaign status probe and its renderers."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import parse_prometheus_text
+from repro.obs.status import (
+    CampaignStatus,
+    ShardStatus,
+    campaign_status,
+    render_prometheus,
+    render_text,
+)
+
+
+def _write_shard(
+    shard_dir, index, keys, done=(), prefix="shard", wall_each=2.0
+):
+    """One shard manifest plus a store holding the ``done`` subset."""
+    manifest = {
+        "schema": 1,
+        "shard": index,
+        "n_shards": 2,
+        "encode": "m:encode",
+        "cells": [
+            {"fn": "m:f", "payload": {"k": key}, "key": key} for key in keys
+        ],
+    }
+    (shard_dir / f"{prefix}-{index}.json").write_text(json.dumps(manifest))
+    if done:
+        store = shard_dir / f"{prefix}-{index}-store"
+        store.mkdir()
+        entries = {
+            key: {
+                "documents": [],
+                "obs": {
+                    "wall_s": wall_each,
+                    "unix_s": 1.7e9 + i,
+                    "n_steps": 100 + i,
+                },
+            }
+            for i, key in enumerate(done)
+        }
+        (store / "manifest.json").write_text(json.dumps(entries))
+
+
+class TestCampaignStatus:
+    def test_discovers_shards_and_counts_progress(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a", "b"], done=["a", "b"])
+        _write_shard(tmp_path, 1, ["c", "d"], done=["c"])
+        status = campaign_status(tmp_path)
+        assert [s.index for s in status.shards] == [0, 1]
+        assert status.n_cells == 4
+        assert status.n_done == 3
+        assert status.shards[0].n_pending == 0
+        assert status.shards[1].done_frac == 0.5
+        assert status.shards[1].n_steps == 100
+        assert status.shards[1].last_unix_s == 1.7e9
+
+    def test_missing_store_means_zero_progress_and_no_scaffold(
+        self, tmp_path
+    ):
+        _write_shard(tmp_path, 0, ["a"], done=[])
+        status = campaign_status(tmp_path)
+        assert status.shards[0].n_done == 0
+        # A status probe must not create store directories.
+        assert not (tmp_path / "shard-0-store").exists()
+
+    def test_no_manifests_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no shard manifests"):
+            campaign_status(tmp_path)
+
+    def test_custom_prefix(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a"], done=["a"], prefix="part")
+        status = campaign_status(tmp_path, prefix="part")
+        assert status.n_done == 1
+
+    def test_stores_override_is_positional(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a"], done=[])
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        (elsewhere / "manifest.json").write_text(
+            json.dumps({"a": {"documents": [], "obs": {"wall_s": 1.0}}})
+        )
+        status = campaign_status(tmp_path, stores=[elsewhere])
+        assert status.shards[0].n_done == 1
+
+    def test_stores_override_count_mismatch(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a"])
+        _write_shard(tmp_path, 1, ["b"])
+        with pytest.raises(ValueError, match="--stores"):
+            campaign_status(tmp_path, stores=["only-one"])
+
+    def test_throughput_and_eta_from_provenance(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a", "b", "c", "d"], done=["a", "b"])
+        shard = campaign_status(tmp_path).shards[0]
+        assert shard.throughput_cps == pytest.approx(0.5)  # 2 cells / 4 s
+        assert shard.eta_s == pytest.approx(4.0)  # 2 pending / 0.5 cps
+
+    def test_eta_nan_without_provenance(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a", "b"], done=[])
+        status = campaign_status(tmp_path)
+        assert math.isnan(status.shards[0].eta_s)
+        assert math.isnan(status.eta_s)
+
+
+class TestStragglers:
+    def _status(self, fracs):
+        status = CampaignStatus(shard_dir="x")
+        for i, frac in enumerate(fracs):
+            status.shards.append(
+                ShardStatus(
+                    index=i,
+                    manifest_path="m",
+                    store_root="s",
+                    n_cells=100,
+                    n_done=int(frac * 100),
+                )
+            )
+        return status
+
+    def test_lagging_shard_is_flagged(self):
+        status = self._status([1.0, 1.0, 0.5])
+        assert [s.index for s in status.stragglers()] == [2]
+
+    def test_uniform_progress_has_no_stragglers(self):
+        assert self._status([0.5, 0.5, 0.5]).stragglers() == []
+
+    def test_finished_shard_is_never_a_straggler(self):
+        # Even with a lagging fraction recorded, no pending cells means
+        # nothing to wait for.
+        status = self._status([1.0, 1.0])
+        status.shards[1].n_done = status.shards[1].n_cells
+        assert status.stragglers() == []
+
+    def test_single_shard_campaign_has_no_stragglers(self):
+        assert self._status([0.0]).stragglers() == []
+
+
+class TestRenderers:
+    def test_text_table_flags_stragglers(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a", "b"], done=["a", "b"])
+        _write_shard(tmp_path, 1, ["c", "d"], done=[])
+        text = render_text(campaign_status(tmp_path))
+        assert "shard 0: 2/2 cells (100%)" in text
+        assert "STRAGGLER" in text
+        assert "total: 2/4 cells (50%)" in text
+
+    def test_prometheus_output_parses_and_carries_shard_gauges(
+        self, tmp_path
+    ):
+        _write_shard(tmp_path, 0, ["a", "b"], done=["a"])
+        _write_shard(tmp_path, 1, ["c"], done=["c"])
+        samples = parse_prometheus_text(
+            render_prometheus(campaign_status(tmp_path))
+        )
+        shard0 = (("shard", "0"),)
+        assert samples[("repro_campaign_shard_cells", shard0)] == 2.0
+        assert samples[("repro_campaign_shard_cells_done", shard0)] == 1.0
+        assert samples[("repro_campaign_shard_sim_steps", shard0)] == 100.0
+        assert samples[("repro_campaign_shards", ())] == 2.0
+        assert samples[("repro_campaign_done_ratio", ())] == pytest.approx(
+            2.0 / 3.0
+        )

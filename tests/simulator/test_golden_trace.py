@@ -36,14 +36,15 @@ _BUCKET = TokenBucketParams(
 )
 
 
-def _run_reference_stream(fleet_mode: str = "auto"):
+def _run_reference_stream(fleet_mode: str = "auto", recorder=None):
     """A 6-node, 6-job mixed stream with shaper tier transitions.
 
     ``fleet_mode`` selects the shaper path: ``"auto"`` lets the fabric
     build the vectorized :class:`TokenBucketFleet` (the default for a
     homogeneous shaper list), ``"scalar"`` forces the per-model
     :class:`ScalarFleetAdapter` reference loop.  Both must reproduce
-    the pinned fixture bit for bit.
+    the pinned fixture bit for bit — as must either path with an
+    observability ``recorder`` attached.
     """
     rng = np.random.default_rng(20260727)
     cluster = Cluster(
@@ -61,7 +62,9 @@ def _run_reference_stream(fleet_mode: str = "auto"):
     times = poisson_arrivals(rng, rate_per_min=3.0, n_jobs=6)
     stream = job_stream(rng, times, n_nodes=6, slots=4, data_scale=0.15)
     engine = SparkEngine(cluster, rng=rng, sample_interval_s=5.0)
-    return engine.run_stream(stream, scheduler="fair", fabric=fabric)
+    return engine.run_stream(
+        stream, scheduler="fair", fabric=fabric, recorder=recorder
+    )
 
 
 def _snapshot(result) -> dict:
@@ -113,6 +116,27 @@ def test_golden_trace_matches_through_scalar_adapter_path():
     snapshot = _snapshot(_run_reference_stream(fleet_mode="scalar"))
     pinned = json.loads(FIXTURE.read_text())
     assert snapshot == pinned
+
+
+def test_golden_trace_unchanged_with_recorder_attached():
+    """Full observability (metrics + scrapes + spans) observes only.
+
+    The recorder hooks sit on the engine's hottest paths; this is the
+    contract that they never perturb the simulation: the pinned trace
+    must survive bit for bit with everything enabled, on both the
+    vectorized and the scalar shaper path.
+    """
+    from repro.obs import ObsRecorder
+
+    pinned = json.loads(FIXTURE.read_text())
+    for mode in ("auto", "scalar"):
+        recorder = ObsRecorder(scrape_interval_s=5.0, window_s=60.0)
+        snapshot = _snapshot(_run_reference_stream(mode, recorder=recorder))
+        assert snapshot == pinned, mode
+        # And the recorder actually observed the run.
+        assert recorder.task_latency.count > 0
+        assert len(recorder.tracer.spans("job")) == 6
+        assert recorder.series()["active_flows"].times.size > 0
 
 
 def test_reference_stream_uses_vectorized_fleet_by_default():

@@ -57,6 +57,15 @@ def test_deadline_campaign(capsys):
     assert "warm-fabric slowdown" in out
 
 
+def test_observability_tour(capsys):
+    out = run_example("observability_tour.py", capsys)
+    assert "observed stream" in out
+    assert "task-latency quantiles" in out
+    assert "chrome trace:" in out
+    assert "campaign status" in out
+    assert "STRAGGLER" in out
+
+
 def test_sharded_campaign(capsys):
     out = run_example("sharded_campaign.py", capsys)
     assert "2 shards" in out

@@ -29,10 +29,18 @@ class TestBoxSummary:
         assert box.p99 > box.p75
 
     def test_iqr_and_whiskers(self):
-        box = BoxSummary(p01=1, p25=3, p50=5, p75=8, p99=12)
+        box = BoxSummary(p01=1, p25=3, p50=5, p75=8, p99=12, p999=14)
         assert box.iqr == 5
         assert box.whisker_span == 11
         assert box.as_dict()["p50"] == 5
+        assert box.as_dict()["p999"] == 14
+
+    def test_p999_tracks_the_extreme_tail(self):
+        box = summarize_box(np.arange(1, 10_001, dtype=float))
+        assert box.p99 <= box.p999
+        assert box.p999 == pytest.approx(
+            np.percentile(np.arange(1, 10_001, dtype=float), 99.9)
+        )
 
     def test_empty_sample_rejected(self):
         with pytest.raises(ValueError):
