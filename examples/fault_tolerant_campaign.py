@@ -1,0 +1,139 @@
+"""Fault-tolerant campaign walkthrough: kill the workers, keep the bytes.
+
+The paper's central complaint is that big-data experiments are rarely
+reproducible; a campaign that dies halfway and merges a subtly
+different result is the worst version of that.  The campaign fabric's
+answer is *convergence*: workers hold heartbeat-renewed leases, a
+supervisor (``repro campaign run``) relaunches the dead with backoff,
+charges each death to the blamed cell, quarantines cells that exhaust
+their retry budget, and lets idle workers steal pending chains — and
+through all of it the merged store is byte-identical to an unperturbed
+serial run.
+
+This script stages two incidents against real ``repro worker``
+subprocesses using the seeded chaos harness (:mod:`repro.runtime.chaos`):
+
+1. a worker is SIGKILLed mid-shard — the supervisor detects the death,
+   relaunches, and the campaign converges to the serial content hash;
+2. a *poison* cell fails every attempt — the supervisor quarantines it
+   (and its chained successor) into ``failures.json`` and merges the
+   rest, refusing to pretend the campaign was whole.
+
+Along the way ``ArtifactStore.verify()`` audits every store the same
+way ``repro store verify`` does from the shell.
+
+Run with:  python examples/fault_tolerant_campaign.py
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.runtime import ArtifactStore, run_campaign, run_manifest
+from repro.runtime.chaos import CHAOS_ENV, deactivate, demo_codec, demo_matrix
+
+SEED = 11
+N_SHARDS = 2
+
+
+def write_shards(directory: Path, cells) -> list[Path]:
+    from repro.runtime import write_shard_manifests
+
+    codec = demo_codec()
+    return write_shard_manifests(
+        cells, N_SHARDS, directory, codec.encode_ref,
+        decode_ref=codec.decode_ref,
+    )
+
+
+def main() -> None:
+    # Worker subprocesses must import `repro` from this checkout.
+    src_dir = Path(repro.__file__).resolve().parent.parent
+    existing = os.environ.get("PYTHONPATH", "")
+    os.environ["PYTHONPATH"] = (
+        f"{src_dir}:{existing}" if existing else str(src_dir)
+    )
+
+    cells = demo_matrix(n_chains=4, chain_len=2, seed=SEED)
+    print(f"campaign: {len(cells)} cells in 4 chains, {N_SHARDS} shards")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        work = Path(tmp)
+
+        # The ground truth: one serial, unperturbed run.
+        serial_dir = work / "serial"
+        write_shards(serial_dir, cells)  # n_shards manifests, run as one
+        for manifest in sorted(serial_dir.glob("shard-*.json")):
+            run_manifest(manifest, serial_dir / "store", echo=None)
+        serial_hash = ArtifactStore(serial_dir / "store").content_hash()
+        print(f"serial reference hash: {serial_hash[:16]}...\n")
+
+        # -- incident 1: SIGKILL a worker mid-shard ---------------------
+        print("incident 1: kill a worker at its second cell")
+        kill_dir = work / "kill"
+        write_shards(kill_dir / "shards", cells)
+        chaos = work / "chaos-kill.json"
+        chaos.write_text(json.dumps({
+            "schema": 1,
+            "state_dir": str(work / "chaos-state"),
+            "kill_at_cell": {"index": 1, "times": 1},
+        }))
+        os.environ[CHAOS_ENV] = str(chaos)
+        summary = run_campaign(
+            kill_dir / "shards",
+            store_root=kill_dir / "merged",
+            lease_ttl_s=10.0, poll_s=0.05,
+            backoff_base_s=0.05, backoff_cap_s=0.2,
+            max_wall_s=120.0, echo=None,
+        )
+        print(f"  worker deaths: {summary['deaths']}, "
+              f"launches: {summary['launches']}")
+        assert summary["ok"] and summary["deaths"] >= 1
+        assert summary["merged"]["content_hash"] == serial_hash
+        print("  merged hash equals the serial run: convergence held\n")
+
+        # -- incident 2: a poison cell ----------------------------------
+        print("incident 2: one cell fails every attempt")
+        poison_dir = work / "poison"
+        manifests = write_shards(poison_dir / "shards", cells)
+        poison = json.loads(manifests[0].read_text())["cells"][0]["key"]
+        chaos = work / "chaos-poison.json"
+        chaos.write_text(json.dumps({
+            "schema": 1, "poison_keys": [poison],
+        }))
+        os.environ[CHAOS_ENV] = str(chaos)
+        summary = run_campaign(
+            poison_dir / "shards",
+            store_root=poison_dir / "merged",
+            allow_partial=True, max_retries=1,
+            lease_ttl_s=10.0, poll_s=0.05,
+            backoff_base_s=0.05, backoff_cap_s=0.2,
+            max_wall_s=120.0, echo=None,
+        )
+        assert not summary["ok"]
+        assert summary["quarantined"] == (poison,)
+        report = json.loads(
+            (poison_dir / "shards" / "failures.json").read_text()
+        )
+        print(f"  quarantined: {list(report['cells'])}")
+        print(f"  blocked successors: {report['blocked']}")
+        merged = ArtifactStore(poison_dir / "merged")
+        lost = len(cells) - len(merged.keys())
+        print(f"  partial merge kept {len(merged.keys())}/{len(cells)} "
+              f"cells (the poisoned chain cost {lost})\n")
+
+        # -- the audit behind `repro store verify` ----------------------
+        del os.environ[CHAOS_ENV]
+        deactivate()
+        for root in (serial_dir / "store", kill_dir / "merged",
+                     poison_dir / "merged"):
+            audit = ArtifactStore(root).verify()
+            state = "ok" if audit.ok else "CORRUPT"
+            print(f"store verify {root.name}: {audit.checked} artifacts, "
+                  f"{state}")
+
+
+if __name__ == "__main__":
+    main()

@@ -109,11 +109,16 @@ def _run_until_first_cell(manifest: Path, store_root: Path) -> int:
         done += 1
         return real(config)
 
+    # The worker surfaces a raising cell as CellExecutionError — the
+    # retryable half of its exit-code protocol — with the original
+    # message preserved.
+    from repro.runtime import CellExecutionError
+
     orchestrate.run_scenario = preempting
     try:
         run_manifest(manifest, store_root, echo=None)
-    except Preempted:
-        pass
+    except CellExecutionError as exc:
+        assert "spot instance reclaimed" in str(exc)
     finally:
         orchestrate.run_scenario = real
     return len(ArtifactStore(store_root).keys())

@@ -25,10 +25,15 @@ Uta et al., packaged as a reusable library:
   scenarios, measurement matrices, figure sweeps, and the bench
   suite: content-hashed :class:`~repro.runtime.cell.Cell` units
   (optionally chained via ``after``), a crash-safe content-addressed
-  :class:`~repro.runtime.store.ArtifactStore`, and pluggable
-  serial / process-pool / multi-machine shard executors
-  (``python -m repro worker`` + ``merge``; chains stay whole on one
-  shard and resume mid-chain from their store);
+  :class:`~repro.runtime.store.ArtifactStore` with an integrity audit
+  (``repro store verify``), pluggable serial / process-pool /
+  multi-machine shard executors (``python -m repro worker`` +
+  ``merge``; chains stay whole on one shard and resume mid-chain from
+  their store), and a fault-tolerant supervisor (``repro campaign
+  run``): leased, heartbeat-renewed workers, death detection, retries
+  with backoff, poison-cell quarantine into ``failures.json``, idle
+  work stealing, and a seeded chaos harness proving that a campaign
+  killed anywhere converges byte-identically to a serial run;
 * :mod:`repro.obs` — observability across engine, fabric, and
   runtime: Prometheus-style metrics with an in-simulation scraper,
   streaming P² sliding-window latency quantiles, job/stage/task-group
@@ -77,6 +82,13 @@ and report live progress while the workers run::
 
     python -m repro campaign status shards/          # table + stragglers
     python -m repro campaign status shards/ --prom   # Prometheus text
+
+or hand the whole thing to the fault-tolerant supervisor, which
+launches the workers itself, replaces any that die (SIGKILL included),
+quarantines cells that fail every retry, and merges at the end::
+
+    python -m repro campaign run shards/ --store campaign-store
+    python -m repro store verify campaign-store      # integrity audit
 """
 
 __version__ = "1.0.0"

@@ -11,7 +11,10 @@ Usage::
     python -m repro scenario --fast --seed 7   # randomized sweep
     python -m repro scenario --fast --shards 2 --shard-dir shards/
     python -m repro worker shards/shard-0.json --store shard0-store
+    python -m repro campaign run shards/ --store campaign-store
+    python -m repro campaign status shards/
     python -m repro merge shard0-store shard1-store --store campaign-store
+    python -m repro store verify campaign-store
     python -m repro bench                # hot-path benchmarks + ledger
     python -m repro bench --table-only   # recorded before/after table
     python -m repro bench --check        # fail on checksum/wall regression
@@ -181,7 +184,9 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("  scenario                 randomized multi-job scenario sweep")
     print("  worker <manifest>        execute one campaign shard manifest")
     print("  merge <stores...>        merge shard stores into a campaign store")
+    print("  campaign run <dir>       fault-tolerant supervisor for all shards")
     print("  campaign status <dir>    live progress of a sharded campaign")
+    print("  store verify <dirs...>   audit store integrity (manifest vs disk)")
     print("  bench                    simulator hot-path benchmark suite")
     return 0
 
@@ -373,22 +378,86 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.runtime import run_manifest
+    """Execute one shard manifest.  Exit codes are a protocol:
 
+    0 — shard done; 2 — configuration error (bad manifest/store, do
+    not retry); 3 — retryable (a cell crashed, the lease was lost or
+    already held — relaunch later); 4 — finished, but the store's
+    ``failures.json`` names quarantined cells that never resolved.
+    """
+    import os
+
+    from repro.runtime import (
+        ArtifactStore,
+        CellExecutionError,
+        ExecutionAborted,
+        run_manifest,
+    )
+    from repro.runtime.coordinator import (
+        LeaseHeartbeat,
+        LeaseLostError,
+        acquire_lease,
+        release_lease,
+    )
+    from repro.runtime.worker import FAILURES_NAME, read_failures
+    from pathlib import Path
+
+    heartbeat = None
+    lease = None
+    should_stop = None
+    worker_id = args.worker_id or f"pid-{os.getpid()}"
     try:
-        summary = run_manifest(
-            args.manifest,
-            args.store,
-            workers=args.workers,
-            echo=None if args.quiet else print,
-        )
-    except (OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        if args.lease:
+            try:
+                lease = acquire_lease(
+                    args.lease, worker_id=worker_id, ttl_s=args.lease_ttl
+                )
+            except LeaseLostError as exc:
+                print(f"retryable: {exc}", file=sys.stderr)
+                return 3
+            interval = args.heartbeat or max(0.05, args.lease_ttl / 3.0)
+            heartbeat = LeaseHeartbeat(
+                args.lease, lease["token"], interval_s=interval
+            )
+            heartbeat.start()
+            should_stop = lambda: heartbeat.lost  # noqa: E731
+        try:
+            summary = run_manifest(
+                args.manifest,
+                args.store,
+                workers=args.workers,
+                echo=None if args.quiet else print,
+                should_stop=should_stop,
+            )
+        except (CellExecutionError, ExecutionAborted) as exc:
+            print(f"retryable: {exc}", file=sys.stderr)
+            return 3
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if lease is not None:
+            release_lease(args.lease, lease["token"])
+    failures = read_failures(Path(args.store) / FAILURES_NAME)
     print(
         f"worker done: computed={len(summary['computed'])} "
-        f"cached={len(summary['cached'])} store={summary['store']}"
+        f"cached={len(summary['cached'])} "
+        f"skipped={len(summary['skipped'])} store={summary['store']}"
     )
+    if failures is not None:
+        stored = set(ArtifactStore(args.store).keys())
+        unresolved = (
+            set(failures.get("cells", {})) | set(failures.get("blocked", ()))
+        ) - stored
+        if unresolved:
+            print(
+                f"failures: {len(unresolved)} quarantined/blocked cell(s) "
+                f"recorded in {FAILURES_NAME}",
+                file=sys.stderr,
+            )
+            return 4
     return 0
 
 
@@ -417,7 +486,9 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.runtime import merge_stores
 
     try:
-        summary = merge_stores(args.shard_stores, args.store)
+        summary = merge_stores(
+            args.shard_stores, args.store, allow_partial=args.allow_partial
+        )
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -426,7 +497,87 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         f"{summary['store']} ({summary['total']} total)"
     )
     print(f"content hash: {summary['content_hash']}")
+    if summary["failed"] or summary["blocked"]:
+        print(
+            f"partial merge: {len(summary['failed'])} failed and "
+            f"{len(summary['blocked'])} blocked cell(s) are missing",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.runtime.coordinator import run_campaign
+
+    try:
+        summary = run_campaign(
+            args.shard_dir,
+            prefix=args.prefix,
+            stores=args.stores,
+            store_root=args.store,
+            allow_partial=args.allow_partial,
+            max_retries=args.max_retries,
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_s=args.heartbeat,
+            poll_s=args.poll,
+            workers_per_shard=args.workers,
+            steal=not args.no_steal,
+            seed=args.seed if args.seed is not None else 0,
+            max_wall_s=args.max_wall,
+            echo=None if args.quiet else print,
+        )
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"campaign done: stored={summary['stored']}/{summary['cells']} "
+        f"deaths={summary['deaths']} steals={summary['steals']} "
+        f"quarantined={len(summary['quarantined'])} "
+        f"blocked={len(summary['blocked'])}"
+    )
+    merged = summary["merged"]
+    if merged is not None:
+        print(
+            f"merged {len(merged['adopted'])} artifact(s) into "
+            f"{merged['store']} ({merged['total']} total)"
+        )
+        print(f"content hash: {merged['content_hash']}")
+    elif args.store is not None:
+        print(
+            "merge skipped: unresolved failures (re-run, or pass "
+            "--allow-partial)",
+            file=sys.stderr,
+        )
+    return 0 if summary["ok"] else 4
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.runtime import ArtifactStore
+
+    problems = 0
+    for root in args.stores:
+        # An audit must never scaffold: a missing store is a usage
+        # error, not an empty-but-healthy one.
+        if not Path(root).is_dir():
+            print(f"error: no store directory {root}", file=sys.stderr)
+            return 2
+        try:
+            report = ArtifactStore(root).verify()
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        state = "ok" if report.ok else "CORRUPT"
+        print(
+            f"{root}: {state} — {report.checked} key(s) checked, "
+            f"{len(report.problems)} problem(s), "
+            f"{len(report.orphans)} orphan dir(s)"
+        )
+        for problem in report.problems:
+            print(f"  {problem}")
+        problems += len(report.problems)
+    return 1 if problems else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -549,13 +700,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-cell structured log lines (the final summary "
         "still prints)",
     )
+    p.add_argument(
+        "--lease", default=None, metavar="PATH",
+        help="lease file to acquire and heartbeat while the shard runs; "
+        "an unexpired foreign lease makes the worker exit 3 (retryable) "
+        "instead of double-running the shard (default: no lease)",
+    )
+    p.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="identity written into the lease (default: pid-<PID>)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="S",
+        help="lease time-to-live in seconds; a lease not renewed within "
+        "this window counts as a dead worker (default: 15)",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=None, metavar="S",
+        help="lease renewal interval (default: lease-ttl / 3)",
+    )
     p.set_defaults(handler=_cmd_worker)
 
     p = sub.add_parser(
         "campaign",
-        help="campaign-level operations (status)",
+        help="campaign-level operations (run, status)",
     )
     campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+    p = campaign_sub.add_parser(
+        "run",
+        help="supervise all shards of a campaign to completion: launch "
+        "leased workers, relaunch dead ones with backoff, quarantine "
+        "poison cells, let idle workers steal pending chains, then "
+        "merge the shard stores",
+        parents=[
+            make_runtime_parent(
+                workers_help="process-pool size inside each shard worker "
+                "(default: 1, serial — required for exact blame "
+                "attribution)",
+                seed_help="seed for deterministic relaunch jitter "
+                "(default: 0; never touches cell results)",
+                store_help="merged campaign store written after all "
+                "shards resolve (default: no merge)",
+            )
+        ],
+    )
+    p.add_argument(
+        "shard_dir",
+        help="directory holding the shard manifests written by "
+        "`repro scenario --shards` (shard-0.json, ...)",
+    )
+    p.add_argument(
+        "--prefix", default="shard", metavar="NAME",
+        help="manifest filename prefix (default: shard)",
+    )
+    p.add_argument(
+        "--stores", nargs="*", default=None, metavar="DIR",
+        help="explicit shard store directories, one per shard in shard "
+        "order (default: DIR/<prefix>-<i>-store)",
+    )
+    p.add_argument(
+        "--allow-partial", action="store_true",
+        help="merge even when quarantined/blocked cells are missing "
+        "(the exit code is still 4 so automation sees the holes)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries charged to a cell before it is quarantined "
+        "(default: 2)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="S",
+        help="worker lease time-to-live; an unrenewed lease means a "
+        "dead worker (default: 15)",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, default=None, metavar="S",
+        help="worker lease renewal interval (default: lease-ttl / 3)",
+    )
+    p.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="supervisor poll interval (default: 0.2)",
+    )
+    p.add_argument(
+        "--no-steal", action="store_true",
+        help="disable work stealing by idle workers",
+    )
+    p.add_argument(
+        "--max-wall", type=float, default=None, metavar="S",
+        help="abort the campaign after S seconds of wall clock "
+        "(default: run until resolved)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress coordinator structured log lines",
+    )
+    p.set_defaults(handler=_cmd_campaign_run)
     p = campaign_sub.add_parser(
         "status",
         help="report per-shard progress, throughput, ETA, and stragglers "
@@ -601,7 +840,29 @@ def build_parser() -> argparse.ArgumentParser:
         "shard_stores", nargs="+", metavar="SHARD_STORE",
         help="shard store directories written by `repro worker`",
     )
+    p.add_argument(
+        "--allow-partial", action="store_true",
+        help="merge shard stores whose failures.json still names "
+        "unresolved quarantined/blocked cells (default: refuse, so a "
+        "partial campaign cannot silently pose as complete)",
+    )
     p.set_defaults(handler=_cmd_merge)
+
+    p = sub.add_parser(
+        "store",
+        help="artifact-store maintenance (verify)",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser(
+        "verify",
+        help="audit stores: every manifested document present, readable, "
+        "and matching its recorded sha256 (exit 1 on any problem)",
+    )
+    p.add_argument(
+        "stores", nargs="+", metavar="DIR",
+        help="artifact store directories to audit",
+    )
+    p.set_defaults(handler=_cmd_store_verify)
 
     p = sub.add_parser("fingerprint", help="F5.2 baseline for an instance")
     p.add_argument("instance", help="EC2 instance type, e.g. c5.xlarge")

@@ -32,6 +32,7 @@ __all__ = [
     "ShardStatus",
     "CampaignStatus",
     "campaign_status",
+    "find_shard_manifests",
     "render_text",
     "render_prometheus",
 ]
@@ -55,10 +56,20 @@ class ShardStatus:
     n_steps: int = 0
     #: Wall-clock (unix seconds) of the most recent stored cell.
     last_unix_s: float | None = None
+    #: Cells revoked from this shard by the coordinator (stolen chains;
+    #: excludes quarantined/blocked cells, which count as failed).
+    n_stolen: int = 0
+    #: Cells quarantined or blocked on this shard (``failures.json``).
+    n_failed: int = 0
+    #: ``"alive"`` / ``"dead"`` from the shard's lease file, or ``"-"``
+    #: when no worker has ever leased the shard (serial/manual runs).
+    worker_state: str = "-"
+    #: Worker id from the lease file (``""`` without a lease).
+    worker_id: str = ""
 
     @property
     def n_pending(self) -> int:
-        return self.n_cells - self.n_done
+        return max(0, self.n_cells - self.n_done - self.n_stolen - self.n_failed)
 
     @property
     def done_frac(self) -> float:
@@ -156,16 +167,47 @@ def _read_store_manifest(store_root: Path) -> dict:
 def _shard_status(
     index: int, manifest_path: Path, store_root: Path
 ) -> ShardStatus:
+    # Imported lazily: repro.runtime modules import repro.obs at load
+    # time, so a module-level import here would be circular.
+    from repro.runtime.coordinator import (
+        lease_path_for,
+        lease_expired,
+        read_lease,
+    )
+    from repro.runtime.worker import (
+        FAILURES_NAME,
+        read_failures,
+        read_revoked,
+        revoked_path_for,
+    )
+
     manifest = json.loads(manifest_path.read_text())
     keys = [entry["key"] for entry in manifest.get("cells", [])]
     stored = _read_store_manifest(store_root)
+    failures = read_failures(store_root / FAILURES_NAME) or {}
+    failed_keys = (
+        set(failures.get("cells", {})) | set(failures.get("blocked", ()))
+    ) & set(keys)
+    revoked = read_revoked(revoked_path_for(manifest_path)) & set(keys)
     status = ShardStatus(
         index=index,
         manifest_path=manifest_path,
         store_root=store_root,
         n_cells=len(keys),
         n_done=sum(1 for key in keys if key in stored),
+        n_stolen=sum(
+            1
+            for key in revoked - failed_keys
+            if key not in stored
+        ),
+        n_failed=sum(1 for key in failed_keys if key not in stored),
     )
+    lease = read_lease(lease_path_for(manifest_path))
+    if lease is not None:
+        status.worker_id = str(lease.get("worker_id", ""))
+        status.worker_state = (
+            "dead" if lease_expired(lease) else "alive"
+        )
     for key in keys:
         entry = stored.get(key)
         if not isinstance(entry, dict):
@@ -188,6 +230,33 @@ def _shard_status(
     return status
 
 
+def find_shard_manifests(
+    shard_dir: str | Path, prefix: str = "shard"
+) -> list[tuple[int, Path]]:
+    """Discover ``{prefix}-<i>.json`` shard manifests, in shard order.
+
+    The one place the on-disk shard layout is interpreted: both
+    ``repro campaign status`` and the fault-tolerant supervisor
+    (:func:`repro.runtime.coordinator.run_campaign`) discover shards
+    through this, so they can never disagree about what a campaign
+    directory contains.  Sidecar files (``*.lease.json``,
+    ``*.revoked.json``, steal manifests) never match.
+    """
+    shard_dir = Path(shard_dir)
+    pattern = re.compile(re.escape(prefix) + r"-(\d+)\.json$")
+    found: list[tuple[int, Path]] = []
+    for path in sorted(shard_dir.glob(f"{prefix}-*.json")):
+        match = pattern.fullmatch(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    if not found:
+        raise ValueError(
+            f"no shard manifests matching {prefix}-<N>.json in {shard_dir}"
+        )
+    found.sort()
+    return found
+
+
 def campaign_status(
     shard_dir: str | Path,
     prefix: str = "shard",
@@ -202,17 +271,7 @@ def campaign_status(
     positionally.
     """
     shard_dir = Path(shard_dir)
-    pattern = re.compile(re.escape(prefix) + r"-(\d+)\.json$")
-    found: list[tuple[int, Path]] = []
-    for path in sorted(shard_dir.glob(f"{prefix}-*.json")):
-        match = pattern.fullmatch(path.name)
-        if match:
-            found.append((int(match.group(1)), path))
-    if not found:
-        raise ValueError(
-            f"no shard manifests matching {prefix}-<N>.json in {shard_dir}"
-        )
-    found.sort()
+    found = find_shard_manifests(shard_dir, prefix)
     if stores is not None and len(stores) != len(found):
         raise ValueError(
             f"{len(found)} shard manifest(s) but {len(stores)} --stores "
@@ -245,11 +304,20 @@ def render_text(status: CampaignStatus) -> str:
     for s in status.shards:
         rate = s.throughput_cps
         rate_text = "?" if math.isnan(rate) else f"{rate:.3g} cell/s"
+        extras = ""
+        if s.n_stolen:
+            extras += f", stolen {s.n_stolen}"
+        if s.n_failed:
+            extras += f", failed {s.n_failed}"
+        if s.worker_state != "-":
+            extras += f", worker {s.worker_state}"
+            if s.worker_id:
+                extras += f" ({s.worker_id})"
         flag = "  STRAGGLER" if s.index in straggling else ""
         lines.append(
             f"  shard {s.index}: {s.n_done}/{s.n_cells} cells "
             f"({100.0 * s.done_frac:.0f}%), {s.wall_s:.1f}s wall, "
-            f"{rate_text}, eta {_fmt_eta(s.eta_s)}{flag}"
+            f"{rate_text}, eta {_fmt_eta(s.eta_s)}{extras}{flag}"
         )
     lines.append(
         f"  total: {status.n_done}/{status.n_cells} cells "
@@ -278,6 +346,19 @@ def render_prometheus(status: CampaignStatus) -> str:
         "repro_campaign_shard_eta_seconds",
         "Estimated seconds of work remaining (NaN if unknown)",
     )
+    stolen = reg.gauge(
+        "repro_campaign_shard_cells_stolen",
+        "Cells revoked from the shard by work stealing",
+    )
+    failed = reg.gauge(
+        "repro_campaign_shard_cells_failed",
+        "Cells quarantined or blocked on the shard",
+    )
+    alive = reg.gauge(
+        "repro_campaign_shard_worker_alive",
+        "1 = lease renewed within TTL, 0 = lease expired (dead worker), "
+        "NaN = never leased",
+    )
     for s in status.shards:
         label = str(s.index)
         cells.set(float(s.n_cells), shard=label)
@@ -285,6 +366,14 @@ def render_prometheus(status: CampaignStatus) -> str:
         wall.set(s.wall_s, shard=label)
         steps.set(float(s.n_steps), shard=label)
         eta.set(s.eta_s, shard=label)
+        stolen.set(float(s.n_stolen), shard=label)
+        failed.set(float(s.n_failed), shard=label)
+        alive.set(
+            math.nan
+            if s.worker_state == "-"
+            else float(s.worker_state == "alive"),
+            shard=label,
+        )
     reg.gauge("repro_campaign_shards", "Discovered shards").set(
         float(len(status.shards))
     )

@@ -31,6 +31,46 @@ produce byte-identical stores (checkable via
 :class:`~repro.runtime.campaign.CampaignRunner` is the shared
 orchestration loop: snapshot the manifest, decode cached cells, run
 pending ones, persist each result as it arrives.
+
+**The failure model.**  Multi-day campaigns on preemptible cloud
+nodes *will* lose workers, and the runtime is built so that losing one
+is boring.  The assumptions and guarantees, from the bottom up:
+
+* *Store writes are crash-atomic.*  Every file is temp-written,
+  fsynced, and renamed; document files land before their manifest
+  entry.  A worker SIGKILLed mid-``put`` leaves at worst an orphan
+  directory (adopted by the next ``put``), never a manifested artifact
+  whose bytes are missing or torn.
+  :meth:`~repro.runtime.store.ArtifactStore.verify` (CLI:
+  ``repro store verify``) audits exactly this contract — documents
+  present, parseable, and matching the sha256 recorded at write time.
+* *Resume is audit-first.*  A restarted worker re-verifies the keys it
+  would skip and recomputes any that fail the audit, so a corrupted
+  artifact can't hide behind the resume path
+  (:func:`~repro.runtime.worker.run_manifest`).
+* *Workers are expendable; the coordinator is the failure domain that
+  matters.*  ``repro campaign run``
+  (:func:`~repro.runtime.coordinator.run_campaign`) supervises one
+  leased worker subprocess per shard: heartbeat-renewed lease files
+  detect death (no cooperation from a SIGKILLed worker needed), dead
+  shards relaunch with exponential backoff, and resume makes each
+  relaunch pay only for unfinished cells.  Worker exit codes are a
+  protocol: 0 done, 2 config error, 3 retryable, 4 quarantined
+  failures present.
+* *Poison cells cost their chain, not the campaign.*  Each worker
+  death is blamed on the first unfinished cell (exact, because workers
+  execute serially in manifest order); a cell exhausting its retry
+  budget is quarantined into ``failures.json`` with its chained
+  successors as ``blocked``, and
+  :func:`~repro.runtime.worker.merge_stores` refuses such stores
+  unless explicitly told ``allow_partial``.
+* *Recovery never changes results.*  Retries, reassignment, and work
+  stealing (idle workers taking pending chains from the busiest live
+  shard) can at worst compute a cell twice — and duplicates are
+  byte-identical because cells are pure and content-keyed.  The chaos
+  harness (:mod:`repro.runtime.chaos`) enforces this as a test
+  invariant: kill workers anywhere and the merged store hash must
+  equal the serial run's.
 """
 
 from repro.runtime.campaign import ArtifactCodec, CampaignRunner, RuntimeOutcome
@@ -42,7 +82,17 @@ from repro.runtime.cell import (
     order_cells,
     resolve_ref,
 )
+from repro.runtime.coordinator import (
+    LeaseHeartbeat,
+    LeaseLostError,
+    acquire_lease,
+    lease_path_for,
+    release_lease,
+    renew_lease,
+    run_campaign,
+)
 from repro.runtime.executors import (
+    ExecutionAborted,
     ProcessPoolExecutor,
     SerialExecutor,
     ShardExecutor,
@@ -52,12 +102,17 @@ from repro.runtime.executors import (
 from repro.runtime.store import (
     ArtifactStore,
     StoreCorruptionError,
+    StoreVerifyProblem,
+    StoreVerifyReport,
     atomic_write_text,
     validate_key,
 )
 from repro.runtime.worker import (
+    FAILURES_NAME,
     MANIFEST_SCHEMA,
+    CellExecutionError,
     merge_stores,
+    read_failures,
     read_shard_manifest,
     run_manifest,
     write_shard_manifests,
@@ -68,22 +123,35 @@ __all__ = [
     "ArtifactStore",
     "CampaignRunner",
     "Cell",
+    "CellExecutionError",
+    "ExecutionAborted",
+    "FAILURES_NAME",
+    "LeaseHeartbeat",
+    "LeaseLostError",
     "MANIFEST_SCHEMA",
     "ProcessPoolExecutor",
     "RuntimeOutcome",
     "SerialExecutor",
     "ShardExecutor",
     "StoreCorruptionError",
+    "StoreVerifyProblem",
+    "StoreVerifyReport",
+    "acquire_lease",
     "atomic_write_text",
     "cell_components",
     "cell_key",
     "execute_cell",
     "execute_cell_graph",
+    "lease_path_for",
     "merge_stores",
     "order_cells",
     "partition_cells",
+    "read_failures",
     "read_shard_manifest",
+    "release_lease",
+    "renew_lease",
     "resolve_ref",
+    "run_campaign",
     "run_manifest",
     "validate_key",
     "write_shard_manifests",

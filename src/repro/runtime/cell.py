@@ -212,11 +212,18 @@ def execute_cell_graph(
     process that actually ran the cell.
     """
     from repro.obs.provenance import cell_provenance
+    from repro.runtime import chaos
 
     cells, upstream = args
     results: dict[str, Any] = dict(upstream)
     out: list[tuple[str, Any, dict]] = []
     for cell in cells:
+        # Pool children re-arm fault injection from the environment so
+        # a chaos-configured worker misbehaves identically whether its
+        # cells run in-process or in a spawned pool process.
+        monkey = chaos.active_injector()
+        if monkey is not None:
+            monkey.before_cell(cell.key)
         t0 = time.perf_counter()
         if cell.after is not None:
             if cell.after not in results:

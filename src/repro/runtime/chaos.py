@@ -1,0 +1,328 @@
+"""Seeded fault injection for the campaign fabric.
+
+The fault-tolerance claims of :mod:`repro.runtime.coordinator` are
+only credible if something actually kills workers — this module is the
+something.  It injects faults at the two seams where real campaigns
+die: *cell execution* (a worker SIGKILLed mid-matrix, a poison cell
+that crashes every process that touches it, a pathologically slow
+machine) and *store persistence* (a SIGKILL between an artifact's
+document writes and its manifest entry — the window the store's write
+ordering promises to survive).
+
+Activation is environment-driven so the faults cross process
+boundaries the same way campaigns do: point ``REPRO_CHAOS`` at a JSON
+config file and every worker — CLI subprocess, in-process
+``run_manifest`` call, or pool child — arms itself from it.  Nothing
+in the config reaches cell payloads, so cell keys, store documents,
+and content hashes are byte-identical with chaos on or off; a
+chaos-interrupted campaign must *converge* to the unperturbed store,
+which is exactly what the test suite and the CI chaos job assert.
+
+Config file shape (all fault fields optional)::
+
+    {
+      "schema": 1,
+      "state_dir": "chaos-state",              # fault bookkeeping dir
+      "only_worker": "w0",                     # faults only in this worker
+      "kill_at_cell": {"index": 2, "times": 1},# SIGKILL at Nth executed cell
+      "kill_in_put": {"key": "scn-..", "times": 1},  # SIGKILL mid-put
+      "poison_keys": ["scn-.."],               # always raise (quarantine path)
+      "flaky": {"scn-..": 2},                  # fail first N attempts, then ok
+      "slow_keys": {"scn-..": 1.5},            # sleep before these cells
+      "slow_cell_s": 0.0                       # sleep before every cell
+    }
+
+``state_dir`` holds one marker file per consumed fault (claimed with
+``O_EXCL``, so concurrent workers race for each kill exactly once) and
+the attempt counters behind ``flaky``; it is how "kill once, then let
+the resume succeed" survives worker relaunches.  ``kill_at_cell``
+counts cells *executed by the current process* — after a resume,
+cached cells are not executed, so index 0 is the first recomputed
+cell.  ``only_worker`` matches the ``REPRO_CHAOS_WORKER`` environment
+variable, which the coordinator sets to each worker's id.
+
+The module also ships the *demo campaign* used by the chaos test
+suite, the CI chaos job's example, and
+``examples/fault_tolerant_campaign.py``: :func:`demo_cell` is a cheap
+deterministic cell function (optionally chained and optionally
+sleeping, so steal/straggler scenarios need no simulator time), with
+:func:`demo_codec` / :func:`demo_matrix` building runnable matrices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.runtime.cell import Cell
+from repro.runtime.store import ArtifactStore
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_WORKER_ENV",
+    "ChaosFlakyError",
+    "ChaosPoisonError",
+    "ChaosInjector",
+    "active_injector",
+    "deactivate",
+    "demo_cell",
+    "demo_codec",
+    "demo_matrix",
+    "encode_demo_result",
+    "decode_demo_result",
+]
+
+#: Environment variable naming the chaos config file; unset = no chaos.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Environment variable carrying the current worker's id (set by the
+#: coordinator) so ``only_worker`` configs can target one worker.
+CHAOS_WORKER_ENV = "REPRO_CHAOS_WORKER"
+
+
+class ChaosPoisonError(RuntimeError):
+    """An injected poison cell: fails on every attempt, forever."""
+
+
+class ChaosFlakyError(RuntimeError):
+    """An injected transient failure: fails N times, then succeeds."""
+
+
+@dataclass
+class ChaosInjector:
+    """One armed fault configuration, applied at the runtime's seams."""
+
+    config_path: str
+    state_dir: Path | None = None
+    only_worker: str | None = None
+    kill_at_cell: dict | None = None
+    kill_in_put: dict | None = None
+    poison_keys: frozenset = frozenset()
+    flaky: dict[str, int] = field(default_factory=dict)
+    slow_keys: dict[str, float] = field(default_factory=dict)
+    slow_cell_s: float = 0.0
+    _n_executed: int = 0
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ChaosInjector":
+        config = json.loads(Path(path).read_text())
+        if not isinstance(config, Mapping):
+            raise ValueError(f"chaos config {path} must be a JSON object")
+        schema = config.get("schema", 1)
+        if schema != 1:
+            raise ValueError(f"chaos config {path} has unknown schema {schema!r}")
+        state_dir = config.get("state_dir")
+        injector = cls(
+            config_path=str(path),
+            state_dir=Path(state_dir) if state_dir else None,
+            only_worker=config.get("only_worker"),
+            kill_at_cell=config.get("kill_at_cell"),
+            kill_in_put=config.get("kill_in_put"),
+            poison_keys=frozenset(config.get("poison_keys", ())),
+            flaky={k: int(v) for k, v in dict(config.get("flaky", {})).items()},
+            slow_keys={
+                k: float(v)
+                for k, v in dict(config.get("slow_keys", {})).items()
+            },
+            slow_cell_s=float(config.get("slow_cell_s", 0.0)),
+        )
+        needs_state = (
+            injector.kill_at_cell or injector.kill_in_put or injector.flaky
+        )
+        if needs_state and injector.state_dir is None:
+            raise ValueError(
+                f"chaos config {path} uses kill/flaky faults but names no "
+                "'state_dir' to track which faults have fired"
+            )
+        return injector
+
+    # -- bookkeeping -------------------------------------------------------
+    def _applies(self) -> bool:
+        if self.only_worker is None:
+            return True
+        return os.environ.get(CHAOS_WORKER_ENV) == self.only_worker
+
+    def _claim(self, tag: str, times: int) -> bool:
+        """Atomically claim one of ``times`` firings of fault ``tag``.
+
+        One ``O_EXCL``-created marker file per firing: the first
+        process to create ``<tag>.<i>`` owns that firing, so a fault
+        configured ``times: 1`` fires exactly once across every worker
+        launch, relaunch, and pool child that shares the state dir.
+        """
+        assert self.state_dir is not None
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for i in range(max(0, int(times))):
+            try:
+                fd = os.open(
+                    self.state_dir / f"{tag}.{i}",
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    0o644,
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    @staticmethod
+    def _die() -> None:  # pragma: no cover - the process does not return
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- the seams ---------------------------------------------------------
+    def before_cell(self, key: str) -> None:
+        """Called by executors just before a cell runs."""
+        if not self._applies():
+            return
+        index = self._n_executed
+        self._n_executed += 1
+        delay = self.slow_cell_s + self.slow_keys.get(key, 0.0)
+        if delay > 0:
+            time.sleep(delay)
+        ka = self.kill_at_cell
+        if (
+            ka is not None
+            and index == int(ka.get("index", -1))
+            and self._claim("kill_at_cell", int(ka.get("times", 1)))
+        ):
+            self._die()
+        limit = self.flaky.get(key)
+        if limit is not None and self._claim(
+            f"flaky.{_key_tag(key)}", limit
+        ):
+            raise ChaosFlakyError(
+                f"chaos: transient failure injected into cell {key!r}"
+            )
+        if key in self.poison_keys:
+            raise ChaosPoisonError(
+                f"chaos: poison cell {key!r} kills every attempt"
+            )
+
+    def mid_put(self, key: str) -> None:
+        """Called by :meth:`ArtifactStore.put` between documents and manifest."""
+        if not self._applies():
+            return
+        kp = self.kill_in_put
+        if (
+            kp is not None
+            and key == kp.get("key")
+            and self._claim("kill_in_put", int(kp.get("times", 1)))
+        ):
+            self._die()
+
+    def install(self) -> None:
+        ArtifactStore._chaos_put_hook = self.mid_put
+
+    def uninstall(self) -> None:
+        if ArtifactStore._chaos_put_hook == self.mid_put:
+            ArtifactStore._chaos_put_hook = None
+
+
+_active: ChaosInjector | None = None
+
+
+def active_injector() -> ChaosInjector | None:
+    """The armed injector per the environment, or ``None`` (the default).
+
+    Cheap when chaos is off — one environment lookup — so executors can
+    call it before every cell.  Re-reads the config when the variable
+    changes and disarms when it disappears, so in-process tests can
+    flip chaos on and off without leaking the store's put hook.
+    """
+    global _active
+    path = os.environ.get(CHAOS_ENV)
+    if not path:
+        if _active is not None:
+            deactivate()
+        return None
+    if _active is None or _active.config_path != path:
+        deactivate()
+        injector = ChaosInjector.from_file(path)
+        injector.install()
+        _active = injector
+    return _active
+
+
+def deactivate() -> None:
+    """Disarm chaos in this process (tests; env removal does it too)."""
+    global _active
+    if _active is not None:
+        _active.uninstall()
+        _active = None
+
+
+# -- the demo campaign -----------------------------------------------------
+
+#: Import reference executors use to run demo cells from manifests.
+DEMO_CELL_REF = "repro.runtime.chaos:demo_cell"
+
+
+def demo_cell(payload: Mapping, upstream: Any = None) -> dict:
+    """A cheap, pure, optionally chained cell for fault-injection tests.
+
+    The result is a deterministic function of ``payload["seed"]`` (plus
+    the chained predecessor's accumulator), so chaos-interrupted runs
+    can be checked byte-for-byte against unperturbed ones without
+    paying for simulator time.  ``payload["sleep_s"]`` burns wall-clock
+    without touching the result — the knob steal/straggler scenarios
+    turn.  Exposes ``n_steps`` so provenance and status plumbing see a
+    step count, like real simulator cells.
+    """
+    seed = int(payload["seed"])
+    sleep_s = float(payload.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    value = (seed * 2654435761 + 40503) % 1000003
+    acc = value + (int(upstream["acc"]) if upstream is not None else 0)
+    return {"seed": seed, "value": value, "acc": acc, "n_steps": seed % 7 + 1}
+
+
+def encode_demo_result(result: Mapping) -> tuple[dict, dict]:
+    return {"result": dict(result)}, {}
+
+
+def decode_demo_result(cell: Cell, documents: Mapping) -> dict:
+    return dict(documents["result"])
+
+
+def demo_codec():
+    """The demo cells' :class:`~repro.runtime.campaign.ArtifactCodec`."""
+    # Imported here, not at module top: campaign imports executors,
+    # which consult this module per cell.
+    from repro.runtime.campaign import ArtifactCodec
+
+    return ArtifactCodec(
+        encode_ref="repro.runtime.chaos:encode_demo_result",
+        decode_ref="repro.runtime.chaos:decode_demo_result",
+    )
+
+
+def demo_matrix(
+    n_chains: int = 3,
+    chain_len: int = 2,
+    seed: int = 0,
+    sleep_s: float = 0.0,
+) -> list[Cell]:
+    """``n_chains`` warm-style chains of ``chain_len`` demo cells each."""
+    cells: list[Cell] = []
+    for chain in range(n_chains):
+        previous: str | None = None
+        for link in range(chain_len):
+            payload: dict = {"seed": seed * 1000 + chain * 10 + link}
+            if sleep_s > 0:
+                payload["sleep_s"] = sleep_s
+            cell = Cell(fn=DEMO_CELL_REF, payload=payload, after=previous)
+            cells.append(cell)
+            previous = cell.key
+    return cells
+
+
+def _key_tag(key: str) -> str:
+    """A filesystem-safe short tag for per-key fault state files."""
+    return hashlib.sha256(key.encode()).hexdigest()[:16]

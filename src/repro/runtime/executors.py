@@ -50,6 +50,7 @@ from repro.runtime.cell import Cell, execute_cell_graph, order_cells
 from repro.runtime.store import ArtifactStore
 
 __all__ = [
+    "ExecutionAborted",
     "SerialExecutor",
     "ProcessPoolExecutor",
     "ShardExecutor",
@@ -59,6 +60,17 @@ __all__ = [
 
 #: ``emit(cell, result, stored)`` — invoked once per completed cell.
 EmitFn = Callable[[Cell, object, bool], None]
+
+
+class ExecutionAborted(RuntimeError):
+    """An executor stopped early because ``should_stop`` returned True.
+
+    Raised by the serial and pooled executors between cells when the
+    caller's stop predicate fires — a worker whose lease was stolen
+    must abandon the shard rather than keep writing to a store another
+    worker now owns.  Cells emitted before the abort are already
+    persisted by the caller; nothing is rolled back.
+    """
 
 
 def cell_components(cells: Sequence[Cell]) -> list[list[Cell]]:
@@ -135,7 +147,17 @@ def _component_tasks(
 
 
 class SerialExecutor:
-    """Run cells one at a time in the current process."""
+    """Run cells one at a time in the current process.
+
+    Because cells execute strictly in dependency order, this executor
+    supports the runtime's two between-cell control hooks exactly:
+    ``should_stop()`` is consulted before every cell (abandon the rest
+    of the shard — lease lost), and ``skip(cell)`` revokes a cell just
+    before it would run (the coordinator stole its chain).  A skipped
+    cell's chained successors are skipped transitively — a chain is
+    revoked whole — and each lands one ``on_skip(cell)`` callback so
+    the caller can account for it.
+    """
 
     def run(
         self,
@@ -143,10 +165,30 @@ class SerialExecutor:
         emit: EmitFn,
         upstream: Mapping[str, object] | None = None,
         on_provenance: Callable[[str, dict], None] | None = None,
+        skip: Callable[[Cell], bool] | None = None,
+        should_stop: Callable[[], bool] | None = None,
+        on_skip: Callable[[Cell], None] | None = None,
         **_: object,
     ) -> None:
+        from repro.runtime import chaos
+
         results: dict[str, object] = dict(upstream or {})
+        skipped: set[str] = set()
         for cell in order_cells(cells):
+            if should_stop is not None and should_stop():
+                raise ExecutionAborted(
+                    f"execution stopped before cell {cell.key!r}"
+                )
+            if (cell.after in skipped) or (
+                skip is not None and skip(cell)
+            ):
+                skipped.add(cell.key)
+                if on_skip is not None:
+                    on_skip(cell)
+                continue
+            monkey = chaos.active_injector()
+            if monkey is not None:
+                monkey.before_cell(cell.key)
             t0 = time.perf_counter()
             if cell.after is not None:
                 if cell.after not in results:
@@ -186,21 +228,52 @@ class ProcessPoolExecutor:
         emit: EmitFn,
         upstream: Mapping[str, object] | None = None,
         on_provenance: Callable[[str, dict], None] | None = None,
+        skip: Callable[[Cell], bool] | None = None,
+        should_stop: Callable[[], bool] | None = None,
+        on_skip: Callable[[Cell], None] | None = None,
         **_: object,
     ) -> None:
         if self.workers == 1 or len(cells) <= 1:
             SerialExecutor().run(
-                cells, emit, upstream=upstream, on_provenance=on_provenance
+                cells,
+                emit,
+                upstream=upstream,
+                on_provenance=on_provenance,
+                skip=skip,
+                should_stop=should_stop,
+                on_skip=on_skip,
             )
             return
         by_key = {cell.key: cell for cell in cells}
         tasks = _component_tasks(cells, dict(upstream or {}))
+        if skip is not None:
+            # Revocation is component-granular here: a chain already
+            # dispatched to a pool process cannot be recalled, so the
+            # skip predicate is evaluated once, at dispatch.  Only
+            # fully revoked components are dropped — a half-revoked one
+            # (which a whole-chain steal never produces) runs intact.
+            kept = []
+            for component, need in tasks:
+                if all(skip(cell) for cell in component):
+                    if on_skip is not None:
+                        for cell in component:
+                            on_skip(cell)
+                else:
+                    kept.append((component, need))
+            tasks = kept
+            if not tasks:
+                return
         n_workers = min(self.workers, len(tasks))
         chunksize = max(1, len(tasks) // (n_workers * 4))
         with multiprocessing.Pool(n_workers) as pool:
             for triples in pool.imap_unordered(
                 execute_cell_graph, tasks, chunksize=chunksize
             ):
+                if should_stop is not None and should_stop():
+                    pool.terminate()
+                    raise ExecutionAborted(
+                        "execution stopped between pool results"
+                    )
                 for key, result, prov in triples:
                     if on_provenance is not None:
                         on_provenance(key, prov)

@@ -45,8 +45,9 @@ import os
 import re
 import tempfile
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 try:
     import fcntl
@@ -56,6 +57,8 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 __all__ = [
     "ArtifactStore",
     "StoreCorruptionError",
+    "StoreVerifyProblem",
+    "StoreVerifyReport",
     "atomic_write_text",
     "validate_key",
 ]
@@ -63,6 +66,13 @@ __all__ = [
 _KEY_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 MANIFEST_NAME = "manifest.json"
+
+#: Manifest-meta key under which per-document sha256 digests live.
+#: Like execution provenance, digests ride in the manifest *meta* —
+#: never in the documents — so :meth:`ArtifactStore.content_hash` (and
+#: the serial == pool == shard byte-equivalence built on it) is
+#: untouched by their presence.
+DIGESTS_KEY = "sha256"
 
 
 class StoreCorruptionError(RuntimeError):
@@ -75,6 +85,53 @@ class StoreCorruptionError(RuntimeError):
     :meth:`ArtifactStore.put`, a *crashed writer* can no longer produce
     this state; it now signals external interference.
     """
+
+
+@dataclass(frozen=True)
+class StoreVerifyProblem:
+    """One manifest↔disk inconsistency found by :meth:`ArtifactStore.verify`.
+
+    ``kind`` is one of ``missing-dir`` (manifested artifact has no
+    directory), ``missing-file`` (a listed document file is absent),
+    ``unreadable`` (the file exists but is not valid JSON — a torn or
+    truncated write), ``digest-mismatch`` (bytes differ from the sha256
+    recorded at ``put`` time), or ``stray-file`` (a document file the
+    manifest entry does not list).
+    """
+
+    key: str
+    document: str
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        text = f"{self.key}/{self.document}: {self.kind}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+@dataclass
+class StoreVerifyReport:
+    """Outcome of one integrity audit over a store (or a key subset).
+
+    ``problems`` are genuine inconsistencies (the store is corrupt for
+    those keys); ``orphans`` are artifact directories with no manifest
+    entry — the benign residue of a writer killed mid-``put`` (the next
+    ``put`` of the key adopts them), reported so an operator can
+    reclaim the space but never counted as corruption.
+    """
+
+    root: Path
+    checked: int
+    problems: list[StoreVerifyProblem] = field(default_factory=list)
+    orphans: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def bad_keys(self) -> list[str]:
+        """Keys with at least one problem, sorted."""
+        return sorted({p.key for p in self.problems})
 
 
 def validate_key(key: str, kind: str = "artifact key") -> None:
@@ -145,6 +202,13 @@ def _canonical_json(payload) -> str:
 class ArtifactStore:
     """Directory-backed store of named JSON documents per artifact key."""
 
+    #: Test-only seam for the chaos harness: when set (by
+    #: :mod:`repro.runtime.chaos`), called as ``hook(key)`` after an
+    #: artifact's documents are on disk but *before* its manifest entry
+    #: is written — the exact instant a SIGKILL must leave nothing worse
+    #: than an orphaned directory.  ``None`` in production.
+    _chaos_put_hook: "Callable[[str], None] | None" = None
+
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -213,7 +277,9 @@ class ArtifactStore:
         ``documents`` maps file stems to JSON-serializable payloads.
         All files land on disk (each atomically) before the manifest
         entry appears, so no observable manifest state ever references
-        missing files.
+        missing files.  The canonical sha256 of every document is
+        recorded in the manifest entry under :data:`DIGESTS_KEY`, which
+        is what :meth:`verify` audits disk bytes against.
         """
         validate_key(key)
         if not documents:
@@ -224,8 +290,11 @@ class ArtifactStore:
             raise ValueError(f"artifact {key!r} already stored")
         directory = self.root / key
         directory.mkdir(exist_ok=True)
+        digests: dict[str, str] = {}
         for name, payload in documents.items():
-            atomic_write_text(directory / f"{name}.json", _canonical_json(payload))
+            text = _canonical_json(payload)
+            digests[name] = hashlib.sha256(text.encode()).hexdigest()
+            atomic_write_text(directory / f"{name}.json", text)
         # Drop documents a previous version of the key wrote but this
         # one does not: the directory must mirror the manifest entry,
         # or the legacy glob fallback would resurrect stale files.
@@ -234,8 +303,11 @@ class ArtifactStore:
         for stale in directory.glob("*.json"):
             if stale.stem not in documents:
                 stale.unlink()
+        if type(self)._chaos_put_hook is not None:
+            type(self)._chaos_put_hook(key)
         entry = dict(meta or {})
         entry["documents"] = sorted(documents)
+        entry[DIGESTS_KEY] = digests
         with self._manifest_lock():
             manifest = self._read_manifest()
             if not overwrite and key in manifest:
@@ -316,6 +388,86 @@ class ArtifactStore:
             for path in directory.glob("*.json"):
                 path.unlink()
             directory.rmdir()
+
+    # -- integrity ---------------------------------------------------------
+    def verify(self, keys: Iterable[str] | None = None) -> StoreVerifyReport:
+        """Audit manifest↔disk consistency; never modifies the store.
+
+        For every manifested key (or just ``keys``), checks that the
+        artifact directory exists, that every listed document file is
+        present and parses as JSON, and — for entries written since
+        digests were recorded — that the file bytes hash to the sha256
+        recorded under :data:`DIGESTS_KEY` at ``put`` time.  Document
+        files the entry does not list are flagged as strays (external
+        interference; :meth:`put` prunes its own).  Artifact
+        directories without a manifest entry are reported as orphans
+        (the benign residue of a killed writer), not problems.
+
+        This is the audit behind ``repro store verify`` and the
+        worker's resume path: a key that fails it must be recomputed,
+        not trusted as a cache hit.
+        """
+        manifest = self._read_manifest()
+        if keys is None:
+            wanted = sorted(manifest)
+        else:
+            wanted = sorted(set(keys))
+            missing = [key for key in wanted if key not in manifest]
+            if missing:
+                raise KeyError(f"no stored artifact {missing[0]!r}")
+        report = StoreVerifyReport(root=self.root, checked=len(wanted))
+        for key in wanted:
+            entry = manifest[key]
+            names = self._entry_document_names(key, entry)
+            directory = self.root / key
+            if not directory.is_dir():
+                report.problems.append(
+                    StoreVerifyProblem(key, "*", "missing-dir")
+                )
+                continue
+            digests = entry.get(DIGESTS_KEY)
+            digests = digests if isinstance(digests, Mapping) else {}
+            for name in names:
+                path = directory / f"{name}.json"
+                if not path.exists():
+                    report.problems.append(
+                        StoreVerifyProblem(key, name, "missing-file")
+                    )
+                    continue
+                data = path.read_bytes()
+                try:
+                    json.loads(data)
+                except ValueError as exc:
+                    report.problems.append(
+                        StoreVerifyProblem(key, name, "unreadable", str(exc))
+                    )
+                    continue
+                recorded = digests.get(name)
+                if recorded is not None:
+                    actual = hashlib.sha256(data).hexdigest()
+                    if actual != recorded:
+                        report.problems.append(
+                            StoreVerifyProblem(
+                                key,
+                                name,
+                                "digest-mismatch",
+                                f"recorded {recorded[:12]}… got {actual[:12]}…",
+                            )
+                        )
+            # Entries predating the recorded document list use the
+            # files on disk as their truth, so nothing can be a stray.
+            if entry.get("documents") is not None:
+                listed = set(names)
+                for path in sorted(directory.glob("*.json")):
+                    if path.stem not in listed:
+                        report.problems.append(
+                            StoreVerifyProblem(key, path.stem, "stray-file")
+                        )
+        if keys is None:
+            for path in sorted(self.root.iterdir()):
+                if path.is_dir() and path.name not in manifest:
+                    report.orphans.append(path.name)
+        return report
 
     # -- cross-store operations --------------------------------------------
     def merge_from(

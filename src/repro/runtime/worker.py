@@ -33,23 +33,125 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.obs.logging import StructuredLogger
 from repro.obs.provenance import PROVENANCE_KEY
+from repro.runtime import chaos
 from repro.runtime.cell import Cell, resolve_ref
-from repro.runtime.executors import ProcessPoolExecutor, partition_cells
+from repro.runtime.executors import (
+    ExecutionAborted,
+    ProcessPoolExecutor,
+    partition_cells,
+)
 from repro.runtime.store import ArtifactStore, atomic_write_text
 
 __all__ = [
+    "CellExecutionError",
+    "FAILURES_NAME",
     "MANIFEST_SCHEMA",
     "write_shard_manifests",
     "read_shard_manifest",
+    "revoked_path_for",
+    "read_revoked",
+    "write_revoked",
+    "read_failures",
+    "write_failures",
     "run_manifest",
     "merge_stores",
 ]
 
 MANIFEST_SCHEMA = 1
+
+#: Per-shard failure report written by the coordinator into the shard
+#: *store* root (next to ``manifest.json``) when cells are quarantined.
+FAILURES_NAME = "failures.json"
+
+FAILURES_SCHEMA = 1
+REVOKED_SCHEMA = 1
+
+
+class CellExecutionError(RuntimeError):
+    """A cell function raised while a worker executed its shard.
+
+    Distinct from manifest/store *configuration* errors (plain
+    ``ValueError``/``OSError``) so the worker CLI can report it as
+    *retryable* (exit code 3): the coordinator's response to a crashed
+    cell is a retry with backoff, eventually quarantining the cell if
+    it keeps killing workers — never a config-error abort.
+    """
+
+
+def revoked_path_for(manifest_path: str | Path) -> Path:
+    """The revocation sidecar paired with a shard manifest.
+
+    ``shards/shard-0.json`` pairs with ``shards/shard-0.revoked.json``;
+    the coordinator appends stolen (and quarantined) cell keys there,
+    and the worker consults it before every cell, so a slow shard's
+    stolen chains stop costing it wall-clock mid-run.
+    """
+    path = Path(manifest_path)
+    stem = path.name
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    return path.with_name(stem + ".revoked.json")
+
+
+def read_revoked(path: str | Path) -> set[str]:
+    """Keys revoked from a shard (empty when no sidecar exists)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text())
+    return set(payload.get("keys", ()))
+
+
+def write_revoked(path: str | Path, keys: Sequence[str]) -> None:
+    """Atomically (re)write a revocation sidecar."""
+    atomic_write_text(
+        Path(path),
+        json.dumps(
+            {"schema": REVOKED_SCHEMA, "keys": sorted(set(keys))}, indent=2
+        )
+        + "\n",
+    )
+
+
+def read_failures(path: str | Path) -> dict | None:
+    """A ``failures.json`` report, or ``None`` when absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} does not hold a JSON object")
+    return payload
+
+
+def write_failures(
+    path: str | Path,
+    cells: Mapping[str, Mapping],
+    blocked: Sequence[str] = (),
+) -> None:
+    """Atomically write a failure report.
+
+    ``cells`` maps each quarantined (poison) cell key to its record —
+    shard, attempt count, last error; ``blocked`` lists chained
+    successors that can never run because a predecessor is poisoned
+    (reported separately: they are casualties, not causes).
+    """
+    atomic_write_text(
+        Path(path),
+        json.dumps(
+            {
+                "schema": FAILURES_SCHEMA,
+                "cells": {key: dict(cells[key]) for key in sorted(cells)},
+                "blocked": sorted(set(blocked)),
+            },
+            indent=2,
+        )
+        + "\n",
+    )
 
 
 def write_shard_manifests(
@@ -132,11 +234,27 @@ def read_shard_manifest(path: str | Path) -> dict:
     return manifest
 
 
+def _chain_closure(seeds: set[str], cells: Sequence[Cell]) -> set[str]:
+    """``seeds`` plus every cell chained (transitively) after one."""
+    closed = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for cell in cells:
+            if cell.key not in closed and cell.after in closed:
+                closed.add(cell.key)
+                changed = True
+    return closed
+
+
 def run_manifest(
     manifest_path: str | Path,
     store_root: str | Path,
     workers: int = 1,
     echo: Callable[[str], None] | None = print,
+    audit_resume: bool = True,
+    revoked_path: str | Path | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> dict:
     """Execute a shard manifest into a local artifact store.
 
@@ -145,23 +263,93 @@ def run_manifest(
     result is encoded and persisted the moment it completes — a crash
     mid-shard therefore loses at most the cells in flight, never the
     finished ones.  Returns a summary dict with ``computed`` /
-    ``cached`` key tuples.
+    ``cached`` / ``skipped`` / ``audit_failed`` key tuples.
 
-    Progress is reported as structured ``key=value`` log lines through
-    ``echo`` (``None`` silences them — the ``--quiet`` path), and every
-    computed cell's execution provenance (wall seconds, peak RSS, step
-    count) is stored in its manifest meta under
+    Three fault-tolerance hooks harden the loop:
+
+    * resumed keys are *audited*, not trusted: each passes
+      :meth:`ArtifactStore.verify` (document files present, readable,
+      digests matching) before it counts as cached, and a key that
+      fails the audit is deleted and recomputed (``audit_resume=False``
+      restores the old trusting behaviour);
+    * the revocation sidecar next to the manifest (see
+      :func:`revoked_path_for`; ``revoked_path`` overrides it) is
+      consulted before every cell, so chains the coordinator stole or
+      quarantined are skipped — transitively, whole — instead of run;
+    * ``should_stop()`` (wired to the lease heartbeat by the worker
+      CLI) is checked between cells; when it fires the executor raises
+      :class:`~repro.runtime.executors.ExecutionAborted` and the shard
+      stops writing immediately.
+
+    A cell function that raises surfaces as :class:`CellExecutionError`
+    (retryable — worker exit code 3); manifest/store problems keep
+    raising plain ``ValueError``/``OSError``.  Progress is reported as
+    structured ``key=value`` log lines through ``echo`` (``None``
+    silences them — the ``--quiet`` path), and every computed cell's
+    execution provenance (wall seconds, peak RSS, step count) is stored
+    in its manifest meta under
     :data:`~repro.obs.provenance.PROVENANCE_KEY`, where
     ``repro campaign status`` finds it.
     """
+    chaos.active_injector()  # arm fault injection if the env asks for it
     log = StructuredLogger(echo=echo, component="worker")
     manifest = read_shard_manifest(manifest_path)
     encode = resolve_ref(manifest["encode"])
     store = ArtifactStore(store_root)
     cells = [Cell.from_entry(entry) for entry in manifest["cells"]]
     stored = set(store.keys())
-    cached = tuple(cell.key for cell in cells if cell.key in stored)
-    pending = [cell for cell in cells if cell.key not in stored]
+
+    # Resume audit: a key in the manifest is only a cache hit if its
+    # artifact survives an integrity audit — a torn or vanished
+    # document file must trigger a recompute, not a silent skip that
+    # merges a broken store.
+    audit_failed: tuple[str, ...] = ()
+    if audit_resume:
+        resumed = [cell.key for cell in cells if cell.key in stored]
+        if resumed:
+            report = store.verify(keys=resumed)
+            if not report.ok:
+                bad = report.bad_keys()
+                for problem in report.problems:
+                    log.log(
+                        "cell_audit_failed",
+                        cell=problem.key,
+                        document=problem.document,
+                        kind=problem.kind,
+                    )
+                for key in bad:
+                    try:
+                        store.delete(key)
+                    except KeyError:  # pragma: no cover - delete race
+                        pass
+                stored -= set(bad)
+                audit_failed = tuple(bad)
+
+    revoked_file = (
+        Path(revoked_path)
+        if revoked_path is not None
+        else revoked_path_for(manifest_path)
+    )
+    revoked = _chain_closure(
+        read_revoked(revoked_file) & {cell.key for cell in cells},
+        cells,
+    )
+    skipped: list[str] = []
+
+    cached = tuple(
+        cell.key
+        for cell in cells
+        if cell.key in stored and cell.key not in revoked
+    )
+    pending = []
+    for cell in cells:
+        if cell.key in stored:
+            continue
+        if cell.key in revoked:
+            skipped.append(cell.key)
+            log.log("cell_skipped", cell=cell.key, reason="revoked")
+        else:
+            pending.append(cell)
     log.log(
         "shard_start",
         shard=manifest.get("shard", "?"),
@@ -169,6 +357,8 @@ def run_manifest(
         cells=len(cells),
         cached=len(cached),
         pending=len(pending),
+        skipped=len(skipped),
+        audit_failed=len(audit_failed),
         store=str(store.root),
     )
 
@@ -238,20 +428,49 @@ def run_manifest(
             wall_s=prov.get("wall_s", 0.0) if prov else 0.0,
         )
 
-    ProcessPoolExecutor(workers).run(
-        pending, emit, upstream=upstream, on_provenance=provenance.__setitem__
-    )
+    def live_skip(cell: Cell) -> bool:
+        # Re-read the sidecar each time: the coordinator appends stolen
+        # chains *while the worker runs*, and an O(cells) re-read of a
+        # tiny JSON file is nothing next to a cell execution.
+        return cell.key in read_revoked(revoked_file)
+
+    def on_skip(cell: Cell) -> None:
+        skipped.append(cell.key)
+        log.log("cell_skipped", cell=cell.key, reason="revoked")
+
+    try:
+        ProcessPoolExecutor(workers).run(
+            pending,
+            emit,
+            upstream=upstream,
+            on_provenance=provenance.__setitem__,
+            skip=live_skip,
+            should_stop=should_stop,
+            on_skip=on_skip,
+        )
+    except (ExecutionAborted, KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        # A raising cell function is *retryable* (the coordinator's
+        # concern), unlike the manifest/store validation errors raised
+        # above.  The original message is preserved verbatim so callers
+        # matching on it keep working.
+        raise CellExecutionError(str(exc)) from exc
     return {
         "shard": manifest.get("shard"),
         "n_shards": manifest.get("n_shards"),
         "store": str(store.root),
         "computed": tuple(computed),
         "cached": cached,
+        "skipped": tuple(skipped),
+        "audit_failed": audit_failed,
     }
 
 
 def merge_stores(
-    shard_roots: Sequence[str | Path], store_root: str | Path
+    shard_roots: Sequence[str | Path],
+    store_root: str | Path,
+    allow_partial: bool = False,
 ) -> dict:
     """Fold shard stores into the campaign store, deterministically.
 
@@ -259,16 +478,45 @@ def merge_stores(
     order; keys the campaign store already holds are left untouched.
     A source without a manifest is refused — opening it would silently
     create an empty store, and a typo'd shard path must not merge as
-    "nothing to adopt".  Returns a summary with the adopted keys and
-    the merged store's content hash (compare it across re-merges or
-    machines to confirm determinism).
+    "nothing to adopt".
+
+    A shard store carrying a ``failures.json`` report (the coordinator
+    quarantined poison cells there) with *unresolved* cells — failed or
+    blocked keys that never made it into the store — is likewise
+    refused, because silently merging it would present a partial
+    campaign as complete.  Pass ``allow_partial=True`` (CLI:
+    ``--allow-partial``) to merge anyway; the summary then carries the
+    unresolved ``failed`` / ``blocked`` key tuples so the caller can
+    report the holes.
+
+    Returns a summary with the adopted keys and the merged store's
+    content hash (compare it across re-merges or machines to confirm
+    determinism).
     """
+    failed: set[str] = set()
+    blocked: set[str] = set()
     for root in shard_roots:
-        if not (Path(root) / "manifest.json").exists():
+        root = Path(root)
+        if not (root / "manifest.json").exists():
             raise ValueError(
                 f"shard store {root} has no manifest.json — not a store "
                 "(wrong path, or the worker never ran?)"
             )
+        report = read_failures(root / FAILURES_NAME)
+        if report is None:
+            continue
+        present = set(ArtifactStore(root).keys())
+        bad = set(report.get("cells", {})) - present
+        held = set(report.get("blocked", ())) - present
+        if (bad or held) and not allow_partial:
+            raise ValueError(
+                f"shard store {root} reports unresolved failures "
+                f"({len(bad)} failed, {len(held)} blocked cells in "
+                f"{FAILURES_NAME}); re-run the shard, or merge anyway "
+                "with --allow-partial"
+            )
+        failed |= bad
+        blocked |= held
     store = ArtifactStore(store_root)
     adopted = store.merge_from([ArtifactStore(root) for root in shard_roots])
     return {
@@ -276,4 +524,6 @@ def merge_stores(
         "adopted": tuple(adopted),
         "total": len(store),
         "content_hash": store.content_hash(),
+        "failed": tuple(sorted(failed)),
+        "blocked": tuple(sorted(blocked)),
     }

@@ -106,6 +106,76 @@ class TestCampaignStatus:
         assert math.isnan(status.eta_s)
 
 
+class TestFaultReporting:
+    def test_worker_liveness_from_lease(self, tmp_path):
+        from repro.runtime.coordinator import acquire_lease, lease_path_for
+
+        _write_shard(tmp_path, 0, ["a", "b"], done=["a"])
+        _write_shard(tmp_path, 1, ["c", "d"], done=["c"])
+        alive_lease = lease_path_for(tmp_path / "shard-0.json")
+        acquire_lease(alive_lease, worker_id="w0-a1", ttl_s=300.0)
+        dead_lease = lease_path_for(tmp_path / "shard-1.json")
+        acquire_lease(
+            dead_lease, worker_id="w1-a1", ttl_s=1.0,
+            now=__import__("time").time() - 60.0,
+        )
+        status = campaign_status(tmp_path)
+        assert status.shards[0].worker_state == "alive"
+        assert status.shards[0].worker_id == "w0-a1"
+        assert status.shards[1].worker_state == "dead"
+        text = render_text(status)
+        assert "worker alive (w0-a1)" in text
+        assert "worker dead (w1-a1)" in text
+
+    def test_never_leased_shard_shows_no_worker(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a"], done=[])
+        status = campaign_status(tmp_path)
+        assert status.shards[0].worker_state == "-"
+        samples = parse_prometheus_text(render_prometheus(status))
+        value = samples[("repro_campaign_shard_worker_alive", (("shard", "0"),))]
+        assert math.isnan(value)
+
+    def test_stolen_and_failed_counts(self, tmp_path):
+        from repro.runtime.worker import (
+            revoked_path_for,
+            write_failures,
+            write_revoked,
+        )
+
+        _write_shard(tmp_path, 0, ["a", "b", "c", "d"], done=["a"])
+        manifest = tmp_path / "shard-0.json"
+        # "b" failed (quarantined), "c" was stolen by another worker;
+        # both are revoked from this shard, but reported differently.
+        write_revoked(revoked_path_for(manifest), ["b", "c"])
+        store = tmp_path / "shard-0-store"
+        write_failures(store / "failures.json", {"b": {"error": "poison"}})
+        status = campaign_status(tmp_path)
+        shard = status.shards[0]
+        assert shard.n_done == 1
+        assert shard.n_failed == 1
+        assert shard.n_stolen == 1
+        assert shard.n_pending == 1
+        text = render_text(status)
+        assert "stolen 1" in text and "failed 1" in text
+        samples = parse_prometheus_text(render_prometheus(status))
+        shard0 = (("shard", "0"),)
+        assert samples[("repro_campaign_shard_cells_stolen", shard0)] == 1.0
+        assert samples[("repro_campaign_shard_cells_failed", shard0)] == 1.0
+
+    def test_steal_manifests_are_not_shards(self, tmp_path):
+        from repro.obs.status import find_shard_manifests
+
+        _write_shard(tmp_path, 0, ["a"], done=[])
+        _write_shard(tmp_path, 1, ["b"], done=[])
+        # Steal manifests, sidecars, and leases live in the same
+        # directory but must never be discovered as shards.
+        (tmp_path / "shard-0.steal1.json").write_text("{}")
+        (tmp_path / "shard-0.revoked.json").write_text("{}")
+        (tmp_path / "shard-1.lease.json").write_text("{}")
+        found = find_shard_manifests(tmp_path, "shard")
+        assert [index for index, _ in found] == [0, 1]
+
+
 class TestStragglers:
     def _status(self, fracs):
         status = CampaignStatus(shard_dir="x")

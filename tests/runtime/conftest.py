@@ -1,0 +1,29 @@
+"""Shared fixtures for runtime tests: chaos arming and demo matrices."""
+
+import pytest
+
+from repro.runtime import chaos as chaos_module
+from repro.runtime.chaos import demo_matrix
+
+
+@pytest.fixture
+def chaos_env(monkeypatch):
+    """Arm chaos via ``REPRO_CHAOS`` for the test, disarm afterwards.
+
+    Yields a setter taking the config path; teardown removes the
+    variable and disarms the in-process injector so the store's put
+    hook never leaks into later tests.
+    """
+
+    def arm(config_path):
+        monkeypatch.setenv(chaos_module.CHAOS_ENV, str(config_path))
+
+    yield arm
+    monkeypatch.delenv(chaos_module.CHAOS_ENV, raising=False)
+    chaos_module.deactivate()
+
+
+@pytest.fixture
+def demo_cells():
+    """A 2-chain × 2-link chained demo matrix (4 cells, 2 components)."""
+    return demo_matrix(n_chains=2, chain_len=2, seed=3)

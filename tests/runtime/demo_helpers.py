@@ -1,0 +1,24 @@
+"""Helpers shared by the chaos/coordinator test modules."""
+
+from repro.runtime import ArtifactStore, run_manifest, write_shard_manifests
+from repro.runtime.chaos import demo_codec
+
+
+def write_demo_shards(directory, cells, n_shards):
+    """Shard ``cells`` into demo-codec manifests under ``directory``."""
+    codec = demo_codec()
+    return write_shard_manifests(
+        cells,
+        n_shards,
+        directory,
+        codec.encode_ref,
+        decode_ref=codec.decode_ref,
+    )
+
+
+def serial_reference_hash(tmp_path, cells):
+    """Content hash of an unperturbed serial run of ``cells``."""
+    ref_dir = tmp_path / "serial-ref"
+    write_demo_shards(ref_dir, cells, 1)
+    run_manifest(ref_dir / "shard-0.json", ref_dir / "store", echo=None)
+    return ArtifactStore(ref_dir / "store").content_hash()

@@ -8,6 +8,8 @@ artifact-store content hashes — and a worker that crashes mid-shard
 resumes from its store instead of recomputing finished cells.
 """
 
+import json
+
 import pytest
 
 from repro.measurement import TraceRepository
@@ -203,6 +205,44 @@ class TestCrashMidShardResume:
             store.content_hash()
         )
         assert set(clean["computed"]) == set(c.key for c in shard_cells)
+
+
+class TestResumeAudit:
+    def test_corrupt_stored_cell_is_recomputed_on_resume(self, tmp_path):
+        """Resume trusts nothing: a stored key whose bytes fail the
+        integrity audit is deleted and recomputed, and the resumed
+        store converges to the clean hash anyway."""
+        configs = fast_matrix()
+        campaign = ScenarioCampaign(configs)
+        (manifest,) = campaign.shard_manifests(tmp_path / "shards", 1)
+        store_root = tmp_path / "shard-store"
+        first = run_manifest(manifest, store_root, echo=None)
+        clean_hash = ArtifactStore(store_root).content_hash()
+        victim = first["computed"][0]
+
+        # Flip bytes inside one stored document, behind the store's back.
+        victim_dir = store_root / victim
+        doc = sorted(victim_dir.glob("*.json"))[0]
+        doc.write_text(json.dumps({"tampered": True}))
+
+        summary = run_manifest(manifest, store_root, echo=None)
+        assert summary["audit_failed"] == (victim,)
+        assert victim in summary["computed"]
+        assert set(summary["cached"]) == set(first["computed"]) - {victim}
+        assert ArtifactStore(store_root).content_hash() == clean_hash
+        assert ArtifactStore(store_root).verify().ok
+
+    def test_audit_can_be_disabled(self, tmp_path):
+        configs = fast_matrix()
+        campaign = ScenarioCampaign(configs)
+        (manifest,) = campaign.shard_manifests(tmp_path / "shards", 1)
+        store_root = tmp_path / "shard-store"
+        run_manifest(manifest, store_root, echo=None)
+        summary = run_manifest(
+            manifest, store_root, echo=None, audit_resume=False
+        )
+        assert summary["audit_failed"] == ()
+        assert summary["computed"] == ()
 
 
 class TestShardExecutorValidation:

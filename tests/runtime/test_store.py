@@ -236,6 +236,88 @@ class TestMergeAndHash:
         assert a.content_hash() != b.content_hash()
 
 
+class TestVerify:
+    def test_clean_store_verifies_ok(self, store):
+        store.put("k1", DOCS)
+        store.put("k2", {"config": {"seed": 2}})
+        report = store.verify()
+        assert report.ok
+        assert report.checked == 2
+        assert report.problems == [] and report.orphans == []
+
+    def test_digest_mismatch_detected(self, store):
+        store.put("k1", DOCS)
+        path = store.root / "k1" / "a.json"
+        path.write_text(json.dumps({"values": [9.0]}))
+        report = store.verify()
+        assert not report.ok
+        assert report.bad_keys() == ["k1"]
+        (problem,) = report.problems
+        assert problem.kind == "digest-mismatch"
+        assert "k1/a: digest-mismatch" in str(problem)
+
+    def test_missing_file_and_missing_dir_detected(self, store):
+        import shutil
+
+        store.put("k1", DOCS)
+        store.put("k2", DOCS)
+        (store.root / "k1" / "a.json").unlink()
+        shutil.rmtree(store.root / "k2")
+        report = store.verify()
+        kinds = {(p.key, p.kind) for p in report.problems}
+        assert kinds == {("k1", "missing-file"), ("k2", "missing-dir")}
+
+    def test_torn_write_reported_unreadable(self, store):
+        store.put("k1", DOCS)
+        (store.root / "k1" / "a.json").write_text('{"values": [1.0')
+        report = store.verify()
+        (problem,) = report.problems
+        assert problem.kind == "unreadable"
+
+    def test_stray_file_detected(self, store):
+        store.put("k1", DOCS)
+        (store.root / "k1" / "extra.json").write_text("{}")
+        report = store.verify()
+        (problem,) = report.problems
+        assert (problem.kind, problem.document) == ("stray-file", "extra")
+
+    def test_orphan_directory_is_benign(self, store):
+        # The residue of a writer SIGKILLed between document writes and
+        # its manifest entry: reported, but never corruption.
+        store.put("k1", DOCS)
+        orphan = store.root / "k-orphan"
+        orphan.mkdir()
+        (orphan / "a.json").write_text("{}")
+        report = store.verify()
+        assert report.ok
+        assert report.orphans == ["k-orphan"]
+
+    def test_keys_subset_checks_only_those(self, store):
+        store.put("good", DOCS)
+        store.put("bad", DOCS)
+        (store.root / "bad" / "a.json").unlink()
+        assert store.verify(keys=["good"]).ok
+        assert not store.verify(keys=["bad"]).ok
+        with pytest.raises(KeyError, match="unknown"):
+            store.verify(keys=["unknown"])
+
+    def test_legacy_entry_without_digests_still_checked(self, store):
+        # Entries written before digests/document lists existed: the
+        # files on disk are the truth — presence and JSON validity are
+        # still audited, byte digests and strays are not.
+        store.put("k1", DOCS)
+        manifest_path = store.root / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["k1"].pop("sha256", None)
+        manifest["k1"].pop("documents", None)
+        manifest_path.write_text(json.dumps(manifest))
+        assert store.verify().ok
+        (store.root / "k1" / "a.json").write_text("not json")
+        report = store.verify()
+        (problem,) = report.problems
+        assert problem.kind == "unreadable"
+
+
 class TestValidateKey:
     def test_kind_appears_in_message(self):
         with pytest.raises(ValueError, match="campaign id"):

@@ -193,3 +193,17 @@ class TestCommands:
     def test_bench_seed_refuses_ledger_operations(self, capsys):
         assert main(["bench", "--seed", "5", "--check"]) == 2
         assert "checksums" in capsys.readouterr().err
+
+    def test_store_verify_missing_store_is_clean_error(
+        self, capsys, tmp_path
+    ):
+        missing = tmp_path / "never-created"
+        assert main(["store", "verify", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        # The audit must not scaffold the store it failed to find.
+        assert not missing.exists()
+
+    def test_campaign_run_empty_dir_is_clean_error(self, capsys, tmp_path):
+        assert main(["campaign", "run", str(tmp_path)]) == 2
+        assert "no shard manifests" in capsys.readouterr().err

@@ -72,3 +72,11 @@ def test_sharded_campaign(capsys):
     assert "shard 1 resumed" in out
     assert "content hash matches a serial run" in out
     assert "8/8 cache hits" in out
+
+
+def test_fault_tolerant_campaign(capsys):
+    out = run_example("fault_tolerant_campaign.py", capsys)
+    assert "convergence held" in out
+    assert "quarantined: ['cell-" in out
+    assert "partial merge kept 6/8" in out
+    assert "store verify" in out and "CORRUPT" not in out
