@@ -405,6 +405,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     heartbeat = None
     lease = None
     should_stop = None
+    push = None
     worker_id = args.worker_id or f"pid-{os.getpid()}"
     try:
         if args.lease:
@@ -421,6 +422,24 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             )
             heartbeat.start()
             should_stop = lambda: heartbeat.lost  # noqa: E731
+        syncer = None
+        on_stored = None
+        if getattr(args, "remote", None):
+            from repro.runtime.remote import RemoteStore, open_transport
+
+            syncer = RemoteStore(
+                ArtifactStore(args.store),
+                open_transport(args.remote),
+                echo=None if args.quiet else print,
+            )
+            # Cross-machine resume: anything the remote already holds
+            # for this shard becomes a local cache hit (digest-verified
+            # on the way in; failures degrade to recomputes).
+            syncer.pull()
+
+            def on_stored(key: str) -> None:
+                syncer.push([key])
+
         try:
             summary = run_manifest(
                 args.manifest,
@@ -428,6 +447,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 echo=None if args.quiet else print,
                 should_stop=should_stop,
+                on_stored=on_stored,
             )
         except (CellExecutionError, ExecutionAborted) as exc:
             print(f"retryable: {exc}", file=sys.stderr)
@@ -435,6 +455,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if syncer is not None:
+            # Backstop for any per-cell push the hook swallowed: one
+            # digest-keyed delta push of the whole shard store.
+            push = syncer.push()
     finally:
         if heartbeat is not None:
             heartbeat.stop()
@@ -446,6 +470,14 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         f"cached={len(summary['cached'])} "
         f"skipped={len(summary['skipped'])} store={summary['store']}"
     )
+    if push is not None:
+        print(f"sync {push.summary_line()}")
+        if push.failed:
+            print(
+                f"sync: {len(push.failed)} key(s) failed to push; the "
+                "local store is complete and a later push can catch up",
+                file=sys.stderr,
+            )
     if failures is not None:
         stored = set(ArtifactStore(args.store).keys())
         unresolved = (
@@ -470,7 +502,10 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
     try:
         status = campaign_status(
-            args.shard_dir, prefix=args.prefix, stores=args.stores
+            args.shard_dir,
+            prefix=args.prefix,
+            stores=args.stores,
+            remote=getattr(args, "remote", None),
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -525,6 +560,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             seed=args.seed if args.seed is not None else 0,
             max_wall_s=args.max_wall,
             echo=None if args.quiet else print,
+            remote_root=args.remote,
         )
     except (OSError, ValueError, RuntimeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -535,6 +571,15 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         f"quarantined={len(summary['quarantined'])} "
         f"blocked={len(summary['blocked'])}"
     )
+    transport = summary.get("transport")
+    if transport is not None:
+        print(
+            f"transport: pulled={transport['pulled']} "
+            f"skipped={transport['skipped']} "
+            f"failed={len(transport['failed'])} "
+            f"retries={transport['retries']} "
+            f"refetches={transport['refetches']}"
+        )
     merged = summary["merged"]
     if merged is not None:
         print(
@@ -564,20 +609,80 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
             print(f"error: no store directory {root}", file=sys.stderr)
             return 2
         try:
-            report = ArtifactStore(root).verify()
+            store = ArtifactStore(root)
+            report = store.verify()
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         state = "ok" if report.ok else "CORRUPT"
-        print(
+        line = (
             f"{root}: {state} — {report.checked} key(s) checked, "
             f"{len(report.problems)} problem(s), "
             f"{len(report.orphans)} orphan dir(s)"
         )
+        if report.undigested:
+            line += f", {len(report.undigested)} undigested key(s)"
+        print(line)
         for problem in report.problems:
             print(f"  {problem}")
+        for key in report.undigested:
+            print(f"  {key}: undigested (run `repro store digest {root}`)")
+        if args.repair and not report.ok:
+            repaired = store.repair(report)
+            print(
+                f"  repaired: dropped {len(repaired.dropped)} manifest "
+                f"entr(ies), removed {len(repaired.removed_files)} file(s) "
+                "— re-run or pull to recompute them"
+            )
+            report = store.verify()
         problems += len(report.problems)
     return 1 if problems else 0
+
+
+def _cmd_store_digest(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.runtime import ArtifactStore, StoreCorruptionError
+
+    for root in args.stores:
+        if not Path(root).is_dir():
+            print(f"error: no store directory {root}", file=sys.stderr)
+            return 2
+        try:
+            updated = ArtifactStore(root).record_digests()
+        except (StoreCorruptionError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{root}: recorded digests for {len(updated)} key(s)")
+    return 0
+
+
+def _cmd_store_sync(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.runtime import ArtifactStore
+    from repro.runtime.remote import RemoteStore, RetryPolicy, open_transport
+
+    if not Path(args.store_dir).is_dir():
+        print(f"error: no store directory {args.store_dir}", file=sys.stderr)
+        return 2
+    try:
+        syncer = RemoteStore(
+            ArtifactStore(args.store_dir),
+            open_transport(args.remote),
+            retries=args.retries,
+            backoff=RetryPolicy(seed=args.seed if args.seed is not None else 0),
+            timeout_s=args.timeout,
+            echo=None if args.quiet else print,
+        )
+        report = getattr(syncer, args.store_command)()
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary_line())
+    for key, reason in sorted(report.failed.items()):
+        print(f"  missing {key}: {reason}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -719,6 +824,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=float, default=None, metavar="S",
         help="lease renewal interval (default: lease-ttl / 3)",
     )
+    p.add_argument(
+        "--remote", default=None, metavar="DIR",
+        help="remote store root to sync through: pulled before the "
+        "shard runs (cross-machine resume), pushed as each cell "
+        "completes and once more at exit (default: no sync)",
+    )
     p.set_defaults(handler=_cmd_worker)
 
     p = sub.add_parser(
@@ -791,6 +902,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: run until resolved)",
     )
     p.add_argument(
+        "--remote", default=None, metavar="DIR",
+        help="remote store root: each worker pushes its shard store to "
+        "DIR/<prefix>-<i>-store as cells complete (digest-verified), and "
+        "the coordinator pulls the remotes back before merging "
+        "(default: no remote sync)",
+    )
+    p.add_argument(
         "--quiet", action="store_true",
         help="suppress coordinator structured log lines",
     )
@@ -818,6 +936,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--prom", action="store_true",
         help="emit Prometheus text exposition instead of the table",
+    )
+    p.add_argument(
+        "--remote", default=None, metavar="DIR",
+        help="remote store root the campaign syncs through; adds "
+        "per-shard sync lag (synced/pending/failed documents) to the "
+        "report (default: local progress only)",
     )
     p.set_defaults(handler=_cmd_campaign_status)
 
@@ -850,7 +974,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "store",
-        help="artifact-store maintenance (verify)",
+        help="artifact-store maintenance (verify, digest, push/pull/sync)",
     )
     store_sub = p.add_subparsers(dest="store_command", required=True)
     p = store_sub.add_parser(
@@ -862,7 +986,58 @@ def build_parser() -> argparse.ArgumentParser:
         "stores", nargs="+", metavar="DIR",
         help="artifact store directories to audit",
     )
+    p.add_argument(
+        "--repair", action="store_true",
+        help="delete corrupt documents and drop their manifest entries "
+        "so a re-run or `store pull` recomputes them; benign orphan "
+        "directories are never touched (exit 0 once clean)",
+    )
     p.set_defaults(handler=_cmd_store_verify)
+    p = store_sub.add_parser(
+        "digest",
+        help="backfill per-document sha256 digests for manifest entries "
+        "that predate them, making old stores auditable",
+    )
+    p.add_argument(
+        "stores", nargs="+", metavar="DIR",
+        help="artifact store directories to backfill",
+    )
+    p.set_defaults(handler=_cmd_store_digest)
+    for verb, verb_help in (
+        ("push", "upload local artifacts the remote store lacks "
+         "(digest-keyed delta, read-back verified)"),
+        ("pull", "fetch remote artifacts the local store lacks "
+         "(digest-verified before landing; failures leave the local "
+         "store valid and name the missing keys)"),
+        ("sync", "pull then push, converging both stores to the union"),
+    ):
+        p = store_sub.add_parser(verb, help=verb_help)
+        p.add_argument(
+            "store_dir", metavar="DIR",
+            help="local artifact store directory",
+        )
+        p.add_argument(
+            "--remote", required=True, metavar="DIR",
+            help="remote store root (a mounted/synced directory)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=3, metavar="N",
+            help="per-operation transport retries with exponential "
+            "backoff and deterministic jitter (default: 3)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=30.0, metavar="S",
+            help="per-operation transport timeout (default: 30)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="seed for deterministic retry jitter (default: 0)",
+        )
+        p.add_argument(
+            "--quiet", action="store_true",
+            help="suppress structured transfer log lines",
+        )
+        p.set_defaults(handler=_cmd_store_sync)
 
     p = sub.add_parser("fingerprint", help="F5.2 baseline for an instance")
     p.add_argument("instance", help="EC2 instance type, e.g. c5.xlarge")

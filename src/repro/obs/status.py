@@ -66,6 +66,17 @@ class ShardStatus:
     worker_state: str = "-"
     #: Worker id from the lease file (``""`` without a lease).
     worker_id: str = ""
+    #: True when the probe was given a remote root to compare against
+    #: (``repro campaign status --remote``); the sync fields below are
+    #: meaningful only then.
+    has_remote: bool = False
+    #: Local documents whose sha256 matches the remote store's entry.
+    n_docs_synced: int = 0
+    #: Local documents the remote lacks (or holds with other digests).
+    n_docs_pending: int = 0
+    #: Keys the last recorded push/pull/sync could not transfer, from
+    #: the shard store's ``.sync.json`` sidecar.
+    n_sync_failed: int = 0
 
     @property
     def n_pending(self) -> int:
@@ -165,7 +176,10 @@ def _read_store_manifest(store_root: Path) -> dict:
 
 
 def _shard_status(
-    index: int, manifest_path: Path, store_root: Path
+    index: int,
+    manifest_path: Path,
+    store_root: Path,
+    remote_store_root: Path | None = None,
 ) -> ShardStatus:
     # Imported lazily: repro.runtime modules import repro.obs at load
     # time, so a module-level import here would be circular.
@@ -227,7 +241,67 @@ def _shard_status(
             status.last_unix_s is None or unix > status.last_unix_s
         ):
             status.last_unix_s = float(unix)
+    if remote_store_root is not None:
+        _sync_lag(status, stored, remote_store_root)
     return status
+
+
+def _sync_lag(
+    status: ShardStatus, stored: dict, remote_store_root: Path
+) -> None:
+    """Fill a shard's sync-lag fields by comparing manifests digest-wise.
+
+    The remote store's manifest is read raw (like the local one, never
+    scaffolding) and every local document is classified: synced when
+    the remote entry records the same sha256, pending otherwise.
+    Failed keys come from the ``.sync.json`` sidecar the last
+    push/pull/sync wrote — no sidecar, no failures to report.
+    """
+    # Lazy import for the same circularity reason as _shard_status.
+    from repro.runtime.remote import read_sync_state
+    from repro.runtime.store import DIGESTS_KEY
+
+    status.has_remote = True
+    remote_path = remote_store_root / "manifest.json"
+    remote_manifest: dict = {}
+    if remote_path.exists():
+        try:
+            parsed = json.loads(remote_path.read_text())
+        except ValueError:
+            parsed = None
+        if isinstance(parsed, dict):
+            remote_manifest = parsed
+    for key, entry in stored.items():
+        if not isinstance(entry, dict):
+            continue
+        digests = entry.get(DIGESTS_KEY)
+        digests = digests if isinstance(digests, dict) else {}
+        names = entry.get("documents") or sorted(digests)
+        remote_entry = remote_manifest.get(key)
+        remote_digests = (
+            remote_entry.get(DIGESTS_KEY)
+            if isinstance(remote_entry, dict)
+            else None
+        )
+        remote_digests = (
+            remote_digests if isinstance(remote_digests, dict) else {}
+        )
+        for name in names:
+            recorded = digests.get(name)
+            if recorded is not None and remote_digests.get(name) == recorded:
+                status.n_docs_synced += 1
+            else:
+                status.n_docs_pending += 1
+    state = read_sync_state(status.store_root)
+    if state is not None:
+        failed_keys: set[str] = set()
+        for direction in ("push", "pull", "sync"):
+            outcome = state.get(direction)
+            if isinstance(outcome, dict):
+                failed = outcome.get("failed")
+                if isinstance(failed, dict):
+                    failed_keys |= set(failed)
+        status.n_sync_failed = len(failed_keys)
 
 
 def find_shard_manifests(
@@ -261,6 +335,7 @@ def campaign_status(
     shard_dir: str | Path,
     prefix: str = "shard",
     stores: Sequence[str | Path] | None = None,
+    remote: str | Path | None = None,
 ) -> CampaignStatus:
     """Probe a sharded campaign's progress from its on-disk state.
 
@@ -268,7 +343,10 @@ def campaign_status(
     pairs shard *i* with the store ``{prefix}-<i>-store`` in the same
     directory (the layout ``repro scenario --shards`` prints worker
     commands for), unless explicit ``stores`` override the pairing
-    positionally.
+    positionally.  ``remote`` names the remote store root the campaign
+    syncs through (``repro campaign run --remote``); when given, each
+    shard additionally reports its sync lag against
+    ``<remote>/{prefix}-<i>-store``.
     """
     shard_dir = Path(shard_dir)
     found = find_shard_manifests(shard_dir, prefix)
@@ -283,7 +361,14 @@ def campaign_status(
             store_root = Path(stores[position])
         else:
             store_root = shard_dir / f"{prefix}-{index}-store"
-        status.shards.append(_shard_status(index, manifest_path, store_root))
+        remote_store_root = (
+            Path(remote) / f"{prefix}-{index}-store"
+            if remote is not None
+            else None
+        )
+        status.shards.append(
+            _shard_status(index, manifest_path, store_root, remote_store_root)
+        )
     return status
 
 
@@ -313,6 +398,13 @@ def render_text(status: CampaignStatus) -> str:
             extras += f", worker {s.worker_state}"
             if s.worker_id:
                 extras += f" ({s.worker_id})"
+        if s.has_remote:
+            extras += (
+                f", synced {s.n_docs_synced}/"
+                f"{s.n_docs_synced + s.n_docs_pending}"
+            )
+            if s.n_sync_failed:
+                extras += f", sync-failed {s.n_sync_failed}"
         flag = "  STRAGGLER" if s.index in straggling else ""
         lines.append(
             f"  shard {s.index}: {s.n_done}/{s.n_cells} cells "
@@ -359,6 +451,20 @@ def render_prometheus(status: CampaignStatus) -> str:
         "1 = lease renewed within TTL, 0 = lease expired (dead worker), "
         "NaN = never leased",
     )
+    any_remote = any(s.has_remote for s in status.shards)
+    if any_remote:
+        synced = reg.gauge(
+            "repro_campaign_shard_docs_synced",
+            "Local documents whose digests match the remote shard store",
+        )
+        pending = reg.gauge(
+            "repro_campaign_shard_docs_pending",
+            "Local documents absent from or stale on the remote shard store",
+        )
+        sync_failed = reg.gauge(
+            "repro_campaign_shard_sync_failed",
+            "Keys whose last transport sync attempt failed (.sync.json)",
+        )
     for s in status.shards:
         label = str(s.index)
         cells.set(float(s.n_cells), shard=label)
@@ -374,6 +480,10 @@ def render_prometheus(status: CampaignStatus) -> str:
             else float(s.worker_state == "alive"),
             shard=label,
         )
+        if s.has_remote:
+            synced.set(float(s.n_docs_synced), shard=label)
+            pending.set(float(s.n_docs_pending), shard=label)
+            sync_failed.set(float(s.n_sync_failed), shard=label)
     reg.gauge("repro_campaign_shards", "Discovered shards").set(
         float(len(status.shards))
     )

@@ -71,6 +71,23 @@ is boring.  The assumptions and guarantees, from the bottom up:
   harness (:mod:`repro.runtime.chaos`) enforces this as a test
   invariant: kill workers anywhere and the merged store hash must
   equal the serial run's.
+* *The network is the last untrusted party.*  Stores cross machines
+  only through :mod:`repro.runtime.remote`: a pluggable
+  :class:`~repro.runtime.remote.Transport` moves opaque bytes, and
+  :class:`~repro.runtime.remote.RemoteStore` layers on everything the
+  transport is not trusted to provide — digest-keyed delta transfer,
+  sha256 re-verification of every transferred document (re-fetch /
+  re-upload on mismatch), bounded retries drawing the coordinator's
+  own deterministic backoff schedule
+  (:class:`~repro.runtime.remote.RetryPolicy`), per-operation
+  timeouts, and the same documents-before-manifest landing order via
+  :meth:`~repro.runtime.store.ArtifactStore.adopt`.  A transfer the
+  link drops, truncates, corrupts, or stalls can delay convergence
+  but never lands a corrupt document in a manifest; a pull that
+  cannot complete leaves the local store valid and reports exactly
+  which keys are missing.  The chaos harness extends the convergence
+  invariant across the wire: inject any transport fault and the
+  pulled-and-merged store hash must still equal the serial run's.
 """
 
 from repro.runtime.campaign import ArtifactCodec, CampaignRunner, RuntimeOutcome
@@ -99,9 +116,23 @@ from repro.runtime.executors import (
     cell_components,
     partition_cells,
 )
+from repro.runtime.remote import (
+    FaultyTransport,
+    LocalDirTransport,
+    RemoteStore,
+    RetryPolicy,
+    SyncReport,
+    Transport,
+    TransportError,
+    TransportNotFoundError,
+    TransportTimeoutError,
+    open_transport,
+    read_sync_state,
+)
 from repro.runtime.store import (
     ArtifactStore,
     StoreCorruptionError,
+    StoreRepairReport,
     StoreVerifyProblem,
     StoreVerifyReport,
     atomic_write_text,
@@ -126,16 +157,26 @@ __all__ = [
     "CellExecutionError",
     "ExecutionAborted",
     "FAILURES_NAME",
+    "FaultyTransport",
     "LeaseHeartbeat",
     "LeaseLostError",
+    "LocalDirTransport",
     "MANIFEST_SCHEMA",
     "ProcessPoolExecutor",
+    "RemoteStore",
+    "RetryPolicy",
     "RuntimeOutcome",
     "SerialExecutor",
     "ShardExecutor",
     "StoreCorruptionError",
+    "StoreRepairReport",
     "StoreVerifyProblem",
     "StoreVerifyReport",
+    "SyncReport",
+    "Transport",
+    "TransportError",
+    "TransportNotFoundError",
+    "TransportTimeoutError",
     "acquire_lease",
     "atomic_write_text",
     "cell_components",
@@ -144,10 +185,12 @@ __all__ = [
     "execute_cell_graph",
     "lease_path_for",
     "merge_stores",
+    "open_transport",
     "order_cells",
     "partition_cells",
     "read_failures",
     "read_shard_manifest",
+    "read_sync_state",
     "release_lease",
     "renew_lease",
     "resolve_ref",

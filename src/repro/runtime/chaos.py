@@ -29,7 +29,13 @@ Config file shape (all fault fields optional)::
       "poison_keys": ["scn-.."],               # always raise (quarantine path)
       "flaky": {"scn-..": 2},                  # fail first N attempts, then ok
       "slow_keys": {"scn-..": 1.5},            # sleep before these cells
-      "slow_cell_s": 0.0                       # sleep before every cell
+      "slow_cell_s": 0.0,                      # sleep before every cell
+      "transport": {                           # faults on store sync traffic
+        "truncate_upload": {"times": 1},       # upload lands half its bytes
+        "bit_flip": {"times": 1},              # read returns a flipped bit
+        "drop_at_document": {"index": 2, "times": 1},  # Nth transfer errors
+        "stall": {"delay_s": 0.5, "times": 1}  # op sleeps / times out
+      }
     }
 
 ``state_dir`` holds one marker file per consumed fault (claimed with
@@ -107,6 +113,7 @@ class ChaosInjector:
     flaky: dict[str, int] = field(default_factory=dict)
     slow_keys: dict[str, float] = field(default_factory=dict)
     slow_cell_s: float = 0.0
+    transport: dict | None = None
     _n_executed: int = 0
 
     @classmethod
@@ -131,9 +138,19 @@ class ChaosInjector:
                 for k, v in dict(config.get("slow_keys", {})).items()
             },
             slow_cell_s=float(config.get("slow_cell_s", 0.0)),
+            transport=config.get("transport"),
         )
+        if injector.transport is not None and not isinstance(
+            injector.transport, Mapping
+        ):
+            raise ValueError(
+                f"chaos config {path} 'transport' must be a JSON object"
+            )
         needs_state = (
-            injector.kill_at_cell or injector.kill_in_put or injector.flaky
+            injector.kill_at_cell
+            or injector.kill_in_put
+            or injector.flaky
+            or injector.transport
         )
         if needs_state and injector.state_dir is None:
             raise ValueError(
@@ -215,6 +232,44 @@ class ChaosInjector:
             and self._claim("kill_in_put", int(kp.get("times", 1)))
         ):
             self._die()
+
+    def wrap_transport(self, transport):
+        """Wrap a transport in the configured faults, or return ``None``.
+
+        Called by :func:`repro.runtime.remote.open_transport` on every
+        transport the fabric opens, so ``REPRO_CHAOS`` reaches sync
+        traffic in worker subprocesses exactly like it reaches cell
+        execution.  Firings are claimed through :meth:`_claim`'s
+        ``O_EXCL`` markers, so ``times: N`` holds across every process
+        sharing the state dir.
+        """
+        faults = self.transport
+        if not faults or not self._applies():
+            return None
+        from repro.runtime.remote import FaultyTransport
+
+        def section(name: str) -> Mapping:
+            value = faults.get(name) or {}
+            if not isinstance(value, Mapping):
+                raise ValueError(
+                    f"chaos transport fault {name!r} must be a JSON object"
+                )
+            return value
+
+        drop = section("drop_at_document")
+        stall = section("stall")
+        return FaultyTransport(
+            transport,
+            truncate_upload=int(section("truncate_upload").get("times", 0)),
+            bit_flip=int(section("bit_flip").get("times", 0)),
+            drop_at_document=(
+                int(drop["index"]) if "index" in drop else None
+            ),
+            drop_times=int(drop.get("times", 1)),
+            stall_s=float(stall.get("delay_s", 0.0)),
+            stall_times=int(stall.get("times", 1)),
+            claim=self._claim,
+        )
 
     def install(self) -> None:
         ArtifactStore._chaos_put_hook = self.mid_put

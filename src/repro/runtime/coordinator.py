@@ -49,7 +49,6 @@ none of them.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import subprocess
@@ -66,7 +65,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.runtime import chaos
 from repro.runtime.cell import Cell
 from repro.runtime.executors import cell_components
-from repro.runtime.store import atomic_write_text
+from repro.runtime.remote import RemoteStore, RetryPolicy, open_transport
+from repro.runtime.store import ArtifactStore, atomic_write_text
 from repro.runtime.worker import (
     FAILURES_NAME,
     MANIFEST_SCHEMA,
@@ -156,13 +156,23 @@ def read_lease(path: str | Path) -> dict | None:
     return payload
 
 
-def lease_expired(lease: dict, now: float | None = None) -> bool:
-    """True when the lease's last renewal is older than its TTL."""
+def lease_expired(
+    lease: dict, now: float | None = None, skew_s: float = 0.0
+) -> bool:
+    """True when the lease's last renewal is older than its TTL.
+
+    ``skew_s`` is a grace margin for readers on a *different* clock
+    than the renewing worker — a slowly-synced shared filesystem or a
+    fleet without tight NTP.  A lease is only declared expired once it
+    is ``skew_s`` past its TTL, trading slower death detection for
+    never fencing a live worker over clock disagreement.  The default
+    ``0.0`` preserves same-machine behavior exactly.
+    """
     if now is None:
         now = time.time()
     renewed = float(lease.get("renewed_unix_s", 0.0))
     ttl = float(lease.get("ttl_s", 0.0))
-    return now > renewed + ttl
+    return now > renewed + ttl + max(0.0, skew_s)
 
 
 def acquire_lease(
@@ -325,9 +335,13 @@ class _Slot:
 
 
 def _jitter_frac(seed: int, shard: int, attempt: int) -> float:
-    """Deterministic jitter in [0, 1): same campaign, same schedule."""
-    digest = hashlib.sha256(f"{seed}:{shard}:{attempt}".encode()).digest()
-    return int.from_bytes(digest[:4], "big") / 2**32
+    """Deterministic jitter in [0, 1): same campaign, same schedule.
+
+    Delegates to :class:`repro.runtime.remote.RetryPolicy` so worker
+    relaunches and transport retries draw from one jitter function —
+    the equivalence is pinned in the backoff-determinism tests.
+    """
+    return RetryPolicy(seed=seed).jitter_frac(shard, attempt)
 
 
 def _stored_keys(store_root: Path) -> set[str]:
@@ -375,6 +389,7 @@ def run_campaign(
     echo: Callable[[str], None] | None = print,
     registry: MetricsRegistry | None = None,
     python: str | None = None,
+    remote_root: str | Path | None = None,
 ) -> dict:
     """Supervise a sharded campaign to completion despite worker deaths.
 
@@ -391,6 +406,17 @@ def run_campaign(
     blocked, the shard stores are merged into ``store_root`` (if given)
     — skipped, with ``merged=None``, when failures exist and
     ``allow_partial`` is False.
+
+    ``remote_root`` arms the sync hook: each worker pushes its shard
+    store to ``<remote_root>/<prefix>-<i>-store`` as cells complete
+    (through :class:`~repro.runtime.remote.RemoteStore`, so every
+    transferred document is digest-verified), and before merging the
+    coordinator pulls each remote shard store back into its local one
+    — a digest-keyed delta that is a no-op when the link was healthy,
+    and recovers anything a local store lost when it was not.  Pull
+    failures degrade gracefully (the affected keys stay missing and
+    are reported in ``summary["transport"]``); they never corrupt the
+    merge.
 
     Returns a summary dict; ``summary["ok"]`` is True only for a
     campaign with zero quarantined/blocked cells.  Pass a
@@ -410,6 +436,10 @@ def run_campaign(
         raise ValueError("max_retries must be >= 0")
     registry = registry if registry is not None else MetricsRegistry()
     log = StructuredLogger(echo=echo, component="coordinator")
+    retry_policy = RetryPolicy(
+        base_s=backoff_base_s, cap_s=backoff_cap_s, seed=seed
+    )
+    remote_root = Path(remote_root) if remote_root is not None else None
     deaths_total = registry.counter(
         "repro_coordinator_worker_deaths_total",
         "Workers declared dead (exit, signal, or expired lease)",
@@ -498,6 +528,11 @@ def run_campaign(
             "--heartbeat",
             str(heartbeat_s),
         ]
+        if remote_root is not None:
+            cmd += [
+                "--remote",
+                str(remote_root / f"{prefix}-{slot.index}-store"),
+            ]
         env = dict(os.environ)
         env[chaos.CHAOS_WORKER_ENV] = slot.worker_id
         slot.log_fh = open(slot.log_path, "a")
@@ -601,9 +636,9 @@ def run_campaign(
                     budget=max_retries,
                 )
         reassignments_total.inc(shard=str(slot.index))
-        delay = min(backoff_cap_s, backoff_base_s * 2 ** (slot.deaths - 1))
-        delay *= 1.0 + _jitter_frac(seed, slot.index, slot.deaths)
-        slot.next_launch_unix_s = now + delay
+        slot.next_launch_unix_s = now + retry_policy.delay_s(
+            slot.index, slot.deaths
+        )
 
     def slot_work(slot: _Slot) -> list[str]:
         stored = _stored_keys(slot.store_root)
@@ -756,6 +791,39 @@ def run_campaign(
                     slot.proc.wait()
             reap(slot)
 
+    transport_summary: dict | None = None
+    if remote_root is not None:
+        # Pull each remote shard store back into its local twin before
+        # merging: a digest-keyed delta no-op when the link was healthy,
+        # and the recovery path when a local store lost documents the
+        # remote still holds.  Failures stay per-key and graceful.
+        transport_summary = {
+            "pulled": 0, "skipped": 0, "failed": {},
+            "retries": 0, "refetches": 0,
+        }
+        for slot in slots:
+            remote_store_root = remote_root / f"{prefix}-{slot.index}-store"
+            syncer = RemoteStore(
+                ArtifactStore(slot.store_root),
+                open_transport(remote_store_root),
+                backoff=retry_policy,
+                registry=registry,
+                echo=echo,
+            )
+            pull = syncer.pull()
+            transport_summary["pulled"] += len(pull.pulled)
+            transport_summary["skipped"] += len(pull.skipped)
+            transport_summary["failed"].update(pull.failed)
+            transport_summary["retries"] += pull.retries
+            transport_summary["refetches"] += pull.refetches
+        log.log(
+            "remote_pull_done",
+            pulled=transport_summary["pulled"],
+            skipped=transport_summary["skipped"],
+            failed=len(transport_summary["failed"]),
+            refetches=transport_summary["refetches"],
+        )
+
     stored = stored_union()
     unresolved_blocked = tuple(sorted(blocked - stored))
     if quarantined:
@@ -774,6 +842,7 @@ def run_campaign(
         "steals": sum(slot.steals for slot in slots),
         "ok": not quarantined and not unresolved_blocked,
         "merged": None,
+        "transport": transport_summary,
     }
     log.log(
         "campaign_done",

@@ -57,6 +57,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 __all__ = [
     "ArtifactStore",
     "StoreCorruptionError",
+    "StoreRepairReport",
     "StoreVerifyProblem",
     "StoreVerifyReport",
     "atomic_write_text",
@@ -117,13 +118,17 @@ class StoreVerifyReport:
     those keys); ``orphans`` are artifact directories with no manifest
     entry — the benign residue of a writer killed mid-``put`` (the next
     ``put`` of the key adopts them), reported so an operator can
-    reclaim the space but never counted as corruption.
+    reclaim the space but never counted as corruption.  ``undigested``
+    keys parse fine but predate recorded sha256 digests, so their bytes
+    are unauditable until :meth:`ArtifactStore.record_digests` runs —
+    reported (not a problem) so the gap is visible instead of silent.
     """
 
     root: Path
     checked: int
     problems: list[StoreVerifyProblem] = field(default_factory=list)
     orphans: list[str] = field(default_factory=list)
+    undigested: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -132,6 +137,20 @@ class StoreVerifyReport:
     def bad_keys(self) -> list[str]:
         """Keys with at least one problem, sorted."""
         return sorted({p.key for p in self.problems})
+
+
+@dataclass
+class StoreRepairReport:
+    """Outcome of one :meth:`ArtifactStore.repair` pass.
+
+    ``dropped`` are keys whose manifest entries were removed (their
+    documents were corrupt or missing, so a re-run or ``pull`` must
+    recompute them); ``removed_files`` are the document files deleted,
+    as ``key/name.json`` strings.  Benign orphans are never touched.
+    """
+
+    dropped: list[str] = field(default_factory=list)
+    removed_files: list[str] = field(default_factory=list)
 
 
 def validate_key(key: str, kind: str = "artifact key") -> None:
@@ -443,7 +462,13 @@ class ArtifactStore:
                     )
                     continue
                 recorded = digests.get(name)
-                if recorded is not None:
+                if recorded is None:
+                    # Pre-digest entry: the file parses but its bytes
+                    # are unauditable.  Not corruption — but not silent
+                    # either; `repro store digest` closes the gap.
+                    if key not in report.undigested:
+                        report.undigested.append(key)
+                else:
                     actual = hashlib.sha256(data).hexdigest()
                     if actual != recorded:
                         report.problems.append(
@@ -469,7 +494,186 @@ class ArtifactStore:
                     report.orphans.append(path.name)
         return report
 
+    def repair(
+        self, report: StoreVerifyReport | None = None
+    ) -> StoreRepairReport:
+        """Remove corrupt artifacts so a re-run or ``pull`` recomputes them.
+
+        Keys with missing, truncated, or digest-mismatched documents
+        lose their manifest entry first (the :meth:`delete` ordering,
+        so a crash mid-repair cannot leave an entry pointing at deleted
+        files) and their document files after.  Stray files — documents
+        a healthy entry does not list — are deleted without touching
+        the entry.  Benign orphan directories are never touched: they
+        are a killed writer's residue, not corruption, and the next
+        ``put`` adopts them.
+        """
+        if report is None:
+            report = self.verify()
+        drop_kinds = {"missing-dir", "missing-file", "unreadable",
+                      "digest-mismatch"}
+        dropped = sorted(
+            {p.key for p in report.problems if p.kind in drop_kinds}
+        )
+        strays = sorted(
+            (p.key, p.document)
+            for p in report.problems
+            if p.kind == "stray-file" and p.key not in set(dropped)
+        )
+        repaired = StoreRepairReport(dropped=dropped)
+        if dropped:
+            with self._manifest_lock():
+                manifest = self._read_manifest()
+                for key in dropped:
+                    manifest.pop(key, None)
+                self._write_manifest(manifest)
+        for key in dropped:
+            directory = self.root / key
+            if not directory.exists():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                path.unlink()
+                repaired.removed_files.append(f"{key}/{path.name}")
+            try:
+                directory.rmdir()
+            except OSError:  # pragma: no cover - non-json residue
+                pass
+        for key, name in strays:
+            path = self.root / key / f"{name}.json"
+            if path.exists():
+                path.unlink()
+                repaired.removed_files.append(f"{key}/{name}.json")
+        return repaired
+
+    def record_digests(self, keys: Iterable[str] | None = None) -> list[str]:
+        """Backfill sha256 digests for entries that predate them.
+
+        Pre-PR7 manifests recorded no per-document digests, leaving
+        those entries unauditable (``verify`` reports them as
+        ``undigested``).  This computes the sha256 of each such
+        document's bytes on disk and records it in the manifest entry
+        — after first checking the bytes still parse as JSON, so a
+        torn write is refused rather than blessed as truth.  Entries
+        that already carry digests are left byte-untouched.  Returns
+        the keys whose entries were updated, sorted.
+        """
+        updated: list[str] = []
+        with self._manifest_lock():
+            manifest = self._read_manifest()
+            if keys is None:
+                wanted = sorted(manifest)
+            else:
+                wanted = sorted(set(keys))
+                missing = [key for key in wanted if key not in manifest]
+                if missing:
+                    raise KeyError(f"no stored artifact {missing[0]!r}")
+            for key in wanted:
+                entry = dict(manifest[key])
+                names = self._entry_document_names(key, entry)
+                digests = entry.get(DIGESTS_KEY)
+                digests = (
+                    dict(digests) if isinstance(digests, Mapping) else {}
+                )
+                changed = entry.get("documents") is None and bool(names)
+                for name in names:
+                    if name in digests:
+                        continue
+                    path = self.root / key / f"{name}.json"
+                    if not path.exists():
+                        raise StoreCorruptionError(
+                            f"artifact {key!r} lists document {name!r} but "
+                            f"{path} is missing; run verify/repair before "
+                            "recording digests"
+                        )
+                    data = path.read_bytes()
+                    try:
+                        json.loads(data)
+                    except ValueError as exc:
+                        raise StoreCorruptionError(
+                            f"artifact {key!r} document {name!r} is not "
+                            f"valid JSON ({exc}); refusing to record a "
+                            "digest of corrupt bytes"
+                        ) from exc
+                    digests[name] = hashlib.sha256(data).hexdigest()
+                    changed = True
+                if changed:
+                    entry["documents"] = sorted(names)
+                    entry[DIGESTS_KEY] = digests
+                    manifest[key] = entry
+                    updated.append(key)
+            if updated:
+                self._write_manifest(manifest)
+        return updated
+
     # -- cross-store operations --------------------------------------------
+    def adopt(
+        self, key: str, files: Mapping[str, bytes], entry: Mapping
+    ) -> Path:
+        """Land externally-fetched documents with :meth:`put` discipline.
+
+        The integrity gate for transported artifacts: every byte string
+        in ``files`` must hash to the sha256 its manifest ``entry``
+        records (and parse as JSON), or *nothing* lands — no corrupt
+        document can ever acquire a manifest entry.  Write ordering
+        matches :meth:`put`: all documents atomically on disk first,
+        then the manifest entry under the lock.  A key that is already
+        manifested keeps its existing entry (content addressing makes
+        racing adopters byte-identical).
+        """
+        validate_key(key)
+        if not files:
+            raise ValueError(f"artifact {key!r} needs at least one document")
+        for name in files:
+            validate_key(name, kind="document name")
+        entry = dict(entry)
+        names = sorted(files)
+        listed = entry.get("documents")
+        if listed is not None and sorted(listed) != names:
+            raise StoreCorruptionError(
+                f"artifact {key!r} entry lists documents "
+                f"{sorted(listed)} but {names} were supplied"
+            )
+        entry["documents"] = names
+        digests = entry.get(DIGESTS_KEY)
+        if not isinstance(digests, Mapping):
+            raise StoreCorruptionError(
+                f"artifact {key!r} cannot be adopted without recorded "
+                "sha256 digests; compute them before landing"
+            )
+        for name in names:
+            data = files[name]
+            recorded = digests.get(name)
+            if recorded is None:
+                raise StoreCorruptionError(
+                    f"artifact {key!r} document {name!r} has no recorded "
+                    "digest; refusing to land unverifiable bytes"
+                )
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != recorded:
+                raise StoreCorruptionError(
+                    f"artifact {key!r} document {name!r} digest mismatch: "
+                    f"recorded {recorded[:12]}… got {actual[:12]}…"
+                )
+            try:
+                json.loads(data)
+            except ValueError as exc:
+                raise StoreCorruptionError(
+                    f"artifact {key!r} document {name!r} is not valid "
+                    f"JSON ({exc})"
+                ) from exc
+        directory = self.root / key
+        directory.mkdir(exist_ok=True)
+        for name in names:
+            atomic_write_text(directory / f"{name}.json", files[name].decode())
+        for stale in directory.glob("*.json"):
+            if stale.stem not in files:
+                stale.unlink()
+        with self._manifest_lock():
+            manifest = self._read_manifest()
+            manifest.setdefault(key, entry)
+            self._write_manifest(manifest)
+        return directory
+
     def merge_from(
         self,
         others: "ArtifactStore" | Iterable["ArtifactStore"],
@@ -485,9 +689,12 @@ class ArtifactStore:
         adoption to a wanted set, so a reused shard directory cannot
         leak a previous campaign's artifacts into this one.  Document
         files are copied byte-for-byte (preserving
-        :meth:`content_hash` equality) and each source contributes one
-        manifest update, not one per key.  Returns the newly adopted
-        keys in adoption order.
+        :meth:`content_hash` equality), each source document is
+        re-hashed against the digest its entry recorded at ``put`` time
+        — a corrupt shard store fails the merge loudly with the
+        offending key instead of poisoning the merged store — and each
+        source contributes one manifest update, not one per key.
+        Returns the newly adopted keys in adoption order.
         """
         if isinstance(others, ArtifactStore):
             others = [others]
@@ -509,6 +716,8 @@ class ArtifactStore:
                         p.stem for p in (other.root / key).glob("*.json")
                     )
                     entry["documents"] = names
+                digests = entry.get(DIGESTS_KEY)
+                digests = digests if isinstance(digests, Mapping) else {}
                 directory = self.root / key
                 directory.mkdir(exist_ok=True)
                 for name in names:
@@ -519,8 +728,20 @@ class ArtifactStore:
                             f"document {name!r} but {source} is missing; "
                             "re-run that shard or delete the entry"
                         )
+                    data = source.read_bytes()
+                    recorded = digests.get(name)
+                    if recorded is not None:
+                        actual = hashlib.sha256(data).hexdigest()
+                        if actual != recorded:
+                            raise StoreCorruptionError(
+                                f"artifact {key!r} document {name!r} in "
+                                f"{other.root} is corrupt: recorded sha256 "
+                                f"{recorded[:12]}… but bytes hash to "
+                                f"{actual[:12]}…; repair that shard store "
+                                "before merging"
+                            )
                     atomic_write_text(
-                        directory / f"{name}.json", source.read_text()
+                        directory / f"{name}.json", data.decode()
                     )
                 staged[key] = entry
                 adopted.append(key)

@@ -255,6 +255,7 @@ def run_manifest(
     audit_resume: bool = True,
     revoked_path: str | Path | None = None,
     should_stop: Callable[[], bool] | None = None,
+    on_stored: Callable[[str], None] | None = None,
 ) -> dict:
     """Execute a shard manifest into a local artifact store.
 
@@ -280,6 +281,13 @@ def run_manifest(
       CLI) is checked between cells; when it fires the executor raises
       :class:`~repro.runtime.executors.ExecutionAborted` and the shard
       stops writing immediately.
+
+    ``on_stored(key)`` is the sync hook: called after each cell's
+    artifact is persisted locally (the worker CLI wires it to a
+    :class:`~repro.runtime.remote.RemoteStore` push so remote stores
+    track shard progress cell by cell).  It is best-effort by design —
+    a raising hook is logged and the shard keeps computing; the local
+    store is the source of truth and a final push can catch up.
 
     A cell function that raises surfaces as :class:`CellExecutionError`
     (retryable — worker exit code 3); manifest/store problems keep
@@ -427,6 +435,11 @@ def run_manifest(
             already_stored=already_stored,
             wall_s=prov.get("wall_s", 0.0) if prov else 0.0,
         )
+        if on_stored is not None:
+            try:
+                on_stored(cell.key)
+            except Exception as exc:
+                log.log("sync_hook_failed", cell=cell.key, error=str(exc))
 
     def live_skip(cell: Cell) -> bool:
         # Re-read the sidecar each time: the coordinator appends stolen

@@ -176,6 +176,71 @@ class TestFaultReporting:
         assert [index for index, _ in found] == [0, 1]
 
 
+class TestSyncLag:
+    def _synced_pair(self, tmp_path, keys, synced):
+        """Local + remote shard stores where only ``synced`` match."""
+        from repro.runtime import ArtifactStore
+        from repro.runtime.remote import LocalDirTransport, RemoteStore
+
+        _write_shard(tmp_path, 0, keys, done=[])
+        local = ArtifactStore(tmp_path / "shard-0-store")
+        for key in keys:
+            local.put(key, {"result": {"k": key}}, meta={"obs": {"wall_s": 1.0}})
+        remote = tmp_path / "remote"
+        syncer = RemoteStore(
+            local, LocalDirTransport(remote / "shard-0-store"), echo=None
+        )
+        syncer.push(keys=synced)
+        return remote
+
+    def test_sync_lag_counts_synced_and_pending(self, tmp_path):
+        remote = self._synced_pair(tmp_path, ["a", "b", "c"], synced=["a"])
+        status = campaign_status(tmp_path, remote=remote)
+        shard = status.shards[0]
+        assert shard.has_remote
+        assert shard.n_docs_synced == 1
+        assert shard.n_docs_pending == 2
+        assert shard.n_sync_failed == 0
+        text = render_text(status)
+        assert "synced 1/3" in text
+        samples = parse_prometheus_text(render_prometheus(status))
+        shard0 = (("shard", "0"),)
+        assert samples[("repro_campaign_shard_docs_synced", shard0)] == 1.0
+        assert samples[("repro_campaign_shard_docs_pending", shard0)] == 2.0
+        assert samples[("repro_campaign_shard_sync_failed", shard0)] == 0.0
+
+    def test_failed_keys_come_from_the_sidecar(self, tmp_path):
+        import json as json_module
+
+        remote = self._synced_pair(tmp_path, ["a", "b"], synced=["a", "b"])
+        sidecar = tmp_path / "shard-0-store" / ".sync.json"
+        state = json_module.loads(sidecar.read_text())
+        state["push"]["failed"] = {"c": "digest mismatch"}
+        sidecar.write_text(json_module.dumps(state))
+        status = campaign_status(tmp_path, remote=remote)
+        assert status.shards[0].n_sync_failed == 1
+        assert "sync-failed 1" in render_text(status)
+
+    def test_without_remote_no_sync_fields_or_gauges(self, tmp_path):
+        _write_shard(tmp_path, 0, ["a"], done=["a"])
+        status = campaign_status(tmp_path)
+        assert not status.shards[0].has_remote
+        rendered = render_prometheus(status)
+        assert "docs_synced" not in rendered
+        assert "synced" not in render_text(status)
+
+    def test_fresh_remote_counts_everything_pending(self, tmp_path):
+        from repro.runtime import ArtifactStore
+
+        _write_shard(tmp_path, 0, ["a"], done=[])
+        local = ArtifactStore(tmp_path / "shard-0-store")
+        local.put("a", {"result": {"k": "a"}})
+        status = campaign_status(tmp_path, remote=tmp_path / "never-synced")
+        shard = status.shards[0]
+        assert shard.has_remote
+        assert shard.n_docs_synced == 0 and shard.n_docs_pending == 1
+
+
 class TestStragglers:
     def _status(self, fracs):
         status = CampaignStatus(shard_dir="x")

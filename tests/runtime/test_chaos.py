@@ -183,6 +183,123 @@ class TestFlakyRetry:
         assert summary["merged"]["content_hash"] == reference
 
 
+class TestTransportFaultConfig:
+    def test_from_file_parses_transport_section(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "state_dir": str(tmp_path / "state"),
+            "transport": {
+                "truncate_upload": {"times": 2},
+                "bit_flip": {"times": 1},
+                "drop_at_document": {"index": 3, "times": 1},
+                "stall": {"delay_s": 0.5, "times": 1},
+            },
+        }))
+        injector = ChaosInjector.from_file(path)
+        wrapped = injector.wrap_transport(object())
+        assert wrapped is not None
+        assert wrapped.truncate_upload == 2
+        assert wrapped.bit_flip == 1
+        assert wrapped.drop_at_document == 3
+        assert wrapped.stall_s == 0.5
+
+    def test_transport_faults_require_state_dir(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps({
+            "schema": 1, "transport": {"bit_flip": {"times": 1}},
+        }))
+        with pytest.raises(ValueError, match="state_dir"):
+            ChaosInjector.from_file(path)
+
+    def test_wrap_transport_without_faults_is_none(self, tmp_path):
+        injector = ChaosInjector(config_path="x")
+        assert injector.wrap_transport(object()) is None
+
+    def test_fault_budget_is_shared_across_wrappers(self, tmp_path):
+        # Two wrapped transports (two worker processes, in spirit)
+        # share one O_EXCL-claimed budget: the fault fires exactly
+        # ``times`` in total, not per wrapper.
+        from repro.runtime.remote import LocalDirTransport
+
+        injector = ChaosInjector(
+            config_path="x",
+            state_dir=tmp_path / "state",
+            transport={"bit_flip": {"times": 1}},
+        )
+        inner = LocalDirTransport(tmp_path / "remote")
+        inner.write_bytes("k1/a.json", b'{"x": 1}')
+        first = injector.wrap_transport(inner)
+        second = injector.wrap_transport(inner)
+        reads = [
+            t.read_bytes("k1/a.json") for t in (first, second, first, second)
+        ]
+        assert sum(r != b'{"x": 1}' for r in reads) == 1
+
+    def test_open_transport_is_chaos_armed(self, tmp_path, chaos_env):
+        from repro.runtime.remote import (
+            FaultyTransport,
+            LocalDirTransport,
+            open_transport,
+        )
+
+        assert isinstance(
+            open_transport(tmp_path / "remote"), LocalDirTransport
+        )
+        config = tmp_path / "chaos.json"
+        config.write_text(json.dumps({
+            "schema": 1,
+            "state_dir": str(tmp_path / "state"),
+            "transport": {"bit_flip": {"times": 1}},
+        }))
+        chaos_env(config)
+        deactivate()  # force re-read of the env var
+        assert isinstance(
+            open_transport(tmp_path / "remote"), FaultyTransport
+        )
+
+
+class TestTransportChaosConvergence:
+    def test_transport_faults_converge_to_serial(
+        self, tmp_path, demo_cells, chaos_env
+    ):
+        """Truncate, bit-flip, and drop sync traffic; convergence holds.
+
+        A 2-shard campaign pushes through chaos-wrapped transports to
+        per-shard remote stores and the coordinator pulls them back
+        before the merge: despite every seeded fault, the merged store
+        must hash identically to a serial run, every remote store must
+        pass verification, and nothing corrupt may carry a manifest
+        entry anywhere.
+        """
+        reference = serial_reference_hash(tmp_path, demo_cells)
+        shard_dir = tmp_path / "shards"
+        write_demo_shards(shard_dir, demo_cells, 2)
+        config = tmp_path / "chaos.json"
+        config.write_text(json.dumps({
+            "schema": 1,
+            "state_dir": str(tmp_path / "chaos-state"),
+            "transport": {
+                "truncate_upload": {"times": 1},
+                "bit_flip": {"times": 1},
+                "drop_at_document": {"index": 2, "times": 1},
+            },
+        }))
+        chaos_env(config)
+        summary = _campaign(
+            shard_dir, tmp_path / "merged", remote_root=tmp_path / "remote"
+        )
+        assert summary["ok"]
+        assert summary["merged"]["content_hash"] == reference
+        assert summary["transport"]["failed"] == {}
+        for index in range(2):
+            remote = ArtifactStore(
+                tmp_path / "remote" / f"shard-{index}-store"
+            )
+            assert remote.verify().ok
+            assert len(remote.keys()) > 0
+
+
 class TestDemoCampaign:
     def test_demo_matrix_chains_and_determinism(self):
         cells = demo_matrix(n_chains=2, chain_len=3, seed=7)

@@ -68,6 +68,19 @@ class TestLeases:
         assert not lease_expired(lease, now=105.0)
         assert lease_expired(lease, now=111.0)
 
+    def test_expiry_tolerates_clock_skew(self):
+        # A reader on a clock running ahead of the renewing worker (a
+        # slowly-synced shared filesystem, loose NTP) must not fence a
+        # live worker: skew_s widens the expiry margin by exactly that
+        # grace, and a negative skew never *narrows* it.
+        lease = {"renewed_unix_s": 100.0, "ttl_s": 10.0}
+        assert lease_expired(lease, now=111.0, skew_s=0.0)
+        assert not lease_expired(lease, now=111.0, skew_s=2.0)
+        assert not lease_expired(lease, now=112.0, skew_s=2.0)
+        assert lease_expired(lease, now=112.5, skew_s=2.0)
+        assert lease_expired(lease, now=111.0, skew_s=-5.0)  # clamped to 0
+        assert not lease_expired(lease, now=110.0, skew_s=-5.0)
+
     def test_release_is_noop_after_usurpation(self, tmp_path):
         path = tmp_path / "lease.json"
         old = acquire_lease(
@@ -110,6 +123,30 @@ class TestLeaseHeartbeat:
             assert hb.lost
         finally:
             hb.stop()
+
+
+class TestBackoffSchedule:
+    def test_relaunch_delay_sequence_is_pinned(self):
+        # The exact relaunch schedule for backoff_base_s=0.05,
+        # backoff_cap_s=0.2, seed=7 — per shard, per death count.
+        # run_campaign builds this same RetryPolicy, so these literals
+        # pin the coordinator's timing contract.
+        from repro.runtime.remote import RetryPolicy
+
+        policy = RetryPolicy(base_s=0.05, cap_s=0.2, seed=7)
+        shard0 = [policy.delay_s(0, deaths) for deaths in range(1, 6)]
+        assert shard0 == pytest.approx(
+            [0.081003, 0.167720, 0.238620, 0.227004, 0.261614], abs=1e-6
+        )
+        # A different shard draws a different (but equally pinned) jitter.
+        shard1 = [policy.delay_s(1, deaths) for deaths in range(1, 3)]
+        assert shard1 == pytest.approx([0.055683, 0.124897], abs=1e-6)
+
+    def test_jitter_frac_matches_retry_policy(self):
+        from repro.runtime.coordinator import _jitter_frac
+        from repro.runtime.remote import RetryPolicy
+
+        assert _jitter_frac(7, 0, 3) == RetryPolicy(seed=7).jitter_frac(0, 3)
 
 
 class TestPoisonQuarantine:

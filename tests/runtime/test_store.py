@@ -5,7 +5,10 @@ import os
 
 import pytest
 
+import hashlib
+
 from repro.runtime.store import (
+    DIGESTS_KEY,
     ArtifactStore,
     StoreCorruptionError,
     atomic_write_text,
@@ -316,6 +319,194 @@ class TestVerify:
         report = store.verify()
         (problem,) = report.problems
         assert problem.kind == "unreadable"
+
+
+def _strip_digests(store, key):
+    """Rewrite ``key``'s entry as a pre-PR7 manifest would have it."""
+    manifest_path = store.root / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest[key].pop(DIGESTS_KEY, None)
+    manifest[key].pop("documents", None)
+    manifest_path.write_text(json.dumps(manifest))
+
+
+class TestUndigested:
+    def test_verify_reports_undigested_without_failing(self, store):
+        store.put("legacy", DOCS)
+        store.put("modern", DOCS)
+        _strip_digests(store, "legacy")
+        report = store.verify()
+        assert report.ok  # unauditable is not corrupt
+        assert report.undigested == ["legacy"]
+
+    def test_record_digests_backfills_and_closes_the_gap(self, store):
+        store.put("legacy", DOCS)
+        _strip_digests(store, "legacy")
+        assert store.record_digests() == ["legacy"]
+        report = store.verify()
+        assert report.ok and report.undigested == []
+        entry = store.meta("legacy")
+        assert sorted(entry["documents"]) == ["a", "config"]
+        # Backfill recorded the true bytes: tampering is now detectable.
+        (store.root / "legacy" / "a.json").write_text('{"values": [9]}')
+        assert store.verify().bad_keys() == ["legacy"]
+
+    def test_record_digests_never_rewrites_existing_entries(self, store):
+        store.put("modern", DOCS)
+        before = (store.root / "manifest.json").read_bytes()
+        assert store.record_digests() == []
+        assert (store.root / "manifest.json").read_bytes() == before
+
+    def test_record_digests_refuses_corrupt_bytes(self, store):
+        store.put("legacy", DOCS)
+        _strip_digests(store, "legacy")
+        (store.root / "legacy" / "a.json").write_text('{"torn')
+        with pytest.raises(StoreCorruptionError, match="refusing"):
+            store.record_digests()
+
+    def test_record_digests_refuses_missing_file(self, store):
+        # Entry still lists its documents (only the digests are gone):
+        # a listed-but-absent file is corruption, not backfillable.
+        store.put("legacy", DOCS)
+        manifest_path = store.root / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["legacy"].pop(DIGESTS_KEY, None)
+        manifest_path.write_text(json.dumps(manifest))
+        (store.root / "legacy" / "a.json").unlink()
+        with pytest.raises(StoreCorruptionError, match="missing"):
+            store.record_digests()
+
+    def test_unknown_key_raises_keyerror(self, store):
+        with pytest.raises(KeyError):
+            store.record_digests(keys=["nope"])
+
+
+class TestRepair:
+    def test_repair_drops_corrupt_keys_and_their_files(self, store):
+        store.put("good", DOCS)
+        store.put("bad", DOCS)
+        (store.root / "bad" / "a.json").write_text('{"values": [9.0]}')
+        repaired = store.repair()
+        assert repaired.dropped == ["bad"]
+        assert "bad" not in store
+        assert not (store.root / "bad").exists()
+        assert store.get("good") == DOCS
+        assert store.verify().ok
+
+    def test_repair_handles_every_corruption_kind(self, store):
+        import shutil
+
+        store.put("gone-dir", DOCS)
+        store.put("gone-file", DOCS)
+        store.put("torn", DOCS)
+        store.put("flipped", DOCS)
+        shutil.rmtree(store.root / "gone-dir")
+        (store.root / "gone-file" / "a.json").unlink()
+        (store.root / "torn" / "a.json").write_text('{"values": [1.0')
+        (store.root / "flipped" / "a.json").write_text('{"values": [9.0]}')
+        repaired = store.repair()
+        assert repaired.dropped == ["flipped", "gone-dir", "gone-file", "torn"]
+        assert store.keys() == []
+        assert store.verify().ok
+
+    def test_repair_removes_strays_but_keeps_the_entry(self, store):
+        store.put("k1", DOCS)
+        (store.root / "k1" / "extra.json").write_text("{}")
+        repaired = store.repair()
+        assert repaired.dropped == []
+        assert repaired.removed_files == ["k1/extra.json"]
+        assert store.get("k1") == DOCS
+        assert store.verify().ok
+
+    def test_repair_never_touches_benign_orphans(self, store):
+        store.put("k1", DOCS)
+        orphan = store.root / "k-orphan"
+        orphan.mkdir()
+        (orphan / "a.json").write_text("{}")
+        repaired = store.repair()
+        assert repaired.dropped == [] and repaired.removed_files == []
+        assert (orphan / "a.json").exists()
+
+    def test_repaired_key_can_be_recomputed(self, store):
+        store.put("k1", DOCS)
+        (store.root / "k1" / "a.json").write_text("not json")
+        store.repair()
+        store.put("k1", DOCS)  # no overwrite needed: the entry is gone
+        assert store.verify().ok
+
+
+class TestAdopt:
+    def _entry_for(self, files, **meta):
+        digests = {
+            name: hashlib.sha256(data).hexdigest()
+            for name, data in files.items()
+        }
+        return {**meta, "documents": sorted(files), DIGESTS_KEY: digests}
+
+    def _files(self):
+        return {
+            name: json.dumps(doc, indent=2, sort_keys=True).encode() + b"\n"
+            for name, doc in DOCS.items()
+        }
+
+    def test_adopt_lands_verified_bytes(self, store):
+        files = self._files()
+        store.adopt("k1", files, self._entry_for(files, kind="x"))
+        assert store.get("k1") == DOCS
+        assert store.meta("k1")["kind"] == "x"
+        assert store.verify().ok
+
+    def test_adopt_refuses_digest_mismatch_entirely(self, store):
+        files = self._files()
+        entry = self._entry_for(files)
+        files["a"] = files["a"][:-2] + b"]\n"  # corrupt after digesting
+        with pytest.raises(StoreCorruptionError, match="digest mismatch"):
+            store.adopt("k1", files, entry)
+        # Nothing landed: no entry, no partial directory.
+        assert "k1" not in store
+        assert not (store.root / "k1").exists()
+
+    def test_adopt_refuses_undigested_entries(self, store):
+        files = self._files()
+        with pytest.raises(StoreCorruptionError, match="digests"):
+            store.adopt("k1", files, {"documents": sorted(files)})
+
+    def test_adopt_refuses_invalid_json(self, store):
+        data = b"not json"
+        entry = {
+            "documents": ["config"],
+            DIGESTS_KEY: {"config": hashlib.sha256(data).hexdigest()},
+        }
+        with pytest.raises(StoreCorruptionError, match="not valid JSON"):
+            store.adopt("k1", {"config": data}, entry)
+
+    def test_adopt_keeps_existing_entry(self, store):
+        store.put("k1", DOCS, meta={"kind": "original"})
+        files = self._files()
+        store.adopt("k1", files, self._entry_for(files, kind="adopted"))
+        assert store.meta("k1")["kind"] == "original"
+
+
+class TestMergeDigestVerification:
+    def test_merge_verifies_source_bytes_against_digests(self, tmp_path):
+        a = ArtifactStore(tmp_path / "a")
+        b = ArtifactStore(tmp_path / "b")
+        b.put("k1", DOCS)
+        # Same length, valid JSON, wrong bytes: only the digest check
+        # can catch this shard-side corruption.
+        path = b.root / "k1" / "a.json"
+        path.write_text(path.read_text().replace("1.0", "9.0"))
+        with pytest.raises(StoreCorruptionError, match="k1"):
+            a.merge_from(b)
+        assert "k1" not in a
+
+    def test_corrupt_shard_error_names_repair(self, tmp_path):
+        a = ArtifactStore(tmp_path / "a")
+        b = ArtifactStore(tmp_path / "b")
+        b.put("k1", DOCS)
+        (b.root / "k1" / "a.json").write_text('{"values": [9.0]}')
+        with pytest.raises(StoreCorruptionError, match="repair"):
+            a.merge_from(b)
 
 
 class TestValidateKey:

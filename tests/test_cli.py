@@ -60,6 +60,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["merge", "s0"])
 
+    def test_remote_flag_spans_the_fabric(self):
+        # worker, campaign run, and campaign status share one --remote
+        # vocabulary naming the remote store root.
+        parser = build_parser()
+        cases = {
+            "worker": ["worker", "m.json", "--store", "d"],
+            "campaign run": ["campaign", "run", "shards"],
+            "campaign status": ["campaign", "status", "shards"],
+        }
+        for name, argv in cases.items():
+            args = parser.parse_args(argv + ["--remote", "r"])
+            assert args.remote == "r", name
+            assert parser.parse_args(argv).remote is None, name
+
+    def test_store_sync_verbs_registered(self):
+        parser = build_parser()
+        for verb in ("push", "pull", "sync"):
+            args = parser.parse_args(
+                ["store", verb, "local", "--remote", "r",
+                 "--retries", "5", "--timeout", "2.5", "--seed", "7"]
+            )
+            assert args.store_command == verb
+            assert args.store_dir == "local" and args.remote == "r"
+            assert args.retries == 5 and args.timeout == 2.5
+            with pytest.raises(SystemExit):  # --remote is required
+                parser.parse_args(["store", verb, "local"])
+
+    def test_store_verify_and_digest_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["store", "verify", "d", "--repair"])
+        assert args.repair
+        args = parser.parse_args(["store", "digest", "d0", "d1"])
+        assert args.stores == ["d0", "d1"]
+
     def test_figures_accept_workers(self):
         args = build_parser().parse_args(["fig16", "--fast", "--workers", "2"])
         assert args.workers == 2
@@ -207,3 +241,127 @@ class TestCommands:
     def test_campaign_run_empty_dir_is_clean_error(self, capsys, tmp_path):
         assert main(["campaign", "run", str(tmp_path)]) == 2
         assert "no shard manifests" in capsys.readouterr().err
+
+
+class TestStoreMaintenance:
+    def _store(self, tmp_path, name="local"):
+        from repro.runtime import ArtifactStore
+
+        store = ArtifactStore(tmp_path / name)
+        store.put("k1", {"config": {"seed": 1}, "a": {"values": [1.0]}})
+        store.put("k2", {"config": {"seed": 2}})
+        return store
+
+    def test_push_pull_roundtrip_via_cli(self, capsys, tmp_path):
+        from repro.runtime import ArtifactStore
+
+        source = self._store(tmp_path)
+        remote = tmp_path / "remote"
+        assert main([
+            "store", "push", str(source.root), "--remote", str(remote),
+            "--quiet",
+        ]) == 0
+        assert "pushed=2" in capsys.readouterr().out
+        dest = ArtifactStore(tmp_path / "dest")
+        assert main([
+            "store", "pull", str(dest.root), "--remote", str(remote),
+            "--quiet",
+        ]) == 0
+        assert "pulled=2" in capsys.readouterr().out
+        assert dest.content_hash() == source.content_hash()
+        assert dest.verify().ok
+
+    def test_pull_failure_names_missing_keys(self, capsys, tmp_path):
+        source = self._store(tmp_path)
+        remote = tmp_path / "remote"
+        assert main([
+            "store", "push", str(source.root), "--remote", str(remote),
+            "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        # Corrupt one remote document after the push: the pull must
+        # fail that key (exit 1), land the healthy one, and say why.
+        (remote / "k1" / "a.json").write_text('{"values": [9.0]}')
+        dest = tmp_path / "dest"
+        dest.mkdir()
+        code = main([
+            "store", "pull", str(dest), "--remote", str(remote),
+            "--retries", "1", "--quiet",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "failed=1" in captured.out
+        assert "missing k1" in captured.err
+        from repro.runtime import ArtifactStore
+
+        landed = ArtifactStore(dest)
+        assert landed.keys() == ["k2"]
+        assert landed.verify().ok
+
+    def test_sync_missing_store_is_clean_error(self, capsys, tmp_path):
+        code = main([
+            "store", "sync", str(tmp_path / "never"), "--remote",
+            str(tmp_path / "r"),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_digest_backfills_undigested_store(self, capsys, tmp_path):
+        import json as json_module
+
+        store = self._store(tmp_path)
+        manifest_path = store.root / "manifest.json"
+        manifest = json_module.loads(manifest_path.read_text())
+        for entry in manifest.values():
+            entry.pop("sha256", None)
+            entry.pop("documents", None)
+        manifest_path.write_text(json_module.dumps(manifest))
+        assert main(["store", "verify", str(store.root)]) == 0
+        assert "2 undigested key(s)" in capsys.readouterr().out
+        assert main(["store", "digest", str(store.root)]) == 0
+        assert "recorded digests for 2 key(s)" in capsys.readouterr().out
+        assert main(["store", "verify", str(store.root)]) == 0
+        assert "undigested" not in capsys.readouterr().out
+
+    def test_verify_repair_drops_corruption_and_exits_clean(
+        self, capsys, tmp_path
+    ):
+        store = self._store(tmp_path)
+        (store.root / "k1" / "a.json").write_text('{"values": [9.0]}')
+        assert main(["store", "verify", str(store.root)]) == 1
+        capsys.readouterr()
+        assert main(["store", "verify", str(store.root), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired: dropped 1" in out
+        assert store.verify().ok and "k1" not in store
+
+    def test_worker_remote_syncs_and_resumes(self, capsys, tmp_path):
+        # Full cross-machine loop at the CLI surface: shard, run the
+        # worker with --remote, then a second worker on a fresh box
+        # (fresh store) must serve everything from the pulled remote.
+        base = ["scenario", "--fast", "--seed", "7",
+                "--providers", "amazon", "--arrival-rates", "2.0"]
+        shard_dir = tmp_path / "shards"
+        assert main(base + ["--shards", "1", "--shard-dir", str(shard_dir)]) == 0
+        capsys.readouterr()
+        remote = tmp_path / "remote-store"
+        manifest = str(shard_dir / "shard-0.json")
+        assert main([
+            "worker", manifest, "--store", str(shard_dir / "shard-0-store"),
+            "--remote", str(remote), "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker done" in out and "sync push" in out
+        fresh = tmp_path / "other-machine-store"
+        assert main([
+            "worker", manifest, "--store", str(fresh),
+            "--remote", str(remote), "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "computed=0" in out  # every cell pulled, none recomputed
+        from repro.runtime import ArtifactStore
+
+        assert (
+            ArtifactStore(fresh).content_hash()
+            == ArtifactStore(shard_dir / "shard-0-store").content_hash()
+        )

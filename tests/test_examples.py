@@ -74,6 +74,14 @@ def test_sharded_campaign(capsys):
     assert "8/8 cache hits" in out
 
 
+def test_distributed_campaign(capsys):
+    out = run_example("distributed_campaign.py", capsys)
+    assert "remote workers done" in out
+    assert "merged hash equals the serial run: convergence held" in out
+    assert "refetches=1" in out
+    assert "CORRUPT" not in out
+
+
 def test_fault_tolerant_campaign(capsys):
     out = run_example("fault_tolerant_campaign.py", capsys)
     assert "convergence held" in out
