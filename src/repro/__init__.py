@@ -13,7 +13,10 @@ Uta et al., packaged as a reusable library:
 * :mod:`repro.simulator` — a discrete-event Spark-like cluster engine
   with single-job and multi-tenant job-stream execution under five
   slot schedulers (FIFO, fair, checkpoint-preempting fair, SRPT, and
-  deadline/EDF with per-tenant slowdown and miss telemetry);
+  deadline/EDF with per-tenant slowdown and miss telemetry), plus a
+  batched multi-stream runner (:mod:`repro.simulator.multistream`)
+  that advances many independent cells through one concatenated
+  shaper super-fleet in lockstep;
 * :mod:`repro.workloads` — HiBench and TPC-DS workload models;
 * :mod:`repro.scenarios` — randomized workload generation (random DAG
   jobs, TPC-H-like templates, Poisson/burst arrivals, synthesized
@@ -50,6 +53,42 @@ Uta et al., packaged as a reusable library:
   methodology (design, execution, analysis, guidelines);
 * :mod:`repro.paper` — one module per figure/table, regenerating the
   paper's evaluation.
+
+Performance architecture
+------------------------
+
+The simulator is built as three speed layers, each gated bit-exact
+(identical RNG streams, identical IEEE-754 operation order) against
+the layer below by the golden trace and ``repro bench --check``:
+
+1. **Struct-of-arrays hot loops.**  The fabric keeps flows as
+   parallel numpy arrays (progressive-filling rate assignment, fused
+   horizon/advance), and :mod:`repro.netmodel.fleet` batches every
+   node's egress shaper into one vectorized model —
+   :class:`~repro.netmodel.fleet.TokenBucketFleet`,
+   :class:`~repro.netmodel.fleet.PerCoreQosFleet`, and friends — so a
+   step costs a handful of array ops instead of a Python loop over
+   links.  Small fabrics take scalar fast paths that perform the same
+   arithmetic without the ufunc dispatch.
+2. **Compiled kernels.**  :mod:`repro.simulator.kernels` JIT-compiles
+   the water-filling and flow-advance inner loops with numba when the
+   optional ``repro[jit]`` extra is installed; a pure-numpy fallback
+   (forced via ``REPRO_NO_JIT=1``, and the default when numba is
+   absent) is bit-identical, and CI runs the whole tier-1 and bench
+   suites on both legs.
+3. **Batched multi-stream execution.**
+   :func:`repro.simulator.multistream.run_streams` stitches many
+   independent cells' fleets into one concatenated super-fleet and
+   advances all cells per lockstep round with a single ``horizons`` /
+   ``advance_many`` call pair — the SoA trick applied across cells —
+   which amortizes per-cell numpy dispatch and makes million-cell
+   campaign matrices cheap.  The campaign runtime exposes it as an
+   opt-in batch executor; per-cell results are byte-identical to
+   serial ``run_stream`` calls.
+
+``BENCH_engine.json`` records the measured trajectory
+(``python -m repro bench``); ``--profile`` archives per-case cProfile
+tables to a store for regression forensics.
 
 Quickstart::
 

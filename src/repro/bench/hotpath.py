@@ -34,11 +34,16 @@ explicitly asked.
 
 from __future__ import annotations
 
+import cProfile
+import gc
 import json
+import math
 import platform
+import pstats
 import tempfile
 import time
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -48,6 +53,7 @@ from repro.netmodel import (
     TokenBucketModel,
     TokenBucketParams,
 )
+from repro.netmodel.percore import PerCoreQosModel
 from repro.runtime.store import ArtifactStore
 from repro.scenarios.generate import job_stream, poisson_arrivals
 from repro.simulator import Cluster, Fabric, NodeSpec, SparkEngine
@@ -56,10 +62,13 @@ __all__ = [
     "DEFAULT_RESULTS_PATH",
     "bench_stream",
     "bench_campaign_overhead",
+    "bench_multistream",
     "bench_obs_overhead",
+    "bench_percore_fleet_vs_scalar",
     "bench_shaper_fleet_vs_scalar",
     "bench_waterfill",
     "record_provenance",
+    "record_profiles",
     "run_suite",
     "run_and_record",
     "run_check",
@@ -67,6 +76,7 @@ __all__ = [
     "load_results",
     "record_results",
     "format_table",
+    "workload_params",
 ]
 
 #: The results ledger, resolved against the current working directory
@@ -250,6 +260,218 @@ def bench_shaper_fleet_vs_scalar(
     return row
 
 
+def _run_percore_sweep(
+    n_nodes: int, duration_s: float, max_step_s: float, scalar_fleet: bool
+) -> dict:
+    """Integrate never-completing pair flows through GCE QoS links.
+
+    The per-core QoS models redraw their efficiency on a per-node
+    resample clock; staggering the intervals desynchronizes the
+    crossings so every event step is small and the per-step cost is the
+    QoS layer itself (limit gathering, interval-crossing bookkeeping,
+    quantile redraws) — the loop :class:`PerCoreQosFleet` vectorizes.
+    One flow per group of 8 nodes keeps the water-filling trivial.
+    """
+    models = [
+        PerCoreQosModel(
+            cores=4, interval_s=2.0 + 0.13 * (i % 8), seed=1000 + i
+        )
+        for i in range(n_nodes)
+    ]
+    egress = ScalarFleetAdapter(models) if scalar_fleet else models
+    fabric = Fabric(egress, [10.0] * n_nodes)
+    for i in range(0, n_nodes - 1, 8):
+        fabric.add_flow(i, i + 1, 1e15)
+    t = 0.0
+    steps = 0
+    start_t = time.perf_counter()
+    while t < duration_s:
+        fabric.compute_rates()
+        remaining = duration_s - t
+        dt = min(fabric.horizon(), max_step_s, remaining)
+        if dt <= 0.0:
+            dt = min(1e-6, remaining)
+        fabric.advance(dt)
+        t += dt
+        steps += 1
+    wall_s = time.perf_counter() - start_t
+    checksum = round(
+        float(
+            np.sum(fabric.node_egress_rates()) + np.sum(fabric.fleet.limits())
+        ),
+        6,
+    )
+    return {"wall_s": round(wall_s, 4), "n_steps": steps, "checksum": checksum}
+
+
+def bench_percore_fleet_vs_scalar(
+    n_nodes: int = 64,
+    duration_s: float = 3000.0,
+    max_step_s: float = 0.5,
+) -> dict:
+    """The GCE QoS case: PerCoreQosFleet vs scalar-adapter sweeps.
+
+    64 per-core QoS links with staggered resample intervals drive a
+    dense event-step schedule whose cost is the QoS model layer.  The
+    identical sweep runs through the vectorized
+    :class:`~repro.netmodel.fleet.PerCoreQosFleet` and the per-model
+    :class:`~repro.netmodel.fleet.ScalarFleetAdapter`; matching
+    checksums prove the two paths draw the same efficiency sequences
+    (per-node RNG streams are fleet-independent by construction) and
+    ``fleet_speedup`` is the pure vectorization win.
+    """
+    fleet_run = _run_percore_sweep(
+        n_nodes, duration_s, max_step_s, scalar_fleet=False
+    )
+    scalar_run = _run_percore_sweep(
+        n_nodes, duration_s, max_step_s, scalar_fleet=True
+    )
+    if scalar_run["checksum"] != fleet_run["checksum"]:
+        raise AssertionError(
+            "fleet and scalar-adapter paths diverged: "
+            f"{fleet_run['checksum']} != {scalar_run['checksum']}"
+        )
+    if scalar_run["n_steps"] != fleet_run["n_steps"]:
+        raise AssertionError(
+            "fleet and scalar-adapter paths stepped differently: "
+            f"{fleet_run['n_steps']} != {scalar_run['n_steps']}"
+        )
+    row = dict(fleet_run)
+    row["n_nodes"] = n_nodes
+    row["duration_s"] = duration_s
+    row["scalar_wall_s"] = scalar_run["wall_s"]
+    row["fleet_speedup"] = (
+        round(scalar_run["wall_s"] / fleet_run["wall_s"], 2)
+        if fleet_run["wall_s"] > 0
+        else float("inf")
+    )
+    return row
+
+
+#: Shaper for the multi-stream cells: a small, oscillating bucket
+#: (replenish above the cap, tight resume threshold) so each cell's
+#: event schedule is dominated by tier-flip transitions — the regime
+#: where per-cell numpy dispatch, not arithmetic, is the serial cost.
+_MS_BUCKET = TokenBucketParams(
+    peak_gbps=10.0,
+    capped_gbps=1.0,
+    replenish_gbps=1.05,
+    capacity_gbit=3.0,
+    resume_threshold_gbit=0.5,
+)
+
+
+def bench_multistream(
+    n_cells: int = 32,
+    n_nodes: int = 2,
+    n_jobs: int = 2,
+    data_scale: float = 20.0,
+    sample_interval_s: float = 600.0,
+    seed: int = 7777,
+) -> dict:
+    """Batched multi-stream runner vs N serial ``run_stream`` calls.
+
+    Builds ``n_cells`` independent shaper-transition-dominated scenario
+    cells twice from the same seeds, runs one set serially and the
+    other through :func:`~repro.simulator.multistream.run_streams`
+    (one concatenated super-fleet, lockstep rounds), and demands the
+    per-cell results be *byte-identical* — every runtime array, step
+    count, and makespan — before reporting ``batch_speedup``.  The
+    gated ``wall_s`` is the batched time: the cost model for cheap
+    million-cell campaigns.
+
+    The cell shape is the campaign sweet spot: tiny clusters (where a
+    serial step is almost all fixed-size numpy dispatch, the cost the
+    batch amortizes) running long transfers against an oscillating
+    bucket (``_MS_BUCKET`` replenishes above its cap, so shaper tier
+    flips dominate the event schedule), with telemetry sampling made
+    sparse so both paths measure simulation, not recording.
+    """
+    from repro.simulator.multistream import StreamTask, run_streams
+
+    def build_cells() -> list[tuple[SparkEngine, list]]:
+        cells = []
+        for i in range(n_cells):
+            rng = np.random.default_rng(seed + i)
+            cluster = Cluster(
+                n_nodes=n_nodes,
+                node_spec=NodeSpec(slots=1),
+                link_model_factory=lambda node: TokenBucketModel(_MS_BUCKET),
+            )
+            times = poisson_arrivals(rng, rate_per_min=4.0, n_jobs=n_jobs)
+            stream = job_stream(
+                rng, times, n_nodes=n_nodes, slots=1, data_scale=data_scale
+            )
+            engine = SparkEngine(
+                cluster, rng=rng, sample_interval_s=sample_interval_s
+            )
+            cells.append((engine, list(stream)))
+        return cells
+
+    # Each leg is timed ``repeats`` times on freshly built (identical-
+    # seed) cells and the best wall kept — the timeit convention; the
+    # machine's noise is upward contention spikes, and taking the min
+    # symmetrically estimates both legs' true cost without biasing the
+    # ratio.  Results are deterministic, so any repeat's outputs serve
+    # for the byte-identity check.
+    repeats = 2
+    serial_wall_s = math.inf
+    serial = None
+    for _ in range(repeats):
+        serial_cells = build_cells()
+        gc.collect()
+        start = time.perf_counter()
+        result = [
+            engine.run_stream(stream, scheduler="fair")
+            for engine, stream in serial_cells
+        ]
+        wall = time.perf_counter() - start
+        if wall < serial_wall_s:
+            serial_wall_s, serial = wall, result
+
+    wall_s = math.inf
+    batched = None
+    for _ in range(repeats):
+        tasks = [
+            StreamTask(engine, stream, scheduler="fair")
+            for engine, stream in build_cells()
+        ]
+        gc.collect()
+        start = time.perf_counter()
+        result = run_streams(tasks)
+        wall = time.perf_counter() - start
+        if wall < wall_s:
+            wall_s, batched = wall, result
+
+    for i, (a, b) in enumerate(zip(serial, batched)):
+        if (
+            not np.array_equal(a.runtimes(), b.runtimes())
+            or a.n_steps != b.n_steps
+            or a.makespan_s != b.makespan_s
+        ):
+            raise AssertionError(
+                f"batched cell {i} diverged from its serial run: "
+                f"steps {b.n_steps} vs {a.n_steps}, "
+                f"makespan {b.makespan_s} vs {a.makespan_s}"
+            )
+    return {
+        "wall_s": round(wall_s, 4),
+        "serial_wall_s": round(serial_wall_s, 4),
+        "batch_speedup": (
+            round(serial_wall_s / wall_s, 2) if wall_s > 0 else float("inf")
+        ),
+        "n_cells": n_cells,
+        "n_nodes": n_nodes,
+        "n_jobs": n_jobs,
+        "data_scale": data_scale,
+        "sample_interval_s": sample_interval_s,
+        "n_steps": sum(r.n_steps for r in serial),
+        "checksum": round(
+            float(sum(float(np.sum(r.runtimes())) for r in serial)), 6
+        ),
+    }
+
+
 def bench_waterfill(
     n_flows: int = 10_000,
     n_nodes: int = 64,
@@ -376,36 +598,95 @@ def bench_obs_overhead(n_jobs: int = 200, seed: int = 1234) -> dict:
     }
 
 
-def run_suite(smoke: bool = False, seed: int | None = None) -> dict[str, dict]:
+def _suite_cases(
+    smoke: bool, seeded: dict[str, int]
+) -> dict[str, Callable[[], dict]]:
+    """The case registry: name -> thunk, sized for CI or the ledger."""
+    if smoke:
+        return {
+            "stream_16x200": lambda: bench_stream(n_jobs=20, **seeded),
+            "stream_fair_preempt": lambda: bench_stream(
+                n_jobs=20, scheduler="preempt", **seeded
+            ),
+            "waterfill_10k": lambda: bench_waterfill(
+                n_flows=1_000, rounds=2, **seeded
+            ),
+            "shaper_64_tb": lambda: bench_shaper_fleet_vs_scalar(
+                duration_s=300.0
+            ),
+            "percore_64": lambda: bench_percore_fleet_vs_scalar(
+                duration_s=300.0
+            ),
+            "multistream_32cell": lambda: bench_multistream(
+                n_cells=8, **seeded
+            ),
+            "campaign_overhead": lambda: bench_campaign_overhead(
+                n_cells=8, **seeded
+            ),
+            "obs_overhead": lambda: bench_obs_overhead(n_jobs=20, **seeded),
+        }
+    return {
+        "stream_16x200": lambda: bench_stream(**seeded),
+        "stream_fair_preempt": lambda: bench_stream(
+            scheduler="preempt", **seeded
+        ),
+        "waterfill_10k": lambda: bench_waterfill(**seeded),
+        "shaper_64_tb": lambda: bench_shaper_fleet_vs_scalar(),
+        "percore_64": lambda: bench_percore_fleet_vs_scalar(),
+        "multistream_32cell": lambda: bench_multistream(**seeded),
+        "campaign_overhead": lambda: bench_campaign_overhead(**seeded),
+        "obs_overhead": lambda: bench_obs_overhead(**seeded),
+    }
+
+
+def _top_functions(prof: cProfile.Profile, limit: int = 20) -> list[dict]:
+    """Flatten a profile into its top ``limit`` functions by cumtime."""
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    rows: list[dict] = []
+    for func in stats.fcn_list[:limit]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": int(nc),
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+        )
+    return rows
+
+
+def run_suite(
+    smoke: bool = False,
+    seed: int | None = None,
+    profiles: dict[str, list] | None = None,
+) -> dict[str, dict]:
     """Run every hot-path benchmark; ``smoke`` shrinks them for CI.
 
-    ``seed`` overrides each case's pinned workload seed (the shaper
-    sweep is seedless).  Overridden runs produce checksums that cannot
-    be compared against the ledger, so callers must not record or gate
-    them — the CLI refuses the combination.
+    ``seed`` overrides each case's pinned workload seed (the fleet
+    sweeps are seed-pinned internally).  Overridden runs produce
+    checksums that cannot be compared against the ledger, so callers
+    must not record or gate them — the CLI refuses the combination.
+
+    Passing a ``profiles`` dict runs each case under :mod:`cProfile`
+    and fills it with the top-20 functions by cumulative time, keyed by
+    case name.  Profiling inflates wall times, so profiled runs must
+    never be recorded as (or gated against) a ledger reference either.
     """
     seeded: dict[str, int] = {}
     if seed is not None:
         seeded = {"seed": int(seed)}
-    if smoke:
-        return {
-            "stream_16x200": bench_stream(n_jobs=20, **seeded),
-            "stream_fair_preempt": bench_stream(
-                n_jobs=20, scheduler="preempt", **seeded
-            ),
-            "waterfill_10k": bench_waterfill(n_flows=1_000, rounds=2, **seeded),
-            "shaper_64_tb": bench_shaper_fleet_vs_scalar(duration_s=300.0),
-            "campaign_overhead": bench_campaign_overhead(n_cells=8, **seeded),
-            "obs_overhead": bench_obs_overhead(n_jobs=20, **seeded),
-        }
-    return {
-        "stream_16x200": bench_stream(**seeded),
-        "stream_fair_preempt": bench_stream(scheduler="preempt", **seeded),
-        "waterfill_10k": bench_waterfill(**seeded),
-        "shaper_64_tb": bench_shaper_fleet_vs_scalar(),
-        "campaign_overhead": bench_campaign_overhead(**seeded),
-        "obs_overhead": bench_obs_overhead(**seeded),
-    }
+    results: dict[str, dict] = {}
+    for name, case in _suite_cases(smoke, seeded).items():
+        if profiles is None:
+            results[name] = case()
+        else:
+            prof = cProfile.Profile()
+            results[name] = prof.runcall(case)
+            profiles[name] = _top_functions(prof)
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -447,6 +728,28 @@ def record_provenance(
     return store
 
 
+def record_profiles(
+    profiles: dict[str, list],
+    store_root: Path | str,
+    label: str = "",
+) -> ArtifactStore:
+    """Archive per-case cProfile top-20 tables in an artifact store.
+
+    Each case becomes a ``bench-profile-<name>`` artifact next to the
+    ``bench-<name>`` provenance rows, so a store can answer "where did
+    the time go" for the same run it archives results for.
+    """
+    store = ArtifactStore(store_root)
+    for name, rows in profiles.items():
+        store.put(
+            f"bench-profile-{name}",
+            {"top_functions": list(rows)},
+            meta={"kind": "bench-profile", "case": name, "label": label},
+            overwrite=True,
+        )
+    return store
+
+
 # ----------------------------------------------------------------------
 # results ledger
 # ----------------------------------------------------------------------
@@ -464,6 +767,44 @@ def load_results(path: Path | str = DEFAULT_RESULTS_PATH) -> dict:
     return json.loads(path.read_text())
 
 
+#: Keys a benchmark row *measures* (timings, derived ratios, and
+#: simulation outputs).  Everything else in a row is a workload
+#: parameter — the knobs that define what was benchmarked — and two
+#: rows are only comparable when those agree exactly.
+_MEASURED_KEYS = frozenset(
+    {
+        "wall_s",
+        "obs_wall_s",
+        "scalar_wall_s",
+        "serial_wall_s",
+        "overhead_pct",
+        "fleet_speedup",
+        "batch_speedup",
+        "per_cell_ms",
+        "checksum",
+        "makespan_s",
+        "samples",
+        "n_steps",
+        "spans",
+        "scrapes",
+        "cache_hits",
+    }
+)
+
+
+def workload_params(row: dict) -> dict:
+    """The workload-defining subset of a benchmark result row.
+
+    Speedup derivation and the ``--check`` gate refuse to compare rows
+    whose workload params differ: a wall-clock ratio between a 200-job
+    run and a 20-job run (or two runs labelled with different node
+    counts) is not a speedup, it is a units error.  Checksums alone
+    cannot catch every such mismatch — a relabelled workload can keep a
+    stale checksum in the ledger — so the params are compared first.
+    """
+    return {k: v for k, v in row.items() if k not in _MEASURED_KEYS}
+
+
 def _speedups(ledger: dict) -> dict[str, float]:
     baseline = ledger.get("baseline") or {}
     current = ledger.get("current") or {}
@@ -471,6 +812,9 @@ def _speedups(ledger: dict) -> dict[str, float]:
     for name, base in (baseline.get("results") or {}).items():
         cur = (current.get("results") or {}).get(name)
         if not cur or cur.get("wall_s", 0) <= 0:
+            continue
+        if workload_params(base) != workload_params(cur):
+            # Different workload shape: the ratio would be a units error.
             continue
         if base.get("checksum") != cur.get("checksum"):
             # Different computation: a speedup would be meaningless.
@@ -517,17 +861,27 @@ def check_results(
     """Compare a fresh suite run against a recorded reference entry.
 
     Returns human-readable failure strings: one per benchmark whose
-    checksum drifted from the recorded value (the simulation now
-    computes something different) or whose wall time exceeds
-    ``wall_tolerance`` times the recorded wall time (performance
-    regression).  Benchmarks missing from the reference are skipped —
-    they gate once recorded.
+    workload params no longer match the recorded row (the comparison
+    itself would be meaningless — re-record the ledger), whose checksum
+    drifted from the recorded value (the simulation now computes
+    something different), or whose wall time exceeds ``wall_tolerance``
+    times the recorded wall time (performance regression).  Benchmarks
+    missing from the reference are skipped — they gate once recorded.
     """
     failures: list[str] = []
     ref_results = (reference or {}).get("results") or {}
     for name, row in results.items():
         ref = ref_results.get(name)
         if ref is None:
+            continue
+        params = workload_params(row)
+        ref_params = workload_params(ref)
+        if params != ref_params:
+            failures.append(
+                f"{name}: workload params differ from the recorded "
+                f"reference ({params} != {ref_params}); refusing the "
+                "checksum/wall comparison — re-record the ledger"
+            )
             continue
         if row.get("checksum") != ref.get("checksum"):
             failures.append(

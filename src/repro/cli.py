@@ -236,6 +236,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         format_table,
         load_results,
+        record_profiles,
         record_provenance,
         run_and_record,
         run_check,
@@ -250,6 +251,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if args.table_only:
         print(format_table(load_results(args.json)))
+        return 0
+    if args.profile:
+        # Profiling instruments every frame, so the wall times are not
+        # the hot path's: the run can be printed and archived but never
+        # recorded as (or gated against) a ledger reference.
+        if args.check or args.save_baseline or args.save_smoke:
+            print(
+                "error: --profile inflates wall times; it cannot be "
+                "combined with --check/--save-baseline/--save-smoke "
+                "(the ledger pins un-instrumented timings)",
+                file=sys.stderr,
+            )
+            return 2
+        if not args.store:
+            print(
+                "error: --profile needs --store to archive the per-case "
+                "profiles",
+                file=sys.stderr,
+            )
+            return 2
+        profiles: dict = {}
+        results = run_suite(
+            smoke=args.smoke, seed=args.seed, profiles=profiles
+        )
+        for name, row in results.items():
+            print(f"{name}: " + "  ".join(f"{k}={v}" for k, v in row.items()))
+        record_provenance(results, args.store, label=args.label)
+        record_profiles(profiles, args.store, label=args.label)
+        print(
+            f"archived top-20 cProfile tables for {len(profiles)} case(s) "
+            f"in {args.store}"
+        )
         return 0
     if args.seed is not None:
         # Overridden seeds change every checksum, so the run can be
@@ -1073,6 +1106,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--table-only", action="store_true",
         help="print the recorded before/after table without benchmarking",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run each case under cProfile and archive its top-20 "
+        "functions (by cumulative time) in --store next to the "
+        "provenance rows; profiled wall times are instrumented, so "
+        "the run is never recorded or gated",
     )
     add_bench_check_arguments(p)
     p.add_argument(

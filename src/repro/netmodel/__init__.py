@@ -37,6 +37,7 @@ from repro.netmodel.base import (
 from repro.netmodel.fleet import (
     ConstantRateFleet,
     LinkModelFleet,
+    PerCoreQosFleet,
     ResamplingFleet,
     ScalarFleetAdapter,
     TokenBucketFleet,
@@ -64,6 +65,7 @@ __all__ = [
     "TokenBucketFleet",
     "ConstantRateFleet",
     "ResamplingFleet",
+    "PerCoreQosFleet",
     "ScalarFleetAdapter",
     "build_fleet",
     "TokenBucketModel",

@@ -19,7 +19,7 @@ same order, as N scalar calls would, which is what lets the
 golden-trace test pin fleet and scalar outputs bit-for-bit against
 each other.
 
-Four implementations:
+Five implementations:
 
 * :class:`TokenBucketFleet` — flat budget/capacity/fill/tier arrays,
   vectorized net-fill accounting and an analytic batched idle
@@ -30,6 +30,11 @@ Four implementations:
   :class:`~repro.netmodel.stochastic.Ar1QuantileModel` while keeping
   each node's per-seed RNG draw sequence bit-exact (draws batch into
   one RNG call per node via ``_draw_batch``);
+* :class:`PerCoreQosFleet` — vectorizes the stream-age/idle-gap/
+  interval clockwork of
+  :class:`~repro.netmodel.percore.PerCoreQosModel` (the GCE model)
+  with the same per-link RNG guarantees, batching warm/cold
+  efficiency redraws at interval crossings;
 * :class:`ScalarFleetAdapter` — wraps heterogeneous or unknown scalar
   models in the reference per-model loop, so every fabric holds *some*
   fleet and the old ``Fabric(egress_models=...)`` constructor keeps
@@ -47,6 +52,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.netmodel.base import _MAX_REST_STEPS, ConstantRateModel, LinkModel
+from repro.netmodel.percore import PerCoreQosModel
 from repro.netmodel.stochastic import (
     Ar1QuantileModel,
     UniformQuantileSamplingModel,
@@ -58,8 +64,10 @@ __all__ = [
     "TokenBucketFleet",
     "ConstantRateFleet",
     "ResamplingFleet",
+    "PerCoreQosFleet",
     "ScalarFleetAdapter",
     "build_fleet",
+    "concat_fleets",
 ]
 
 
@@ -95,6 +103,15 @@ class LinkModelFleet(ABC):
     def limits(self) -> np.ndarray:
         """Per-link rate ceilings (fresh array; callers may mutate)."""
 
+    def limit_at(self, index: int) -> float:
+        """One link's current rate ceiling, exactly ``limits()[index]``.
+
+        Single-flow water-filling needs exactly one ceiling; subclasses
+        override this with a scalar state read so the hot path skips
+        materializing the whole fleet's limit array.
+        """
+        return float(self.limits()[index])
+
     @abstractmethod
     def horizons(self, send_rates: np.ndarray) -> np.ndarray:
         """Per-link ceiling-persistence bounds under ``send_rates``.
@@ -111,6 +128,29 @@ class LinkModelFleet(ABC):
         the signal :meth:`~repro.simulator.fabric.Fabric.advance` uses
         to invalidate its rate assignment.
         """
+
+    def advance_many(
+        self, dt: np.ndarray, send_rates: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-link-``dt`` variant of :meth:`advance` for batched runs.
+
+        ``dt`` carries one step length per link, so independent
+        simulation cells sharing one concatenated super-fleet (see
+        :func:`concat_fleets`) can each take their own event step in a
+        single fleet call.  Every per-link float operation is the exact
+        operation :meth:`advance` performs with that link's scalar
+        ``dt`` — the batched form is bit-identical per link, which the
+        multistream runner's equivalence tests pin.
+
+        Returns ``None`` when no link's ceiling changed, else a per-link
+        boolean mask of the links whose ceiling changed.  The mask may
+        be an internal scratch buffer: consume it before the next fleet
+        call.  No :attr:`transition_hook` fires from this path —
+        batched runs do not support recorders.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched advance"
+        )
 
     @abstractmethod
     def rest(self, duration_s: float) -> None:
@@ -143,6 +183,9 @@ class ScalarFleetAdapter(LinkModelFleet):
     def limits(self) -> np.ndarray:
         return np.array([m.limit() for m in self.models], dtype=float)
 
+    def limit_at(self, index: int) -> float:
+        return float(self.models[index].limit())
+
     def horizons(self, send_rates: np.ndarray) -> np.ndarray:
         return np.array(
             [
@@ -169,6 +212,23 @@ class ScalarFleetAdapter(LinkModelFleet):
         if hook is not None:
             hook(np.asarray(changed_indices, dtype=np.intp), self.limits())
         return True
+
+    def advance_many(
+        self, dt: np.ndarray, send_rates: np.ndarray
+    ) -> np.ndarray | None:
+        if np.any(dt < 0.0):
+            raise ValueError("dt must be non-negative elementwise")
+        mask: np.ndarray | None = None
+        for index, (model, step, rate) in enumerate(
+            zip(self.models, dt.tolist(), send_rates.tolist())
+        ):
+            before = model.limit()
+            model.advance(step, rate)
+            if model.limit() != before:
+                if mask is None:
+                    mask = np.zeros(len(self.models), dtype=bool)
+                mask[index] = True
+        return mask
 
     def rest(self, duration_s: float) -> None:
         for model in self.models:
@@ -250,9 +310,16 @@ class TokenBucketFleet(LinkModelFleet):
             model._fleet_index = index
 
     def _sync_thresholds(self) -> None:
-        """Recompute the cached flip thresholds from ``_throttled``."""
-        self._flip_threshold = np.where(
-            self._throttled, self._resume_minus_eps, _EMPTY_EPS_GBIT
+        """Recompute the cached flip thresholds from ``_throttled``.
+
+        Writes in place: when this fleet's state arrays are slice views
+        into a concatenated super-fleet (:func:`concat_fleets`), or
+        vice versa, rebinding the attribute would silently decouple the
+        two.
+        """
+        self._flip_threshold.fill(_EMPTY_EPS_GBIT)
+        np.copyto(
+            self._flip_threshold, self._resume_minus_eps, where=self._throttled
         )
 
     def _set_throttled(self, index: int, value: bool) -> None:
@@ -269,6 +336,11 @@ class TokenBucketFleet(LinkModelFleet):
 
     def limits(self) -> np.ndarray:
         return np.where(self._throttled, self._capped, self._peak)
+
+    def limit_at(self, index: int) -> float:
+        if self._throttled[index]:
+            return float(self._capped[index])
+        return float(self._peak[index])
 
     def horizons(self, send_rates: np.ndarray) -> np.ndarray:
         """Per-link horizons; the returned array is a reused scratch
@@ -337,6 +409,33 @@ class TokenBucketFleet(LinkModelFleet):
                 hook(np.flatnonzero(flipped), self.limits())
         return changed
 
+    def advance_many(
+        self, dt: np.ndarray, send_rates: np.ndarray
+    ) -> np.ndarray | None:
+        # The exact :meth:`advance` expression chain with a per-link
+        # ``dt``: every operation is elementwise, so link ``i`` sees
+        # bit-identical arithmetic to a scalar ``advance(dt[i], ...)``.
+        # (min() is a pure reduction — no comparison temporary.)
+        if dt.size and float(dt.min()) < 0.0:
+            raise ValueError("dt must be non-negative elementwise")
+        budget = self._budget
+        step = np.subtract(self._replenish, send_rates, out=self._f64_scratch)
+        step *= dt
+        budget += step
+        np.maximum(budget, 0.0, out=budget)
+        np.minimum(budget, self._capacity, out=budget)
+        alive = np.greater(budget, _EMPTY_EPS_GBIT, out=self._bool_scratch)
+        np.multiply(budget, alive, out=budget)
+        flipped = np.less(budget, self._flip_threshold, out=self._bool_scratch)
+        throttled = self._throttled
+        np.not_equal(flipped, throttled, out=flipped)
+        if not flipped.any():
+            return None
+        np.logical_xor(throttled, flipped, out=throttled)
+        self._sync_thresholds()
+        np.logical_and(flipped, self._tier_differs, out=flipped)
+        return flipped
+
     def rest(self, duration_s: float) -> None:
         # Analytic idle refill, exactly TokenBucketModel.rest: with no
         # offered traffic the net fill rate is `replenish` in both
@@ -368,6 +467,9 @@ class ConstantRateFleet(LinkModelFleet):
     def limits(self) -> np.ndarray:
         return self._rates.copy()
 
+    def limit_at(self, index: int) -> float:
+        return float(self._rates[index])
+
     def horizons(self, send_rates: np.ndarray) -> np.ndarray:
         return np.full(self._rates.shape[0], math.inf)
 
@@ -375,6 +477,13 @@ class ConstantRateFleet(LinkModelFleet):
         if dt < 0:
             raise ValueError(f"dt must be non-negative, got {dt}")
         return False
+
+    def advance_many(
+        self, dt: np.ndarray, send_rates: np.ndarray
+    ) -> np.ndarray | None:
+        if np.any(dt < 0.0):
+            raise ValueError("dt must be non-negative elementwise")
+        return None
 
     def rest(self, duration_s: float) -> None:
         if duration_s < 0:
@@ -418,6 +527,9 @@ class ResamplingFleet(LinkModelFleet):
     def limits(self) -> np.ndarray:
         return self._current.copy()
 
+    def limit_at(self, index: int) -> float:
+        return float(self._current[index])
+
     def horizons(self, send_rates: np.ndarray) -> np.ndarray:
         return np.maximum(self._intervals - self._elapsed, 0.0)
 
@@ -454,6 +566,34 @@ class ResamplingFleet(LinkModelFleet):
             hook(np.asarray(changed_indices, dtype=np.intp), self.limits())
         return True
 
+    def advance_many(
+        self, dt: np.ndarray, send_rates: np.ndarray
+    ) -> np.ndarray | None:
+        if np.any(dt < 0.0):
+            raise ValueError("dt must be non-negative elementwise")
+        elapsed = self._elapsed
+        elapsed += dt
+        crossed = elapsed >= self._intervals - 1e-12
+        if not crossed.any():
+            return None
+        mask: np.ndarray | None = None
+        current = self._current
+        for i in np.flatnonzero(crossed).tolist():
+            interval = float(self._intervals[i])
+            e = float(elapsed[i])
+            k = 0
+            while e >= interval - 1e-12:
+                e -= interval
+                k += 1
+            elapsed[i] = e
+            value = self.models[i]._draw_batch(k)
+            if value != current[i]:
+                if mask is None:
+                    mask = np.zeros(elapsed.shape[0], dtype=bool)
+                mask[i] = True
+            current[i] = value
+        return mask
+
     def rest(self, duration_s: float) -> None:
         # Mirrors the generic LinkModel.rest horizon-stepping loop per
         # link (the clockwork is RNG-independent, so step sizes and
@@ -485,6 +625,197 @@ class ResamplingFleet(LinkModelFleet):
             model.reset()
 
 
+class PerCoreQosFleet(LinkModelFleet):
+    """Batched stream-age/idle-gap clockwork for GCE per-core QoS links.
+
+    The per-step bookkeeping of
+    :class:`~repro.netmodel.percore.PerCoreQosModel` — is this node
+    sending, did an idle gap expire, did the resample interval roll
+    over — advances as a handful of array operations instead of N
+    scalar method calls.  Only links that actually redraw (an idle
+    resume restarting a cold stream, or interval-boundary crossings)
+    fall back to per-link handling; a link's crossed-boundary draws
+    batch into a single RNG call
+    (:meth:`~repro.netmodel.percore.PerCoreQosModel.
+    _draw_efficiency_batch`).  Each model keeps its own seeded
+    generator and the clockwork float residues replay the scalar
+    operation order per crossing link, so per-node state and draw
+    sequences are bit-identical to the scalar path.
+    """
+
+    def __init__(self, models: Sequence[PerCoreQosModel]) -> None:
+        models = list(models)
+        for model in models:
+            if type(model) is not PerCoreQosModel:
+                raise TypeError(f"not a PerCoreQosModel: {model!r}")
+            if model._fleet is not None:
+                raise ValueError("model already adopted by another fleet")
+        self.models = models
+        self._qos = np.array([m.qos_gbps for m in models], dtype=float)
+        self._ramp = np.array([m.ramp_s for m in models], dtype=float)
+        self._idle_reset = np.array([m.idle_reset_s for m in models], dtype=float)
+        self._interval = np.array([m.interval_s for m in models], dtype=float)
+        # Same threshold value the scalar while-loop computes each
+        # iteration (``interval_s - 1e-12``), hoisted per link.
+        self._interval_eps = self._interval - 1e-12
+        # Adopt: move current scalar state into the arrays.
+        self._age = np.array([m._age_local for m in models], dtype=float)
+        self._idle = np.array([m._idle_local for m in models], dtype=float)
+        self._elapsed = np.array([m._elapsed_local for m in models], dtype=float)
+        self._eff = np.array([m._eff_local for m in models], dtype=float)
+        n = len(models)
+        self._f64_scratch = np.empty(n, dtype=float)
+        self._bool_scratch = np.empty(n, dtype=bool)
+        self._bool_scratch2 = np.empty(n, dtype=bool)
+        for index, model in enumerate(models):
+            model._fleet = self
+            model._fleet_index = index
+
+    def limits(self) -> np.ndarray:
+        return self._qos * self._eff
+
+    def limit_at(self, index: int) -> float:
+        return float(self._qos[index]) * float(self._eff[index])
+
+    def horizons(self, send_rates: np.ndarray) -> np.ndarray:
+        out = np.subtract(self._interval, self._elapsed, out=self._f64_scratch)
+        np.maximum(out, 0.0, out=out)
+        return out
+
+    def advance(self, dt: float, send_rates: np.ndarray) -> bool:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        age = self._age
+        idle = self._idle
+        elapsed = self._elapsed
+        eff = self._eff
+        sending = np.greater(send_rates, 1e-9, out=self._bool_scratch)
+        # Pre-redraw ceilings of the (rare) links that redraw this
+        # step, keyed by index: "changed" is the net before/after
+        # comparison, exactly what ScalarFleetAdapter observes when a
+        # resume redraw is later superseded by a boundary redraw.
+        old_eff: dict[int, float] | None = None
+        # Idle resume: a sending link whose idle gap expired restarts
+        # its stream age and redraws from the (almost always cold)
+        # distribution — before the age/idle update, as in the scalar.
+        resume = np.greater_equal(idle, self._idle_reset, out=self._bool_scratch2)
+        np.logical_and(resume, sending, out=resume)
+        if resume.any():
+            old_eff = {}
+            for i in np.flatnonzero(resume).tolist():
+                age[i] = 0.0
+                old_eff[i] = float(eff[i])
+                eff[i] = self.models[i]._draw_efficiency()
+        # Vectorized clockwork, elementwise-identical to the scalar
+        # branches: sending links age and zero their idle time, idle
+        # links accumulate it; the interval clock always ticks.
+        np.add(age, dt, out=age, where=sending)
+        notsending = np.logical_not(sending, out=self._bool_scratch2)
+        np.add(idle, dt, out=idle, where=notsending)
+        idle[sending] = 0.0
+        elapsed += dt
+        crossed = np.greater_equal(
+            elapsed, self._interval_eps, out=self._bool_scratch2
+        )
+        if crossed.any():
+            if old_eff is None:
+                old_eff = {}
+            for i in np.flatnonzero(crossed).tolist():
+                interval = float(self._interval[i])
+                threshold = float(self._interval_eps[i])
+                e = float(elapsed[i])
+                k = 0
+                # Same repeated subtraction as the scalar while-loop,
+                # so the elapsed residue carries identical float error.
+                while e >= threshold:
+                    e -= interval
+                    k += 1
+                elapsed[i] = e
+                if i not in old_eff:
+                    old_eff[i] = float(eff[i])
+                eff[i] = self.models[i]._draw_efficiency_batch(k)
+        if old_eff is None:
+            return False
+        changed_indices = sorted(
+            i for i, before in old_eff.items() if eff[i] != before
+        )
+        if not changed_indices:
+            return False
+        hook = self.transition_hook
+        if hook is not None:
+            hook(np.asarray(changed_indices, dtype=np.intp), self.limits())
+        return True
+
+    def advance_many(
+        self, dt: np.ndarray, send_rates: np.ndarray
+    ) -> np.ndarray | None:
+        # :meth:`advance` with a per-link ``dt``; every clockwork
+        # update is elementwise and the redraw loops replay the scalar
+        # operation order per link, so link ``i`` is bit-identical to a
+        # scalar ``advance(dt[i], ...)``.
+        if np.any(dt < 0.0):
+            raise ValueError("dt must be non-negative elementwise")
+        age = self._age
+        idle = self._idle
+        elapsed = self._elapsed
+        eff = self._eff
+        sending = np.greater(send_rates, 1e-9, out=self._bool_scratch)
+        old_eff: dict[int, float] | None = None
+        resume = np.greater_equal(idle, self._idle_reset, out=self._bool_scratch2)
+        np.logical_and(resume, sending, out=resume)
+        if resume.any():
+            old_eff = {}
+            for i in np.flatnonzero(resume).tolist():
+                age[i] = 0.0
+                old_eff[i] = float(eff[i])
+                eff[i] = self.models[i]._draw_efficiency()
+        np.add(age, dt, out=age, where=sending)
+        notsending = np.logical_not(sending, out=self._bool_scratch2)
+        np.add(idle, dt, out=idle, where=notsending)
+        idle[sending] = 0.0
+        elapsed += dt
+        crossed = np.greater_equal(
+            elapsed, self._interval_eps, out=self._bool_scratch2
+        )
+        if crossed.any():
+            if old_eff is None:
+                old_eff = {}
+            for i in np.flatnonzero(crossed).tolist():
+                interval = float(self._interval[i])
+                threshold = float(self._interval_eps[i])
+                e = float(elapsed[i])
+                k = 0
+                while e >= threshold:
+                    e -= interval
+                    k += 1
+                elapsed[i] = e
+                if i not in old_eff:
+                    old_eff[i] = float(eff[i])
+                eff[i] = self.models[i]._draw_efficiency_batch(k)
+        if old_eff is None:
+            return None
+        mask: np.ndarray | None = None
+        for i, before in old_eff.items():
+            if eff[i] != before:
+                if mask is None:
+                    mask = np.zeros(eff.shape[0], dtype=bool)
+                mask[i] = True
+        return mask
+
+    def rest(self, duration_s: float) -> None:
+        # Per-model generic horizon-stepping rest: the scalar reference
+        # (rest is a between-repetitions cold path; draws still come
+        # from each model's own generator, via the fleet views).
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        for model in self.models:
+            model.rest(duration_s)
+
+    def reset(self) -> None:
+        for model in self.models:
+            model.reset()
+
+
 def build_fleet(
     models: Sequence[LinkModel], prefer_scalar: bool = False
 ) -> LinkModelFleet:
@@ -508,6 +839,114 @@ def build_fleet(
             return TokenBucketFleet(models)
         if first is ConstantRateModel:
             return ConstantRateFleet(models)
+        if first is PerCoreQosModel:
+            return PerCoreQosFleet(models)
     if all(type(m) in ResamplingFleet._ADOPTABLE for m in models):
         return ResamplingFleet(models)
     return ScalarFleetAdapter(models)
+
+
+#: Per-class arrays that concatenate into a super-fleet and rebind on
+#: the member fleets as slice views (constants and hot state alike:
+#: views of constants cost nothing and keep the stitching uniform).
+#: Scratch buffers are *not* shared — each fleet keeps its own, sized
+#: to its own link count.
+_CONCAT_SHARED: dict[type, tuple[str, ...]] = {
+    TokenBucketFleet: (
+        "_peak",
+        "_capped",
+        "_replenish",
+        "_capacity",
+        "_resume",
+        "_reset_budget",
+        "_reset_throttled",
+        "_resume_minus_eps",
+        "_tier_differs",
+        "_budget",
+        "_throttled",
+        "_flip_threshold",
+    ),
+    ConstantRateFleet: ("_rates",),
+    ResamplingFleet: ("_intervals", "_elapsed", "_current"),
+    PerCoreQosFleet: (
+        "_qos",
+        "_ramp",
+        "_idle_reset",
+        "_interval",
+        "_interval_eps",
+        "_age",
+        "_idle",
+        "_elapsed",
+        "_eff",
+    ),
+}
+
+
+def concat_fleets(fleets: Sequence[LinkModelFleet]) -> LinkModelFleet:
+    """Stitch same-class fleets into one super-fleet over shared state.
+
+    The returned fleet's state arrays are the member fleets' arrays
+    concatenated in order, and each member fleet's array attributes are
+    *rebound to slice views* of the concatenation — after this call the
+    member fleets and the super-fleet read and write the same memory.
+    One ``horizons``/``advance_many`` call on the super-fleet then
+    covers every member link while scalar model handles, per-member
+    ``limits()``/``budgets()`` reads, and member-level ``reset`` keep
+    working unchanged (all fleet mutators write in place).
+
+    This is the multistream runner's core trick: N independent
+    simulation cells, each with its own few-link fleet, pay one numpy
+    dispatch per batched operation instead of N.  Per-link arithmetic
+    is unchanged — ``advance_many`` takes a per-link ``dt`` so each
+    cell still steps by its own event horizon, bit-identically to its
+    standalone ``advance``.
+
+    All fleets must be the same concrete class (heterogeneous batches
+    would need per-class dispatch — group cells first).  Transition
+    hooks are unsupported: batched runs reject recorders.
+    """
+    fleets = list(fleets)
+    if not fleets:
+        raise ValueError("concat_fleets needs at least one fleet")
+    cls = type(fleets[0])
+    for fleet in fleets:
+        if type(fleet) is not cls:
+            raise ValueError(
+                "all fleets in a batch must share one class; got "
+                f"{cls.__name__} and {type(fleet).__name__}"
+            )
+        if fleet.transition_hook is not None:
+            raise ValueError(
+                "fleets with transition hooks (recorders) cannot batch"
+            )
+    models = [m for fleet in fleets for m in fleet.models]
+    if cls is ScalarFleetAdapter:
+        # No arrays to stitch: the models themselves hold the state,
+        # and a fresh adapter over the concatenated list shares them.
+        return ScalarFleetAdapter(models)
+    if cls not in _CONCAT_SHARED:
+        raise ValueError(f"cannot concatenate fleets of class {cls.__name__}")
+    super_fleet = object.__new__(cls)
+    super_fleet.models = models
+    for name in _CONCAT_SHARED[cls]:
+        parts = [getattr(fleet, name) for fleet in fleets]
+        merged = np.concatenate(parts)
+        setattr(super_fleet, name, merged)
+        lo = 0
+        for fleet, part in zip(fleets, parts):
+            hi = lo + part.shape[0]
+            setattr(fleet, name, merged[lo:hi])
+            lo = hi
+    n = len(models)
+    if cls is TokenBucketFleet:
+        super_fleet._zeros = np.zeros(n, dtype=float)
+        super_fleet._f64_scratch = np.empty(n, dtype=float)
+        super_fleet._f64_scratch2 = np.empty(n, dtype=float)
+        super_fleet._bool_scratch = np.empty(n, dtype=bool)
+        super_fleet._bool_scratch2 = np.empty(n, dtype=bool)
+        super_fleet._horizon_out = np.empty(n, dtype=float)
+    elif cls is PerCoreQosFleet:
+        super_fleet._f64_scratch = np.empty(n, dtype=float)
+        super_fleet._bool_scratch = np.empty(n, dtype=bool)
+        super_fleet._bool_scratch2 = np.empty(n, dtype=bool)
+    return super_fleet

@@ -40,7 +40,17 @@ DEFAULT_COLD_EFFICIENCY = QuantileDistribution(
 
 
 class PerCoreQosModel(LinkModel):
-    """Per-core QoS ceiling with access-pattern-dependent variability."""
+    """Per-core QoS ceiling with access-pattern-dependent variability.
+
+    When a :class:`~repro.netmodel.fleet.PerCoreQosFleet` adopts the
+    model, the stream-age/idle-gap/interval clockwork and the current
+    efficiency draw move into the fleet's struct-of-arrays storage and
+    this handle reads/writes through (the same pattern
+    :class:`~repro.netmodel.token_bucket.TokenBucketModel` uses), so
+    scalar pokes (``reset``, state snapshots) stay coherent with
+    batched fleet advances.  The seeded generator stays on the model —
+    per-node draw sequences are identical either way.
+    """
 
     def __init__(
         self,
@@ -71,11 +81,65 @@ class PerCoreQosModel(LinkModel):
         self.interval_s = float(interval_s)
         self._seed = seed
         self._rng = np.random.default_rng(seed)
-        self._stream_age = 0.0
-        self._idle_time = 0.0
-        self._elapsed_in_interval = 0.0
-        self._efficiency = 1.0
+        self._fleet = None
+        self._fleet_index = -1
+        self._age_local = 0.0
+        self._idle_local = 0.0
+        self._elapsed_local = 0.0
+        self._eff_local = 1.0
         self.reset()
+
+    @property
+    def _stream_age(self) -> float:
+        if self._fleet is None:
+            return self._age_local
+        return float(self._fleet._age[self._fleet_index])
+
+    @_stream_age.setter
+    def _stream_age(self, value: float) -> None:
+        if self._fleet is None:
+            self._age_local = value
+        else:
+            self._fleet._age[self._fleet_index] = value
+
+    @property
+    def _idle_time(self) -> float:
+        if self._fleet is None:
+            return self._idle_local
+        return float(self._fleet._idle[self._fleet_index])
+
+    @_idle_time.setter
+    def _idle_time(self, value: float) -> None:
+        if self._fleet is None:
+            self._idle_local = value
+        else:
+            self._fleet._idle[self._fleet_index] = value
+
+    @property
+    def _elapsed_in_interval(self) -> float:
+        if self._fleet is None:
+            return self._elapsed_local
+        return float(self._fleet._elapsed[self._fleet_index])
+
+    @_elapsed_in_interval.setter
+    def _elapsed_in_interval(self, value: float) -> None:
+        if self._fleet is None:
+            self._elapsed_local = value
+        else:
+            self._fleet._elapsed[self._fleet_index] = value
+
+    @property
+    def _efficiency(self) -> float:
+        if self._fleet is None:
+            return self._eff_local
+        return float(self._fleet._eff[self._fleet_index])
+
+    @_efficiency.setter
+    def _efficiency(self, value: float) -> None:
+        if self._fleet is None:
+            self._eff_local = value
+        else:
+            self._fleet._eff[self._fleet_index] = value
 
     def reset(self) -> None:
         self._rng = np.random.default_rng(self._seed)
@@ -93,6 +157,18 @@ class PerCoreQosModel(LinkModel):
     def _draw_efficiency(self) -> float:
         dist = self.warm_efficiency if self.is_warm else self.cold_efficiency
         return float(dist.sample(self._rng))
+
+    def _draw_efficiency_batch(self, k: int) -> float:
+        """Take ``k`` consecutive draws in one RNG call; return the last.
+
+        Bit-identical to ``k`` scalar :meth:`_draw_efficiency` calls
+        while the warm/cold state holds fixed (``Generator.uniform``
+        consumes exactly one double per element, scalar or batched) —
+        the property the fleet's interval-crossing loop relies on,
+        mirroring ``_ResamplingModel._draw_batch``.
+        """
+        dist = self.warm_efficiency if self.is_warm else self.cold_efficiency
+        return float(dist.sample(self._rng, size=k)[-1])
 
     def limit(self) -> float:
         return self.qos_gbps * self._efficiency

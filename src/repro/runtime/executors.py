@@ -52,6 +52,7 @@ from repro.runtime.store import ArtifactStore
 __all__ = [
     "ExecutionAborted",
     "SerialExecutor",
+    "BatchExecutor",
     "ProcessPoolExecutor",
     "ShardExecutor",
     "cell_components",
@@ -207,6 +208,120 @@ class SerialExecutor:
                     cell_provenance(time.perf_counter() - t0, result),
                 )
             emit(cell, result, False)
+
+
+class BatchExecutor:
+    """Run independent cells in lockstep batches through a batch runner.
+
+    The opt-in single-process alternative to :class:`SerialExecutor`
+    for campaign matrices whose cells are small simulations: instead of
+    ``cell.run()`` one cell at a time, independent cells go to
+    ``batch_runner(payloads, upstreams)`` in groups of ``batch_size``,
+    which advances them together (see
+    :mod:`repro.simulator.multistream`) and returns one result per
+    payload — *bit-identical* to running the cells serially, just
+    cheaper, because per-step numpy dispatch amortizes across the
+    batch.  The scenario layer's runner is
+    ``repro.scenarios.orchestrate:run_scenario_payloads_batched``
+    (see :func:`repro.scenarios.orchestrate.batch_executor`).
+
+    Warm-fabric chains cannot run lockstep (a successor needs its
+    predecessor's *final* fabric), so multi-cell chain components fall
+    back to :class:`SerialExecutor` semantics after the batches, with
+    every batched result available as upstream context.  ``skip`` is
+    evaluated at dispatch (as in the pool executor), ``should_stop``
+    between batches, and chaos injection fires per cell before its
+    batch runs.
+
+    Per-cell provenance from a batch reports the batch's wall clock
+    split evenly across its cells — the batch advances cells in
+    lockstep, so no finer per-cell attribution exists.
+    """
+
+    def __init__(self, batch_runner: Callable, batch_size: int = 32) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_runner = batch_runner
+        self.batch_size = batch_size
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        emit: EmitFn,
+        upstream: Mapping[str, object] | None = None,
+        on_provenance: Callable[[str, dict], None] | None = None,
+        skip: Callable[[Cell], bool] | None = None,
+        should_stop: Callable[[], bool] | None = None,
+        on_skip: Callable[[Cell], None] | None = None,
+        **_: object,
+    ) -> None:
+        from repro.runtime import chaos
+
+        results: dict[str, object] = dict(upstream or {})
+        singles: list[Cell] = []
+        chained: list[Cell] = []
+        for component in cell_components(cells):
+            if len(component) == 1:
+                singles.extend(component)
+            else:
+                chained.extend(component)
+        if skip is not None:
+            kept = []
+            for cell in singles:
+                if skip(cell):
+                    if on_skip is not None:
+                        on_skip(cell)
+                else:
+                    kept.append(cell)
+            singles = kept
+        for start in range(0, len(singles), self.batch_size):
+            batch = singles[start : start + self.batch_size]
+            if should_stop is not None and should_stop():
+                raise ExecutionAborted(
+                    f"execution stopped before cell {batch[0].key!r}"
+                )
+            monkey = chaos.active_injector()
+            if monkey is not None:
+                for cell in batch:
+                    monkey.before_cell(cell.key)
+            upstreams = []
+            for cell in batch:
+                if cell.after is None:
+                    upstreams.append(None)
+                elif cell.after in results:
+                    upstreams.append(results[cell.after])
+                else:
+                    raise ValueError(
+                        f"cell {cell.key!r} needs predecessor "
+                        f"{cell.after!r}, which is neither pending nor "
+                        "available as a cached upstream result"
+                    )
+            t0 = time.perf_counter()
+            batch_results = self.batch_runner(
+                [cell.payload for cell in batch], upstreams
+            )
+            wall = time.perf_counter() - t0
+            if len(batch_results) != len(batch):
+                raise ValueError(
+                    f"batch runner returned {len(batch_results)} results "
+                    f"for {len(batch)} cells"
+                )
+            share = wall / len(batch)
+            for cell, result in zip(batch, batch_results):
+                results[cell.key] = result
+                if on_provenance is not None:
+                    on_provenance(cell.key, cell_provenance(share, result))
+                emit(cell, result, False)
+        if chained:
+            SerialExecutor().run(
+                chained,
+                emit,
+                upstream=results,
+                on_provenance=on_provenance,
+                skip=skip,
+                should_stop=should_stop,
+                on_skip=on_skip,
+            )
 
 
 class ProcessPoolExecutor:

@@ -67,7 +67,12 @@ __all__ = [
     "ScenarioCampaign",
     "CampaignOutcome",
     "run_scenario",
+    "run_scenarios_batched",
+    "prepare_scenario",
+    "finish_scenario",
     "run_scenario_payload",
+    "run_scenario_payloads_batched",
+    "batch_executor",
     "scenario_matrix",
     "chain_scenarios",
     "scenario_cells",
@@ -341,6 +346,39 @@ def run_scenario(
     :class:`~repro.obs.ObsRecorder` observes the cell's stream without
     changing its result.
     """
+    prepared = prepare_scenario(config, upstream=upstream)
+    outcome = prepared.engine.run_stream(
+        prepared.stream,
+        scheduler=config.scheduler,
+        fabric=prepared.fabric,
+        recorder=recorder,
+    )
+    return finish_scenario(prepared, outcome)
+
+
+@dataclass
+class _PreparedScenario:
+    """A cell built and ready to stream: the prepare/finish seam.
+
+    :func:`run_scenario` is prepare → ``engine.run_stream`` → finish;
+    the batched path (:func:`run_scenarios_batched`) swaps the middle
+    for one :func:`repro.simulator.multistream.run_streams` call over
+    many cells.  Everything up to and including engine construction —
+    provider incarnations, arrival draws, the job stream, deadline
+    synthesis — happens in prepare, in the exact serial RNG order, so
+    the two paths are bit-identical per cell.
+    """
+
+    config: ScenarioConfig
+    engine: SparkEngine
+    stream: list
+    fabric: Fabric
+
+
+def prepare_scenario(
+    config: ScenarioConfig, upstream: "ScenarioResult | None" = None
+) -> _PreparedScenario:
+    """Build one cell's engine, workload stream, and fabric."""
     rng = np.random.default_rng(config.seed)
     if config.predecessor is not None:
         if upstream is None:
@@ -417,9 +455,14 @@ def run_scenario(
             mean_slack=config.deadline_slack,
         )
     engine = SparkEngine(cluster, rng=rng)
-    outcome = engine.run_stream(
-        stream, scheduler=config.scheduler, fabric=fabric, recorder=recorder
+    return _PreparedScenario(
+        config=config, engine=engine, stream=list(stream), fabric=fabric
     )
+
+
+def finish_scenario(prepared: _PreparedScenario, outcome) -> ScenarioResult:
+    """Assemble a :class:`ScenarioResult` from a finished stream."""
+    config = prepared.config
     deadlines = None
     if config.deadline_slack > 0:
         # Read back from the results (submit order) rather than the
@@ -433,9 +476,60 @@ def run_scenario(
         job_names=tuple(r.job_name for r in outcome.job_results),
         deadlines=deadlines,
         slowdowns=outcome.slowdowns(),
-        fabric_state=[model_state_dict(m) for m in fabric.egress_models],
+        fabric_state=[
+            model_state_dict(m) for m in prepared.fabric.egress_models
+        ],
         n_steps=outcome.n_steps,
     )
+
+
+def run_scenarios_batched(
+    configs: "list[ScenarioConfig]",
+    upstreams: "list[ScenarioResult | None] | None" = None,
+) -> "list[ScenarioResult]":
+    """Run independent cells through the batched multistream runner.
+
+    Bit-identical to ``[run_scenario(c, u) for c, u in ...]`` — each
+    cell's RNG draws, event order, and floats are unchanged — but all
+    cells' shaper-fleet work batches through one concatenated
+    super-fleet per fleet class (cells are grouped automatically, so
+    mixed-provider matrices work; each group runs as one lockstep
+    batch).  Cells must be independent of *each other* — chained cells
+    may appear only with their upstream result supplied, like
+    :func:`run_scenario`.
+    """
+    from repro.simulator.multistream import StreamTask, run_streams
+
+    if upstreams is None:
+        upstreams = [None] * len(configs)
+    if len(upstreams) != len(configs):
+        raise ValueError("one upstream entry (or None) per config required")
+    prepared = [
+        prepare_scenario(config, upstream=upstream)
+        for config, upstream in zip(configs, upstreams)
+    ]
+    # Group by concrete fleet class: the super-fleet concatenation
+    # requires homogeneity, and grouping preserves per-cell results
+    # exactly (cells are independent).
+    groups: dict[type, list[int]] = {}
+    for index, prep in enumerate(prepared):
+        groups.setdefault(type(prep.fabric.fleet), []).append(index)
+    results: list[ScenarioResult | None] = [None] * len(configs)
+    for indices in groups.values():
+        outcomes = run_streams(
+            [
+                StreamTask(
+                    engine=prepared[i].engine,
+                    arrivals=prepared[i].stream,
+                    scheduler=prepared[i].config.scheduler,
+                    fabric=prepared[i].fabric,
+                )
+                for i in indices
+            ]
+        )
+        for i, outcome in zip(indices, outcomes):
+            results[i] = finish_scenario(prepared[i], outcome)
+    return results  # type: ignore[return-value]
 
 
 def chain_scenarios(base: ScenarioConfig, length: int) -> list[ScenarioConfig]:
@@ -547,6 +641,37 @@ def run_scenario_payload(
     if upstream is None:
         return run_scenario(config)
     return run_scenario(config, upstream=upstream)
+
+
+def run_scenario_payloads_batched(
+    payloads: "list[Mapping]", upstreams: "list[ScenarioResult | None]"
+) -> "list[ScenarioResult]":
+    """Batch-runner hook for :class:`repro.runtime.executors.BatchExecutor`.
+
+    The batched counterpart of :func:`run_scenario_payload`: decodes
+    each cell payload and runs the whole group through the multistream
+    runner, returning results in payload order — bit-identical to the
+    per-cell path.
+    """
+    configs = [ScenarioConfig(**payload) for payload in payloads]
+    return run_scenarios_batched(configs, upstreams)
+
+
+def batch_executor(batch_size: int = 32):
+    """A :class:`~repro.runtime.executors.BatchExecutor` wired for scenarios.
+
+    Pass to :class:`ScenarioCampaign` (or a raw
+    :class:`~repro.runtime.campaign.CampaignRunner`) to run a matrix's
+    independent cells through the batched multistream engine::
+
+        ScenarioCampaign(configs, executor=batch_executor()).run()
+
+    Results — rows, checksums, cache keys — are bit-identical to the
+    serial default; only the wall clock changes.
+    """
+    from repro.runtime.executors import BatchExecutor
+
+    return BatchExecutor(run_scenario_payloads_batched, batch_size=batch_size)
 
 
 def encode_scenario_result(result: ScenarioResult) -> tuple[dict, dict]:

@@ -355,6 +355,21 @@ class SparkEngine:
         spans for this run.  Recorders only observe — results are
         bit-identical with and without one.
         """
+        self.validate_stream(arrivals, scheduler)
+        if fabric is None:
+            fabric = self.cluster.build_fabric()
+        state = _StreamState(
+            self, list(arrivals), fabric, scheduler=scheduler, recorder=recorder
+        )
+        return state.execute()
+
+    @staticmethod
+    def validate_stream(arrivals: Sequence[tuple], scheduler: str) -> None:
+        """Reject malformed streams before any state is built.
+
+        Shared by :meth:`run_stream` and the batched multistream
+        runner, so both paths fail identically on the same inputs.
+        """
         if not arrivals:
             raise ValueError("a stream needs at least one job")
         if scheduler not in SCHEDULERS:
@@ -371,12 +386,6 @@ class SparkEngine:
                     raise ValueError(
                         f"deadline {deadline} precedes submission {submit_s}"
                     )
-        if fabric is None:
-            fabric = self.cluster.build_fabric()
-        state = _StreamState(
-            self, list(arrivals), fabric, scheduler=scheduler, recorder=recorder
-        )
-        return state.execute()
 
     def run_repetitions(
         self,
@@ -974,76 +983,113 @@ class _StreamState:
             setattr(self, name, new)
 
     # -- main loop ---------------------------------------------------------------
-    def execute(self) -> StreamResult:
+    #
+    # The event loop is split into begin / step_prologue / step_epilogue
+    # / finish helpers so the serial loop below and the batched
+    # multistream driver (repro.simulator.multistream) share one
+    # definition of an event step.  Only the middle differs: the serial
+    # loop asks its own fabric for horizon() and advance(), the batched
+    # driver computes horizons and shaper advances for all cells in one
+    # super-fleet call and hands each cell its own dt.  Helper order is
+    # exactly the pre-split loop body, so serial traces are unchanged.
+
+    def begin(self) -> None:
+        """Admit and launch everything runnable at t=0."""
         self._admit_arrivals()
         self._try_launch()
         self._sched_dirty = False
+
+    @property
+    def all_done(self) -> bool:
+        return self._n_finished == len(self.jobs)
+
+    def step_prologue(self) -> float:
+        """Open an event step: rates, telemetry, engine-event bound.
+
+        Computes (or confirms) the rate assignment, samples telemetry,
+        and returns the seconds until the next engine-side event —
+        compute completion or job arrival — relative to ``now`` (inf
+        when neither is pending).  The caller combines it with the
+        fabric horizon to pick the step size.
+        """
+        self._n_steps += 1
+        self.fabric.compute_rates()
+        self._record()
+        if self._obs is not None:
+            self._obs.maybe_scrape(self)
+        compute_heap = self.compute_heap
+        if self._track_groups:
+            # Entries of preempted groups are discarded lazily;
+            # purge them from the head so they never bound the
+            # step size.
+            heappop = heapq.heappop
+            while compute_heap and compute_heap[0][2].cancelled:
+                heappop(compute_heap)
+        next_compute = compute_heap[0][0] if compute_heap else math.inf
+        next_arrival = (
+            self.submits[self._next_arrival]
+            if self._next_arrival < len(self.jobs)
+            else math.inf
+        )
+        return min(next_compute - self.now, next_arrival - self.now)
+
+    def step_epilogue(self, dt: float, completed_flows: list) -> None:
+        """Close an event step after the fabric advanced by ``dt``."""
+        self.now += dt
+        for flow in completed_flows:
+            self._on_flow_complete(flow)
+        # Drain every compute due at (or epsilon-past) the new time
+        # as one batch, then run a single launch pass for all of it.
+        compute_heap = self.compute_heap
+        heappop = heapq.heappop
+        due_threshold = self.now + 1e-9
+        while compute_heap and compute_heap[0][0] <= due_threshold:
+            group = heappop(compute_heap)[2]
+            if not group.cancelled:
+                self._on_compute_complete(group)
+        self._admit_arrivals()
+        if self._sched_dirty:
+            self._sched_dirty = False
+            self._try_launch()
+
+    def deadlock_error(self) -> RuntimeError:
+        return RuntimeError(
+            f"deadlock at t={self.now}: no flows, no computes, "
+            f"no arrivals, jobs done={self.finished}"
+        )
+
+    def finish(self) -> StreamResult:
+        """Final sample, observability teardown, result assembly."""
+        self.fabric.compute_rates()
+        self._record(force=True)
+        if self._obs is not None:
+            self._obs.finalize(self)
+            self.fabric.set_recorder(None)
+        return self._build_result()
+
+    def execute(self) -> StreamResult:
+        self.begin()
         max_steps = _MAX_STEPS * len(self.jobs)
         fabric = self.fabric
-        compute_heap = self.compute_heap
-        submits = self.submits
         n_jobs = len(self.jobs)
-        heappop = heapq.heappop
-        preemptable = self._track_groups
         obs = self._obs
         for _ in range(max_steps):
             if self._n_finished == n_jobs:
                 break
-            self._n_steps += 1
-            fabric.compute_rates()
-            self._record()
-            if obs is not None:
-                obs.maybe_scrape(self)
-            if preemptable:
-                # Entries of preempted groups are discarded lazily;
-                # purge them from the head so they never bound the
-                # step size.
-                while compute_heap and compute_heap[0][2].cancelled:
-                    heappop(compute_heap)
-            next_compute = compute_heap[0][0] if compute_heap else math.inf
-            next_arrival = (
-                submits[self._next_arrival]
-                if self._next_arrival < n_jobs
-                else math.inf
-            )
-            dt = min(
-                fabric.horizon(),
-                next_compute - self.now,
-                next_arrival - self.now,
-            )
+            events_in = self.step_prologue()
+            dt = min(fabric.horizon(), events_in)
             if math.isinf(dt):
-                raise RuntimeError(
-                    f"deadlock at t={self.now}: no flows, no computes, "
-                    f"no arrivals, jobs done={self.finished}"
-                )
+                raise self.deadlock_error()
             dt = max(dt, 0.0)
             if obs is not None:
                 # Shaper transitions fire from inside advance(); stamp
                 # them at the end of the step being integrated.
                 obs.now = self.now + dt
             completed_flows = fabric.advance(dt)
-            self.now += dt
-            for flow in completed_flows:
-                self._on_flow_complete(flow)
-            # Drain every compute due at (or epsilon-past) the new time
-            # as one batch, then run a single launch pass for all of it.
-            due_threshold = self.now + 1e-9
-            while compute_heap and compute_heap[0][0] <= due_threshold:
-                group = heappop(compute_heap)[2]
-                if not group.cancelled:
-                    self._on_compute_complete(group)
-            self._admit_arrivals()
-            if self._sched_dirty:
-                self._sched_dirty = False
-                self._try_launch()
+            self.step_epilogue(dt, completed_flows)
         else:
             raise RuntimeError("step budget exhausted; stream did not converge")
-        fabric.compute_rates()
-        self._record(force=True)
-        if obs is not None:
-            obs.finalize(self)
-            fabric.set_recorder(None)
-        return self._build_result()
+        return self.finish()
 
     # -- result assembly ---------------------------------------------------
     def _build_result(self) -> StreamResult:

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.netmodel.base import LinkModel
 from repro.netmodel.fleet import LinkModelFleet, build_fleet
+from repro.simulator import _kernels
 
 __all__ = ["Flow", "Fabric"]
 
@@ -107,6 +108,7 @@ class Flow:
     def remaining_gbit(self, value: float) -> None:
         if self._fabric is not None:
             self._fabric._remaining[self._index] = value
+            self._fabric._flow_bound_valid = False
         else:
             self._remaining = float(value)
 
@@ -120,6 +122,7 @@ class Flow:
     def rate_gbps(self, value: float) -> None:
         if self._fabric is not None:
             self._fabric._rate[self._index] = value
+            self._fabric._flow_bound_valid = False
         else:
             self._rate = float(value)
 
@@ -178,6 +181,25 @@ class Fabric:
         #: Per-node aggregate send rates under the current assignment,
         #: computed at most once per event step (``None`` = stale).
         self._egress_cache: np.ndarray | None = None
+        #: Conservative lower bound on the earliest flow completion,
+        #: maintained incrementally across completion-free advances so
+        #: :meth:`horizon` can skip the O(flows) scan when no flow can
+        #: possibly bind (see the maintenance notes in :meth:`advance`).
+        self._flow_bound = math.inf
+        self._flow_bound_valid = False
+        #: Scratch for the compiled advance kernel's completed indices.
+        self._done_scratch = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        #: Cached scalar water-filling topology (resource ids, flow
+        #: adjacency) for the current flow set; rebuilt whenever flows
+        #: are added or removed.  Between flow-set changes only the
+        #: resource capacities (shaper limits) move, so the per-step
+        #: scalar path reuses the structure (see
+        #: :meth:`_compute_rates_scalar`).
+        self._scalar_topo: tuple | None = None
+        #: Optional external buffer for the egress cache (a view into
+        #: the multistream runner's shared staging array); ``None``
+        #: means refills allocate their own array.
+        self._egress_out: np.ndarray | None = None
 
     def set_recorder(self, recorder) -> None:
         """Attach (or with ``None`` detach) an observability recorder.
@@ -221,6 +243,8 @@ class Fabric:
         self._n = index + 1
         self._rates_valid = False
         self._egress_cache = None
+        self._flow_bound_valid = False
+        self._scalar_topo = None
         return flow
 
     def remove_flow(self, flow: Flow) -> None:
@@ -237,6 +261,7 @@ class Fabric:
         self._compact(keep)
         self._rates_valid = False
         self._egress_cache = None
+        self._flow_bound_valid = False
 
     def _grow(self) -> None:
         capacity = max(2 * self._src.shape[0], _MIN_CAPACITY)
@@ -245,6 +270,7 @@ class Fabric:
             new = np.zeros(capacity, dtype=old.dtype)
             new[: self._n] = old[: self._n]
             setattr(self, name, new)
+        self._done_scratch = np.empty(capacity, dtype=np.int64)
 
     def _compact(self, keep: np.ndarray, removed: np.ndarray | None = None) -> None:
         """Drop flows where ``keep`` is False, preserving insertion order.
@@ -254,6 +280,7 @@ class Fabric:
         completion mask pass it to avoid a second scan).
         """
         n = self._n
+        self._scalar_topo = None
         if removed is None:
             removed = np.flatnonzero(~keep)
         for i in removed.tolist():
@@ -292,8 +319,19 @@ class Fabric:
         if self._rates_valid:
             return
         self._egress_cache = None
+        self._flow_bound_valid = False
         n = self._n
         if n == 0:
+            self._rates_valid = True
+            return
+        if _kernels.HAVE_JIT:
+            _kernels.waterfill(
+                self._src[:n],
+                self._dst[:n],
+                self.fleet.limits(),
+                self._ingress_arr.copy(),
+                self._rate[:n],
+            )
             self._rates_valid = True
             return
         if n < _SCALAR_CUTOFF:
@@ -372,49 +410,115 @@ class Fabric:
         the saturation order come out identical, without the O(R)
         set allocations per water-filling round.
         """
-        src = self._src[:n].tolist()
-        dst = self._dst[:n].tolist()
-        limits = self.fleet.limits()
-        remaining: dict[tuple[str, int], float] = {}
-        members: dict[tuple[str, int], set[int]] = {}
-        for i in range(n):
-            key = ("out", src[i])
-            ids = members.get(key)
-            if ids is None:
-                members[key] = ids = set()
-                remaining[key] = float(limits[src[i]])
-            ids.add(i)
-            key = ("in", dst[i])
-            ids = members.get(key)
-            if ids is None:
-                members[key] = ids = set()
-                remaining[key] = self.ingress_caps[dst[i]]
-            ids.add(i)
-        counts = {key: len(ids) for key, ids in members.items()}
+        if n == 1:
+            # One flow: the tighter of its two resources is the unique
+            # bottleneck.  The strict ``<`` scan order makes the out
+            # resource win exact ties, so this is the general loop's
+            # first (and only) round verbatim.
+            lim = self.fleet.limit_at(self._src[0])
+            cap = self.ingress_caps[self._dst[0]]
+            best_share = cap if cap < lim else lim
+            self._rate[0] = best_share if best_share > 0.0 else 0.0
+            return
+        topo = self._scalar_topo
+        if topo is None:
+            src = self._src[:n].tolist()
+            dst = self._dst[:n].tolist()
+            caps = self.ingress_caps
+            # Resources as flat parallel lists in first-appearance order
+            # over the (out, src), (in, dst) sequence — the same rank
+            # the reference dict ordering produced, without per-round
+            # dict and set churn.  ``res_flows`` adjacency is
+            # deduplicated by construction (a flow's out and in
+            # resources are distinct).  The structure depends only on
+            # the flow set, so it is cached until flows change; the
+            # capacities (shaper limits, ingress caps) are re-read on
+            # every call below.
+            out_id = [-1] * self.n_nodes
+            in_id = [-1] * self.n_nodes
+            flow_out = [0] * n
+            flow_in = [0] * n
+            res_node: list[int] = []
+            res_is_out: list[bool] = []
+            res_cnt0: list[int] = []
+            res_flows: list[list[int]] = []
+            for i in range(n):
+                node = src[i]
+                rid = out_id[node]
+                if rid < 0:
+                    rid = len(res_node)
+                    out_id[node] = rid
+                    res_node.append(node)
+                    res_is_out.append(True)
+                    res_cnt0.append(0)
+                    res_flows.append([])
+                flow_out[i] = rid
+                res_cnt0[rid] += 1
+                res_flows[rid].append(i)
+                node = dst[i]
+                rid = in_id[node]
+                if rid < 0:
+                    rid = len(res_node)
+                    in_id[node] = rid
+                    res_node.append(node)
+                    res_is_out.append(False)
+                    res_cnt0.append(0)
+                    res_flows.append([])
+                flow_in[i] = rid
+                res_cnt0[rid] += 1
+                res_flows[rid].append(i)
+            topo = (flow_out, flow_in, res_node, res_is_out, res_cnt0, res_flows)
+            self._scalar_topo = topo
+        flow_out, flow_in, res_node, res_is_out, res_cnt0, res_flows = topo
+        caps = self.ingress_caps
+        fleet = self.fleet
+        if sum(res_is_out) <= 4:
+            # Few sending nodes: scalar limit reads beat materializing
+            # (and list-converting) the whole fleet's limit array.
+            res_rem = [
+                (fleet.limit_at(node) if is_out else caps[node])
+                for node, is_out in zip(res_node, res_is_out)
+            ]
+        else:
+            limits = fleet.limits().tolist()
+            res_rem = [
+                (limits[node] if is_out else caps[node])
+                for node, is_out in zip(res_node, res_is_out)
+            ]
+        res_cnt = res_cnt0.copy()
+        n_res = len(res_rem)
         rates = [0.0] * n
-        unfixed = set(range(n))
-        while unfixed:
-            best_key = None
+        fixed = [False] * n
+        n_unfixed = n
+        while n_unfixed:
+            best = -1
             best_share = math.inf
-            for key, count in counts.items():
-                if not count:
-                    continue
-                share = remaining[key] / count
-                if share < best_share:
-                    best_share = share
-                    best_key = key
-            if best_key is None:
+            for rid in range(n_res):
+                count = res_cnt[rid]
+                if count:
+                    share = res_rem[rid] / count
+                    if share < best_share:
+                        best_share = share
+                        best = rid
+            if best < 0:
                 break
-            rate_val = max(best_share, 0.0)
-            for i in members[best_key] & unfixed:
+            # ``v if v > 0.0 else 0.0`` is ``max(v, 0.0)``: -0.0 cannot
+            # arise from IEEE subtraction under round-to-nearest.
+            rate_val = best_share if best_share > 0.0 else 0.0
+            for i in res_flows[best]:
+                if fixed[i]:
+                    continue
+                fixed[i] = True
                 rates[i] = rate_val
-                unfixed.discard(i)
-                key = ("out", src[i])
-                remaining[key] = max(remaining[key] - rate_val, 0.0)
-                counts[key] -= 1
-                key = ("in", dst[i])
-                remaining[key] = max(remaining[key] - rate_val, 0.0)
-                counts[key] -= 1
+                n_unfixed -= 1
+                rid = flow_out[i]
+                v = res_rem[rid] - rate_val
+                res_rem[rid] = v if v > 0.0 else 0.0
+                res_cnt[rid] -= 1
+                rid = flow_in[i]
+                v = res_rem[rid] - rate_val
+                res_rem[rid] = v if v > 0.0 else 0.0
+                res_cnt[rid] -= 1
         self._rate[:n] = rates
 
     def _tie_break_ranks(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
@@ -439,12 +543,44 @@ class Fabric:
     # queries
     # ------------------------------------------------------------------
     def _egress_raw(self) -> np.ndarray:
-        """Per-node aggregate send rates; cached until rates change."""
+        """Per-node aggregate send rates; cached until rates change.
+
+        When ``_egress_out`` is set (the batched multistream runner
+        points it at this cell's slice of the shared staging array),
+        refills write into that buffer in place, so the caller's copy
+        of the egress vector is maintained for free.
+        """
         if self._egress_cache is None:
             n = self._n
-            self._egress_cache = np.bincount(
-                self._src[:n], weights=self._rate[:n], minlength=self.n_nodes
-            )
+            out = self._egress_out
+            if out is not None:
+                out.fill(0.0)
+                if n <= 8:
+                    src = self._src
+                    rate = self._rate
+                    for i in range(n):
+                        out[src[i]] += rate[i]
+                else:
+                    out[:] = np.bincount(
+                        self._src[:n],
+                        weights=self._rate[:n],
+                        minlength=self.n_nodes,
+                    )
+                self._egress_cache = out
+            elif n <= 8:
+                # bincount accumulates weights in input order; this
+                # loop performs the identical additions, skipping the
+                # ufunc dispatch that dominates at campaign-cell sizes.
+                out = np.zeros(self.n_nodes, dtype=float)
+                src = self._src
+                rate = self._rate
+                for i in range(n):
+                    out[src[i]] += rate[i]
+                self._egress_cache = out
+            else:
+                self._egress_cache = np.bincount(
+                    self._src[:n], weights=self._rate[:n], minlength=self.n_nodes
+                )
         return self._egress_cache
 
     def node_egress_rates(self) -> np.ndarray:
@@ -461,12 +597,102 @@ class Fabric:
         at float-residue-distinct instants resolve together instead of
         fragmenting the simulation into degenerate micro-steps.  Models
         tolerate the resulting sub-epsilon overshoot by contract.
+
+        The flow-completion side is O(flows), and most event steps do
+        not move it (steps bounded by compute completions, arrivals,
+        or shaper transitions leave every remaining volume strictly
+        positive), so the fabric maintains a conservative lower bound
+        on the earliest flow completion across completion-free
+        advances (see :meth:`advance`).  When that cached bound
+        provably clears the binding shaper event's coalescing window,
+        the scan cannot change the answer and is skipped — the
+        returned bound is bit-identical to the full computation.
         """
         if not self._rates_valid:
             self.compute_rates()
-        bound = math.inf
+        egress = self._egress_raw()
+        shaper_bounds = self.fleet.horizons(egress)
+        shaper_min = float(shaper_bounds.min()) if shaper_bounds.size else math.inf
+        flow_bound = self._flow_completion_bound(shaper_min)
+        bound = flow_bound if flow_bound < shaper_min else shaper_min
+        if self.coalesce_eps > 0.0 and 0.0 < bound < math.inf:
+            ceiling = bound * (1.0 + self.coalesce_eps)
+            # Only scan for near-ties when a shaper is at (or within
+            # epsilon of) the binding event; when a flow completion
+            # binds well before any shaper, there is nothing to
+            # coalesce.
+            if shaper_min <= ceiling:
+                near = shaper_bounds[shaper_bounds <= ceiling]
+                coalesced = float(near.max())
+                if coalesced > bound:
+                    bound = coalesced
+        return bound
+
+    def horizon_with_shaper_bounds(self, shaper_bounds: list[float]) -> float:
+        """:meth:`horizon` with externally computed shaper horizons.
+
+        The batched multistream runner gathers every cell's shaper
+        horizons in one concatenated super-fleet call and hands each
+        fabric its slice (as a plain float list) here.  The combine —
+        shaper minimum, flow completion bound (with the same skip
+        cache), near-tie coalescing — is selection-only over the same
+        float64 values :meth:`horizon` would compute, so the result is
+        bit-identical; only the numpy dispatches on a tiny per-cell
+        array are replaced by scalar Python.
+
+        Callers must have computed rates (the runner's step prologue
+        does) and pass exactly one horizon per node, taken from this
+        fabric's fleet state.
+        """
+        if not self._rates_valid:
+            self.compute_rates()
+        shaper_min = min(shaper_bounds) if shaper_bounds else math.inf
+        flow_bound = self._flow_completion_bound(shaper_min)
+        bound = flow_bound if flow_bound < shaper_min else shaper_min
+        if self.coalesce_eps > 0.0 and 0.0 < bound < math.inf:
+            ceiling = bound * (1.0 + self.coalesce_eps)
+            if shaper_min <= ceiling:
+                # max over {h <= ceiling}: the set contains shaper_min,
+                # so seeding the scan with it is the numpy ``near.max()``.
+                coalesced = shaper_min
+                for h in shaper_bounds:
+                    if h <= ceiling and h > coalesced:
+                        coalesced = h
+                if coalesced > bound:
+                    bound = coalesced
+        return bound
+
+    def _flow_completion_bound(self, shaper_min: float) -> float:
+        """Earliest flow completion, or inf when provably not binding.
+
+        When the cached conservative lower bound proves every flow
+        completes strictly after the coalescing ceiling around the
+        binding shaper event, the O(flows) scan could neither tighten
+        the step nor join the coalesced set — skip it and report inf.
+        (An infinite ``shaper_min`` never takes this path.)  Otherwise
+        scan (kernel, scalar, or vectorized by flow count) and refresh
+        the cache.
+        """
         n = self._n
-        if 0 < n < _SCALAR_CUTOFF:
+        if self._flow_bound_valid and self._flow_bound > shaper_min * (
+            1.0 + self.coalesce_eps
+        ):
+            return math.inf
+        if _kernels.HAVE_JIT and n:
+            flow_bound = float(
+                _kernels.flow_min_bound(self._remaining[:n], self._rate[:n])
+            )
+        elif n == 1:
+            rem = float(self._remaining[0])
+            rate = float(self._rate[0])
+            if rem <= 0.0:
+                flow_bound = 0.0
+            elif rate <= 0.0:
+                flow_bound = math.inf
+            else:
+                flow_bound = rem / rate
+        elif 0 < n < _SCALAR_CUTOFF:
+            flow_bound = math.inf
             rates = self._rate[:n].tolist()
             for rem, rate in zip(self._remaining[:n].tolist(), rates):
                 if rem <= 0.0:
@@ -475,33 +701,20 @@ class Fabric:
                     continue  # math.inf never tightens the bound
                 else:
                     completion = rem / rate
-                if completion < bound:
-                    bound = completion
+                if completion < flow_bound:
+                    flow_bound = completion
         elif n:
             remaining = self._remaining[:n]
             rate = self._rate[:n]
             completion = np.full(n, math.inf)
             np.divide(remaining, rate, out=completion, where=rate > 0.0)
             completion[remaining <= 0.0] = 0.0
-            bound = float(completion.min())
-        egress = self._egress_raw()
-        shaper_bounds = self.fleet.horizons(egress)
-        if shaper_bounds.size:
-            shaper_min = float(shaper_bounds.min())
-            if shaper_min < bound:
-                bound = shaper_min
-            if self.coalesce_eps > 0.0 and 0.0 < bound < math.inf:
-                ceiling = bound * (1.0 + self.coalesce_eps)
-                # Only scan for near-ties when a shaper is at (or within
-                # epsilon of) the binding event; when a flow completion
-                # binds well before any shaper, there is nothing to
-                # coalesce.
-                if shaper_min <= ceiling:
-                    near = shaper_bounds[shaper_bounds <= ceiling]
-                    coalesced = float(near.max())
-                    if coalesced > bound:
-                        bound = coalesced
-        return bound
+            flow_bound = float(completion.min())
+        else:
+            return math.inf
+        self._flow_bound = flow_bound
+        self._flow_bound_valid = True
+        return flow_bound
 
     def advance(self, dt: float) -> list[Flow]:
         """Integrate ``dt`` seconds; returns flows that completed.
@@ -520,20 +733,98 @@ class Fabric:
             self.compute_rates()
         egress = self._egress_raw()
         limit_changed = self.fleet.advance(dt, egress)
+        return self._advance_flows(dt, limit_changed)
+
+    def _advance_flows(self, dt: float, limit_changed: bool) -> list[Flow]:
+        """Flow-side half of :meth:`advance`: integrate and complete.
+
+        The batched multistream runner advances all cells' shapers in
+        one concatenated super-fleet call and then calls this per cell
+        with the cell's own ``dt`` and the reduced per-cell
+        limit-changed flag; the serial :meth:`advance` calls it with
+        its own fleet result.  Both paths run the same flow update,
+        compaction, and flow-bound cache maintenance.
+        """
         completed: list[Flow] = []
         n = self._n
         if n:
-            remaining = self._remaining[:n]
-            remaining -= self._rate[:n] * dt
-            done = remaining <= _COMPLETE_EPS_GBIT
-            done_idx = np.flatnonzero(done)
-            if done_idx.shape[0]:
-                completed = [self._handles[i] for i in done_idx.tolist()]
-                self._compact(~done, removed=done_idx)
-                self._rates_valid = False
-                self._egress_cache = None
+            if _kernels.HAVE_JIT:
+                count = _kernels.advance_flows(
+                    self._remaining[:n],
+                    self._rate[:n],
+                    dt,
+                    _COMPLETE_EPS_GBIT,
+                    self._done_scratch,
+                )
+                if count:
+                    done_idx = self._done_scratch[:count].copy()
+                    completed = [self._handles[i] for i in done_idx.tolist()]
+                    keep = np.ones(n, dtype=bool)
+                    keep[done_idx] = False
+                    self._compact(keep, removed=done_idx)
+                    self._rates_valid = False
+                    self._egress_cache = None
+            elif n == 1:
+                v = float(self._remaining[0]) - float(self._rate[0]) * dt
+                self._remaining[0] = v
+                if v <= _COMPLETE_EPS_GBIT:
+                    completed = [self._handles[0]]
+                    self._compact(
+                        np.zeros(1, dtype=bool),
+                        removed=np.zeros(1, dtype=np.intp),
+                    )
+                    self._rates_valid = False
+                    self._egress_cache = None
+            elif n < _SCALAR_CUTOFF:
+                # Scalar loop over a handful of flows: the same
+                # ``remaining -= rate * dt`` multiply-subtract per
+                # element (IEEE-identical to the vectorized update),
+                # without numpy dispatch on tiny arrays.
+                remaining = self._remaining
+                rem_list = remaining[:n].tolist()
+                rate_list = self._rate[:n].tolist()
+                done_list: list[int] = []
+                for i in range(n):
+                    v = rem_list[i] - rate_list[i] * dt
+                    rem_list[i] = v
+                    if v <= _COMPLETE_EPS_GBIT:
+                        done_list.append(i)
+                remaining[:n] = rem_list
+                if done_list:
+                    completed = [self._handles[i] for i in done_list]
+                    keep = np.ones(n, dtype=bool)
+                    keep[done_list] = False
+                    self._compact(
+                        keep, removed=np.array(done_list, dtype=np.intp)
+                    )
+                    self._rates_valid = False
+                    self._egress_cache = None
+            else:
+                remaining = self._remaining[:n]
+                remaining -= self._rate[:n] * dt
+                done = remaining <= _COMPLETE_EPS_GBIT
+                done_idx = np.flatnonzero(done)
+                if done_idx.shape[0]:
+                    completed = [self._handles[i] for i in done_idx.tolist()]
+                    self._compact(~done, removed=done_idx)
+                    self._rates_valid = False
+                    self._egress_cache = None
         if limit_changed:
             self._rates_valid = False
+        if completed or limit_changed:
+            # Remaining volumes or rates moved in ways the cached
+            # completion bound cannot track; drop it.
+            self._flow_bound_valid = False
+        elif self._flow_bound_valid:
+            # No completion and no rate change: every flow's completion
+            # shrank by exactly dt (up to float residue).  Keep the
+            # cached lower bound valid by shifting it down dt and
+            # paying a margin that strictly dominates the accumulated
+            # ulp error of the ``remaining -= rate * dt`` update — the
+            # relative term covers division/min rounding at any scale,
+            # the dt-proportional term covers the multiply-subtract
+            # residue even when the bound lands near zero.
+            self._flow_bound = (self._flow_bound - dt) * (1.0 - 1e-12) - dt * 1e-12
         return completed
 
     def invalidate_rates(self) -> None:
@@ -544,3 +835,4 @@ class Fabric:
         """
         self._rates_valid = False
         self._egress_cache = None
+        self._flow_bound_valid = False

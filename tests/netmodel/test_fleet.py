@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 from repro.netmodel import (
     Ar1QuantileModel,
     ConstantRateModel,
+    PerCoreQosModel,
     QuantileDistribution,
     TokenBucketModel,
     TokenBucketParams,
@@ -27,6 +28,7 @@ from repro.netmodel import (
 from repro.netmodel.fleet import (
     ConstantRateFleet,
     LinkModelFleet,
+    PerCoreQosFleet,
     ResamplingFleet,
     ScalarFleetAdapter,
     TokenBucketFleet,
@@ -249,6 +251,140 @@ class TestResamplingFleetIdentity:
         assert fleet.limits().tolist() == [m.limit() for m in scalars]
 
 
+def _percore_pair():
+    """Heterogeneous per-core QoS fleet plus independent scalar twins.
+
+    Covers the clockwork corners: an always-warm link (``ramp_s=0``),
+    a short idle-reset, a sub-second resample interval, and distinct
+    per-node seeds so RNG-stream divergence is detectable.
+    """
+
+    def build():
+        return [
+            PerCoreQosModel(cores=4, seed=21),
+            PerCoreQosModel(cores=8, ramp_s=0.0, seed=22),
+            PerCoreQosModel(cores=2, idle_reset_s=3.0, interval_s=0.8, seed=23),
+            PerCoreQosModel(cores=1, ramp_s=10.0, interval_s=7.3, seed=24),
+        ]
+
+    return PerCoreQosFleet(build()), build()
+
+
+class TestPerCoreQosFleetIdentity:
+    # dt spans idle-reset (15 s default) and interval (2.5 s default)
+    # boundaries; the rate slot toggles sending per link, so sequences
+    # hit idle-gap resumes, ramp crossings, and multi-interval steps.
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=40.0),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_random_sequences_bit_exact(self, ops):
+        fleet, scalars = _percore_pair()
+        n = fleet.n
+        for dt, pattern in ops:
+            rates = np.array(
+                [3.0 if (pattern >> i) & 1 else 0.0 for i in range(n)]
+            )
+            fleet_changed = fleet.advance(dt, rates)
+            scalar_changed = False
+            for model, rate in zip(scalars, rates.tolist()):
+                before = model.limit()
+                model.advance(dt, rate)
+                scalar_changed = scalar_changed or model.limit() != before
+            assert fleet_changed == scalar_changed
+            assert fleet.limits().tolist() == [m.limit() for m in scalars]
+            assert fleet.horizons(rates).tolist() == [
+                m.horizon(r) for m, r in zip(scalars, rates.tolist())
+            ]
+            assert fleet._age.tolist() == [m._stream_age for m in scalars]
+            assert fleet._idle.tolist() == [m._idle_time for m in scalars]
+            assert fleet._elapsed.tolist() == [
+                m._elapsed_in_interval for m in scalars
+            ]
+        # The RNG streams stayed aligned: future draws agree too.
+        fleet.advance(100.0, np.full(n, 2.0))
+        for model in scalars:
+            model.advance(100.0, 2.0)
+        assert fleet.limits().tolist() == [m.limit() for m in scalars]
+
+    def test_idle_resume_redraws_cold_tail(self):
+        # A resumed-after-idle link must redraw (cold unless ramp is
+        # zero) in the same RNG position as the scalar model.
+        fleet, scalars = _percore_pair()
+        n = fleet.n
+        send = np.full(n, 5.0)
+        idle = np.zeros(n)
+        for dt, rates in ((1.0, send), (20.0, idle), (0.5, send)):
+            fleet.advance(dt, rates)
+            for model, rate in zip(scalars, rates.tolist()):
+                model.advance(dt, rate)
+        assert fleet.limits().tolist() == [m.limit() for m in scalars]
+        assert [m.is_warm for m in fleet.models] == [
+            m.is_warm for m in scalars
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rests=st.lists(
+            st.floats(min_value=0.0, max_value=60.0), min_size=1, max_size=5
+        )
+    )
+    def test_rest_matches_scalar_reference_loop(self, rests):
+        fleet, scalars = _percore_pair()
+        for duration in rests:
+            fleet.rest(duration)
+            for model in scalars:
+                model.rest(duration)
+            assert fleet.limits().tolist() == [m.limit() for m in scalars]
+            assert fleet._elapsed.tolist() == [
+                m._elapsed_in_interval for m in scalars
+            ]
+
+    def test_scalar_views_read_and_write_through(self):
+        fleet, scalars = _percore_pair()
+        rates = np.full(fleet.n, 4.0)
+        fleet.advance(6.0, rates)
+        for model in scalars:
+            model.advance(6.0, 4.0)
+        for adopted, twin in zip(fleet.models, scalars):
+            assert adopted.limit() == twin.limit()
+            assert adopted._stream_age == twin._stream_age
+            assert adopted._elapsed_in_interval == twin._elapsed_in_interval
+        # Scalar advance through an adopted handle updates fleet state.
+        fleet.models[0].advance(1.0, 0.0)
+        scalars[0].advance(1.0, 0.0)
+        assert fleet._idle[0] == scalars[0]._idle_time
+
+    def test_reset_restores_seeded_sequence(self):
+        fleet, scalars = _percore_pair()
+        fleet.advance(37.0, np.full(fleet.n, 1.0))
+        fleet.reset()
+        assert fleet.limits().tolist() == [m.limit() for m in scalars]
+        assert fleet.budgets() is None
+
+    def test_transition_hook_reports_net_changes(self):
+        fleet, _ = _percore_pair()
+        events = []
+        fleet.transition_hook = lambda idx, limits: events.append(
+            (idx.tolist(), limits.tolist())
+        )
+        # Cross several interval boundaries: every link redraws.
+        changed = fleet.advance(30.0, np.full(fleet.n, 2.0))
+        if changed:
+            indices, limits = events[-1]
+            assert indices == sorted(indices)
+            assert limits == fleet.limits().tolist()
+        else:
+            assert not events
+
+
 class TestBuildFleet:
     def test_homogeneous_lists_get_vectorized_fleets(self):
         tb = [TokenBucketModel(p) for p in _TB_PARAMS]
@@ -260,6 +396,8 @@ class TestBuildFleet:
             Ar1QuantileModel(_DIST, seed=2),
         ]
         assert isinstance(build_fleet(rs), ResamplingFleet)
+        pc = [PerCoreQosModel(cores=4, seed=s) for s in range(3)]
+        assert isinstance(build_fleet(pc), PerCoreQosFleet)
 
     def test_mixed_or_adopted_models_fall_back_to_adapter(self):
         mixed = [TokenBucketModel(_TB_PARAMS[0]), ConstantRateModel(10.0)]
@@ -291,6 +429,7 @@ class TestBuildFleet:
             TokenBucketFleet([TokenBucketModel(_TB_PARAMS[0])]),
             ConstantRateFleet([ConstantRateModel(1.0)]),
             ResamplingFleet([UniformQuantileSamplingModel(_DIST, seed=0)]),
+            PerCoreQosFleet([PerCoreQosModel(cores=2, seed=0)]),
             ScalarFleetAdapter([ConstantRateModel(1.0)]),
         ):
             with pytest.raises(ValueError):

@@ -1,0 +1,248 @@
+"""Identity tests for the compiled fabric kernels.
+
+The ``repro.simulator._kernels`` functions are the fabric's hot loops
+re-expressed for numba.  The contract is bit-exactness: the plain-
+Python ``*_py`` variants (always importable, compiled or not) must
+reproduce the fabric's scalar/vectorized reference paths to the last
+bit, and — where numba is installed — the compiled entry points must
+match the ``*_py`` sources exactly (``fastmath`` stays off, so there
+is no FMA contraction to diverge them).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel import ConstantRateModel
+from repro.simulator import Fabric
+from repro.simulator import _kernels
+from repro.simulator import fabric as fabric_mod
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _random_instance(seed, n_flows, n_nodes=7):
+    rng = np.random.default_rng(seed)
+    flows = []
+    for _ in range(n_flows):
+        src, dst = rng.choice(n_nodes, size=2, replace=False)
+        flows.append((int(src), int(dst), float(rng.uniform(1, 100))))
+    egress = [float(v) for v in rng.uniform(1.0, 12.0, size=n_nodes)]
+    ingress = [float(v) for v in rng.uniform(1.0, 12.0, size=n_nodes)]
+    return flows, egress, ingress
+
+
+def _fabric_for(flows, egress, ingress, cutoff):
+    original = fabric_mod._SCALAR_CUTOFF
+    fabric_mod._SCALAR_CUTOFF = cutoff
+    try:
+        fab = Fabric(
+            egress_models=[ConstantRateModel(e) for e in egress],
+            ingress_caps_gbps=ingress,
+        )
+        for f in flows:
+            fab.add_flow(*f)
+        fab.compute_rates()
+    finally:
+        fabric_mod._SCALAR_CUTOFF = original
+    return fab
+
+
+class TestWaterfillKernel:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_flows=st.integers(min_value=1, max_value=90),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_fabric_reference_paths(self, seed, n_flows):
+        flows, egress, ingress = _random_instance(seed, n_flows)
+        # Run the kernel source directly on the same inputs.
+        n = len(flows)
+        src = np.array([f[0] for f in flows], dtype=np.intp)
+        dst = np.array([f[1] for f in flows], dtype=np.intp)
+        rate = np.zeros(n)
+        _kernels.waterfill_py(
+            src, dst, np.array(egress), np.array(ingress), rate
+        )
+        # Both fabric paths (scalar reference and vectorized) must
+        # produce the exact same assignment.
+        for cutoff in (10**9, 0):
+            fab = _fabric_for(flows, egress, ingress, cutoff)
+            assert fab._rate[:n].tolist() == rate.tolist(), cutoff
+
+    def test_exhausted_resources_freeze_at_zero(self):
+        # Three flows out of node 0 with zero egress: all frozen at 0.
+        src = np.zeros(3, dtype=np.intp)
+        dst = np.array([1, 2, 3], dtype=np.intp)
+        rate = np.full(3, -1.0)
+        _kernels.waterfill_py(
+            src, dst, np.array([0.0, 5.0, 5.0, 5.0]), np.full(4, 5.0), rate
+        )
+        assert rate.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestFlowMinBoundKernel:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_horizon_scan(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        remaining = rng.uniform(-1.0, 50.0, size=n)
+        rate = rng.uniform(0.0, 5.0, size=n)
+        rate[rng.random(n) < 0.3] = 0.0
+        # Scalar reference: the fabric's horizon() classification.
+        expected = np.inf
+        for rem, r in zip(remaining.tolist(), rate.tolist()):
+            if rem <= 0.0:
+                completion = 0.0
+            elif r <= 0.0:
+                continue
+            else:
+                completion = rem / r
+            expected = min(expected, completion)
+        assert _kernels.flow_min_bound_py(remaining, rate) == expected
+
+    def test_empty_is_unbounded(self):
+        assert _kernels.flow_min_bound_py(np.empty(0), np.empty(0)) == np.inf
+
+
+class TestAdvanceFlowsKernel:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_advance(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        remaining = rng.uniform(0.0, 10.0, size=n)
+        rate = rng.uniform(0.0, 5.0, size=n)
+        dt = float(rng.uniform(0.0, 3.0))
+        eps = 1e-9
+        expected = remaining - rate * dt
+        expected_done = np.flatnonzero(expected <= eps)
+        got = remaining.copy()
+        scratch = np.empty(n, dtype=np.int64)
+        count = _kernels.advance_flows_py(got, rate, dt, eps, scratch)
+        assert got.tolist() == expected.tolist()
+        assert scratch[:count].tolist() == expected_done.tolist()
+
+
+class TestKernelSelection:
+    def test_no_jit_env_forces_python_fallback(self):
+        code = (
+            "from repro.simulator import _kernels\n"
+            "assert not _kernels.HAVE_JIT\n"
+            "assert _kernels.waterfill is _kernels.waterfill_py\n"
+            "assert _kernels.flow_min_bound is _kernels.flow_min_bound_py\n"
+            "assert _kernels.advance_flows is _kernels.advance_flows_py\n"
+            "print('ok')\n"
+        )
+        env = dict(os.environ, PYTHONPATH=_SRC, REPRO_NO_JIT="1")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+    @pytest.mark.skipif(not _kernels.HAVE_JIT, reason="numba not installed")
+    def test_compiled_kernels_match_python_sources(self):
+        # Only meaningful on the jit CI axis: the njit-compiled entry
+        # points must be bit-identical to their interpreted sources.
+        for seed in range(10):
+            flows, egress, ingress = _random_instance(seed, 40)
+            n = len(flows)
+            src = np.array([f[0] for f in flows], dtype=np.intp)
+            dst = np.array([f[1] for f in flows], dtype=np.intp)
+            rate_py = np.zeros(n)
+            rate_jit = np.zeros(n)
+            _kernels.waterfill_py(
+                src, dst, np.array(egress), np.array(ingress), rate_py
+            )
+            _kernels.waterfill(
+                src, dst, np.array(egress), np.array(ingress), rate_jit
+            )
+            assert rate_py.tolist() == rate_jit.tolist()
+            assert _kernels.flow_min_bound(
+                rate_py * 3.0, rate_py
+            ) == _kernels.flow_min_bound_py(rate_py * 3.0, rate_py)
+            rem_py = rate_py * 2.0
+            rem_jit = rem_py.copy()
+            scratch_py = np.empty(n, dtype=np.int64)
+            scratch_jit = np.empty(n, dtype=np.int64)
+            c_py = _kernels.advance_flows_py(rem_py, rate_py, 0.7, 1e-9, scratch_py)
+            c_jit = _kernels.advance_flows(rem_jit, rate_py, 0.7, 1e-9, scratch_jit)
+            assert rem_py.tolist() == rem_jit.tolist()
+            assert scratch_py[:c_py].tolist() == scratch_jit[:c_jit].tolist()
+
+
+class TestHorizonSkipPath:
+    def test_skip_path_matches_full_scan(self):
+        # After a completion-free advance the cached flow bound lets
+        # horizon() skip the O(flows) scan; the returned bound must be
+        # identical to a freshly-scanned fabric in the same state.
+        from repro.netmodel import TokenBucketModel, TokenBucketParams
+
+        params = TokenBucketParams(
+            peak_gbps=10.0,
+            capped_gbps=1.0,
+            replenish_gbps=0.95,
+            capacity_gbit=30.0,
+            resume_threshold_gbit=5.0,
+        )
+        fab = Fabric(
+            egress_models=[TokenBucketModel(params) for _ in range(4)],
+            ingress_caps_gbps=[10.0] * 4,
+        )
+        fab.add_flow(0, 1, 500.0)
+        fab.add_flow(2, 3, 800.0)
+        fab.compute_rates()
+        bounds = []
+        for _ in range(6):
+            h = fab.horizon()
+            bounds.append(h)
+            # Step short of the horizon so no flow completes and (for
+            # sub-horizon steps) no shaper transitions: the cache stays
+            # live and subsequent horizon() calls may skip the scan.
+            fab.advance(h * 0.25)
+        # Replay the same trajectory with the cache disabled after
+        # every advance (forcing the full scan each time).
+        fab2 = Fabric(
+            egress_models=[TokenBucketModel(params) for _ in range(4)],
+            ingress_caps_gbps=[10.0] * 4,
+        )
+        fab2.add_flow(0, 1, 500.0)
+        fab2.add_flow(2, 3, 800.0)
+        fab2.compute_rates()
+        bounds2 = []
+        for _ in range(6):
+            fab2._flow_bound_valid = False
+            h = fab2.horizon()
+            bounds2.append(h)
+            fab2.advance(h * 0.25)
+            fab2._flow_bound_valid = False
+        assert bounds == bounds2
+
+    def test_cache_invalidated_by_mutations(self):
+        fab = Fabric(
+            egress_models=[ConstantRateModel(10.0) for _ in range(3)],
+            ingress_caps_gbps=[10.0] * 3,
+        )
+        flow = fab.add_flow(0, 1, 100.0)
+        fab.compute_rates()
+        fab.horizon()
+        assert fab._flow_bound_valid
+        flow.remaining_gbit = 1.0
+        assert not fab._flow_bound_valid
+        # The refreshed scan sees the shrunken flow.
+        assert fab.horizon() == 1.0 / flow.rate_gbps
+        fab.add_flow(1, 2, 50.0)
+        assert not fab._flow_bound_valid
+        fab.compute_rates()
+        fab.horizon()
+        assert fab._flow_bound_valid
+        fab.invalidate_rates()
+        assert not fab._flow_bound_valid

@@ -86,6 +86,22 @@ class TestLedger:
         record_results({"x": {"wall_s": 1.0, "checksum": 1.0}}, path=path)
         assert load_results(path)["baseline"]["results"]["x"]["wall_s"] == 2.0
 
+    def test_workload_param_mismatch_voids_speedup(self, tmp_path):
+        # A 10k-flow baseline against a 1k-flow current is a units
+        # error, not a speedup — even when the checksum happens to
+        # survive the relabelling.
+        path = tmp_path / "BENCH_engine.json"
+        record_results(
+            {"x": {"wall_s": 2.0, "checksum": 1.0, "n_flows": 10_000}},
+            path=path,
+            as_baseline=True,
+        )
+        ledger = record_results(
+            {"x": {"wall_s": 0.2, "checksum": 1.0, "n_flows": 1_000}},
+            path=path,
+        )
+        assert "x" not in ledger["speedup"]
+
 
 class TestCheckGate:
     _REF = {"label": "ref", "results": {"x": {"wall_s": 1.0, "checksum": 42.0}}}
@@ -110,6 +126,38 @@ class TestCheckGate:
     def test_unrecorded_case_is_skipped(self):
         results = {"new_case": {"wall_s": 9.0, "checksum": 1.0}}
         assert check_results(results, self._REF) == []
+
+    def test_workload_param_mismatch_is_refused(self):
+        ref = {
+            "label": "ref",
+            "results": {
+                "x": {"wall_s": 1.0, "checksum": 42.0, "n_jobs": 200}
+            },
+        }
+        results = {"x": {"wall_s": 1.0, "checksum": 42.0, "n_jobs": 20}}
+        failures = check_results(results, ref)
+        assert len(failures) == 1
+        assert "workload params differ" in failures[0]
+        # The refusal replaces (not compounds) the checksum/wall gates:
+        # a drifted checksum on mismatched params reports only the
+        # param failure, since the comparison itself is meaningless.
+        results = {"x": {"wall_s": 9.0, "checksum": 7.0, "n_jobs": 20}}
+        failures = check_results(results, ref)
+        assert len(failures) == 1
+        assert "workload params differ" in failures[0]
+
+    def test_workload_params_strips_only_measured_keys(self):
+        from repro.bench import workload_params
+
+        row = {
+            "wall_s": 1.0,
+            "checksum": 42.0,
+            "overhead_pct": 3.0,
+            "batch_speedup": 2.0,
+            "n_jobs": 200,
+            "scheduler": "fair",
+        }
+        assert workload_params(row) == {"n_jobs": 200, "scheduler": "fair"}
 
     def test_missing_reference_section_skips_everything(self):
         results = {"x": {"wall_s": 9.0, "checksum": 99.0}}
@@ -215,3 +263,49 @@ class TestProvenance:
         # Benchmarks re-run: provenance overwrites instead of refusing.
         record_provenance(results, tmp_path / "store")
         assert store.get("bench-stream_16x200")["result"]["wall_s"] == 1.0
+
+
+class TestProfiles:
+    def test_top_functions_ranks_by_cumtime(self):
+        import cProfile
+
+        from repro.bench.hotpath import _top_functions
+
+        def inner():
+            return sum(range(2_000))
+
+        def outer():
+            return [inner() for _ in range(50)]
+
+        prof = cProfile.Profile()
+        prof.runcall(outer)
+        rows = _top_functions(prof, limit=5)
+        assert 0 < len(rows) <= 5
+        for row in rows:
+            assert set(row) == {"function", "ncalls", "tottime_s", "cumtime_s"}
+        cumtimes = [row["cumtime_s"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        assert any("outer" in row["function"] for row in rows)
+
+    def test_record_profiles_archives_per_case(self, tmp_path):
+        import cProfile
+
+        from repro.bench import record_profiles
+        from repro.runtime import ArtifactStore
+
+        prof = cProfile.Profile()
+        prof.runcall(lambda: sum(range(1_000)))
+        from repro.bench.hotpath import _top_functions
+
+        profiles = {"waterfill_10k": _top_functions(prof)}
+        record_profiles(profiles, tmp_path / "store", label="pr")
+        store = ArtifactStore(tmp_path / "store")
+        assert store.keys() == ["bench-profile-waterfill_10k"]
+        doc = store.get("bench-profile-waterfill_10k")
+        assert doc["top_functions"] == profiles["waterfill_10k"]
+        meta = store.meta("bench-profile-waterfill_10k")
+        assert meta["kind"] == "bench-profile"
+        assert meta["label"] == "pr"
+        # Re-profiling overwrites, mirroring provenance recording.
+        record_profiles(profiles, tmp_path / "store")
+        assert store.get("bench-profile-waterfill_10k") == doc
