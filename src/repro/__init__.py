@@ -17,6 +17,15 @@ Uta et al., packaged as a reusable library:
   batched multi-stream runner (:mod:`repro.simulator.multistream`)
   that advances many independent cells through one concatenated
   shaper super-fleet in lockstep;
+* :mod:`repro.serving` — a request-serving layer on the same event
+  core and fabric: microservice call trees
+  (:class:`~repro.serving.topology.ServiceTopology`), lazy open-loop
+  arrival processes at production rates (Poisson, diurnal, flash
+  crowd) plus closed-loop user pools with think time, per-hop
+  request/response flows through the shaped fabric, and SLO gating —
+  sliding-window p50/p99/p99.9 targets over streaming quantile
+  telemetry, with violation windows, ``repro_slo_*`` gauges, and
+  content-hashed ``srv-…`` campaign cells;
 * :mod:`repro.workloads` — HiBench and TPC-DS workload models;
 * :mod:`repro.scenarios` — randomized workload generation (random DAG
   jobs, TPC-H-like templates, Poisson/burst arrivals, synthesized
@@ -108,6 +117,24 @@ arrival rates, and schedulers) run from the shell::
     python -m repro scenario --fast --seed 7 --workers 4
     python -m repro scenario --schedulers fifo,fair,preempt,srpt,edf \
         --deadline-slack 1.5 --chain 2   # deadline misses on warm fabrics
+
+Serving runs the paper's question at request scale: is tail latency
+reproducible when the fabric's shaper state is variable?  One
+SLO-gated run from the shell, or a provider-contrast sweep::
+
+    python -m repro serve --fast --arrival flash --seed 1
+    python -m repro scenario --workload serving --providers hpccloud,fixed
+
+(the ``fixed`` pseudo-provider pins every link at the hpccloud-class
+median rate, so the contrast isolates variability, not mean capacity).
+Or in code::
+
+    from repro.serving import ServingConfig, run_serving
+
+    result = run_serving(ServingConfig(arrival="flash", rate_rps=90.0,
+                                       n_nodes=4, duration_s=60.0,
+                                       slo_p99_ms=500.0, seed=1))
+    print(result.slo.passed, result.slo_violations)
 
 Campaigns shard across machines through the runtime layer — write
 per-machine manifests, run each with the worker CLI, merge the stores

@@ -19,6 +19,10 @@ Two workloads bracket the fluid-fabric core:
   :class:`~repro.obs.recorder.ObsRecorder`, proving checksum equality
   with observability attached and tracking what full metrics + span
   tracing costs (the recorder-off wall time gates the disabled path).
+* ``serving_openloop`` — a three-tier serving cell under flash-crowd
+  open-loop load on resampling hpccloud incarnations: the request
+  layer's event schedule (timer pops, per-hop request/response flows)
+  priced next to the batch schedules above.
 
 Each benchmark returns a ``checksum`` derived from simulation output
 (total runtime seconds / total allocated Gbps) so a recorded speedup
@@ -65,6 +69,7 @@ __all__ = [
     "bench_multistream",
     "bench_obs_overhead",
     "bench_percore_fleet_vs_scalar",
+    "bench_serving_openloop",
     "bench_shaper_fleet_vs_scalar",
     "bench_waterfill",
     "record_provenance",
@@ -598,6 +603,51 @@ def bench_obs_overhead(n_jobs: int = 200, seed: int = 1234) -> dict:
     }
 
 
+def bench_serving_openloop(
+    n_nodes: int = 8,
+    rate_rps: float = 60.0,
+    duration_s: float = 120.0,
+    seed: int = 1234,
+) -> dict:
+    """Time one open-loop serving cell end to end.
+
+    The request-layer counterpart of ``stream_16x200``: a three-tier
+    call tree on resampling hpccloud incarnations under a flash-crowd
+    arrival process, so the ledger tracks what the event core costs
+    when its schedule is timer-heap pops and per-hop request flows
+    instead of stage barriers.  The checksum sums every completed
+    request's latency — it covers arrival draws, placement, compute
+    noise, and the shaped fabric at once.
+    """
+    from repro.serving.scenario import ServingConfig, run_serving
+
+    config = ServingConfig(
+        provider_name="hpccloud",
+        instance_name="hpccloud-8core",
+        n_nodes=n_nodes,
+        topology="three_tier",
+        arrival="flash",
+        rate_rps=rate_rps,
+        duration_s=duration_s,
+        slo_p99_ms=250.0,
+        slo_window_s=10.0,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    result = run_serving(config)
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": round(wall_s, 4),
+        "n_nodes": n_nodes,
+        "rate_rps": rate_rps,
+        "duration_s": duration_s,
+        "n_requests": result.n_requests,
+        "n_steps": result.n_steps,
+        "slo_violations": result.slo_violations,
+        "checksum": round(float(result.latency["sum_s"]), 6),
+    }
+
+
 def _suite_cases(
     smoke: bool, seeded: dict[str, int]
 ) -> dict[str, Callable[[], dict]]:
@@ -624,6 +674,9 @@ def _suite_cases(
                 n_cells=8, **seeded
             ),
             "obs_overhead": lambda: bench_obs_overhead(n_jobs=20, **seeded),
+            "serving_openloop": lambda: bench_serving_openloop(
+                n_nodes=4, rate_rps=40.0, duration_s=30.0, **seeded
+            ),
         }
     return {
         "stream_16x200": lambda: bench_stream(**seeded),
@@ -636,6 +689,7 @@ def _suite_cases(
         "multistream_32cell": lambda: bench_multistream(**seeded),
         "campaign_overhead": lambda: bench_campaign_overhead(**seeded),
         "obs_overhead": lambda: bench_obs_overhead(**seeded),
+        "serving_openloop": lambda: bench_serving_openloop(**seeded),
     }
 
 
@@ -788,6 +842,8 @@ _MEASURED_KEYS = frozenset(
         "spans",
         "scrapes",
         "cache_hits",
+        "n_requests",
+        "slo_violations",
     }
 )
 

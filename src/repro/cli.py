@@ -10,6 +10,8 @@ Usage::
     python -m repro fingerprint c5.xlarge
     python -m repro scenario --fast --seed 7   # randomized sweep
     python -m repro scenario --fast --shards 2 --shard-dir shards/
+    python -m repro serve --fast --arrival flash   # one SLO-gated run
+    python -m repro scenario --workload serving --fast   # serving sweep
     python -m repro worker shards/shard-0.json --store shard0-store
     python -m repro campaign run shards/ --store campaign-store
     python -m repro campaign status shards/
@@ -182,6 +184,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("other:")
     print("  fingerprint <instance>   F5.2 baseline for an EC2 instance type")
     print("  scenario                 randomized multi-job scenario sweep")
+    print("  serve                    one serving run with an SLO verdict table")
     print("  worker <manifest>        execute one campaign shard manifest")
     print("  merge <stores...>        merge shard stores into a campaign store")
     print("  campaign run <dir>       fault-tolerant supervisor for all shards")
@@ -347,6 +350,175 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        SERVING_DEFAULT_INSTANCES,
+        ServingConfig,
+        run_serving,
+    )
+
+    if args.fast:
+        n_nodes = 4 if args.nodes is None else args.nodes
+        duration_s = 30.0 if args.duration is None else args.duration
+        window_s = 10.0 if args.window is None else args.window
+    else:
+        n_nodes = 8 if args.nodes is None else args.nodes
+        duration_s = 120.0 if args.duration is None else args.duration
+        window_s = 30.0 if args.window is None else args.window
+    instance = args.instance
+    if instance is None:
+        instance = SERVING_DEFAULT_INSTANCES.get(args.provider)
+        if instance is None:
+            print(
+                f"error: no default instance for provider "
+                f"{args.provider!r}; pass --instance",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        config = ServingConfig(
+            provider_name=args.provider,
+            instance_name=instance,
+            n_nodes=n_nodes,
+            topology=args.topology,
+            depth=args.depth,
+            breadth=args.breadth,
+            arrival=args.arrival,
+            rate_rps=args.rate,
+            duration_s=duration_s,
+            users=args.users,
+            think_s=args.think,
+            payload_scale=args.payload_scale,
+            slo_p50_ms=args.p50,
+            slo_p99_ms=args.p99,
+            slo_p999_ms=args.p999,
+            slo_window_s=window_s,
+            seed=args.seed if args.seed is not None else 0,
+        )
+        result = run_serving(config)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.prom:
+        from repro.obs import MetricsRegistry
+
+        if result.slo is None:
+            print(
+                "error: --prom renders the repro_slo_* gauges; enable at "
+                "least one SLO target (--p50/--p99/--p999)",
+                file=sys.stderr,
+            )
+            return 2
+        registry = MetricsRegistry()
+        result.slo.to_metrics(registry)
+        sys.stdout.write(registry.render_prometheus())
+        return 0
+
+    def ms(key: str) -> str:
+        value = result.latency.get(key)
+        if value is None or (isinstance(value, float) and value != value):
+            return "n/a"
+        return f"{value * 1000.0:.1f} ms"
+
+    load = f"{config.rate_rps:g} rps {config.arrival}"
+    if config.users:
+        load += f" + {config.users} users (think {config.think_s:g} s)"
+    print(
+        f"== serve: {config.provider_name}/{config.instance_name} "
+        f"x{config.n_nodes}, {config.topology}, {load} =="
+    )
+    print(f"cell: {config.serving_id}  seed={config.seed}")
+    print(
+        f"requests: {result.n_completed}/{result.n_requests} completed "
+        f"in {result.makespan_s:.1f} s simulated"
+    )
+    print(
+        f"latency: p50={ms('p50')}  p99={ms('p99')}  p999={ms('p999')}  "
+        f"max={ms('max_s')}"
+    )
+    if result.slo is not None:
+        print("slo verdicts:")
+        _print_rows(result.slo.verdict_rows())
+        verdict = "PASS" if result.slo.passed else "FAIL"
+        print(
+            f"slo: {verdict} — {result.slo_violations} violation "
+            f"window(s) across {result.slo.n_windows} window(s)"
+        )
+    return 0
+
+
+def _emit_shard_plan(campaign, n_cells: int, args, store, label: str) -> None:
+    """Write shard manifests and print the worker/merge runbook."""
+    if args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+    if not args.shard_dir:
+        raise ValueError("--shards requires --shard-dir DIR")
+    manifests = campaign.shard_manifests(args.shard_dir, args.shards)
+    print(f"== {label}: {n_cells} cells, "
+          f"{len(manifests)} shard manifest(s) ==")
+    for index, manifest in enumerate(manifests):
+        print(f"  python -m repro worker {manifest} "
+              f"--store {args.shard_dir}/shard-{index}-store")
+    stores = " ".join(
+        f"{args.shard_dir}/shard-{i}-store" for i in range(len(manifests))
+    )
+    merged = store if store else "<campaign-store>"
+    print(f"  python -m repro merge {stores} --store {merged}")
+
+
+def _cmd_scenario_serving(args: argparse.Namespace) -> int:
+    """The ``--workload serving`` leg of the scenario subcommand."""
+    from repro.measurement.repository import (
+        RepositoryCorruptionError,
+        TraceRepository,
+    )
+    from repro.serving import ServingCampaign, serving_matrix
+
+    if args.fast:
+        n_nodes, duration_s, window_s = 4, 30.0, 10.0
+    else:
+        n_nodes, duration_s, window_s = 8, 120.0, 30.0
+    store = args.store or args.repo
+    try:
+        configs = serving_matrix(
+            providers=tuple(args.providers.split(",")),
+            arrivals=tuple(args.arrivals.split(",")),
+            rates_rps=tuple(float(r) for r in args.rates.split(",")),
+            topologies=tuple(args.topologies.split(",")),
+            n_nodes=n_nodes,
+            duration_s=duration_s,
+            slo_p99_ms=args.slo_p99,
+            slo_window_s=window_s,
+            seed=args.seed,
+            chain_length=args.chain,
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        repository = TraceRepository(store) if store else None
+        campaign = ServingCampaign(
+            configs, repository=repository, workers=args.workers
+        )
+        if args.shards is not None:
+            _emit_shard_plan(
+                campaign, len(configs), args, store, "serving sweep"
+            )
+            return 0
+        results = campaign.run()
+    except (ValueError, RepositoryCorruptionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"== serving sweep: {len(configs)} cells ==")
+    _print_rows([results[c.serving_id].aggregate_row() for c in configs])
+    cached = sum(1 for r in results.values() if r.cached)
+    print(
+        f"  computed={len(results) - cached} cached={cached} "
+        f"workers={args.workers}"
+    )
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.measurement.repository import (
         RepositoryCorruptionError,
@@ -354,6 +526,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     )
     from repro.scenarios import ScenarioCampaign, scenario_matrix
 
+    workloads = tuple(args.workloads.split(","))
+    if "serving" in workloads:
+        if set(workloads) != {"serving"}:
+            print(
+                "error: --workload serving is its own sweep and cannot "
+                "mix with DAG workloads in one matrix; run two campaigns "
+                "into the same --store instead",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_scenario_serving(args)
     if args.fast:
         n_jobs, n_nodes, data_scale = 3, 4, 0.05
     else:
@@ -364,7 +547,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             providers=tuple(args.providers.split(",")),
             arrival_rates=tuple(float(r) for r in args.arrival_rates.split(",")),
             schedulers=tuple(args.schedulers.split(",")),
-            workloads=tuple(args.workloads.split(",")),
+            workloads=workloads,
             n_jobs=n_jobs,
             n_nodes=n_nodes,
             data_scale=data_scale,
@@ -381,21 +564,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             configs, repository=repository, workers=args.workers
         )
         if args.shards is not None:
-            if args.shards < 1:
-                raise ValueError("--shards must be >= 1")
-            if not args.shard_dir:
-                raise ValueError("--shards requires --shard-dir DIR")
-            manifests = campaign.shard_manifests(args.shard_dir, args.shards)
-            print(f"== scenario sweep: {len(configs)} cells, "
-                  f"{len(manifests)} shard manifest(s) ==")
-            for index, manifest in enumerate(manifests):
-                print(f"  python -m repro worker {manifest} "
-                      f"--store {args.shard_dir}/shard-{index}-store")
-            stores = " ".join(
-                f"{args.shard_dir}/shard-{i}-store" for i in range(len(manifests))
+            _emit_shard_plan(
+                campaign, len(configs), args, store, "scenario sweep"
             )
-            merged = store if store else "<campaign-store>"
-            print(f"  python -m repro merge {stores} --store {merged}")
             return 0
         outcome = campaign.run()
     except (ValueError, RepositoryCorruptionError) as exc:
@@ -797,8 +968,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(fifo,fair,preempt,srpt,edf)",
     )
     p.add_argument(
-        "--workloads", default="mixed",
-        help="comma-separated workload mixes (mixed,random,tpch,hibench)",
+        "--workloads", "--workload", default="mixed",
+        help="comma-separated workload mixes (mixed,random,tpch,hibench), "
+        "or 'serving' alone to sweep request-serving cells instead of "
+        "DAG jobs (provider x arrival x rate x topology; see --arrivals, "
+        "--rates, --topologies, --slo-p99)",
+    )
+    p.add_argument(
+        "--arrivals", default="poisson,flash",
+        help="serving only: comma-separated open-loop arrival shapes "
+        "(poisson,diurnal,flash)",
+    )
+    p.add_argument(
+        "--rates", default="20",
+        help="serving only: comma-separated request rates "
+        "(requests/second; the peak rate for diurnal/flash shapes)",
+    )
+    p.add_argument(
+        "--topologies", default="three_tier",
+        help="serving only: comma-separated call-tree shapes "
+        "(line,fanout,three_tier)",
+    )
+    p.add_argument(
+        "--slo-p99", type=float, default=250.0, metavar="MS",
+        help="serving only: per-window p99 latency target in "
+        "milliseconds, 0 to disable the gate (default: 250)",
     )
     p.add_argument(
         "--deadline-slack", type=float, default=1.0, metavar="X",
@@ -1071,6 +1265,101 @@ def build_parser() -> argparse.ArgumentParser:
             help="suppress structured transfer log lines",
         )
         p.set_defaults(handler=_cmd_store_sync)
+
+    p = sub.add_parser(
+        "serve",
+        help="one serving run: a call tree under open/closed-loop load "
+        "on a shaped fabric, gated by an SLO verdict table",
+    )
+    p.add_argument(
+        "--provider", default="hpccloud",
+        help="provider whose link-model incarnations shape the fabric "
+        "(amazon, google, hpccloud, or 'fixed' for a constant-rate "
+        "clean fabric at the hpccloud-class median; default: hpccloud)",
+    )
+    p.add_argument(
+        "--instance", default=None,
+        help="instance type (default: the provider's serving default)",
+    )
+    p.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="cluster size (default: 8, or 4 with --fast)",
+    )
+    p.add_argument(
+        "--topology", default="three_tier",
+        choices=("line", "fanout", "three_tier"),
+        help="call-tree shape (default: three_tier)",
+    )
+    p.add_argument(
+        "--depth", type=int, default=3, metavar="N",
+        help="chain length for line, tree depth for fanout (default: 3)",
+    )
+    p.add_argument(
+        "--breadth", type=int, default=2, metavar="N",
+        help="fan-out per level for the fanout topology (default: 2)",
+    )
+    p.add_argument(
+        "--arrival", default="poisson",
+        choices=("poisson", "diurnal", "flash"),
+        help="open-loop arrival shape (default: poisson)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=20.0, metavar="RPS",
+        help="open-loop request rate in requests/second (the peak for "
+        "diurnal/flash); 0 for closed-loop-only (default: 20)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="simulated seconds of load (default: 120, or 30 with --fast)",
+    )
+    p.add_argument(
+        "--users", type=int, default=0, metavar="N",
+        help="closed-loop user pool size (default: 0, open-loop only)",
+    )
+    p.add_argument(
+        "--think", type=float, default=1.0, metavar="S",
+        help="closed-loop think time between a user's requests "
+        "(default: 1.0)",
+    )
+    p.add_argument(
+        "--payload-scale", type=float, default=1.0, metavar="X",
+        help="multiplier on every call's request/response payload "
+        "(default: 1.0)",
+    )
+    p.add_argument(
+        "--p50", type=float, default=0.0, metavar="MS",
+        help="per-window p50 latency target in ms, 0 disables (default: 0)",
+    )
+    p.add_argument(
+        "--p99", type=float, default=250.0, metavar="MS",
+        help="per-window p99 latency target in ms, 0 disables "
+        "(default: 250)",
+    )
+    p.add_argument(
+        "--p999", type=float, default=0.0, metavar="MS",
+        help="per-window p99.9 latency target in ms, 0 disables "
+        "(default: 0)",
+    )
+    p.add_argument(
+        "--window", type=float, default=None, metavar="S",
+        help="SLO evaluation window in simulated seconds (default: 30, "
+        "or 10 with --fast)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="cell RNG seed: incarnation draws, arrival gaps, and "
+        "compute noise (default: 0)",
+    )
+    p.add_argument(
+        "--fast", action="store_true",
+        help="small cluster, short run, tight windows",
+    )
+    p.add_argument(
+        "--prom", action="store_true",
+        help="emit the repro_slo_* gauges as Prometheus text exposition "
+        "instead of the human-readable verdict",
+    )
+    p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser("fingerprint", help="F5.2 baseline for an instance")
     p.add_argument("instance", help="EC2 instance type, e.g. c5.xlarge")

@@ -1,8 +1,9 @@
 """Per-cell execution provenance for the campaign runtime.
 
 Every cell a worker executes gets a small provenance record — wall
-time, peak RSS, completion wall-clock, and the simulator step count
-when the result exposes one — stored in the cell's ``ArtifactStore``
+time, peak RSS, completion wall-clock, plus the simulator step count
+and SLO violation count when the result exposes them — stored in the
+cell's ``ArtifactStore``
 manifest *meta* (never in the documents, so store content hashes and
 the serial == pool == shard byte-equivalence contract are untouched).
 ``repro campaign status`` reads these records back to compute per-shard
@@ -20,11 +21,11 @@ __all__ = ["PROVENANCE_KEY", "cell_provenance"]
 PROVENANCE_KEY = "obs"
 
 
-def _result_n_steps(result: object) -> int | None:
+def _result_int(result: object, name: str) -> int | None:
     if isinstance(result, Mapping):
-        value = result.get("n_steps")
+        value = result.get(name)
     else:
-        value = getattr(result, "n_steps", None)
+        value = getattr(result, name, None)
     if value is None:
         return None
     try:
@@ -47,7 +48,12 @@ def cell_provenance(wall_s: float, result: object = None) -> dict:
         )
     except (ImportError, OSError):  # non-unix platforms
         pass
-    n_steps = _result_n_steps(result)
+    n_steps = _result_int(result, "n_steps")
     if n_steps is not None:
         record["n_steps"] = n_steps
+    # Serving cells expose their SLO verdict; ``repro campaign status``
+    # surfaces the campaign-wide violation count as an SLO column.
+    slo_violations = _result_int(result, "slo_violations")
+    if slo_violations is not None:
+        record["slo_violations"] = slo_violations
     return record

@@ -54,6 +54,11 @@ class ShardStatus:
     n_timed: int = 0
     #: Total simulator steps across timed cells.
     n_steps: int = 0
+    #: Summed SLO violation counts from provenance (serving cells).
+    n_slo_violations: int = 0
+    #: Cells whose provenance carried an SLO verdict at all; 0 means
+    #: the shard ran no serving cells and the SLO column is moot.
+    n_slo_cells: int = 0
     #: Wall-clock (unix seconds) of the most recent stored cell.
     last_unix_s: float | None = None
     #: Cells revoked from this shard by the coordinator (stolen chains;
@@ -130,6 +135,10 @@ class CampaignStatus:
     @property
     def wall_s(self) -> float:
         return sum(s.wall_s for s in self.shards)
+
+    @property
+    def n_slo_violations(self) -> int:
+        return sum(s.n_slo_violations for s in self.shards)
 
     @property
     def eta_s(self) -> float:
@@ -236,6 +245,10 @@ def _shard_status(
         steps = prov.get("n_steps")
         if isinstance(steps, int):
             status.n_steps += steps
+        slo = prov.get("slo_violations")
+        if isinstance(slo, int):
+            status.n_slo_violations += slo
+            status.n_slo_cells += 1
         unix = prov.get("unix_s")
         if isinstance(unix, (int, float)) and (
             status.last_unix_s is None or unix > status.last_unix_s
@@ -394,6 +407,8 @@ def render_text(status: CampaignStatus) -> str:
             extras += f", stolen {s.n_stolen}"
         if s.n_failed:
             extras += f", failed {s.n_failed}"
+        if s.n_slo_cells:
+            extras += f", slo-violations {s.n_slo_violations}"
         if s.worker_state != "-":
             extras += f", worker {s.worker_state}"
             if s.worker_id:
@@ -411,10 +426,13 @@ def render_text(status: CampaignStatus) -> str:
             f"({100.0 * s.done_frac:.0f}%), {s.wall_s:.1f}s wall, "
             f"{rate_text}, eta {_fmt_eta(s.eta_s)}{extras}{flag}"
         )
-    lines.append(
+    total = (
         f"  total: {status.n_done}/{status.n_cells} cells "
         f"({100.0 * status.done_frac:.0f}%), eta {_fmt_eta(status.eta_s)}"
     )
+    if any(s.n_slo_cells for s in status.shards):
+        total += f", slo-violations {status.n_slo_violations}"
+    lines.append(total)
     return "\n".join(lines)
 
 
@@ -446,6 +464,10 @@ def render_prometheus(status: CampaignStatus) -> str:
         "repro_campaign_shard_cells_failed",
         "Cells quarantined or blocked on the shard",
     )
+    slo_violations = reg.gauge(
+        "repro_campaign_shard_slo_violations",
+        "Summed SLO violation counts from serving-cell provenance",
+    )
     alive = reg.gauge(
         "repro_campaign_shard_worker_alive",
         "1 = lease renewed within TTL, 0 = lease expired (dead worker), "
@@ -474,6 +496,7 @@ def render_prometheus(status: CampaignStatus) -> str:
         eta.set(s.eta_s, shard=label)
         stolen.set(float(s.n_stolen), shard=label)
         failed.set(float(s.n_failed), shard=label)
+        slo_violations.set(float(s.n_slo_violations), shard=label)
         alive.set(
             math.nan
             if s.worker_state == "-"

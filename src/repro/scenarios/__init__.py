@@ -42,8 +42,10 @@ from repro.scenarios.generate import (
     RandomDagConfig,
     WorkloadMix,
     burst_arrivals,
+    burst_arrivals_iter,
     job_stream,
     poisson_arrivals,
+    poisson_arrivals_iter,
     random_job,
     synthesize_deadlines,
     tpch_like_job,
@@ -62,6 +64,19 @@ from repro.scenarios.orchestrate import (
     scenario_matrix,
 )
 
+# Service-scenario generation lives in repro.serving (it builds on the
+# event core, not the DAG engine) but is part of the scenario surface:
+# serving cells are content-hashed, chain- and batch-executor
+# compatible, and mix with DAG cells in one campaign directory.
+from repro.serving.scenario import (
+    SERVING_CODEC,
+    ServingCampaign,
+    ServingConfig,
+    run_serving,
+    serving_cells,
+    serving_matrix,
+)
+
 __all__ = [
     "RandomDagConfig",
     "WorkloadMix",
@@ -70,6 +85,8 @@ __all__ = [
     "TPCH_LIKE_QUERIES",
     "poisson_arrivals",
     "burst_arrivals",
+    "poisson_arrivals_iter",
+    "burst_arrivals_iter",
     "job_stream",
     "ScenarioConfig",
     "ScenarioResult",
@@ -83,4 +100,10 @@ __all__ = [
     "synthesize_deadlines",
     "SCENARIO_CODEC",
     "DEFAULT_INSTANCES",
+    "ServingConfig",
+    "ServingCampaign",
+    "run_serving",
+    "serving_cells",
+    "serving_matrix",
+    "SERVING_CODEC",
 ]

@@ -1,0 +1,246 @@
+"""SLO gating: sliding-window latency targets over streaming quantiles.
+
+An SLO here is what production serving teams write down: "p99 under
+250 ms over every 30-second window".  :class:`SloPolicy` holds the
+targets and evaluates them against the tumbling-window rows the
+serving engine's :class:`~repro.obs.quantiles.WindowedQuantiles`
+telemetry already streams (the P² estimators — no latency list is ever
+materialized), producing an :class:`SloReport`: every violation window
+with its observed-vs-target gap, worst observed value per quantile,
+and a pass/fail verdict.
+
+Reports are JSON round-trippable (store documents) and render as
+``repro_slo_*`` Prometheus gauges
+(:meth:`SloReport.to_metrics`), so a serving campaign's gate is
+scrape-able with the same :func:`~repro.obs.metrics.parse_prometheus_text`
+tooling the rest of the observability layer uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["SloPolicy", "SloViolation", "SloReport"]
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One window where an observed quantile exceeded its target."""
+
+    window_start: float
+    #: Quantile column key (``p50`` / ``p99`` / ``p999``).
+    quantile: str
+    observed_s: float
+    target_s: float
+
+    @property
+    def excess_ratio(self) -> float:
+        """How far over target the window ran (1.0 = exactly at it)."""
+        return self.observed_s / self.target_s
+
+    def to_dict(self) -> dict:
+        return {
+            "window_start": self.window_start,
+            "quantile": self.quantile,
+            "observed_s": self.observed_s,
+            "target_s": self.target_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SloViolation":
+        return cls(
+            window_start=float(payload["window_start"]),
+            quantile=str(payload["quantile"]),
+            observed_s=float(payload["observed_s"]),
+            target_s=float(payload["target_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Latency targets evaluated per tumbling window.
+
+    A target of 0 disables that quantile's gate.  ``window_s`` is the
+    evaluation granularity (it also sets the serving engine's
+    telemetry window), and windows with fewer than ``min_count``
+    completed requests are skipped — a one-request window's p99.9 is
+    noise, not a violation.
+    """
+
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    p999_ms: float = 0.0
+    window_s: float = 30.0
+    min_count: int = 5
+
+    def __post_init__(self) -> None:
+        for name in ("p50_ms", "p99_ms", "p999_ms", "window_s"):
+            value = float(getattr(self, name))
+            if value < 0:
+                raise ValueError(f"{name} cannot be negative")
+            object.__setattr__(self, name, value)
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        object.__setattr__(self, "min_count", int(self.min_count))
+        if self.min_count < 1:
+            raise ValueError("min_count must be >= 1")
+
+    def targets(self) -> dict[str, float]:
+        """Enabled targets in seconds, keyed by quantile column."""
+        pairs = (
+            ("p50", self.p50_ms),
+            ("p99", self.p99_ms),
+            ("p999", self.p999_ms),
+        )
+        return {key: ms / 1000.0 for key, ms in pairs if ms > 0}
+
+    def evaluate(self, windows: Sequence[Mapping]) -> "SloReport":
+        """Gate every eligible window row against the enabled targets.
+
+        ``windows`` are
+        :meth:`~repro.obs.quantiles.WindowedQuantiles.rows` dicts:
+        ``window_start``, ``count``, and one column per quantile.
+        """
+        targets = self.targets()
+        violations: list[SloViolation] = []
+        worst: dict[str, float] = {key: math.nan for key in targets}
+        n_evaluated = 0
+        for row in windows:
+            if row.get("count", 0.0) < self.min_count:
+                continue
+            n_evaluated += 1
+            for key, target_s in targets.items():
+                observed = row.get(key)
+                if observed is None or math.isnan(observed):
+                    continue
+                if math.isnan(worst[key]) or observed > worst[key]:
+                    worst[key] = observed
+                if observed > target_s:
+                    violations.append(
+                        SloViolation(
+                            window_start=float(row["window_start"]),
+                            quantile=key,
+                            observed_s=float(observed),
+                            target_s=target_s,
+                        )
+                    )
+        return SloReport(
+            policy=self,
+            n_windows=len(windows),
+            n_evaluated=n_evaluated,
+            violations=tuple(violations),
+            worst=worst,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "window_s": self.window_s,
+            "min_count": self.min_count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SloPolicy":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """The verdict of one policy evaluation over one run's windows."""
+
+    policy: SloPolicy
+    #: All window rows seen (including ones below ``min_count``).
+    n_windows: int
+    #: Windows that met ``min_count`` and were gated.
+    n_evaluated: int
+    violations: tuple[SloViolation, ...]
+    #: Worst observed value per gated quantile (NaN when never seen).
+    worst: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def n_violation_windows(self) -> int:
+        """Distinct windows with at least one quantile over target."""
+        return len({v.window_start for v in self.violations})
+
+    def violations_for(self, quantile: str) -> tuple[SloViolation, ...]:
+        return tuple(v for v in self.violations if v.quantile == quantile)
+
+    def verdict_rows(self) -> list[dict]:
+        """One printable row per gated quantile (the CLI verdict table)."""
+        rows = []
+        for key, target_s in self.policy.targets().items():
+            worst = self.worst.get(key, math.nan)
+            n_bad = len(self.violations_for(key))
+            rows.append(
+                {
+                    "quantile": key,
+                    "target_ms": round(target_s * 1000.0, 3),
+                    "worst_ms": (
+                        None
+                        if math.isnan(worst)
+                        else round(worst * 1000.0, 3)
+                    ),
+                    "violations": n_bad,
+                    "status": "PASS" if n_bad == 0 else "FAIL",
+                }
+            )
+        return rows
+
+    def to_metrics(self, registry) -> None:
+        """Emit the report as ``repro_slo_*`` gauges on ``registry``."""
+        target = registry.gauge(
+            "repro_slo_target_seconds", "Configured latency target"
+        )
+        worst = registry.gauge(
+            "repro_slo_worst_seconds",
+            "Worst windowed quantile observed (NaN if never observed)",
+        )
+        bad = registry.gauge(
+            "repro_slo_violation_windows",
+            "Windows where the quantile exceeded its target",
+        )
+        for key, target_s in self.policy.targets().items():
+            target.set(target_s, quantile=key)
+            worst.set(self.worst.get(key, math.nan), quantile=key)
+            bad.set(float(len(self.violations_for(key))), quantile=key)
+        registry.gauge(
+            "repro_slo_windows_total", "Window rows gated against the policy"
+        ).set(float(self.n_evaluated))
+        registry.gauge(
+            "repro_slo_pass", "1 when every gated window met every target"
+        ).set(1.0 if self.passed else 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy.to_dict(),
+            "n_windows": self.n_windows,
+            "n_evaluated": self.n_evaluated,
+            "violations": [v.to_dict() for v in self.violations],
+            "worst": {
+                key: (None if math.isnan(value) else value)
+                for key, value in self.worst.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SloReport":
+        return cls(
+            policy=SloPolicy.from_dict(payload["policy"]),
+            n_windows=int(payload["n_windows"]),
+            n_evaluated=int(payload["n_evaluated"]),
+            violations=tuple(
+                SloViolation.from_dict(v) for v in payload["violations"]
+            ),
+            worst={
+                key: (math.nan if value is None else float(value))
+                for key, value in payload["worst"].items()
+            },
+        )

@@ -1,0 +1,235 @@
+"""Microservice call trees: who calls whom, and what each hop costs.
+
+A serving workload is shaped by its *call tree*: a user request hits
+the entry service, which fans out RPCs to its children, which fan out
+further, and the request completes only when every subtree has
+responded.  :class:`ServiceTopology` describes that structure — one
+:class:`ServiceSpec` per service with per-call compute cost and
+request/response payload sizes — and validates it is a DAG reachable
+from the entry service, so the serving engine can map every hop onto a
+fabric flow without cycle checks at simulation time.
+
+Topologies are JSON round-trippable (:meth:`ServiceTopology.to_dict` /
+:meth:`ServiceTopology.from_dict`), which is what lets a serving
+scenario cell ship its call tree through shard manifests.  The
+constructors cover the shapes the serving experiments sweep:
+
+* :meth:`ServiceTopology.line` — a depth-N proxy chain (each hop
+  serialized behind the previous one);
+* :meth:`ServiceTopology.fanout` — a breadth^depth RPC tree (the
+  fan-out/fan-in pattern whose tail latency is governed by the
+  *slowest* leaf — exactly where shaped-network variability bites);
+* :meth:`ServiceTopology.three_tier` — the classic frontend / API /
+  backing-store shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Mapping
+
+__all__ = ["ServiceSpec", "ServiceTopology"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One service: per-call compute cost, payloads, and callees.
+
+    ``compute_ms`` is the mean service time of one call (lognormal
+    around it with CoV ``compute_cov``, matching the engine's task
+    model); ``request_gbit``/``response_gbit`` are the payload volumes
+    a remote call moves over the fabric in each direction.  Millisecond
+    compute against multi-megabit responses is what makes serving
+    network-bound under shaped egress.
+    """
+
+    name: str
+    compute_ms: float = 2.0
+    compute_cov: float = 0.3
+    #: Request payload per remote call (Gbit); ~1 MB default.
+    request_gbit: float = 0.008
+    #: Response payload per remote call (Gbit); ~10 MB default.
+    response_gbit: float = 0.08
+    children: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a service needs a name")
+        if self.compute_ms < 0 or self.compute_cov < 0:
+            raise ValueError("compute mean and CoV cannot be negative")
+        if self.request_gbit < 0 or self.response_gbit < 0:
+            raise ValueError("payload volumes cannot be negative")
+        object.__setattr__(self, "compute_ms", float(self.compute_ms))
+        object.__setattr__(self, "compute_cov", float(self.compute_cov))
+        object.__setattr__(self, "request_gbit", float(self.request_gbit))
+        object.__setattr__(self, "response_gbit", float(self.response_gbit))
+        object.__setattr__(self, "children", tuple(self.children))
+
+
+class ServiceTopology:
+    """An acyclic service call graph with a designated entry service.
+
+    ``services`` keep their given order — a service's position is its
+    *service index*, which the serving engine uses to stagger replica
+    placement across nodes deterministically.
+    """
+
+    def __init__(self, services: Iterable[ServiceSpec], entry: str) -> None:
+        self.services: dict[str, ServiceSpec] = {}
+        for spec in services:
+            if spec.name in self.services:
+                raise ValueError(f"duplicate service {spec.name!r}")
+            self.services[spec.name] = spec
+        if entry not in self.services:
+            raise ValueError(f"entry service {entry!r} is not defined")
+        self.entry = entry
+        for spec in self.services.values():
+            for child in spec.children:
+                if child not in self.services:
+                    raise ValueError(
+                        f"service {spec.name!r} calls undefined service "
+                        f"{child!r}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        # Iterative three-color DFS: gray on the stack means a back
+        # edge, i.e. a call cycle that would recurse forever.
+        color: dict[str, int] = {}
+        for root in self.services:
+            if color.get(root):
+                continue
+            stack: list[tuple[str, int]] = [(root, 0)]
+            while stack:
+                name, child_index = stack.pop()
+                if child_index == 0:
+                    color[name] = 1
+                children = self.services[name].children
+                if child_index < len(children):
+                    stack.append((name, child_index + 1))
+                    child = children[child_index]
+                    state = color.get(child, 0)
+                    if state == 1:
+                        raise ValueError(
+                            f"service call cycle through {child!r}"
+                        )
+                    if state == 0:
+                        stack.append((child, 0))
+                else:
+                    color[name] = 2
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.services)
+
+    def spec(self, name: str) -> ServiceSpec:
+        return self.services[name]
+
+    def calls_per_request(self) -> int:
+        """Service invocations one request triggers (entry included).
+
+        Counts multiplicity: a service reachable along two paths is
+        called twice per request, exactly as the engine executes it.
+        """
+        memo: dict[str, int] = {}
+
+        def count(name: str) -> int:
+            cached = memo.get(name)
+            if cached is not None:
+                return cached
+            total = 1 + sum(
+                count(child) for child in self.services[name].children
+            )
+            memo[name] = total
+            return total
+
+        return count(self.entry)
+
+    # -- JSON round-trip ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "services": [asdict(spec) for spec in self.services.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ServiceTopology":
+        return cls(
+            services=[
+                ServiceSpec(
+                    name=entry["name"],
+                    compute_ms=entry["compute_ms"],
+                    compute_cov=entry["compute_cov"],
+                    request_gbit=entry["request_gbit"],
+                    response_gbit=entry["response_gbit"],
+                    children=tuple(entry["children"]),
+                )
+                for entry in payload["services"]
+            ],
+            entry=payload["entry"],
+        )
+
+    # -- stock shapes ------------------------------------------------------
+    @classmethod
+    def line(cls, depth: int = 3, **overrides) -> "ServiceTopology":
+        """A proxy chain: ``svc0 -> svc1 -> ... -> svc{depth-1}``."""
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        services = [
+            ServiceSpec(
+                name=f"svc{i}",
+                children=(f"svc{i + 1}",) if i + 1 < depth else (),
+                **overrides,
+            )
+            for i in range(depth)
+        ]
+        return cls(services, entry="svc0")
+
+    @classmethod
+    def fanout(
+        cls, breadth: int = 2, depth: int = 2, **overrides
+    ) -> "ServiceTopology":
+        """A full ``breadth``-ary RPC tree of the given ``depth``.
+
+        ``depth`` counts levels below the root: ``fanout(2, 2)`` is a
+        7-service tree (1 + 2 + 4).  The fan-in at each level makes
+        request latency the *maximum* over subtree latencies — the
+        tail-amplification shape.
+        """
+        if breadth < 1 or depth < 0:
+            raise ValueError("breadth must be >= 1 and depth >= 0")
+        services: list[ServiceSpec] = []
+
+        def build(level: int, index: int) -> str:
+            name = f"svc-{level}-{index}"
+            children = ()
+            if level < depth:
+                children = tuple(
+                    build(level + 1, index * breadth + k)
+                    for k in range(breadth)
+                )
+            services.append(
+                ServiceSpec(name=name, children=children, **overrides)
+            )
+            return name
+
+        root = build(0, 0)
+        services.reverse()  # parents before children, root first
+        return cls(services, entry=root)
+
+    @classmethod
+    def three_tier(cls, **overrides) -> "ServiceTopology":
+        """Frontend -> {auth, api}, api -> {db, cache}: five services."""
+        return cls(
+            [
+                ServiceSpec(
+                    name="frontend", children=("auth", "api"), **overrides
+                ),
+                ServiceSpec(name="auth", **overrides),
+                ServiceSpec(name="api", children=("db", "cache"), **overrides),
+                ServiceSpec(name="db", **overrides),
+                ServiceSpec(name="cache", **overrides),
+            ],
+            entry="frontend",
+        )

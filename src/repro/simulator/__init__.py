@@ -9,6 +9,9 @@ stage/shuffle structure of the jobs and the per-node shapers.  This
 package models exactly that interaction:
 
 * :mod:`repro.simulator.events` — a minimal event-queue kernel;
+* :mod:`repro.simulator.core` — the workload-agnostic event-driven
+  core (:class:`EventCore` + the :class:`WorkloadSource` hook
+  protocol) shared by the DAG stream engine and ``repro.serving``;
 * :mod:`repro.simulator.fabric` — fluid flows with max-min fair
   sharing, bounded by per-node egress shapers (any
   :class:`~repro.netmodel.base.LinkModel`) and ingress capacities;
@@ -56,6 +59,7 @@ trajectory in ``BENCH_engine.json``; read it with
 """
 
 from repro.simulator.cluster import Cluster, NodeSpec
+from repro.simulator.core import EventCore, WorkloadSource
 from repro.simulator.engine import (
     SCHEDULERS,
     JobResult,
@@ -69,6 +73,8 @@ from repro.simulator.tasks import JobSpec, StageSpec
 
 __all__ = [
     "EventQueue",
+    "EventCore",
+    "WorkloadSource",
     "Fabric",
     "Flow",
     "Cluster",

@@ -59,6 +59,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.simulator.cluster import Cluster
+from repro.simulator.core import MAX_STEPS, EventCore
 from repro.simulator.fabric import Fabric, Flow
 from repro.simulator.tasks import JobSpec, StageSpec
 from repro.trace import TimeSeries
@@ -66,7 +67,8 @@ from repro.trace import TimeSeries
 __all__ = ["SparkEngine", "JobResult", "StreamResult", "rest_fabric", "SCHEDULERS"]
 
 #: Safety valve: a single job may not need more steps than this.
-_MAX_STEPS = 5_000_000
+#: (Defined by the event core; re-exported here for the historical name.)
+_MAX_STEPS = MAX_STEPS
 
 #: Slot-scheduling policies understood by :meth:`SparkEngine.run_stream`.
 SCHEDULERS: tuple[str, ...] = ("fifo", "fair", "preempt", "srpt", "edf")
@@ -313,18 +315,23 @@ class SparkEngine:
         job: JobSpec,
         fabric: Fabric | None = None,
         recorder=None,
+        scheduler: str = "fifo",
     ) -> JobResult:
         """Execute ``job``; returns runtimes and telemetry.
 
         Passing an existing ``fabric`` preserves shaper state across
         runs (budget carry-over); omitting it builds a fresh one
         ("fresh VMs for every experiment", the F5.4 recommendation).
-        ``recorder`` attaches an :class:`~repro.obs.ObsRecorder`.
+        ``recorder`` attaches an :class:`~repro.obs.ObsRecorder`;
+        ``scheduler`` picks the slot policy (see :data:`SCHEDULERS` —
+        with a single job the policies mostly coincide, but preempt's
+        group tracking and fair's share accounting are exercised).
         """
+        self.validate_stream([(0.0, job)], scheduler)
         if fabric is None:
             fabric = self.cluster.build_fabric()
         state = _StreamState(
-            self, [(0.0, job)], fabric, scheduler="fifo", recorder=recorder
+            self, [(0.0, job)], fabric, scheduler=scheduler, recorder=recorder
         )
         return state.execute().job_results[0]
 
@@ -393,6 +400,8 @@ class SparkEngine:
         repetitions: int,
         fresh_fabric: bool = True,
         rest_between_s: float = 0.0,
+        scheduler: str = "fifo",
+        recorder=None,
     ) -> list[JobResult]:
         """Run a job repeatedly under a chosen reset policy.
 
@@ -401,6 +410,16 @@ class SparkEngine:
         invalidates CI analysis in Figure 19.  ``rest_between_s`` lets
         buckets refill between runs, the paper's cheaper alternative to
         fresh VMs.
+
+        ``scheduler`` and ``recorder`` forward to :meth:`run` for each
+        repetition.  A single recorder observes *all* repetitions
+        cumulatively: every run rebinds it and restarts sim time at 0,
+        so counters and spans accumulate across repetitions while
+        sliding-window quantiles fold every repetition into the same
+        windows — the right view for rep-over-rep variability, pass a
+        fresh recorder per call for per-run isolation.  As everywhere,
+        recorders only observe: results are bit-identical with and
+        without one.
         """
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
@@ -409,7 +428,9 @@ class SparkEngine:
         results: list[JobResult] = []
         fabric = None if fresh_fabric else self.cluster.build_fabric()
         for _ in range(repetitions):
-            results.append(self.run(job, fabric=fabric))
+            results.append(
+                self.run(job, fabric=fabric, recorder=recorder, scheduler=scheduler)
+            )
             if fabric is not None and rest_between_s > 0:
                 rest_fabric(fabric, rest_between_s)
         return results
@@ -444,8 +465,17 @@ def rest_fabric(fabric: Fabric, duration_s: float) -> None:
     fabric.invalidate_rates()
 
 
-class _StreamState:
-    """Mutable bookkeeping for one stream execution (1..n jobs)."""
+class _StreamState(EventCore):
+    """DAG-stream workload over the event core (1..n jobs).
+
+    The generic event machinery — simulated time, the timer heap,
+    telemetry buffers, the begin/prologue/epilogue/finish protocol —
+    lives in :class:`~repro.simulator.core.EventCore`; this class
+    implements the :class:`~repro.simulator.core.WorkloadSource` hooks
+    for job streams: arrivals admit jobs, dispatch launches task waves
+    under the configured scheduler, timers are task-compute
+    completions, and flows are shuffle/input fetches.
+    """
 
     def __init__(
         self,
@@ -455,18 +485,8 @@ class _StreamState:
         scheduler: str,
         recorder=None,
     ) -> None:
-        self.engine = engine
-        self.fabric = fabric
+        super().__init__(engine, fabric, recorder=recorder)
         self.scheduler = scheduler
-        self.now = 0.0
-        # Observability: normalized to None when absent or disabled so
-        # the hot path pays exactly one identity check per event.  The
-        # recorder only reads state — it never perturbs the run.
-        self._obs = (
-            recorder
-            if recorder is not None and getattr(recorder, "enabled", True)
-            else None
-        )
         # Stable sort: ties keep caller submission order (FIFO tiebreak).
         order = sorted(range(len(arrivals)), key=lambda i: arrivals[i][0])
         self.submits = [float(arrivals[i][0]) for i in order]
@@ -490,17 +510,12 @@ class _StreamState:
         self._n_finished = 0
         self._skew_arr = np.asarray(engine.node_data_skew)
         self.finish_times = [math.inf] * n_jobs
-        # Launch passes are pure no-ops unless a slot was freed, a
-        # stage became runnable, or a job was admitted since the last
-        # pass; the flag lets flow-only event steps skip scheduling.
-        self._sched_dirty = True
         self._next_arrival = 0
         self._admitted: list[int] = []
         self.free_slots = [engine.cluster.node_spec.slots] * n_nodes
         self._free_total = sum(self.free_slots)
-        self.compute_heap: list[tuple[float, int, _TaskGroup]] = []
-        self._compute_counter = itertools.count()
         self._rr_node = 0
+        self.max_steps = _MAX_STEPS * n_jobs
         # Incremental runnable-stage tracking: a stage is runnable while
         # every parent has completed and it still has tasks to launch.
         # Maintained at stage-completion and launch-exhaustion events so
@@ -546,24 +561,21 @@ class _StreamState:
         # list upkeep would otherwise tax every fifo/fair/srpt/edf
         # event step for state nothing reads.
         self._track_groups = scheduler == "preempt"
+        # Preemption cancels queued compute timers; let the core purge
+        # them at the heap head so they never bound the step size.
+        self._purge_cancelled = self._track_groups
         self._active_groups: list[list[_TaskGroup]] = [[] for _ in self.jobs]
-        # Telemetry: growable preallocated buffers, one row per sample.
-        capacity = 1024
-        self._n_samples = 0
-        self._n_steps = 0
-        self._t_buf = np.empty(capacity)
-        self._rate_buf = np.empty((capacity, n_nodes))
-        self._budget_buf: np.ndarray | None = (
-            np.empty((capacity, n_nodes)) if self._budgets_available() else None
-        )
-        self._last_sample_t = -math.inf
         if self._obs is not None:
             self._obs.bind_stream(self)
             self.fabric.set_recorder(self._obs)
 
     # -- structural helpers ------------------------------------------------
-    def _budgets_available(self) -> bool:
-        return self.fabric.fleet.budgets() is not None
+    def _next_arrival_time(self) -> float:
+        return (
+            self.submits[self._next_arrival]
+            if self._next_arrival < len(self.jobs)
+            else math.inf
+        )
 
     def _admit_arrivals(self) -> None:
         while (
@@ -896,8 +908,8 @@ class _StreamState:
                 self.engine.sample_compute_time(stage) + group.extra_compute_s
             )
             heapq.heappush(
-                self.compute_heap,
-                (self.now + duration, next(self._compute_counter), group),
+                self.timer_heap,
+                (self.now + duration, next(self._timer_counter), group),
             )
 
     # -- completions ---------------------------------------------------------
@@ -911,7 +923,8 @@ class _StreamState:
         if group.pending_flows == 0:
             self._start_computes(group)
 
-    def _on_compute_complete(self, group: _TaskGroup) -> None:
+    def _on_timer(self, group: _TaskGroup) -> None:
+        """A task-compute completion (the stream workload's only timer)."""
         obs = self._obs
         j = group.job_index
         index = group.stage_index
@@ -947,149 +960,23 @@ class _StreamState:
                 if obs is not None:
                     obs.on_job_finish(self, j)
 
-    # -- telemetry -------------------------------------------------------------
-    def _record(self, force: bool = False) -> None:
-        """Record the current rate assignment, valid from ``now`` onward.
-
-        Called after :meth:`Fabric.compute_rates` and *before*
-        :meth:`Fabric.advance`, so the sample describes the upcoming
-        piecewise-constant segment rather than a stale assignment.
-        """
-        if (
-            not force
-            and self.now - self._last_sample_t
-            < self.engine.sample_interval_s - 1e-12
-        ):
-            return
-        self._last_sample_t = self.now
-        k = self._n_samples
-        if k == self._t_buf.shape[0]:
-            self._grow_telemetry()
-        self._t_buf[k] = self.now
-        self._rate_buf[k, :] = self.fabric._egress_raw()
-        if self._budget_buf is not None:
-            self._budget_buf[k, :] = self.fabric.fleet.budgets()
-        self._n_samples = k + 1
-
-    def _grow_telemetry(self) -> None:
-        capacity = 2 * self._t_buf.shape[0]
-        k = self._n_samples
-        for name in ("_t_buf", "_rate_buf", "_budget_buf"):
-            old = getattr(self, name)
-            if old is None:
-                continue
-            new = np.empty((capacity,) + old.shape[1:])
-            new[:k] = old[:k]
-            setattr(self, name, new)
-
     # -- main loop ---------------------------------------------------------------
     #
-    # The event loop is split into begin / step_prologue / step_epilogue
-    # / finish helpers so the serial loop below and the batched
-    # multistream driver (repro.simulator.multistream) share one
-    # definition of an event step.  Only the middle differs: the serial
-    # loop asks its own fabric for horizon() and advance(), the batched
-    # driver computes horizons and shaper advances for all cells in one
-    # super-fleet call and hands each cell its own dt.  Helper order is
-    # exactly the pre-split loop body, so serial traces are unchanged.
-
-    def begin(self) -> None:
-        """Admit and launch everything runnable at t=0."""
-        self._admit_arrivals()
-        self._try_launch()
-        self._sched_dirty = False
+    # begin / step_prologue / step_epilogue / finish / execute live in
+    # EventCore (repro.simulator.core), shared with the serving layer
+    # and the batched multistream driver.  Only the workload hooks —
+    # admission, dispatch, timer/flow completion, result assembly —
+    # are implemented here.
 
     @property
     def all_done(self) -> bool:
         return self._n_finished == len(self.jobs)
-
-    def step_prologue(self) -> float:
-        """Open an event step: rates, telemetry, engine-event bound.
-
-        Computes (or confirms) the rate assignment, samples telemetry,
-        and returns the seconds until the next engine-side event —
-        compute completion or job arrival — relative to ``now`` (inf
-        when neither is pending).  The caller combines it with the
-        fabric horizon to pick the step size.
-        """
-        self._n_steps += 1
-        self.fabric.compute_rates()
-        self._record()
-        if self._obs is not None:
-            self._obs.maybe_scrape(self)
-        compute_heap = self.compute_heap
-        if self._track_groups:
-            # Entries of preempted groups are discarded lazily;
-            # purge them from the head so they never bound the
-            # step size.
-            heappop = heapq.heappop
-            while compute_heap and compute_heap[0][2].cancelled:
-                heappop(compute_heap)
-        next_compute = compute_heap[0][0] if compute_heap else math.inf
-        next_arrival = (
-            self.submits[self._next_arrival]
-            if self._next_arrival < len(self.jobs)
-            else math.inf
-        )
-        return min(next_compute - self.now, next_arrival - self.now)
-
-    def step_epilogue(self, dt: float, completed_flows: list) -> None:
-        """Close an event step after the fabric advanced by ``dt``."""
-        self.now += dt
-        for flow in completed_flows:
-            self._on_flow_complete(flow)
-        # Drain every compute due at (or epsilon-past) the new time
-        # as one batch, then run a single launch pass for all of it.
-        compute_heap = self.compute_heap
-        heappop = heapq.heappop
-        due_threshold = self.now + 1e-9
-        while compute_heap and compute_heap[0][0] <= due_threshold:
-            group = heappop(compute_heap)[2]
-            if not group.cancelled:
-                self._on_compute_complete(group)
-        self._admit_arrivals()
-        if self._sched_dirty:
-            self._sched_dirty = False
-            self._try_launch()
 
     def deadlock_error(self) -> RuntimeError:
         return RuntimeError(
             f"deadlock at t={self.now}: no flows, no computes, "
             f"no arrivals, jobs done={self.finished}"
         )
-
-    def finish(self) -> StreamResult:
-        """Final sample, observability teardown, result assembly."""
-        self.fabric.compute_rates()
-        self._record(force=True)
-        if self._obs is not None:
-            self._obs.finalize(self)
-            self.fabric.set_recorder(None)
-        return self._build_result()
-
-    def execute(self) -> StreamResult:
-        self.begin()
-        max_steps = _MAX_STEPS * len(self.jobs)
-        fabric = self.fabric
-        n_jobs = len(self.jobs)
-        obs = self._obs
-        for _ in range(max_steps):
-            if self._n_finished == n_jobs:
-                break
-            events_in = self.step_prologue()
-            dt = min(fabric.horizon(), events_in)
-            if math.isinf(dt):
-                raise self.deadlock_error()
-            dt = max(dt, 0.0)
-            if obs is not None:
-                # Shaper transitions fire from inside advance(); stamp
-                # them at the end of the step being integrated.
-                obs.now = self.now + dt
-            completed_flows = fabric.advance(dt)
-            self.step_epilogue(dt, completed_flows)
-        else:
-            raise RuntimeError("step budget exhausted; stream did not converge")
-        return self.finish()
 
     # -- result assembly ---------------------------------------------------
     def _build_result(self) -> StreamResult:

@@ -50,10 +50,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.netmodel.fleet import concat_fleets
-from repro.simulator.engine import _MAX_STEPS, SparkEngine, StreamResult, _StreamState
+from repro.simulator.core import EventCore
+from repro.simulator.engine import SparkEngine, StreamResult, _StreamState
 from repro.simulator.fabric import Fabric
 
-__all__ = ["StreamTask", "run_streams"]
+__all__ = ["StreamTask", "run_streams", "run_cores"]
 
 
 @dataclass
@@ -99,6 +100,28 @@ def run_streams(tasks: Sequence[StreamTask]) -> list[StreamResult]:
                 recorder=None,
             )
         )
+    return run_cores(states)
+
+
+def run_cores(states: "Sequence[EventCore]") -> list:
+    """Advance pre-built event cores in lockstep; one result per core.
+
+    The workload-agnostic batched driver: any
+    :class:`~repro.simulator.core.EventCore` subclass — DAG stream
+    states, serving states — rides the same super-fleet lockstep,
+    because the driver only speaks the core's begin / step_prologue /
+    step_epilogue / all_done / finish protocol plus the fabric's
+    batched shaper interface.  Equivalent to
+    ``[state.execute() for state in states]`` bit-identically per core
+    (see the module docstring for why); per-core step budgets come
+    from ``state.max_steps``.
+
+    Constraints are :func:`run_streams`'s: every core's fleet must be
+    the same concrete class, and recorders must be detached.
+    """
+    states = list(states)
+    if not states:
+        return []
     super_fleet = concat_fleets([state.fabric.fleet for state in states])
     n_cells = len(states)
     sizes = np.array([state.fabric.n_nodes for state in states], dtype=np.intp)
@@ -130,7 +153,7 @@ def run_streams(tasks: Sequence[StreamTask]) -> list[StreamResult]:
     # batched fleet call.
     dt_cells = [0.0] * n_cells
     events_in = [math.inf] * n_cells
-    steps_left = [_MAX_STEPS * len(state.jobs) for state in states]
+    steps_left = [state.max_steps for state in states]
     for state in states:
         state.begin()
     active = [ci for ci in range(n_cells) if not states[ci].all_done]

@@ -299,3 +299,60 @@ class TestRenderers:
         assert samples[("repro_campaign_done_ratio", ())] == pytest.approx(
             2.0 / 3.0
         )
+
+
+class TestSloColumn:
+    def _write_serving_shard(self, shard_dir, index, keys, violations):
+        """A shard whose done cells carry slo_violations provenance."""
+        manifest = {
+            "schema": 1,
+            "shard": index,
+            "n_shards": 2,
+            "encode": "m:encode",
+            "cells": [
+                {"fn": "m:f", "payload": {"k": key}, "key": key}
+                for key in keys
+            ],
+        }
+        (shard_dir / f"shard-{index}.json").write_text(json.dumps(manifest))
+        store = shard_dir / f"shard-{index}-store"
+        store.mkdir()
+        entries = {
+            key: {
+                "documents": [],
+                "obs": {"wall_s": 1.0, "slo_violations": v},
+            }
+            for key, v in zip(keys, violations)
+        }
+        (store / "manifest.json").write_text(json.dumps(entries))
+
+    def test_slo_violations_aggregate_per_shard_and_total(self, tmp_path):
+        self._write_serving_shard(tmp_path, 0, ["a", "b"], [1, 0])
+        self._write_serving_shard(tmp_path, 1, ["c"], [2])
+        status = campaign_status(tmp_path)
+        assert status.shards[0].n_slo_violations == 1
+        assert status.shards[0].n_slo_cells == 2
+        assert status.shards[1].n_slo_violations == 2
+        assert status.n_slo_violations == 3
+        text = render_text(status)
+        assert "slo-violations 1" in text
+        assert "slo-violations 2" in text
+        # The total line carries the campaign-wide sum.
+        assert "slo-violations 3" in text
+        samples = parse_prometheus_text(render_prometheus(status))
+        assert samples[
+            ("repro_campaign_shard_slo_violations", (("shard", "0"),))
+        ] == 1.0
+        assert samples[
+            ("repro_campaign_shard_slo_violations", (("shard", "1"),))
+        ] == 2.0
+
+    def test_dag_campaigns_show_no_slo_column(self, tmp_path):
+        # Cells without slo provenance (every DAG campaign) keep the
+        # status output exactly as before the serving layer existed.
+        _write_shard(tmp_path, 0, ["a"], done=["a"])
+        _write_shard(tmp_path, 1, ["b"], done=["b"])
+        status = campaign_status(tmp_path)
+        assert status.n_slo_violations == 0
+        assert all(s.n_slo_cells == 0 for s in status.shards)
+        assert "slo-violations" not in render_text(status)

@@ -1,0 +1,122 @@
+"""Tests for the lazy open-loop arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.serving.arrivals import (
+    diurnal_process,
+    flash_crowd_process,
+    poisson_process,
+)
+
+
+class TestPoissonProcess:
+    def test_first_arrival_after_a_gap(self):
+        # Serving convention: a cold service's first request lands at a
+        # random instant, not t=0 (unlike the eager job-stream form).
+        times = list(poisson_process(np.random.default_rng(0), 5.0, 100.0))
+        assert times[0] > 0.0
+
+    def test_sorted_and_bounded(self):
+        times = list(poisson_process(np.random.default_rng(1), 8.0, 50.0))
+        assert times == sorted(times)
+        assert all(0.0 < t < 50.0 for t in times)
+
+    def test_rate_matches(self):
+        times = list(
+            poisson_process(np.random.default_rng(2), 20.0, 500.0)
+        )
+        assert len(times) / 500.0 == pytest.approx(20.0, rel=0.1)
+
+    def test_same_seed_same_stream(self):
+        a = list(poisson_process(np.random.default_rng(3), 5.0, 60.0))
+        b = list(poisson_process(np.random.default_rng(3), 5.0, 60.0))
+        assert a == b
+
+    def test_lazy_generation(self):
+        # Building the generator draws nothing from the RNG.
+        rng = np.random.default_rng(4)
+        before = rng.bit_generator.state
+        gen = poisson_process(rng, 5.0, 60.0)
+        assert rng.bit_generator.state == before
+        next(gen)
+        assert rng.bit_generator.state != before
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            next(poisson_process(rng, 0.0, 10.0))
+        with pytest.raises(ValueError):
+            next(poisson_process(rng, 1.0, 0.0))
+
+
+class TestDiurnalProcess:
+    def test_peak_half_period_denser_than_trough(self):
+        # sin² crests at period/2: the middle half-period must carry
+        # clearly more arrivals than the trough-centred edges.
+        period = 200.0
+        times = np.array(
+            list(
+                diurnal_process(
+                    np.random.default_rng(5),
+                    base_rps=2.0,
+                    peak_rps=20.0,
+                    period_s=period,
+                    duration_s=period,
+                )
+            )
+        )
+        mid = np.sum((times > period * 0.25) & (times < period * 0.75))
+        edges = times.size - mid
+        assert mid > 1.5 * edges
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            next(diurnal_process(rng, 0.0, 5.0, 60.0, 60.0))
+        with pytest.raises(ValueError):
+            next(diurnal_process(rng, 5.0, 4.0, 60.0, 60.0))
+        with pytest.raises(ValueError):
+            next(diurnal_process(rng, 1.0, 5.0, 0.0, 60.0))
+
+
+class TestFlashCrowdProcess:
+    def test_spike_window_is_denser(self):
+        times = np.array(
+            list(
+                flash_crowd_process(
+                    np.random.default_rng(6),
+                    base_rps=4.0,
+                    spike_rps=40.0,
+                    spike_start_s=100.0,
+                    spike_len_s=50.0,
+                    duration_s=250.0,
+                )
+            )
+        )
+        in_spike = np.sum((times >= 100.0) & (times < 150.0))
+        spike_rate = in_spike / 50.0
+        base_rate = (times.size - in_spike) / 200.0
+        assert spike_rate == pytest.approx(40.0, rel=0.25)
+        assert base_rate == pytest.approx(4.0, rel=0.35)
+
+    def test_thinning_preserves_determinism(self):
+        def run():
+            return list(
+                flash_crowd_process(
+                    np.random.default_rng(7), 2.0, 10.0, 5.0, 5.0, 30.0
+                )
+            )
+
+        assert run() == run()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            next(flash_crowd_process(rng, 0.0, 5.0, 1.0, 1.0, 10.0))
+        with pytest.raises(ValueError):
+            next(flash_crowd_process(rng, 5.0, 4.0, 1.0, 1.0, 10.0))
+        with pytest.raises(ValueError):
+            next(flash_crowd_process(rng, 1.0, 5.0, -1.0, 1.0, 10.0))
+        with pytest.raises(ValueError):
+            next(flash_crowd_process(rng, 1.0, 5.0, 1.0, 0.0, 10.0))

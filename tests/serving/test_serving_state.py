@@ -1,0 +1,171 @@
+"""Tests for the serving workload over the event core."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel import ConstantRateModel
+from repro.serving.arrivals import poisson_process
+from repro.serving.slo import SloPolicy
+from repro.serving.state import ServingState, serve
+from repro.serving.topology import ServiceTopology
+from repro.simulator import Cluster, NodeSpec, SparkEngine
+
+
+def make_engine(seed=0, n_nodes=4, rate_gbps=10.0):
+    cluster = Cluster(
+        n_nodes=n_nodes,
+        node_spec=NodeSpec(),
+        link_model_factory=lambda node: ConstantRateModel(rate_gbps),
+    )
+    return SparkEngine(cluster, rng=np.random.default_rng(seed))
+
+
+def open_loop(seed=0, rate_rps=10.0, duration_s=20.0, **kwargs):
+    engine = make_engine(seed)
+    arrivals = poisson_process(engine.rng, rate_rps, duration_s)
+    return serve(
+        engine,
+        ServiceTopology.three_tier(),
+        duration_s=duration_s,
+        arrivals=arrivals,
+        **kwargs,
+    )
+
+
+def snapshot(result):
+    return {
+        "n_requests": result.n_requests,
+        "n_completed": result.n_completed,
+        "makespan": result.makespan_s,
+        "latency": result.latency,
+        "windows": result.windows,
+        "n_steps": result.n_steps,
+        "samples": result.sample_times.tolist(),
+        "egress": result.egress_rates.tolist(),
+    }
+
+
+class TestOpenLoop:
+    def test_request_conservation(self):
+        result = open_loop()
+        assert result.n_requests > 0
+        assert result.n_completed == result.n_requests
+        assert result.latency["count"] == float(result.n_completed)
+
+    def test_deterministic(self):
+        assert snapshot(open_loop(seed=3)) == snapshot(open_loop(seed=3))
+
+    def test_latencies_positive_and_max_bounds_mean(self):
+        result = open_loop()
+        assert 0.0 < result.latency["mean_s"] <= result.latency["max_s"]
+        assert result.latency["sum_s"] == pytest.approx(
+            result.latency["mean_s"] * result.n_completed
+        )
+
+    def test_drain_can_exceed_duration(self):
+        # In-flight requests finish after arrivals stop; the makespan
+        # is when the last one drains, never before the last arrival.
+        result = open_loop(rate_rps=30.0, duration_s=10.0)
+        assert result.makespan_s > 0.0
+        assert result.n_completed == result.n_requests
+
+    def test_slo_gate_rides_the_run(self):
+        result = open_loop(
+            slo_policy=SloPolicy(p99_ms=0.001, window_s=5.0, min_count=1)
+        )
+        # A microsecond target is unmeetable: every window violates.
+        assert result.slo is not None
+        assert not result.slo.passed
+        assert result.slo_violations > 0
+        no_gate = open_loop()
+        assert no_gate.slo is None
+        assert no_gate.slo_violations == 0
+
+
+class TestClosedLoop:
+    def test_users_cycle_until_duration(self):
+        engine = make_engine()
+        result = serve(
+            engine,
+            ServiceTopology.line(2),
+            duration_s=10.0,
+            users=3,
+            think_s=1.0,
+        )
+        # Each user re-issues roughly every think+service interval;
+        # 3 users over 10 s must produce well over one request each.
+        assert result.n_requests > 9
+        assert result.n_completed == result.n_requests
+
+    def test_more_users_more_requests(self):
+        def run(users):
+            return serve(
+                make_engine(),
+                ServiceTopology.line(2),
+                duration_s=10.0,
+                users=users,
+                think_s=1.0,
+            ).n_requests
+
+        assert run(6) > run(2)
+
+    def test_mixed_load(self):
+        engine = make_engine()
+        arrivals = poisson_process(engine.rng, 5.0, 10.0)
+        result = serve(
+            engine,
+            ServiceTopology.line(2),
+            duration_s=10.0,
+            arrivals=arrivals,
+            users=2,
+            think_s=2.0,
+        )
+        assert result.n_completed == result.n_requests > 0
+
+
+class TestPlacementAndFlows:
+    def test_colocated_line_uses_no_fabric(self):
+        # A 1-service "tree" never leaves its node: zero egress.
+        engine = make_engine()
+        arrivals = poisson_process(engine.rng, 10.0, 10.0)
+        result = serve(
+            engine,
+            ServiceTopology.line(1),
+            duration_s=10.0,
+            arrivals=arrivals,
+        )
+        assert float(result.egress_rates.sum()) == 0.0
+
+    def test_remote_calls_move_payload(self):
+        result = open_loop()
+        assert float(result.egress_rates.max()) > 0.0
+
+    def test_payload_scale_inflates_latency(self):
+        light = open_loop(seed=5, payload_scale=1.0)
+        heavy = open_loop(seed=5, payload_scale=50.0)
+        assert heavy.latency["mean_s"] > light.latency["mean_s"]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        engine = make_engine()
+        topo = ServiceTopology.line(2)
+        with pytest.raises(ValueError, match="duration"):
+            ServingState(engine, topo, engine.cluster.build_fabric(),
+                         duration_s=0.0, users=1)
+        with pytest.raises(ValueError, match="negative"):
+            ServingState(engine, topo, engine.cluster.build_fabric(),
+                         duration_s=1.0, users=-1)
+        with pytest.raises(ValueError, match="payload_scale"):
+            ServingState(engine, topo, engine.cluster.build_fabric(),
+                         duration_s=1.0, users=1, payload_scale=0.0)
+
+    def test_rejects_loadless_run(self):
+        engine = make_engine()
+        with pytest.raises(ValueError, match="load"):
+            ServingState(
+                engine,
+                ServiceTopology.line(2),
+                engine.cluster.build_fabric(),
+                duration_s=1.0,
+            )

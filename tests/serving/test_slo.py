@@ -1,0 +1,149 @@
+"""Tests for SLO policies, reports, and their metric/store forms."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus_text
+from repro.serving.slo import SloPolicy, SloReport, SloViolation
+
+
+def window(start, count, **quantiles):
+    return {"window_start": start, "count": float(count), **quantiles}
+
+
+class TestSloPolicy:
+    def test_targets_skip_disabled_quantiles(self):
+        policy = SloPolicy(p99_ms=250.0)
+        assert policy.targets() == {"p99": 0.25}
+        full = SloPolicy(p50_ms=50.0, p99_ms=250.0, p999_ms=900.0)
+        assert set(full.targets()) == {"p50", "p99", "p999"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(p99_ms=-1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(window_s=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(min_count=0)
+
+    def test_evaluate_flags_only_over_target_windows(self):
+        policy = SloPolicy(p99_ms=100.0, window_s=10.0, min_count=1)
+        report = policy.evaluate(
+            [
+                window(0.0, 20, p99=0.05),
+                window(10.0, 20, p99=0.15),
+                window(20.0, 20, p99=0.09),
+            ]
+        )
+        assert not report.passed
+        assert report.n_windows == 3
+        assert report.n_evaluated == 3
+        [violation] = report.violations
+        assert violation.window_start == 10.0
+        assert violation.quantile == "p99"
+        assert violation.excess_ratio == pytest.approx(1.5)
+        assert report.worst["p99"] == 0.15
+
+    def test_min_count_skips_thin_windows(self):
+        # A one-request window's p99 is noise, not a violation.
+        policy = SloPolicy(p99_ms=100.0, min_count=5)
+        report = policy.evaluate(
+            [window(0.0, 1, p99=9.0), window(10.0, 5, p99=0.05)]
+        )
+        assert report.passed
+        assert report.n_windows == 2
+        assert report.n_evaluated == 1
+
+    def test_nan_and_missing_quantiles_skipped(self):
+        policy = SloPolicy(p99_ms=100.0, p999_ms=200.0, min_count=1)
+        report = policy.evaluate(
+            [window(0.0, 10, p99=math.nan), window(10.0, 10, p99=0.05)]
+        )
+        assert report.passed
+        assert report.worst["p99"] == 0.05
+        assert math.isnan(report.worst["p999"])
+
+    def test_multiple_quantiles_violate_one_window(self):
+        policy = SloPolicy(p50_ms=10.0, p99_ms=50.0, min_count=1)
+        report = policy.evaluate([window(0.0, 10, p50=0.02, p99=0.08)])
+        assert len(report.violations) == 2
+        assert report.n_violation_windows == 1
+        assert len(report.violations_for("p50")) == 1
+
+    def test_policy_round_trip(self):
+        policy = SloPolicy(p50_ms=10.0, p99_ms=250.0, window_s=15.0, min_count=3)
+        assert SloPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestSloReport:
+    def make_report(self):
+        policy = SloPolicy(p99_ms=100.0, p999_ms=500.0, min_count=1)
+        return policy.evaluate(
+            [
+                window(0.0, 10, p99=0.05, p999=0.2),
+                window(10.0, 10, p99=0.12, p999=0.3),
+            ]
+        )
+
+    def test_verdict_rows(self):
+        rows = self.make_report().verdict_rows()
+        by_quantile = {row["quantile"]: row for row in rows}
+        assert by_quantile["p99"]["status"] == "FAIL"
+        assert by_quantile["p99"]["violations"] == 1
+        assert by_quantile["p99"]["worst_ms"] == 120.0
+        assert by_quantile["p999"]["status"] == "PASS"
+        assert by_quantile["p999"]["target_ms"] == 500.0
+
+    def test_verdict_rows_unobserved_worst_is_none(self):
+        policy = SloPolicy(p99_ms=100.0, min_count=1)
+        [row] = policy.evaluate([]).verdict_rows()
+        assert row["worst_ms"] is None
+
+    def test_report_round_trip(self):
+        report = self.make_report()
+        clone = SloReport.from_dict(report.to_dict())
+        assert clone.policy == report.policy
+        assert clone.violations == report.violations
+        assert clone.n_windows == report.n_windows
+        assert clone.n_evaluated == report.n_evaluated
+        assert clone.worst == report.worst
+
+    def test_round_trip_preserves_nan_worst_as_null(self):
+        policy = SloPolicy(p99_ms=100.0, min_count=1)
+        report = policy.evaluate([])
+        payload = report.to_dict()
+        assert payload["worst"]["p99"] is None
+        assert math.isnan(SloReport.from_dict(payload).worst["p99"])
+
+    def test_to_metrics_renders_and_parses(self):
+        registry = MetricsRegistry()
+        self.make_report().to_metrics(registry)
+        samples = parse_prometheus_text(registry.render_prometheus())
+        assert samples[("repro_slo_pass", ())] == 0.0
+        assert samples[
+            ("repro_slo_target_seconds", (("quantile", "p99"),))
+        ] == pytest.approx(0.1)
+        assert samples[
+            ("repro_slo_violation_windows", (("quantile", "p99"),))
+        ] == 1.0
+        assert samples[
+            ("repro_slo_worst_seconds", (("quantile", "p999"),))
+        ] == pytest.approx(0.3)
+        assert samples[("repro_slo_windows_total", ())] == 2.0
+
+    def test_passing_report_metrics(self):
+        policy = SloPolicy(p99_ms=1000.0, min_count=1)
+        registry = MetricsRegistry()
+        policy.evaluate([window(0.0, 10, p99=0.1)]).to_metrics(registry)
+        samples = parse_prometheus_text(registry.render_prometheus())
+        assert samples[("repro_slo_pass", ())] == 1.0
+
+
+class TestSloViolation:
+    def test_round_trip(self):
+        violation = SloViolation(
+            window_start=30.0, quantile="p99", observed_s=0.4, target_s=0.25
+        )
+        assert SloViolation.from_dict(violation.to_dict()) == violation
+        assert violation.excess_ratio == pytest.approx(1.6)

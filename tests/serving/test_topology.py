@@ -1,0 +1,129 @@
+"""Tests for microservice call-tree topologies."""
+
+import pytest
+
+from repro.serving.topology import ServiceSpec, ServiceTopology
+
+
+class TestServiceSpec:
+    def test_defaults_normalize_to_float(self):
+        spec = ServiceSpec(name="svc", compute_ms=2)
+        assert isinstance(spec.compute_ms, float)
+        assert spec.children == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceSpec(name="")
+        with pytest.raises(ValueError):
+            ServiceSpec(name="s", compute_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServiceSpec(name="s", compute_cov=-0.1)
+        with pytest.raises(ValueError):
+            ServiceSpec(name="s", request_gbit=-0.1)
+        with pytest.raises(ValueError):
+            ServiceSpec(name="s", response_gbit=-0.1)
+
+
+class TestTopologyValidation:
+    def test_duplicate_service_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ServiceTopology(
+                [ServiceSpec(name="a"), ServiceSpec(name="a")], entry="a"
+            )
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ValueError, match="entry"):
+            ServiceTopology([ServiceSpec(name="a")], entry="missing")
+
+    def test_undefined_child_rejected(self):
+        with pytest.raises(ValueError, match="undefined"):
+            ServiceTopology(
+                [ServiceSpec(name="a", children=("ghost",))], entry="a"
+            )
+
+    def test_call_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            ServiceTopology(
+                [
+                    ServiceSpec(name="a", children=("b",)),
+                    ServiceSpec(name="b", children=("a",)),
+                ],
+                entry="a",
+            )
+
+    def test_self_call_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            ServiceTopology(
+                [ServiceSpec(name="a", children=("a",))], entry="a"
+            )
+
+    def test_diamond_is_acyclic(self):
+        # a -> {b, c} -> d: d reachable twice is sharing, not a cycle.
+        topo = ServiceTopology(
+            [
+                ServiceSpec(name="a", children=("b", "c")),
+                ServiceSpec(name="b", children=("d",)),
+                ServiceSpec(name="c", children=("d",)),
+                ServiceSpec(name="d"),
+            ],
+            entry="a",
+        )
+        # Multiplicity counts: d is called once per path.
+        assert topo.calls_per_request() == 5
+
+
+class TestStockShapes:
+    def test_line(self):
+        topo = ServiceTopology.line(depth=4)
+        assert topo.names == ("svc0", "svc1", "svc2", "svc3")
+        assert topo.entry == "svc0"
+        assert topo.spec("svc3").children == ()
+        assert topo.calls_per_request() == 4
+        with pytest.raises(ValueError):
+            ServiceTopology.line(depth=0)
+
+    def test_fanout(self):
+        topo = ServiceTopology.fanout(breadth=2, depth=2)
+        assert len(topo.names) == 7  # 1 + 2 + 4
+        assert topo.calls_per_request() == 7
+        assert topo.entry == "svc-0-0"
+        # Root first in service order (placement staggering contract).
+        assert topo.names[0] == topo.entry
+        with pytest.raises(ValueError):
+            ServiceTopology.fanout(breadth=0)
+
+    def test_three_tier(self):
+        topo = ServiceTopology.three_tier()
+        assert topo.entry == "frontend"
+        assert topo.calls_per_request() == 5
+        assert topo.spec("api").children == ("db", "cache")
+
+    def test_overrides_apply_to_every_service(self):
+        topo = ServiceTopology.line(depth=2, compute_ms=7.5)
+        assert all(
+            spec.compute_ms == 7.5 for spec in topo.services.values()
+        )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "topo",
+        [
+            ServiceTopology.line(3),
+            ServiceTopology.fanout(3, 2),
+            ServiceTopology.three_tier(compute_ms=4.0),
+        ],
+    )
+    def test_dict_round_trip(self, topo):
+        clone = ServiceTopology.from_dict(topo.to_dict())
+        assert clone.entry == topo.entry
+        assert clone.names == topo.names
+        for name in topo.names:
+            assert clone.spec(name) == topo.spec(name)
+
+    def test_round_trip_is_json_compatible(self):
+        import json
+
+        topo = ServiceTopology.three_tier()
+        wire = json.loads(json.dumps(topo.to_dict()))
+        assert ServiceTopology.from_dict(wire).names == topo.names

@@ -164,6 +164,49 @@ class TestTokenBucketInteraction:
         # Resting roughly stabilizes run-over-run growth.
         assert runtimes[-1] < runtimes[0] * 1.3
 
+    def test_scheduler_forwards_to_each_repetition(self):
+        # The scheduler argument must reach every repetition's run —
+        # an unknown policy is rejected by the stream validator, so it
+        # erroring out of run_repetitions proves the forwarding path.
+        job = two_stage_job(shuffle=200.0, tasks=8, compute=1.0, cov=0.2)
+
+        def runtimes(scheduler):
+            engine = SparkEngine(
+                constant_cluster(n=2), rng=np.random.default_rng(0)
+            )
+            reps = engine.run_repetitions(
+                job, repetitions=2, scheduler=scheduler
+            )
+            return [r.runtime_s for r in reps]
+
+        # Single-job streams: every policy coincides on values.
+        assert runtimes("fair") == runtimes("srpt") == runtimes("fifo")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            runtimes("nope")
+
+    def test_recorder_observes_all_repetitions(self):
+        from repro.obs import ObsRecorder
+
+        job = two_stage_job(shuffle=100.0, tasks=8, compute=1.0)
+        engine = SparkEngine(
+            constant_cluster(n=2), rng=np.random.default_rng(0)
+        )
+        recorder = ObsRecorder(scrape_interval_s=2.0)
+        bare_engine = SparkEngine(
+            constant_cluster(n=2), rng=np.random.default_rng(0)
+        )
+        bare = bare_engine.run_repetitions(job, repetitions=3)
+        observed = engine.run_repetitions(
+            job, repetitions=3, recorder=recorder
+        )
+        # One recorder accumulates across repetitions, observation only.
+        assert len(recorder.tracer.spans("job")) == 3
+        assert (
+            recorder.registry.counter("repro_sim_jobs_finished_total").value()
+            == 3.0
+        )
+        assert [r.runtime_s for r in observed] == [r.runtime_s for r in bare]
+
 
 class TestValidation:
     def test_bad_skew_length(self):

@@ -365,3 +365,70 @@ class TestStoreMaintenance:
             ArtifactStore(fresh).content_hash()
             == ArtifactStore(shard_dir / "shard-0-store").content_hash()
         )
+
+
+class TestServing:
+    SERVE = ["serve", "--fast", "--provider", "fixed", "--rate", "10",
+             "--duration", "10", "--seed", "3"]
+
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve", "--fast"])
+        assert args.provider == "hpccloud"
+        assert args.arrival == "poisson"
+        assert args.instance is None  # provider default applies later
+
+    def test_scenario_workload_alias(self):
+        args = build_parser().parse_args(
+            ["scenario", "--workload", "serving", "--rates", "40,90"]
+        )
+        assert args.workloads == "serving"
+        assert args.rates == "40,90"
+
+    def test_serve_prints_verdict_table(self, capsys):
+        assert main(self.SERVE) == 0
+        out = capsys.readouterr().out
+        assert "== serve: fixed/fixed-9gbps" in out
+        assert "cell: srv-" in out
+        assert "latency:" in out
+        assert "slo verdicts:" in out
+        assert "slo: PASS" in out or "slo: FAIL" in out
+
+    def test_serve_is_deterministic(self, capsys):
+        assert main(self.SERVE) == 0
+        first = capsys.readouterr().out
+        assert main(self.SERVE) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_prom_output_parses(self, capsys):
+        from repro.obs import parse_prometheus_text
+
+        assert main(self.SERVE + ["--prom"]) == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        assert ("repro_slo_pass", ()) in samples
+        assert (
+            "repro_slo_target_seconds", (("quantile", "p99"),)
+        ) in samples
+
+    def test_serve_unknown_provider_needs_instance(self, capsys):
+        assert main(["serve", "--fast", "--provider", "clowncloud"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serving_sweep_caches(self, capsys, tmp_path):
+        argv = ["scenario", "--workload", "serving", "--fast", "--seed", "3",
+                "--providers", "fixed", "--arrivals", "poisson",
+                "--rates", "10", "--store", str(tmp_path / "cells")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "serving sweep" in first
+        assert "computed=1 cached=0" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "computed=0 cached=1" in second
+        assert second.replace(
+            "computed=0 cached=1", "computed=1 cached=0"
+        ) == first
+
+    def test_serving_cannot_mix_with_dag_workloads(self, capsys):
+        code = main(["scenario", "--workload", "serving,terasort", "--fast"])
+        assert code == 2
+        assert "its own sweep" in capsys.readouterr().err

@@ -82,6 +82,14 @@ def test_distributed_campaign(capsys):
     assert "CORRUPT" not in out
 
 
+def test_serving_slo(capsys):
+    out = run_example("serving_slo.py", capsys)
+    assert "serving SLO gate" in out
+    assert "slo verdict: FAIL (1 violation window(s))" in out
+    assert "slo verdict: PASS (0 violation window(s))" in out
+    assert "only the variable fabric breaks the SLO" in out
+
+
 def test_fault_tolerant_campaign(capsys):
     out = run_example("fault_tolerant_campaign.py", capsys)
     assert "convergence held" in out
